@@ -1,0 +1,112 @@
+// Reproduces paper Figure 9: "Standard Scan or Sorted Index Scan: Cost
+// Difference" at 90% selectivity. The paper's qualitative table says the
+// sorted index scan pays extra I/O (index pages) + the Rid sort, while the
+// standard scan pays handle get/unreference for the WHOLE collection (not
+// just the selected elements) plus a comparison per member. This bench
+// decomposes both runs into those buckets from the engine's counters.
+#include "common/bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+#include "src/query/selection.h"
+
+namespace treebench::bench {
+namespace {
+
+struct Breakdown {
+  double io_s = 0;
+  double handle_s = 0;
+  double sort_s = 0;
+  double compare_s = 0;
+  double result_s = 0;
+  double total_s = 0;
+};
+
+Breakdown Decompose(const QueryRunStats& run, const CostModel& m,
+                    uint32_t scale) {
+  Breakdown b;
+  const Metrics& mt = run.metrics;
+  b.io_s = (static_cast<double>(mt.disk_reads) * m.disk_read_page_ns +
+            static_cast<double>(mt.rpc_count) * m.rpc_latency_ns +
+            static_cast<double>(mt.rpc_bytes) * m.rpc_per_byte_ns +
+            static_cast<double>(mt.swap_ios) * 2 * m.swap_io_ns) /
+           1e9;
+  b.handle_s = (static_cast<double>(mt.handle_gets) * m.handle_get_ns +
+                static_cast<double>(mt.handle_unrefs) * m.handle_unref_ns +
+                static_cast<double>(mt.handle_lookups) * m.handle_lookup_ns +
+                static_cast<double>(mt.literal_handles) * m.literal_handle_ns) /
+               1e9;
+  double n = static_cast<double>(mt.sorted_elements);
+  if (n > 0) {
+    b.sort_s = n * std::max(1.0, std::log2(n)) *
+               m.sort_per_element_level_ns / 1e9;
+  }
+  b.compare_s = (static_cast<double>(mt.comparisons) * m.compare_ns +
+                 static_cast<double>(mt.attr_accesses) * m.attr_access_ns) /
+                1e9;
+  b.result_s = static_cast<double>(mt.set_appends) * m.set_append_ns / 1e9;
+  b.total_s = run.seconds;
+  b.io_s *= scale;
+  b.handle_s *= scale;
+  b.sort_s *= scale;
+  b.compare_s *= scale;
+  b.result_s *= scale;
+  b.total_s *= scale;
+  return b;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  auto derby = BuildDerbyOrDie(2000, 1000,
+                               ClusteringStrategy::kClassClustered, opts);
+
+  SelectionSpec spec;
+  spec.collection = "Patients";
+  spec.key_attr = derby->meta.c_num;
+  spec.lo = derby->NumCutoff(10.0);  // num > k at 90% selectivity
+  spec.hi = INT64_MAX;
+  spec.proj_attr = derby->meta.c_age;
+
+  spec.mode = SelectionMode::kScan;
+  auto scan = RunSelection(derby->db.get(), spec).value();
+  spec.mode = SelectionMode::kSortedIndexScan;
+  auto sorted = RunSelection(derby->db.get(), spec).value();
+
+  const CostModel& m = derby->db->sim().model();
+  Breakdown bs = Decompose(scan, m, opts.scale);
+  Breakdown bi = Decompose(sorted, m, opts.scale);
+
+  PrintTable(
+      "fig09 — cost decomposition at 90% selectivity (seconds, paper scale)",
+      {"bucket", "standard scan", "sorted index scan"},
+      {
+          {"I/O (collection + index pages)", FormatSeconds(bs.io_s),
+           FormatSeconds(bi.io_s)},
+          {"handle get/unref", FormatSeconds(bs.handle_s),
+           FormatSeconds(bi.handle_s)},
+          {"rid sort", FormatSeconds(bs.sort_s), FormatSeconds(bi.sort_s)},
+          {"attribute access + compares", FormatSeconds(bs.compare_s),
+           FormatSeconds(bi.compare_s)},
+          {"result-set construction", FormatSeconds(bs.result_s),
+           FormatSeconds(bi.result_s)},
+          {"TOTAL", FormatSeconds(bs.total_s), FormatSeconds(bi.total_s)},
+      });
+
+  std::printf(
+      "\npaper Figure 9 (qualitative): the sorted index scan pays index-page"
+      " I/O\nand the 1.8M-Rid sort; the standard scan pays handle churn for"
+      " all 2M\nobjects (vs only the selected 1.8M) and 2M compares.\n"
+      "handles churned: scan=%s sorted=%s; comparisons: scan=%s sorted=%s\n",
+      WithThousands(scan.metrics.handle_gets).c_str(),
+      WithThousands(sorted.metrics.handle_gets).c_str(),
+      WithThousands(scan.metrics.comparisons).c_str(),
+      WithThousands(sorted.metrics.comparisons).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace treebench::bench
+
+int main(int argc, char** argv) { return treebench::bench::Main(argc, argv); }

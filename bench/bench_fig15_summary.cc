@@ -1,0 +1,117 @@
+// Reproduces paper Figure 15: "Summarizing Results: Winning Algorithms" —
+// for both database scales and three physical organizations (randomized,
+// class clustering, composition clustering), the fastest algorithm and its
+// time in every cell of the selectivity grid.
+#include <array>
+
+#include "common/bench_util.h"
+#include "src/query/tree_query.h"
+
+namespace treebench::bench {
+namespace {
+
+struct PaperCell {
+  const char* algo;
+  double seconds;
+};
+
+// Paper Figure 15 reference: rows are (rel, sel pat, sel prov) in the
+// paper's order; columns random / class / composition.
+struct PaperRow {
+  const char* rel;
+  double sel_pat, sel_prov;
+  PaperCell random, cls, comp;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"1:1000", 10, 10, {"PHJ", 158.67}, {"PHJ", 89.83}, {"NL", 92.78}},
+    {"1:1000", 10, 90, {"CHJ", 279.88}, {"CHJ", 154.09}, {"NL", 923.84}},
+    {"1:1000", 90, 10, {"PHJ", 1419.87}, {"PHJ", 925.07}, {"NL", 155.17}},
+    {"1:1000", 90, 90, {"CHJ", 2617.10}, {"PHJ", 1913.80}, {"NL", 1665.51}},
+    {"1:3", 10, 10, {"PHJ", 277.24}, {"PHJ", 365.72}, {"NL", 165.97}},
+    {"1:3", 10, 90, {"CHJ", 1884.61}, {"CHJ", 1286.18}, {"NOJOIN", 1572.40}},
+    {"1:3", 90, 10, {"PHJ", 2216.87}, {"PHJ", 2676.37}, {"NL", 280.53}},
+    {"1:3", 90, 90, {"NL", 41954.19}, {"NOJOIN", 34708.13}, {"NL", 2709.16}},
+};
+
+struct Winner {
+  std::string algo;
+  double seconds;
+};
+
+Winner BestAlgo(DerbyDb& derby, double sel_pat, double sel_prov,
+                uint32_t scale, StatStore* stats,
+                const std::string& db_label) {
+  TreeQuerySpec spec = DerbyTreeQuery(derby, sel_pat, sel_prov);
+  Winner best{"", 0};
+  for (TreeJoinAlgo algo : {TreeJoinAlgo::kNL, TreeJoinAlgo::kNOJOIN,
+                            TreeJoinAlgo::kPHJ, TreeJoinAlgo::kCHJ}) {
+    auto run = RunTreeQuery(derby.db.get(), spec, algo);
+    if (!run.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", run.status().ToString().c_str());
+      std::exit(1);
+    }
+    double seconds = run->seconds * scale;
+    StatRecord rec;
+    rec.database = db_label;
+    rec.cluster = std::string(ClusteringName(derby.db->clustering()));
+    rec.algo = std::string(AlgoName(algo));
+    rec.selectivity_patients_pct = sel_pat;
+    rec.selectivity_providers_pct = sel_prov;
+    rec.result_count = run->result_count;
+    rec.FillFrom(run->metrics, seconds);
+    stats->Add(rec);
+    if (best.algo.empty() || seconds < best.seconds) {
+      best = {std::string(AlgoName(algo)), seconds};
+    }
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  StatStore stats;
+  std::vector<std::vector<std::string>> rows;
+
+  for (int rel = 0; rel < 2; ++rel) {
+    uint64_t providers = rel == 0 ? 2000 : 1000000;
+    uint32_t kids = rel == 0 ? 1000 : 3;
+    std::array<std::unique_ptr<DerbyDb>, 3> dbs = {
+        BuildDerbyOrDie(providers, kids, ClusteringStrategy::kRandomized,
+                        opts),
+        BuildDerbyOrDie(providers, kids,
+                        ClusteringStrategy::kClassClustered, opts),
+        BuildDerbyOrDie(providers, kids, ClusteringStrategy::kComposition,
+                        opts)};
+    for (int cell = 0; cell < 4; ++cell) {
+      const PaperRow& paper = kPaper[rel * 4 + cell];
+      std::vector<std::string> row{paper.rel,
+                                   std::to_string((int)paper.sel_pat) + "/" +
+                                       std::to_string((int)paper.sel_prov)};
+      const PaperCell* paper_cells[3] = {&paper.random, &paper.cls,
+                                         &paper.comp};
+      for (int org = 0; org < 3; ++org) {
+        Winner w = BestAlgo(*dbs[org], paper.sel_pat, paper.sel_prov,
+                            opts.scale, &stats,
+                            std::string(paper.rel) + " fig15");
+        char cellbuf[96];
+        std::snprintf(cellbuf, sizeof(cellbuf), "%s %.0fs (paper %s %.0fs)",
+                      w.algo.c_str(), w.seconds, paper_cells[org]->algo,
+                      paper_cells[org]->seconds);
+        row.push_back(cellbuf);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  PrintTable("fig15 — winning algorithm per organization",
+             {"rel", "sel pat/prov", "randomized", "class cluster",
+              "composition"},
+             rows);
+  MaybeExportCsv(stats, opts);
+  return 0;
+}
+
+}  // namespace
+}  // namespace treebench::bench
+
+int main(int argc, char** argv) { return treebench::bench::Main(argc, argv); }

@@ -1,0 +1,145 @@
+// Google-benchmark microbenchmarks of the engine's building blocks (real
+// wall-clock time of the host machine, NOT simulated seconds): slotted-page
+// operations, B+-tree insert/lookup, object encode/decode, handle-table
+// churn and the two-level cache path. These guard the *implementation's*
+// performance; the paper-reproduction binaries measure simulated time.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/benchdb/derby.h"
+#include "src/cache/two_level_cache.h"
+#include "src/common/random.h"
+#include "src/index/btree_index.h"
+#include "src/objects/object_store.h"
+#include "src/storage/page.h"
+
+namespace treebench {
+namespace {
+
+void BM_PageInsert(benchmark::State& state) {
+  uint8_t buf[kPageSize];
+  std::vector<uint8_t> rec(64, 0xAB);
+  for (auto _ : state) {
+    Page page(buf);
+    page.Init();
+    while (page.Insert(rec).ok()) {
+    }
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_PageInsert);
+
+void BM_PageGet(benchmark::State& state) {
+  uint8_t buf[kPageSize];
+  Page page(buf);
+  page.Init();
+  std::vector<uint8_t> rec(64, 0xAB);
+  int n = 0;
+  while (page.Insert(rec).ok()) ++n;
+  uint16_t slot = 0;
+  for (auto _ : state) {
+    auto got = page.Get(slot);
+    benchmark::DoNotOptimize(got);
+    slot = static_cast<uint16_t>((slot + 1) % n);
+  }
+}
+BENCHMARK(BM_PageGet);
+
+struct BTreeFixtureState {
+  DiskManager disk;
+  SimContext sim;
+  std::unique_ptr<TwoLevelCache> cache;
+  std::unique_ptr<BTreeIndex> tree;
+
+  BTreeFixtureState() {
+    cache = std::make_unique<TwoLevelCache>(&disk, &sim, CacheConfig{});
+    uint16_t file = disk.CreateFile("idx");
+    tree = std::make_unique<BTreeIndex>(cache.get(), &sim, file);
+  }
+};
+
+void BM_BTreeInsert(benchmark::State& state) {
+  BTreeFixtureState fx;
+  Lrand48 rng(7);
+  int64_t i = 0;
+  for (auto _ : state) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(1 << 30));
+    benchmark::DoNotOptimize(
+        fx.tree->Insert(key, Rid(1, static_cast<uint32_t>(i++), 0)));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  BTreeFixtureState fx;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    fx.tree->Insert(i, Rid(1, static_cast<uint32_t>(i), 0)).ok();
+  }
+  Lrand48 rng(9);
+  for (auto _ : state) {
+    auto rids = fx.tree->Lookup(static_cast<int64_t>(rng.Uniform(kN)));
+    benchmark::DoNotOptimize(rids);
+  }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_CachedPageAccess(benchmark::State& state) {
+  DiskManager disk;
+  SimContext sim;
+  TwoLevelCache cache(&disk, &sim, CacheConfig{});
+  uint16_t file = disk.CreateFile("data");
+  for (int i = 0; i < 1000; ++i) disk.AllocatePage(file);
+  Lrand48 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.GetPage(file, static_cast<uint32_t>(rng.Uniform(1000))));
+  }
+}
+BENCHMARK(BM_CachedPageAccess);
+
+void BM_HandleGetUnref(benchmark::State& state) {
+  DiskManager disk;
+  SimContext sim;
+  TwoLevelCache cache(&disk, &sim, CacheConfig{});
+  Schema schema;
+  uint16_t cls = schema
+                     .AddClass("P", {{"name", AttrType::kString},
+                                     {"x", AttrType::kInt32}})
+                     .value();
+  ObjectStore store(&schema, &cache, &sim);
+  uint16_t file = disk.CreateFile("objs");
+  std::vector<Rid> rids;
+  CreateOptions copts;
+  copts.file_id = file;
+  for (int i = 0; i < 10000; ++i) {
+    rids.push_back(
+        store.CreateObject(cls, ObjectData{std::string("abcdefgh"), i},
+                           copts)
+            .value());
+  }
+  Lrand48 rng(5);
+  for (auto _ : state) {
+    ObjectHandle* h = store.Get(rids[rng.Uniform(rids.size())]).value();
+    benchmark::DoNotOptimize(store.GetInt32(h, 1));
+    store.Unref(h);
+  }
+}
+BENCHMARK(BM_HandleGetUnref);
+
+void BM_DerbyBuildTiny(benchmark::State& state) {
+  for (auto _ : state) {
+    DerbyConfig cfg;
+    cfg.providers = 100;
+    cfg.avg_children = 3;
+    auto derby = BuildDerby(cfg).value();
+    benchmark::DoNotOptimize(derby);
+  }
+}
+BENCHMARK(BM_DerbyBuildTiny)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace treebench
+
+BENCHMARK_MAIN();

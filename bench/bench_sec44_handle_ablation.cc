@@ -1,0 +1,120 @@
+// Ablation of the paper's Section 4.4 proposals for fixing O2's handle
+// overhead, on the cold associative workloads that expose it:
+//   * kFat      — O2 as measured: 60-byte handles, per-object allocation;
+//   * kCompact  — a class hierarchy of handles: literals and most objects
+//                 get slim representatives;
+//   * kBulk     — optimizer-driven bulk allocation of handles.
+// Also contrasts inline strings vs O2's separate string records (which
+// give every string its own literal handle).
+//
+// Expectation (Section 4.4): compact/bulk handles cut the CPU residue of
+// cold scans several-fold "without hurting main memory navigation".
+#include "common/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/query/selection.h"
+#include "src/query/tree_query.h"
+
+namespace treebench::bench {
+namespace {
+
+const char* ModeName(HandleMode m) {
+  switch (m) {
+    case HandleMode::kFat:
+      return "fat (O2)";
+    case HandleMode::kCompact:
+      return "compact";
+    case HandleMode::kBulk:
+      return "bulk";
+  }
+  return "?";
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  std::vector<std::vector<std::string>> rows;
+
+  for (HandleMode mode :
+       {HandleMode::kFat, HandleMode::kCompact, HandleMode::kBulk}) {
+    DerbyConfig cfg;
+    cfg.providers = 2000;
+    cfg.avg_children = 1000;
+    cfg.clustering = ClusteringStrategy::kClassClustered;
+    cfg.scale = opts.scale;
+    cfg.db.handles = mode;
+    auto derby = BuildDerby(cfg).value();
+
+    // Cold associative scan (the Figure 7 no-index selection at 90%).
+    SelectionSpec spec;
+    spec.collection = "Patients";
+    spec.key_attr = derby->meta.c_num;
+    spec.lo = derby->NumCutoff(10.0);
+    spec.hi = INT64_MAX;
+    spec.proj_attr = derby->meta.c_age;
+    spec.mode = SelectionMode::kScan;
+    auto scan = RunSelection(derby->db.get(), spec).value();
+
+    // Tree query (PHJ at 90/90 — the handle-heavy hash join).
+    TreeQuerySpec tq = DerbyTreeQuery(*derby, 90, 90);
+    auto phj = RunTreeQuery(derby->db.get(), tq, TreeJoinAlgo::kPHJ).value();
+
+    // Warm navigation: repeatedly walk one provider's children with a hot
+    // cache — the workload O2's fat handles were optimized FOR; it must
+    // not regress.
+    Database* db = derby->db.get();
+    db->BeginMeasuredRun();
+    {
+      PersistentCollection* provs = db->GetCollection("Providers").value();
+      Rid prid = provs->At(7).value();
+      ObjectHandle* ph = db->store().Get(prid).value();
+      auto kids = db->store().GetRefSet(ph, derby->meta.p_clients).value();
+      // Keep the navigated working set comfortably inside the (scaled)
+      // client cache so the loop measures in-memory navigation, not I/O.
+      size_t working_set = std::min<size_t>(kids.size(), 64);
+      for (int rep = 0; rep < 50; ++rep) {
+        for (size_t k = 0; k < working_set; ++k) {
+          ObjectHandle* ch = db->store().Get(kids[k]).value();
+          (void)db->store().GetInt32(ch, derby->meta.c_age).value();
+          db->store().Unref(ch);
+        }
+      }
+      db->store().Unref(ph);
+    }
+    double warm = db->sim().elapsed_seconds() * opts.scale;
+
+    rows.push_back({ModeName(mode),
+                    FormatSeconds(scan.seconds * opts.scale),
+                    FormatSeconds(phj.seconds * opts.scale),
+                    FormatSeconds(warm)});
+  }
+
+  // Separate string records (O2's general literal representation).
+  {
+    DerbyConfig cfg;
+    cfg.providers = 2000;
+    cfg.avg_children = 1000;
+    cfg.scale = opts.scale;
+    cfg.db.strings = StringStorage::kSeparateRecord;
+    auto derby = BuildDerby(cfg).value();
+    TreeQuerySpec tq = DerbyTreeQuery(*derby, 90, 90);
+    auto phj = RunTreeQuery(derby->db.get(), tq, TreeJoinAlgo::kPHJ).value();
+    rows.push_back({"fat + separate string records", "-",
+                    FormatSeconds(phj.seconds * opts.scale), "-"});
+  }
+
+  PrintTable(
+      "sec4.4 — handle-management ablation (seconds, paper scale)",
+      {"handle mode", "cold scan@90%", "PHJ 90/90", "warm navigation x50"},
+      rows);
+  std::printf(
+      "\nexpected: compact/bulk sharply cut the cold-scan and join times;"
+      " warm\nnavigation stays almost unchanged (it is dominated by cache"
+      " hits, not\nhandle allocation) — the paper's claim that associative"
+      " accesses can be\nfixed 'without hurting those of main memory"
+      " navigation'.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace treebench::bench
+
+int main(int argc, char** argv) { return treebench::bench::Main(argc, argv); }

@@ -1,0 +1,154 @@
+#include "common/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include "src/common/string_util.h"
+#include "src/query/tree_query.h"
+
+namespace treebench::bench {
+
+BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      opts.scale = static_cast<uint32_t>(std::max(1L, std::atol(arg + 8)));
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      opts.csv_path = arg + 6;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      opts.verbose = true;
+    }
+  }
+  return opts;
+}
+
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows) print_row(row);
+}
+
+std::string Ratio(double value, double best) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", best > 0 ? value / best : 0.0);
+  return buf;
+}
+
+std::unique_ptr<DerbyDb> BuildDerbyOrDie(uint64_t providers,
+                                         uint32_t avg_children,
+                                         ClusteringStrategy clustering,
+                                         const BenchOptions& opts) {
+  DerbyConfig cfg;
+  cfg.providers = providers;
+  cfg.avg_children = avg_children;
+  cfg.clustering = clustering;
+  cfg.scale = opts.scale;
+  std::printf("building derby %llux%u (%s clustering, scale %u)...",
+              static_cast<unsigned long long>(providers), avg_children,
+              std::string(ClusteringName(clustering)).c_str(), opts.scale);
+  std::fflush(stdout);
+  std::clock_t t0 = std::clock();
+  auto result = BuildDerby(cfg);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf(" done (%.1fs real, %.0fs simulated load)\n",
+              static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC,
+              result->get()->load_seconds);
+  return std::move(result).value();
+}
+
+void RunTreeQueryGrid(DerbyDb& derby, const std::string& db_label,
+                      const PaperGrid& paper, const BenchOptions& opts,
+                      StatStore* stats) {
+  static constexpr double kSels[4][2] = {
+      {10, 10}, {10, 90}, {90, 10}, {90, 90}};
+  static constexpr TreeJoinAlgo kAlgos[4] = {
+      TreeJoinAlgo::kNL, TreeJoinAlgo::kNOJOIN, TreeJoinAlgo::kPHJ,
+      TreeJoinAlgo::kCHJ};
+
+  std::vector<std::vector<std::string>> rows;
+  for (int r = 0; r < 4; ++r) {
+    TreeQuerySpec spec =
+        DerbyTreeQuery(derby, kSels[r][0], kSels[r][1]);
+    double measured[4];
+    for (int a = 0; a < 4; ++a) {
+      auto run = RunTreeQuery(derby.db.get(), spec, kAlgos[a]);
+      if (!run.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     run.status().ToString().c_str());
+        std::exit(1);
+      }
+      measured[a] = run->seconds * opts.scale;
+      if (stats != nullptr) {
+        StatRecord rec;
+        rec.database = db_label;
+        rec.cluster = std::string(ClusteringName(derby.db->clustering()));
+        rec.algo = std::string(AlgoName(kAlgos[a]));
+        rec.query_text =
+            "select tuple(n: p.name, a: pa.age) from p in Providers, "
+            "pa in p.clients where pa.mrn < k1 and p.upin < k2";
+        rec.selectivity_patients_pct = kSels[r][0];
+        rec.selectivity_providers_pct = kSels[r][1];
+        rec.result_count = run->result_count;
+        rec.server_cache_bytes =
+            derby.db->cache().config().server_bytes;
+        rec.client_cache_bytes =
+            derby.db->cache().config().client_bytes;
+        rec.FillFrom(run->metrics, run->seconds * opts.scale);
+        stats->Add(rec);
+      }
+    }
+    double best = *std::min_element(measured, measured + 4);
+    for (int a = 0; a < 4; ++a) {
+      const double paper_s = paper.seconds[r][a];
+      char sel[32];
+      std::snprintf(sel, sizeof(sel), "%2.0f / %2.0f", kSels[r][0],
+                    kSels[r][1]);
+      rows.push_back({a == 0 ? sel : "",
+                      std::string(AlgoName(kAlgos[a])),
+                      FormatSeconds(measured[a]), Ratio(measured[a], best),
+                      paper_s >= 0 ? FormatSeconds(paper_s) : "-",
+                      paper_s >= 0 ? Ratio(measured[a], paper_s) : "-"});
+    }
+  }
+  PrintTable(db_label + " — time per algorithm (simulated seconds, paper scale)",
+             {"sel pat/prov", "algo", "measured(s)", "xbest", "paper(s)",
+              "measured/paper"},
+             rows);
+}
+
+void MaybeExportCsv(const StatStore& stats, const BenchOptions& opts) {
+  if (opts.csv_path.empty()) return;
+  Status s = stats.ExportCsv(opts.csv_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "csv export failed: %s\n", s.ToString().c_str());
+  } else {
+    std::printf("wrote %zu stat records to %s\n", stats.size(),
+                opts.csv_path.c_str());
+  }
+}
+
+}  // namespace treebench::bench

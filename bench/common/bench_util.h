@@ -1,0 +1,63 @@
+#ifndef TREEBENCH_BENCH_COMMON_BENCH_UTIL_H_
+#define TREEBENCH_BENCH_COMMON_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/benchdb/derby.h"
+#include "src/stats/stat_store.h"
+
+namespace treebench::bench {
+
+/// Command-line options shared by all paper-reproduction benches.
+struct BenchOptions {
+  /// Divides paper-scale cardinalities (and the modeled RAM/caches) by this
+  /// factor. 1 = paper scale.
+  uint32_t scale = 1;
+  /// Optional CSV output path ("" = stdout tables only).
+  std::string csv_path;
+  bool verbose = false;
+};
+
+/// Parses --scale=N, --csv=PATH, --verbose; ignores unknown flags (so
+/// google-benchmark style flags pass through if ever mixed).
+BenchOptions ParseArgs(int argc, char** argv);
+
+/// Prints a ruled table: header row then rows; columns auto-sized.
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Formats "x1.23" style ratios as the paper's tables do.
+std::string Ratio(double value, double best);
+
+/// Builds a Derby database for a bench, printing progress. Seconds reported
+/// by subsequent runs are multiplied by `opts.scale` for comparison against
+/// paper-scale numbers (the machine is scaled with the data, so costs scale
+/// ~linearly).
+std::unique_ptr<DerbyDb> BuildDerbyOrDie(uint64_t providers,
+                                         uint32_t avg_children,
+                                         ClusteringStrategy clustering,
+                                         const BenchOptions& opts);
+
+/// Paper reference values for one Figure 11-14 style grid: rows are the
+/// (sel patients, sel providers) pairs (10,10),(10,90),(90,10),(90,90);
+/// columns are NL, NOJOIN, PHJ, CHJ. Negative = not reported.
+struct PaperGrid {
+  double seconds[4][4];
+};
+
+/// Runs the canonical tree query for all four algorithms over the grid,
+/// prints measured-vs-paper seconds (scaled to paper scale) and appends a
+/// StatRecord per run.
+void RunTreeQueryGrid(DerbyDb& derby, const std::string& db_label,
+                      const PaperGrid& paper, const BenchOptions& opts,
+                      StatStore* stats);
+
+/// Dumps the stat store to opts.csv_path when set.
+void MaybeExportCsv(const StatStore& stats, const BenchOptions& opts);
+
+}  // namespace treebench::bench
+
+#endif  // TREEBENCH_BENCH_COMMON_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// A tour of the optimizer the paper's authors set out to build: the same
+// OQL tree query is run over three physical organizations of the same
+// logical database, and for each we show what the O2-style heuristic
+// picks, what the cost-based optimizer picks (with its estimate), and what
+// the measured times say the right answer was.
+//
+//   ./build/examples/optimizer_tour [scale]    (default scale 100)
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/benchdb/derby.h"
+#include "src/query/executor.h"
+#include "src/query/tree_query.h"
+
+using namespace treebench;
+
+int main(int argc, char** argv) {
+  uint32_t scale = argc > 1 ? static_cast<uint32_t>(atoi(argv[1])) : 100;
+
+  for (ClusteringStrategy clustering :
+       {ClusteringStrategy::kClassClustered, ClusteringStrategy::kRandomized,
+        ClusteringStrategy::kComposition,
+        ClusteringStrategy::kAssociationOrdered}) {
+    DerbyConfig cfg;
+    cfg.providers = 2000;
+    cfg.avg_children = 1000;
+    cfg.clustering = clustering;
+    cfg.scale = scale;
+    auto derby = BuildDerby(cfg).value();
+    Database* db = derby->db.get();
+
+    char query[512];
+    std::snprintf(query, sizeof(query),
+                  "select tuple(n: p.name, a: pa.age) "
+                  "from p in Providers, pa in p.clients "
+                  "where pa.mrn < %lld and p.upin < %lld",
+                  static_cast<long long>(derby->MrnCutoff(10)),
+                  static_cast<long long>(derby->UpinCutoff(10)));
+
+    std::printf("=== %s clustering ===\n",
+                std::string(ClusteringName(clustering)).c_str());
+
+    PlanChoice heuristic, cost_based;
+    auto hrun =
+        ExecuteOql(db, query, OptimizerStrategy::kHeuristic, &heuristic)
+            .value();
+    auto crun =
+        ExecuteOql(db, query, OptimizerStrategy::kCostBased, &cost_based)
+            .value();
+    std::printf("  O2 heuristic : %-6s -> %.1f s   (%s)\n",
+                std::string(AlgoName(heuristic.algo)).c_str(),
+                hrun.seconds * scale, heuristic.rationale.c_str());
+    std::printf("  cost-based   : %-6s -> %.1f s   (%s, est x scale = %.1f)\n",
+                std::string(AlgoName(cost_based.algo)).c_str(),
+                crun.seconds * scale, cost_based.rationale.c_str(),
+                cost_based.estimated_seconds * scale);
+
+    // Ground truth: run everything.
+    TreeQuerySpec spec = DerbyTreeQuery(*derby, 10, 10);
+    std::printf("  ground truth :");
+    for (TreeJoinAlgo algo : {TreeJoinAlgo::kNL, TreeJoinAlgo::kNOJOIN,
+                              TreeJoinAlgo::kPHJ, TreeJoinAlgo::kCHJ}) {
+      auto run = RunTreeQuery(db, spec, algo).value();
+      std::printf(" %s=%.1fs", std::string(AlgoName(algo)).c_str(),
+                  run.seconds * scale);
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

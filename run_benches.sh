@@ -1,0 +1,22 @@
+#!/bin/bash
+# Runs every paper-reproduction bench at paper scale (--scale=1), tee'ing
+# to bench_output.txt. The micro benches (google-benchmark, host wall
+# clock) run with a reduced repetition budget.
+set -u
+cd "$(dirname "$0")"
+OUT=${1:-bench_output.txt}
+: > "$OUT"
+for b in build/bench/bench_fig06_selection build/bench/bench_fig07_sorted_index \
+         build/bench/bench_fig09_cost_breakdown build/bench/bench_fig10_hash_sizes \
+         build/bench/bench_fig11_class_small build/bench/bench_fig12_class_large \
+         build/bench/bench_fig13_comp_small build/bench/bench_fig14_comp_large \
+         build/bench/bench_fig15_summary build/bench/bench_sec41_rids_vs_handles \
+         build/bench/bench_sec32_loading build/bench/bench_sec44_handle_ablation \
+         build/bench/bench_optimizer_regret build/bench/bench_ablation_hybrid_hash \
+         build/bench/bench_ablation_dump_reload build/bench/bench_ablation_cache_sizes; do
+  echo "===================== $b =====================" | tee -a "$OUT"
+  $b "$@" 2>&1 | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "===================== build/bench/bench_micro_engine =====================" | tee -a "$OUT"
+build/bench/bench_micro_engine --benchmark_min_time=0.1 2>&1 | tee -a "$OUT"

@@ -1,0 +1,101 @@
+#ifndef TREEBENCH_BENCHDB_DERBY_H_
+#define TREEBENCH_BENCHDB_DERBY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/benchdb/loader.h"
+#include "src/catalog/database.h"
+#include "src/common/status.h"
+
+namespace treebench {
+
+/// Configuration of one Derby database instance (paper Section 2):
+/// Providers 1-N Patients, with the paper's two scales
+/// (2,000 x ~1,000 and 1,000,000 x ~3) and four physical organizations.
+struct DerbyConfig {
+  /// Number of providers. The paper's databases: 2,000 (with
+  /// avg_children=1000) and 1,000,000 (with avg_children=3).
+  uint64_t providers = 2000;
+  /// Average patients per provider; each patient picks a provider uniformly
+  /// at random (so fanouts are multinomial around the average, as produced
+  /// by the paper's lrand48 join).
+  uint32_t avg_children = 1000;
+
+  ClusteringStrategy clustering = ClusteringStrategy::kClassClustered;
+
+  /// Divides cardinalities AND the modeled RAM and cache sizes, preserving
+  /// the data-to-memory ratios that drive every crossover. 1 = paper scale.
+  uint32_t scale = 1;
+
+  uint64_t seed = 42;
+
+  /// When indexes get built relative to the data load (Section 3.2):
+  ///  - kPredeclaredBulk: headers preallocated at creation, trees bulk-built
+  ///    after the load. Final state as if predeclared; fastest to build.
+  ///  - kPredeclaredIncremental: indexes registered before the load and
+  ///    maintained at every insertion (charges per-insert index work).
+  ///  - kAfterLoadRelocate: objects created unindexed; CreateIndex must grow
+  ///    every header, relocating all objects (the paper's 12-hour trap).
+  enum class IndexTiming {
+    kPredeclaredBulk,
+    kPredeclaredIncremental,
+    kAfterLoadRelocate,
+  };
+  IndexTiming index_timing = IndexTiming::kPredeclaredBulk;
+
+  /// Whether to build the unclustered index on Patient.num (Figure 6/7).
+  bool create_num_index = true;
+
+  LoadOptions load{.transactions = false};  // paper: load in tx-off mode
+  DatabaseOptions db;
+};
+
+/// Resolved schema positions and cardinalities of a built Derby database.
+struct DerbyMeta {
+  uint16_t provider_class = 0;
+  uint16_t patient_class = 0;
+  // Provider attributes (Figure 1).
+  size_t p_name = 0, p_upin = 1, p_address = 2, p_specialty = 3,
+         p_office = 4, p_clients = 5;
+  // Patient attributes.
+  size_t c_name = 0, c_mrn = 1, c_age = 2, c_sex = 3, c_random_integer = 4,
+         c_num = 5, c_pcp = 6;
+
+  uint64_t num_providers = 0;
+  uint64_t num_patients = 0;
+  /// Domain of Patient.num (uniform), for selectivity computations.
+  int64_t num_domain = 1000000;
+};
+
+/// A built Derby database plus its metadata.
+struct DerbyDb {
+  std::unique_ptr<Database> db;
+  DerbyMeta meta;
+  /// Simulated seconds spent loading.
+  double load_seconds = 0;
+
+  /// k such that `mrn < k` selects about `pct` percent of patients.
+  int64_t MrnCutoff(double pct) const {
+    return static_cast<int64_t>(static_cast<double>(meta.num_patients) *
+                                pct / 100.0);
+  }
+  int64_t UpinCutoff(double pct) const {
+    return static_cast<int64_t>(static_cast<double>(meta.num_providers) *
+                                pct / 100.0);
+  }
+  int64_t NumCutoff(double pct) const {
+    return static_cast<int64_t>(static_cast<double>(meta.num_domain) * pct /
+                                100.0);
+  }
+};
+
+/// Generates and loads a Derby database per `config`. Deterministic for a
+/// given (config, seed): the same logical objects (names, mrn/num values,
+/// patient-provider assignment) are produced for every clustering strategy —
+/// only physical placement differs, exactly like re-clustering one database.
+Result<std::unique_ptr<DerbyDb>> BuildDerby(const DerbyConfig& config);
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_BENCHDB_DERBY_H_

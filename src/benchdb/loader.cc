@@ -1,0 +1,46 @@
+#include "src/benchdb/loader.h"
+
+namespace treebench {
+
+Result<Rid> Loader::CreateObject(uint16_t class_id, const ObjectData& data,
+                                 const CreateOptions& create_opts,
+                                 const std::string& collection) {
+  if (opts_.transactions && uncommitted_ >= opts_.max_uncommitted) {
+    return Status::ResourceExhausted(
+        "out of memory: too many objects created within one transaction "
+        "(commit more often)");
+  }
+  Rid rid;
+  TB_ASSIGN_OR_RETURN(rid,
+                      db_->store().CreateObject(class_id, data, create_opts));
+  if (opts_.transactions) {
+    db_->sim().ChargeLogBytes(opts_.log_bytes_per_object);
+    ++uncommitted_;
+  }
+  if (!collection.empty()) {
+    PersistentCollection* col = nullptr;
+    TB_ASSIGN_OR_RETURN(col, db_->GetCollection(collection));
+    Rid canonical;
+    TB_ASSIGN_OR_RETURN(canonical, db_->NotifyInsert(collection, rid));
+    col->Append(canonical);
+    rid = canonical;
+  }
+  ++created_;
+  if (opts_.transactions && uncommitted_ >= opts_.commit_every) {
+    TB_RETURN_IF_ERROR(Commit());
+  }
+  return rid;
+}
+
+Status Loader::Commit() {
+  if (opts_.transactions) {
+    db_->sim().ChargeCommit();
+    uncommitted_ = 0;
+  }
+  // Transaction end releases the in-memory representatives accumulated by
+  // the creation loop.
+  db_->store().ReleaseZombies();
+  return Status::OK();
+}
+
+}  // namespace treebench

@@ -1,0 +1,39 @@
+#include "src/cache/lru_page_cache.h"
+
+#include "src/common/logging.h"
+
+namespace treebench {
+
+LruPageCache::Evicted LruPageCache::Insert(uint64_t key, bool dirty) {
+  TB_DCHECK(!Contains(key));
+  Evicted evicted;
+  if (capacity_ == 0) {
+    evicted.valid = true;
+    evicted.key = key;
+    evicted.dirty = dirty;
+    return evicted;
+  }
+  if (map_.size() >= capacity_) {
+    uint64_t victim = lru_.back();
+    auto it = map_.find(victim);
+    evicted.valid = true;
+    evicted.key = victim;
+    evicted.dirty = it->second.dirty;
+    lru_.pop_back();
+    map_.erase(it);
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{lru_.begin(), dirty});
+  return evicted;
+}
+
+bool LruPageCache::Erase(uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  bool dirty = it->second.dirty;
+  lru_.erase(it->second.pos);
+  map_.erase(it);
+  return dirty;
+}
+
+}  // namespace treebench

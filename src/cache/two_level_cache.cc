@@ -1,0 +1,98 @@
+#include "src/cache/two_level_cache.h"
+
+namespace treebench {
+
+TwoLevelCache::TwoLevelCache(DiskManager* disk, SimContext* sim,
+                             CacheConfig config)
+    : disk_(disk),
+      sim_(sim),
+      config_(config),
+      client_(config.client_pages()),
+      server_(config.server_pages()) {
+  sim_->RegisterFixedMemory(
+      static_cast<int64_t>(config.client_bytes + config.server_bytes));
+}
+
+TwoLevelCache::~TwoLevelCache() {
+  sim_->RegisterFixedMemory(
+      -static_cast<int64_t>(config_.client_bytes + config_.server_bytes));
+}
+
+const uint8_t* TwoLevelCache::GetPage(uint16_t file_id, uint32_t page_id) {
+  return Ensure(file_id, page_id, /*for_write=*/false);
+}
+
+uint8_t* TwoLevelCache::GetPageForWrite(uint16_t file_id, uint32_t page_id) {
+  return Ensure(file_id, page_id, /*for_write=*/true);
+}
+
+uint8_t* TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
+                               bool for_write) {
+  uint64_t key = Key(file_id, page_id);
+  Metrics& m = sim_->metrics();
+  if (client_.Touch(key)) {
+    ++m.client_cache_hits;
+  } else {
+    // Client-cache page fault: one RPC ships the page from the server.
+    ++m.client_cache_misses;
+    EnsureAtServer(key);
+    sim_->ChargeRpc(kPageSize);
+    LruPageCache::Evicted ev = client_.Insert(key);
+    if (ev.valid && ev.dirty) WriteBackToServer(ev.key);
+  }
+  if (for_write) client_.MarkDirty(key);
+  return disk_->RawPage(file_id, page_id);
+}
+
+void TwoLevelCache::EnsureAtServer(uint64_t key) {
+  Metrics& m = sim_->metrics();
+  if (server_.Touch(key)) {
+    ++m.server_cache_hits;
+    return;
+  }
+  ++m.server_cache_misses;
+  sim_->ChargeDiskRead();
+  LruPageCache::Evicted ev = server_.Insert(key);
+  if (ev.valid && ev.dirty) sim_->ChargeDiskWrite();
+}
+
+void TwoLevelCache::WriteBackToServer(uint64_t key) {
+  // Evicted dirty client page: one RPC down, page becomes dirty at the
+  // server (written to disk on server-level eviction or flush).
+  sim_->ChargeRpc(kPageSize);
+  if (!server_.Touch(key)) {
+    LruPageCache::Evicted ev = server_.Insert(key, /*dirty=*/true);
+    if (ev.valid && ev.dirty) sim_->ChargeDiskWrite();
+  } else {
+    server_.MarkDirty(key);
+  }
+}
+
+std::pair<uint32_t, uint8_t*> TwoLevelCache::NewPage(uint16_t file_id) {
+  uint32_t page_id = disk_->AllocatePage(file_id);
+  uint64_t key = Key(file_id, page_id);
+  LruPageCache::Evicted ev = client_.Insert(key, /*dirty=*/true);
+  if (ev.valid && ev.dirty) WriteBackToServer(ev.key);
+  return {page_id, disk_->RawPage(file_id, page_id)};
+}
+
+void TwoLevelCache::FlushAll() {
+  client_.FlushDirty([&](uint64_t key) {
+    sim_->ChargeRpc(kPageSize);
+    if (server_.Touch(key)) {
+      server_.MarkDirty(key);
+    } else {
+      LruPageCache::Evicted ev = server_.Insert(key, /*dirty=*/true);
+      if (ev.valid && ev.dirty) sim_->ChargeDiskWrite();
+    }
+  });
+  server_.FlushDirty([&](uint64_t) { sim_->ChargeDiskWrite(); });
+}
+
+void TwoLevelCache::Shutdown() {
+  FlushAll();
+  client_.Clear();
+  server_.Clear();
+}
+
+}  // namespace treebench

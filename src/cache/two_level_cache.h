@@ -1,0 +1,96 @@
+#ifndef TREEBENCH_CACHE_TWO_LEVEL_CACHE_H_
+#define TREEBENCH_CACHE_TWO_LEVEL_CACHE_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/cache/lru_page_cache.h"
+#include "src/cost/sim_context.h"
+#include "src/storage/disk_manager.h"
+
+namespace treebench {
+
+/// Cache sizes of the paper's configuration (Section 2): 4 MB server cache,
+/// 32 MB client cache, client and server on the same machine.
+struct CacheConfig {
+  uint64_t client_bytes = 32ull << 20;
+  uint64_t server_bytes = 4ull << 20;
+
+  uint32_t client_pages() const {
+    return static_cast<uint32_t>(client_bytes / kPageSize);
+  }
+  uint32_t server_pages() const {
+    return static_cast<uint32_t>(server_bytes / kPageSize);
+  }
+};
+
+/// O2's client-server page path: the application reads objects out of the
+/// *client* cache; a client-cache fault costs one RPC to the server, which
+/// serves the page from its own cache or reads it from disk. Both levels are
+/// LRU. Dirty pages are written back down the same path on eviction/flush.
+///
+/// All costs (disk reads/writes, RPC latency + page shipping, fault
+/// counters) are charged to the SimContext; both cache footprints are
+/// registered against the simulated machine's RAM.
+class TwoLevelCache {
+ public:
+  TwoLevelCache(DiskManager* disk, SimContext* sim, CacheConfig config);
+  ~TwoLevelCache();
+
+  TwoLevelCache(const TwoLevelCache&) = delete;
+  TwoLevelCache& operator=(const TwoLevelCache&) = delete;
+
+  const CacheConfig& config() const { return config_; }
+  DiskManager* disk() { return disk_; }
+  const DiskManager* disk() const { return disk_; }
+
+  /// Read access to a page; charges whatever faults the access incurs and
+  /// returns a pointer to the page bytes.
+  const uint8_t* GetPage(uint16_t file_id, uint32_t page_id);
+
+  /// Write access: as GetPage, plus the page is marked dirty in the client
+  /// cache.
+  uint8_t* GetPageForWrite(uint16_t file_id, uint32_t page_id);
+
+  /// Allocates a fresh page in `file_id`; it is born resident and dirty in
+  /// the client cache (no read I/O).
+  std::pair<uint32_t, uint8_t*> NewPage(uint16_t file_id);
+
+  /// True if the page is resident at the client level (no cost).
+  bool InClientCache(uint16_t file_id, uint32_t page_id) const {
+    return client_.Contains(Key(file_id, page_id));
+  }
+
+  /// Ships all dirty client pages to the server and all dirty server pages
+  /// to disk.
+  void FlushAll();
+
+  /// Cold restart: flush, then drop both cache levels. The paper runs every
+  /// query after a server shutdown ("cold situation", Section 2).
+  void Shutdown();
+
+ private:
+  static uint64_t Key(uint16_t file_id, uint32_t page_id) {
+    return (static_cast<uint64_t>(file_id) << 32) | page_id;
+  }
+
+  /// Ensures residency at the client level, charging faults; returns page
+  /// bytes.
+  uint8_t* Ensure(uint16_t file_id, uint32_t page_id, bool for_write);
+
+  /// Brings a page into the server cache (disk read if absent); handles
+  /// server-level eviction write-back.
+  void EnsureAtServer(uint64_t key);
+
+  void WriteBackToServer(uint64_t key);
+
+  DiskManager* disk_;
+  SimContext* sim_;
+  CacheConfig config_;
+  LruPageCache client_;
+  LruPageCache server_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_CACHE_TWO_LEVEL_CACHE_H_

@@ -1,0 +1,71 @@
+#include "src/catalog/collection.h"
+
+#include "src/common/byte_io.h"
+#include "src/common/logging.h"
+
+namespace treebench {
+
+PersistentCollection::PersistentCollection(TwoLevelCache* cache,
+                                           SimContext* sim, uint16_t file_id,
+                                           std::string name)
+    : cache_(cache), sim_(sim), file_id_(file_id), name_(std::move(name)) {
+  if (cache_->disk()->NumPages(file_id_) == 0) {
+    auto [meta_id, meta] = cache_->NewPage(file_id_);
+    TB_CHECK(meta_id == 0);
+    PutU64(meta, 0);
+  }
+}
+
+uint64_t PersistentCollection::Count() {
+  return GetU64(cache_->GetPage(file_id_, 0));
+}
+
+void PersistentCollection::Append(const Rid& rid) {
+  uint64_t count = Count();
+  uint32_t page_index = static_cast<uint32_t>(count / kRidsPerPage);
+  uint32_t offset = static_cast<uint32_t>(count % kRidsPerPage);
+  uint8_t* data;
+  if (offset == 0) {
+    auto [page_id, fresh] = cache_->NewPage(file_id_);
+    TB_CHECK(page_id == page_index + 1);
+    data = fresh;
+    PutU16(data, 0);
+  } else {
+    data = cache_->GetPageForWrite(file_id_, page_index + 1);
+  }
+  rid.EncodeTo(data + 2 + offset * Rid::kEncodedSize);
+  PutU16(data, static_cast<uint16_t>(offset + 1));
+  PutU64(cache_->GetPageForWrite(file_id_, 0), count + 1);
+}
+
+Result<Rid> PersistentCollection::At(uint64_t i) {
+  if (i >= Count()) return Status::OutOfRange("collection index");
+  uint32_t page_index = static_cast<uint32_t>(i / kRidsPerPage);
+  uint32_t offset = static_cast<uint32_t>(i % kRidsPerPage);
+  const uint8_t* data = cache_->GetPage(file_id_, page_index + 1);
+  return Rid::DecodeFrom(data + 2 + offset * Rid::kEncodedSize);
+}
+
+Status PersistentCollection::Set(uint64_t i, const Rid& rid) {
+  if (i >= Count()) return Status::OutOfRange("collection index");
+  uint32_t page_index = static_cast<uint32_t>(i / kRidsPerPage);
+  uint32_t offset = static_cast<uint32_t>(i % kRidsPerPage);
+  uint8_t* data = cache_->GetPageForWrite(file_id_, page_index + 1);
+  rid.EncodeTo(data + 2 + offset * Rid::kEncodedSize);
+  return Status::OK();
+}
+
+PersistentCollection::Iterator::Iterator(PersistentCollection* col)
+    : col_(col), count_(col->Count()) {
+  Load();
+}
+
+void PersistentCollection::Iterator::Load() {
+  if (index_ >= count_) return;
+  uint32_t page_index = static_cast<uint32_t>(index_ / kRidsPerPage);
+  uint32_t offset = static_cast<uint32_t>(index_ % kRidsPerPage);
+  const uint8_t* data = col_->cache_->GetPage(col_->file_id_, page_index + 1);
+  rid_ = Rid::DecodeFrom(data + 2 + offset * Rid::kEncodedSize);
+}
+
+}  // namespace treebench

@@ -1,0 +1,85 @@
+#ifndef TREEBENCH_CATALOG_COLLECTION_H_
+#define TREEBENCH_CATALOG_COLLECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/cache/two_level_cache.h"
+#include "src/common/status.h"
+#include "src/cost/sim_context.h"
+#include "src/storage/rid.h"
+
+namespace treebench {
+
+/// A persistent named collection of object references — an O2 "name" root
+/// such as `Providers` or `Patients` (paper Figure 1). The element Rids are
+/// stored densely in the collection's own file, so a collection scan reads
+/// the Rid pages sequentially and then fetches the objects themselves;
+/// those object accesses are sequential or random depending on the physical
+/// organization — the distinction at the heart of the paper's Section 5.
+///
+/// File layout: page 0 holds a u64 element count; data pages (1..N) hold
+/// u16 count + packed 8-byte Rids.
+class PersistentCollection {
+ public:
+  static constexpr uint32_t kRidsPerPage = (kPageSize - 2) / Rid::kEncodedSize;
+
+  /// Opens (or initializes) the collection stored in `file_id`.
+  PersistentCollection(TwoLevelCache* cache, SimContext* sim,
+                       uint16_t file_id, std::string name);
+
+  const std::string& name() const { return name_; }
+  uint16_t file_id() const { return file_id_; }
+
+  uint64_t Count();
+
+  /// Appends one element reference.
+  void Append(const Rid& rid);
+
+  /// Element at position `i` (charges the page access).
+  Result<Rid> At(uint64_t i);
+
+  /// Overwrites element `i` (used to repair extents after relocations).
+  Status Set(uint64_t i, const Rid& rid);
+
+  /// Sequential scan over the element Rids.
+  class Iterator {
+   public:
+    explicit Iterator(PersistentCollection* col);
+    bool Valid() const { return index_ < count_; }
+    void Next() {
+      ++index_;
+      Load();
+    }
+    const Rid& rid() const { return rid_; }
+    uint64_t index() const { return index_; }
+
+   private:
+    void Load();
+
+    PersistentCollection* col_;
+    uint64_t index_ = 0;
+    uint64_t count_ = 0;
+    Rid rid_;
+  };
+
+  Iterator Scan() { return Iterator(this); }
+
+  /// Pages of Rids (excluding the meta page).
+  uint32_t DataPages() const {
+    uint32_t n = cache_->disk()->NumPages(file_id_);
+    return n > 0 ? n - 1 : 0;
+  }
+
+ private:
+  friend class Iterator;
+
+  TwoLevelCache* cache_;
+  SimContext* sim_;
+  uint16_t file_id_;
+  std::string name_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_CATALOG_COLLECTION_H_

@@ -1,0 +1,35 @@
+#ifndef TREEBENCH_COMMON_LOGGING_H_
+#define TREEBENCH_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace treebench::internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "TB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace treebench::internal_logging
+
+// Invariant check that stays on in release builds. The engine uses it for
+// conditions that indicate programmer error (not data-dependent failures,
+// which return Status).
+#define TB_CHECK(expr)                                                      \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::treebench::internal_logging::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define TB_DCHECK(expr) TB_CHECK(expr)
+#else
+#define TB_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#endif
+
+#endif  // TREEBENCH_COMMON_LOGGING_H_

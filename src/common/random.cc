@@ -1,0 +1,36 @@
+#include "src/common/random.h"
+
+#include "src/common/logging.h"
+
+namespace treebench {
+
+uint64_t Lrand48::Uniform(uint64_t n) {
+  TB_CHECK(n > 0);
+  // Combine two 31-bit draws for a 62-bit value to keep modulo bias
+  // negligible for the cardinalities we use (<= a few million).
+  uint64_t hi = Next();
+  uint64_t lo = Next();
+  return ((hi << 31) | lo) % n;
+}
+
+int64_t Lrand48::UniformRange(int64_t lo, int64_t hi) {
+  TB_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Lrand48::OneIn(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return (static_cast<double>(Next()) / 2147483648.0) < p;
+}
+
+std::string Lrand48::NextString(size_t len) {
+  std::string s(len, 'a');
+  for (size_t i = 0; i < len; ++i) {
+    s[i] = static_cast<char>('a' + Uniform(26));
+  }
+  return s;
+}
+
+}  // namespace treebench

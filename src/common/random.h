@@ -1,0 +1,60 @@
+#ifndef TREEBENCH_COMMON_RANDOM_H_
+#define TREEBENCH_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treebench {
+
+/// Deterministic clone of the Unix lrand48() generator (48-bit linear
+/// congruential, a = 0x5DEECE66D, c = 0xB). The paper generated the
+/// `random_integer` / `num` attributes with lrand48, so using the same
+/// recurrence keeps the data distribution faithful and every run
+/// reproducible.
+class Lrand48 {
+ public:
+  explicit Lrand48(uint64_t seed = 0x1234ABCD330Eull) { Seed(seed); }
+
+  /// Reseeds. Mirrors srand48(): the low 16 bits become 0x330E.
+  void Seed(uint64_t seed) { state_ = ((seed << 16) | 0x330Eull) & kMask; }
+
+  /// Next value in [0, 2^31), like lrand48().
+  uint32_t Next() {
+    state_ = (kA * state_ + kC) & kMask;
+    return static_cast<uint32_t>(state_ >> 17);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw: true with probability p (0 <= p <= 1).
+  bool OneIn(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Random lowercase ASCII string of exactly `len` characters.
+  std::string NextString(size_t len);
+
+ private:
+  static constexpr uint64_t kA = 0x5DEECE66Dull;
+  static constexpr uint64_t kC = 0xBull;
+  static constexpr uint64_t kMask = (1ull << 48) - 1;
+
+  uint64_t state_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_COMMON_RANDOM_H_

@@ -1,0 +1,41 @@
+#include "src/cost/metrics.h"
+
+#include <cstdio>
+
+namespace treebench {
+
+std::string Metrics::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "disk_reads=%llu disk_writes=%llu rpcs=%llu rpc_bytes=%llu\n"
+      "client_cache: hits=%llu faults=%llu miss%%=%.1f\n"
+      "server_cache: hits=%llu misses=%llu miss%%=%.1f swap_ios=%llu\n"
+      "handles: gets=%llu lookups=%llu unrefs=%llu literals=%llu\n"
+      "cpu: attr=%llu cmp=%llu hash_ins=%llu hash_probe=%llu sorted=%llu\n"
+      "results: set_appends=%llu tuples=%llu",
+      static_cast<unsigned long long>(disk_reads),
+      static_cast<unsigned long long>(disk_writes),
+      static_cast<unsigned long long>(rpc_count),
+      static_cast<unsigned long long>(rpc_bytes),
+      static_cast<unsigned long long>(client_cache_hits),
+      static_cast<unsigned long long>(client_cache_misses),
+      ClientMissRatePct(),
+      static_cast<unsigned long long>(server_cache_hits),
+      static_cast<unsigned long long>(server_cache_misses),
+      ServerMissRatePct(), static_cast<unsigned long long>(swap_ios),
+      static_cast<unsigned long long>(handle_gets),
+      static_cast<unsigned long long>(handle_lookups),
+      static_cast<unsigned long long>(handle_unrefs),
+      static_cast<unsigned long long>(literal_handles),
+      static_cast<unsigned long long>(attr_accesses),
+      static_cast<unsigned long long>(comparisons),
+      static_cast<unsigned long long>(hash_inserts),
+      static_cast<unsigned long long>(hash_probes),
+      static_cast<unsigned long long>(sorted_elements),
+      static_cast<unsigned long long>(set_appends),
+      static_cast<unsigned long long>(tuples_built));
+  return buf;
+}
+
+}  // namespace treebench

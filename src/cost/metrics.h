@@ -1,0 +1,66 @@
+#ifndef TREEBENCH_COST_METRICS_H_
+#define TREEBENCH_COST_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace treebench {
+
+/// Raw event counters accumulated during a run. These are the quantities the
+/// paper's Stat schema records (Figure 3): disk-to-server-cache reads, RPCs,
+/// client-cache page faults, etc., plus the CPU-side events the paper's
+/// Section 4 analysis turns on (handle churn, comparisons, sorted elements).
+struct Metrics {
+  // I/O path.
+  uint64_t disk_reads = 0;          // D2SCreadpages
+  uint64_t disk_writes = 0;
+  uint64_t rpc_count = 0;           // RPCsnumber
+  uint64_t rpc_bytes = 0;           // RPCstotalsize (bytes)
+  uint64_t server_cache_hits = 0;
+  uint64_t server_cache_misses = 0;
+  uint64_t client_cache_hits = 0;
+  uint64_t client_cache_misses = 0;  // CCPagefaults / SC2CCreadpages
+  uint64_t swap_ios = 0;
+
+  // Object / handle events.
+  uint64_t handle_gets = 0;          // new handle materializations
+  uint64_t handle_lookups = 0;       // hits on already-resident handles
+  uint64_t handle_unrefs = 0;
+  uint64_t literal_handles = 0;
+  uint64_t attr_accesses = 0;
+  uint64_t comparisons = 0;
+
+  // Join machinery.
+  uint64_t hash_inserts = 0;
+  uint64_t hash_probes = 0;
+  uint64_t sorted_elements = 0;
+
+  // Results.
+  uint64_t set_appends = 0;
+  uint64_t tuples_built = 0;
+
+  // Loader.
+  uint64_t objects_created = 0;
+  uint64_t commits = 0;
+  uint64_t relocations = 0;
+  uint64_t index_inserts = 0;
+
+  /// Client cache miss rate in percent (as the paper's CCMissrate).
+  double ClientMissRatePct() const {
+    uint64_t total = client_cache_hits + client_cache_misses;
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(client_cache_misses) /
+                                  static_cast<double>(total);
+  }
+  double ServerMissRatePct() const {
+    uint64_t total = server_cache_hits + server_cache_misses;
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(server_cache_misses) /
+                                  static_cast<double>(total);
+  }
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_COST_METRICS_H_

@@ -1,0 +1,38 @@
+#include "src/cost/sim_context.h"
+
+#include <cmath>
+
+namespace treebench {
+
+void SimContext::TouchTransient() {
+  uint64_t free_ram = FreeRamForTransient();
+  if (transient_bytes_ <= free_ram || transient_bytes_ == 0) return;
+  double overflow_fraction =
+      static_cast<double>(transient_bytes_ - free_ram) /
+      static_cast<double>(transient_bytes_);
+  swap_debt_ += overflow_fraction;
+  while (swap_debt_ >= 1.0) {
+    swap_debt_ -= 1.0;
+    ++metrics_.swap_ios;
+    // A swap event evicts a dirty victim and faults the needed page in:
+    // two page transfers.
+    clock_ns_ += 2 * model_.swap_io_ns;
+  }
+}
+
+void SimContext::ChargeSort(uint64_t n) {
+  if (n == 0) return;
+  metrics_.sorted_elements += n;
+  double levels = std::max(1.0, std::log2(static_cast<double>(n)));
+  clock_ns_ += model_.sort_per_element_level_ns *
+               static_cast<double>(n) * levels;
+  // A sort area of n Rids (8 bytes each) is transient memory; model the
+  // merge passes as one touch per element when under pressure.
+  uint64_t area = n * 8;
+  AllocTransient(area);
+  for (uint64_t i = 0; i < n; i += 512) TouchTransient();
+  // (Touch granularity of 512 elements = one 4 KiB page of Rids.)
+  FreeTransient(area);
+}
+
+}  // namespace treebench

@@ -1,0 +1,238 @@
+#ifndef TREEBENCH_COST_SIM_CONTEXT_H_
+#define TREEBENCH_COST_SIM_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/cost/cost_model.h"
+#include "src/cost/metrics.h"
+
+namespace treebench {
+
+/// How in-memory object representatives are allocated (paper Section 4.4).
+enum class HandleMode {
+  kFat,      // O2 as measured: 60-byte handles, allocated per object.
+  kCompact,  // improvement 1: handle class hierarchy, slimmed bookkeeping.
+  kBulk,     // improvement 2: arena/bulk allocation driven by the optimizer.
+};
+
+/// Accumulates simulated time and event counters for one "machine".
+///
+/// All engine layers charge their work here. Real data structures do real
+/// work; only *time* is simulated, so runs are deterministic and
+/// platform-independent. A SimContext also models the machine's RAM: fixed
+/// consumers (the two caches) register their footprint, transient consumers
+/// (join hash tables, sort areas) register allocations, and once the total
+/// exceeds physical memory every touch of transient memory accrues
+/// fractional swap I/O (the effect that degrades PHJ/CHJ in the paper's
+/// Figures 11-12).
+class SimContext {
+ public:
+  explicit SimContext(CostModel model = CostModel::Sparc20())
+      : model_(model) {}
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  const CostModel& model() const { return model_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  double elapsed_ns() const { return clock_ns_; }
+  double elapsed_seconds() const { return clock_ns_ / 1e9; }
+
+  /// Clears the clock and counters but keeps memory registrations (the
+  /// caches stay allocated across queries).
+  void ResetClock() {
+    clock_ns_ = 0;
+    metrics_ = Metrics{};
+    swap_debt_ = 0;
+  }
+
+  // ---- Generic charging ----
+  void Charge(double ns) { clock_ns_ += ns; }
+
+  // ---- I/O path ----
+  void ChargeDiskRead() {
+    ++metrics_.disk_reads;
+    clock_ns_ += model_.disk_read_page_ns;
+  }
+  void ChargeDiskWrite() {
+    ++metrics_.disk_writes;
+    clock_ns_ += model_.disk_write_page_ns;
+  }
+  void ChargeRpc(uint64_t bytes) {
+    ++metrics_.rpc_count;
+    metrics_.rpc_bytes += bytes;
+    clock_ns_ += model_.rpc_latency_ns +
+                 model_.rpc_per_byte_ns * static_cast<double>(bytes);
+  }
+
+  // ---- Handles ----
+  void ChargeHandleGet() {
+    ++metrics_.handle_gets;
+    switch (handle_mode_) {
+      case HandleMode::kFat:
+        clock_ns_ += model_.handle_get_ns;
+        break;
+      case HandleMode::kCompact:
+        clock_ns_ += model_.handle_get_compact_ns;
+        break;
+      case HandleMode::kBulk:
+        clock_ns_ += model_.handle_get_bulk_ns;
+        break;
+    }
+  }
+  void ChargeHandleLookup() {
+    ++metrics_.handle_lookups;
+    clock_ns_ += model_.handle_lookup_ns;
+  }
+  void ChargeHandleUnref() {
+    ++metrics_.handle_unrefs;
+    switch (handle_mode_) {
+      case HandleMode::kFat:
+        clock_ns_ += model_.handle_unref_ns;
+        break;
+      case HandleMode::kCompact:
+        clock_ns_ += model_.handle_unref_compact_ns;
+        break;
+      case HandleMode::kBulk:
+        clock_ns_ += model_.handle_unref_bulk_ns;
+        break;
+    }
+  }
+  void ChargeLiteralHandle() {
+    ++metrics_.literal_handles;
+    // The compact/bulk improvements give literals slim handles too.
+    clock_ns_ += handle_mode_ == HandleMode::kFat
+                     ? model_.literal_handle_ns
+                     : model_.literal_handle_ns / 6.0;
+  }
+
+  HandleMode handle_mode() const { return handle_mode_; }
+  void set_handle_mode(HandleMode m) { handle_mode_ = m; }
+
+  /// Size in bytes of one in-memory handle under the current mode (the
+  /// paper's fat handle is ~60 bytes).
+  uint64_t HandleBytes() const {
+    switch (handle_mode_) {
+      case HandleMode::kFat:
+        return 60;
+      case HandleMode::kCompact:
+        return 24;
+      case HandleMode::kBulk:
+        return 16;
+    }
+    return 60;
+  }
+
+  // ---- CPU events ----
+  void ChargeAttrAccess() {
+    ++metrics_.attr_accesses;
+    clock_ns_ += model_.attr_access_ns;
+  }
+  void ChargeCompare() {
+    ++metrics_.comparisons;
+    clock_ns_ += model_.compare_ns;
+  }
+  void ChargeHashInsert() {
+    ++metrics_.hash_inserts;
+    clock_ns_ += model_.hash_insert_ns;
+    TouchTransient();
+  }
+  void ChargeHashProbe() {
+    ++metrics_.hash_probes;
+    clock_ns_ += model_.hash_probe_ns;
+    TouchTransient();
+  }
+  /// Charges an n-element sort (n log n comparisons-ish) and models the
+  /// memory traffic of the sort area.
+  void ChargeSort(uint64_t n);
+
+  // ---- Results ----
+  // Result construction touches the result's memory: once results (plus
+  // hash tables) outgrow RAM, appends start swapping like everything else.
+  void ChargeSetAppend() {
+    ++metrics_.set_appends;
+    clock_ns_ += model_.set_append_ns;
+    TouchTransient();
+  }
+  void ChargeTuple() {
+    ++metrics_.tuples_built;
+    clock_ns_ += model_.tuple_construct_ns + model_.bag_append_ns;
+    TouchTransient();
+  }
+
+  // ---- Loader ----
+  void ChargeObjectCreate() {
+    ++metrics_.objects_created;
+    clock_ns_ += model_.object_create_ns;
+  }
+  void ChargeCommit() {
+    ++metrics_.commits;
+    clock_ns_ += model_.commit_ns;
+  }
+  void ChargeLogBytes(uint64_t bytes) {
+    clock_ns_ += model_.log_write_per_byte_ns * static_cast<double>(bytes);
+  }
+  void ChargeIndexInsertCpu() {
+    ++metrics_.index_inserts;
+    clock_ns_ += model_.index_insert_cpu_ns;
+  }
+  void ChargeRelocation() {
+    ++metrics_.relocations;
+    clock_ns_ += model_.relocation_cpu_ns;
+  }
+
+  // ---- Memory model ----
+  /// Registers a long-lived consumer (page caches). May be negative.
+  void RegisterFixedMemory(int64_t delta) {
+    fixed_bytes_ = static_cast<uint64_t>(
+        static_cast<int64_t>(fixed_bytes_) + delta);
+  }
+  /// Registers transient working memory (hash tables, sort areas).
+  void AllocTransient(uint64_t bytes) { transient_bytes_ += bytes; }
+  void FreeTransient(uint64_t bytes) {
+    transient_bytes_ = transient_bytes_ > bytes ? transient_bytes_ - bytes : 0;
+  }
+  void AddHandleMemory(int64_t delta) {
+    handle_bytes_ = static_cast<uint64_t>(
+        static_cast<int64_t>(handle_bytes_) + delta);
+  }
+
+  uint64_t fixed_bytes() const { return fixed_bytes_; }
+  uint64_t transient_bytes() const { return transient_bytes_; }
+  uint64_t handle_bytes() const { return handle_bytes_; }
+
+  /// Bytes of physical memory still free for transient structures.
+  uint64_t FreeRamForTransient() const {
+    uint64_t used = model_.reserved_bytes + fixed_bytes_ + handle_bytes_;
+    return used >= model_.ram_bytes ? 0 : model_.ram_bytes - used;
+  }
+
+  /// True when transient structures no longer fit in RAM.
+  bool UnderMemoryPressure() const {
+    return transient_bytes_ > FreeRamForTransient();
+  }
+
+  /// Models one random touch of transient memory: if the structure exceeds
+  /// free RAM, the probability the touched page is non-resident equals the
+  /// overflow fraction; the fractional expectation is accumulated
+  /// deterministically and converted into whole swap I/Os.
+  void TouchTransient();
+
+ private:
+  CostModel model_;
+  Metrics metrics_;
+  double clock_ns_ = 0;
+
+  HandleMode handle_mode_ = HandleMode::kFat;
+
+  uint64_t fixed_bytes_ = 0;
+  uint64_t transient_bytes_ = 0;
+  uint64_t handle_bytes_ = 0;
+  double swap_debt_ = 0;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_COST_SIM_CONTEXT_H_

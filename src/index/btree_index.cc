@@ -1,0 +1,436 @@
+#include "src/index/btree_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/byte_io.h"
+#include "src/common/logging.h"
+
+namespace treebench {
+
+// Internal-node entries carry the full composite (key, rid) so duplicate
+// keys order deterministically across splits:
+//   internal entry: i64 key, 8B rid, u32 child  -> 20 bytes
+// This shrinks internal fanout slightly (204) but removes every
+// duplicate-key split edge case.
+namespace {
+
+constexpr size_t kNodeHeader = 7;
+constexpr size_t kLeafEntrySize = 16;
+constexpr size_t kInternalEntrySize = 20;
+
+bool IsLeaf(const uint8_t* node) { return node[0] != 0; }
+uint16_t Count(const uint8_t* node) { return GetU16(node + 1); }
+void SetCount(uint8_t* node, uint16_t n) { PutU16(node + 1, n); }
+uint32_t NextLeaf(const uint8_t* node) { return GetU32(node + 3); }
+void SetNextLeaf(uint8_t* node, uint32_t p) { PutU32(node + 3, p); }
+uint32_t Child0(const uint8_t* node) { return GetU32(node + 3); }
+void SetChild0(uint8_t* node, uint32_t p) { PutU32(node + 3, p); }
+
+const uint8_t* LeafEntry(const uint8_t* node, uint32_t i) {
+  return node + kNodeHeader + kLeafEntrySize * i;
+}
+uint8_t* LeafEntry(uint8_t* node, uint32_t i) {
+  return node + kNodeHeader + kLeafEntrySize * i;
+}
+const uint8_t* InternalEntry(const uint8_t* node, uint32_t i) {
+  return node + kNodeHeader + kInternalEntrySize * i;
+}
+uint8_t* InternalEntry(uint8_t* node, uint32_t i) {
+  return node + kNodeHeader + kInternalEntrySize * i;
+}
+
+int64_t LeafKey(const uint8_t* node, uint32_t i) {
+  return GetI64(LeafEntry(node, i));
+}
+Rid LeafRid(const uint8_t* node, uint32_t i) {
+  return Rid::DecodeFrom(LeafEntry(node, i) + 8);
+}
+int64_t InternalKey(const uint8_t* node, uint32_t i) {
+  return GetI64(InternalEntry(node, i));
+}
+uint64_t InternalRidPacked(const uint8_t* node, uint32_t i) {
+  return Rid::DecodeFrom(InternalEntry(node, i) + 8).Packed();
+}
+uint32_t InternalChild(const uint8_t* node, uint32_t i) {
+  return GetU32(InternalEntry(node, i) + 16);
+}
+
+// Composite comparison: (key, rid-packed).
+bool CompositeLess(int64_t k1, uint64_t r1, int64_t k2, uint64_t r2) {
+  if (k1 != k2) return k1 < k2;
+  return r1 < r2;
+}
+
+void InitLeaf(uint8_t* node) {
+  node[0] = 1;
+  SetCount(node, 0);
+  SetNextLeaf(node, BTreeIndex::kNoPage);
+}
+
+void InitInternal(uint8_t* node) {
+  node[0] = 0;
+  SetCount(node, 0);
+  SetChild0(node, BTreeIndex::kNoPage);
+}
+
+// First leaf position with entry >= (key, rid_packed).
+uint32_t LeafLowerBound(const uint8_t* node, int64_t key,
+                        uint64_t rid_packed) {
+  uint32_t lo = 0, hi = Count(node);
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (CompositeLess(LeafKey(node, mid), LeafRid(node, mid).Packed(), key,
+                      rid_packed)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child index to descend for (key, rid_packed): number of separators <=
+// the composite, i.e. child0 when composite < entry[0].
+uint32_t InternalChildFor(const uint8_t* node, int64_t key,
+                          uint64_t rid_packed) {
+  uint32_t lo = 0, hi = Count(node);
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    // separator <= composite ?
+    if (!CompositeLess(key, rid_packed, InternalKey(node, mid),
+                       InternalRidPacked(node, mid))) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;  // 0 => child0, i => child of entry i-1
+}
+
+uint32_t ResolveChild(const uint8_t* node, uint32_t child_index) {
+  return child_index == 0 ? Child0(node)
+                          : InternalChild(node, child_index - 1);
+}
+
+}  // namespace
+
+BTreeIndex::BTreeIndex(TwoLevelCache* cache, SimContext* sim,
+                       uint16_t file_id)
+    : cache_(cache), sim_(sim), file_id_(file_id) {
+  if (cache_->disk()->NumPages(file_id_) == 0) {
+    auto [meta_id, meta] = cache_->NewPage(file_id_);
+    TB_CHECK(meta_id == 0);
+    auto [root_id, root] = cache_->NewPage(file_id_);
+    InitLeaf(root);
+    PutU32(meta, root_id);
+  }
+}
+
+uint32_t BTreeIndex::Root() {
+  return GetU32(cache_->GetPage(file_id_, 0));
+}
+
+void BTreeIndex::SetRoot(uint32_t page_id) {
+  PutU32(cache_->GetPageForWrite(file_id_, 0), page_id);
+}
+
+uint32_t BTreeIndex::FindLeaf(int64_t key, const Rid& rid,
+                              std::vector<uint32_t>* path) {
+  uint32_t page_id = Root();
+  uint64_t packed = rid.Packed();
+  while (true) {
+    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    if (IsLeaf(node)) return page_id;
+    if (path != nullptr) path->push_back(page_id);
+    page_id = ResolveChild(node, InternalChildFor(node, key, packed));
+  }
+}
+
+uint32_t BTreeIndex::FindLeafForLow(int64_t lo) {
+  // Minimal composite for `lo`: rid_packed = 0.
+  uint32_t page_id = Root();
+  while (true) {
+    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    if (IsLeaf(node)) return page_id;
+    page_id = ResolveChild(node, InternalChildFor(node, lo, 0));
+  }
+}
+
+std::pair<int64_t, uint32_t> BTreeIndex::SplitLeaf(uint32_t page_id) {
+  uint8_t* node = cache_->GetPageForWrite(file_id_, page_id);
+  uint16_t n = Count(node);
+  uint16_t keep = n / 2;
+  auto [new_id, new_node] = cache_->NewPage(file_id_);
+  // NewPage may have evicted and refetched; re-acquire old node pointer.
+  node = cache_->GetPageForWrite(file_id_, page_id);
+  InitLeaf(new_node);
+  uint16_t moved = n - keep;
+  std::memcpy(LeafEntry(new_node, 0), LeafEntry(node, keep),
+              kLeafEntrySize * moved);
+  SetCount(new_node, moved);
+  SetNextLeaf(new_node, NextLeaf(node));
+  SetCount(node, keep);
+  SetNextLeaf(node, new_id);
+  return {LeafKey(new_node, 0), new_id};
+}
+
+std::pair<int64_t, uint32_t> BTreeIndex::SplitInternal(uint32_t page_id) {
+  uint8_t* node = cache_->GetPageForWrite(file_id_, page_id);
+  uint16_t n = Count(node);
+  uint16_t mid = n / 2;  // entry `mid` becomes the separator pushed up
+  auto [new_id, new_node] = cache_->NewPage(file_id_);
+  node = cache_->GetPageForWrite(file_id_, page_id);
+  InitInternal(new_node);
+  int64_t up_key = InternalKey(node, mid);
+  SetChild0(new_node, InternalChild(node, mid));
+  uint16_t moved = n - mid - 1;
+  std::memcpy(InternalEntry(new_node, 0), InternalEntry(node, mid + 1),
+              kInternalEntrySize * moved);
+  SetCount(new_node, moved);
+  SetCount(node, mid);
+  // The separator rid travels with the key inside the entry we copied out;
+  // reconstruct it for the parent insert.
+  return {up_key, new_id};
+}
+
+Status BTreeIndex::Insert(int64_t key, const Rid& rid) {
+  sim_->ChargeIndexInsertCpu();
+  std::vector<uint32_t> path;
+  uint32_t leaf_id = FindLeaf(key, rid, &path);
+  uint8_t* leaf = cache_->GetPageForWrite(file_id_, leaf_id);
+
+  if (Count(leaf) >= kLeafCapacity) {
+    auto [sep_key, new_id] = SplitLeaf(leaf_id);
+    // Separator rid = first rid of the new (right) leaf.
+    const uint8_t* right = cache_->GetPage(file_id_, new_id);
+    uint64_t sep_rid = LeafRid(right, 0).Packed();
+    Rid sep_rid_obj = LeafRid(right, 0);
+
+    // Choose the half that receives the new entry.
+    uint32_t target =
+        CompositeLess(key, rid.Packed(), sep_key, sep_rid) ? leaf_id : new_id;
+    leaf = cache_->GetPageForWrite(file_id_, target);
+    uint32_t pos = LeafLowerBound(leaf, key, rid.Packed());
+    std::memmove(LeafEntry(leaf, pos + 1), LeafEntry(leaf, pos),
+                 kLeafEntrySize * (Count(leaf) - pos));
+    PutI64(LeafEntry(leaf, pos), key);
+    rid.EncodeTo(LeafEntry(leaf, pos) + 8);
+    SetCount(leaf, Count(leaf) + 1);
+
+    // Propagate the split up.
+    int64_t up_key = sep_key;
+    Rid up_rid = sep_rid_obj;
+    uint32_t up_child = new_id;
+    while (true) {
+      if (path.empty()) {
+        auto [root_id, root] = cache_->NewPage(file_id_);
+        InitInternal(root);
+        SetChild0(root, Root());
+        PutI64(InternalEntry(root, 0), up_key);
+        up_rid.EncodeTo(InternalEntry(root, 0) + 8);
+        PutU32(InternalEntry(root, 0) + 16, up_child);
+        SetCount(root, 1);
+        SetRoot(root_id);
+        break;
+      }
+      uint32_t parent_id = path.back();
+      path.pop_back();
+      uint8_t* parent = cache_->GetPageForWrite(file_id_, parent_id);
+      if (Count(parent) < kInternalCapacity) {
+        uint32_t pos = InternalChildFor(parent, up_key, up_rid.Packed());
+        std::memmove(InternalEntry(parent, pos + 1),
+                     InternalEntry(parent, pos),
+                     kInternalEntrySize * (Count(parent) - pos));
+        PutI64(InternalEntry(parent, pos), up_key);
+        up_rid.EncodeTo(InternalEntry(parent, pos) + 8);
+        PutU32(InternalEntry(parent, pos) + 16, up_child);
+        SetCount(parent, Count(parent) + 1);
+        break;
+      }
+      // Parent full: split it, then insert into the proper half.
+      uint16_t mid = Count(parent) / 2;
+      int64_t parent_up_key = InternalKey(parent, mid);
+      Rid parent_up_rid = Rid::DecodeFrom(InternalEntry(parent, mid) + 8);
+      auto [sep2, new_parent_id] = SplitInternal(parent_id);
+      (void)sep2;
+      uint32_t target_id =
+          CompositeLess(up_key, up_rid.Packed(), parent_up_key,
+                        parent_up_rid.Packed())
+              ? parent_id
+              : new_parent_id;
+      uint8_t* tnode = cache_->GetPageForWrite(file_id_, target_id);
+      uint32_t pos = InternalChildFor(tnode, up_key, up_rid.Packed());
+      std::memmove(InternalEntry(tnode, pos + 1), InternalEntry(tnode, pos),
+                   kInternalEntrySize * (Count(tnode) - pos));
+      PutI64(InternalEntry(tnode, pos), up_key);
+      up_rid.EncodeTo(InternalEntry(tnode, pos) + 8);
+      PutU32(InternalEntry(tnode, pos) + 16, up_child);
+      SetCount(tnode, Count(tnode) + 1);
+
+      up_key = parent_up_key;
+      up_rid = parent_up_rid;
+      up_child = new_parent_id;
+    }
+    return Status::OK();
+  }
+
+  uint32_t pos = LeafLowerBound(leaf, key, rid.Packed());
+  std::memmove(LeafEntry(leaf, pos + 1), LeafEntry(leaf, pos),
+               kLeafEntrySize * (Count(leaf) - pos));
+  PutI64(LeafEntry(leaf, pos), key);
+  rid.EncodeTo(LeafEntry(leaf, pos) + 8);
+  SetCount(leaf, Count(leaf) + 1);
+  return Status::OK();
+}
+
+Status BTreeIndex::Remove(int64_t key, const Rid& rid) {
+  uint32_t leaf_id = FindLeaf(key, rid, nullptr);
+  uint8_t* leaf = cache_->GetPageForWrite(file_id_, leaf_id);
+  uint32_t pos = LeafLowerBound(leaf, key, rid.Packed());
+  if (pos >= Count(leaf) || LeafKey(leaf, pos) != key ||
+      LeafRid(leaf, pos) != rid) {
+    return Status::NotFound("entry not in index");
+  }
+  std::memmove(LeafEntry(leaf, pos), LeafEntry(leaf, pos + 1),
+               kLeafEntrySize * (Count(leaf) - pos - 1));
+  SetCount(leaf, Count(leaf) - 1);
+  return Status::OK();
+}
+
+std::vector<Rid> BTreeIndex::Lookup(int64_t key) {
+  std::vector<Rid> out;
+  for (RangeIterator it = Scan(key, key + 1); it.Valid(); it.Next()) {
+    out.push_back(it.rid());
+  }
+  return out;
+}
+
+Status BTreeIndex::BulkBuild(
+    const std::vector<std::pair<int64_t, Rid>>& sorted) {
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (CompositeLess(sorted[i].first, sorted[i].second.Packed(),
+                      sorted[i - 1].first, sorted[i - 1].second.Packed())) {
+      return Status::InvalidArgument("bulk-build input not sorted");
+    }
+  }
+
+  // Level 0: packed leaves.
+  struct ChildRef {
+    int64_t key;
+    Rid rid;
+    uint32_t page;
+  };
+  std::vector<ChildRef> level;
+  uint32_t prev_leaf = kNoPage;
+  if (sorted.empty()) {
+    auto [root_id, root] = cache_->NewPage(file_id_);
+    InitLeaf(root);
+    SetRoot(root_id);
+    return Status::OK();
+  }
+  for (size_t start = 0; start < sorted.size(); start += kLeafCapacity) {
+    auto [page_id, node] = cache_->NewPage(file_id_);
+    InitLeaf(node);
+    uint32_t n = static_cast<uint32_t>(
+        std::min<size_t>(kLeafCapacity, sorted.size() - start));
+    for (uint32_t i = 0; i < n; ++i) {
+      PutI64(LeafEntry(node, i), sorted[start + i].first);
+      sorted[start + i].second.EncodeTo(LeafEntry(node, i) + 8);
+    }
+    SetCount(node, static_cast<uint16_t>(n));
+    if (prev_leaf != kNoPage) {
+      SetNextLeaf(cache_->GetPageForWrite(file_id_, prev_leaf), page_id);
+    }
+    prev_leaf = page_id;
+    level.push_back(
+        {sorted[start].first, sorted[start].second, page_id});
+    sim_->ChargeIndexInsertCpu();  // amortized: one charge per leaf built
+  }
+
+  // Build internal levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<ChildRef> next;
+    size_t i = 0;
+    while (i < level.size()) {
+      size_t n = std::min<size_t>(kInternalCapacity + 1, level.size() - i);
+      auto [page_id, node] = cache_->NewPage(file_id_);
+      InitInternal(node);
+      SetChild0(node, level[i].page);
+      for (size_t j = 1; j < n; ++j) {
+        PutI64(InternalEntry(node, static_cast<uint32_t>(j - 1)),
+               level[i + j].key);
+        level[i + j].rid.EncodeTo(
+            InternalEntry(node, static_cast<uint32_t>(j - 1)) + 8);
+        PutU32(InternalEntry(node, static_cast<uint32_t>(j - 1)) + 16,
+               level[i + j].page);
+      }
+      SetCount(node, static_cast<uint16_t>(n - 1));
+      next.push_back({level[i].key, level[i].rid, page_id});
+      i += n;
+    }
+    level = std::move(next);
+  }
+  SetRoot(level[0].page);
+  return Status::OK();
+}
+
+BTreeIndex::RangeIterator::RangeIterator(BTreeIndex* tree, int64_t lo,
+                                         int64_t hi)
+    : tree_(tree), hi_(hi) {
+  page_ = tree_->FindLeafForLow(lo);
+  const uint8_t* node = tree_->cache_->GetPage(tree_->file_id_, page_);
+  pos_ = LeafLowerBound(node, lo, 0);
+  LoadCurrent();
+}
+
+void BTreeIndex::RangeIterator::LoadCurrent() {
+  valid_ = false;
+  while (page_ != kNoPage) {
+    const uint8_t* node = tree_->cache_->GetPage(tree_->file_id_, page_);
+    if (pos_ < Count(node)) {
+      key_ = LeafKey(node, pos_);
+      if (key_ >= hi_) return;  // past range
+      rid_ = LeafRid(node, pos_);
+      valid_ = true;
+      return;
+    }
+    page_ = NextLeaf(node);
+    pos_ = 0;
+  }
+}
+
+void BTreeIndex::RangeIterator::Next() {
+  ++pos_;
+  LoadCurrent();
+}
+
+uint64_t BTreeIndex::CountEntries() {
+  uint64_t total = 0;
+  // Walk down the leftmost spine, then across.
+  uint32_t page_id = Root();
+  while (true) {
+    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    if (IsLeaf(node)) break;
+    page_id = Child0(node);
+  }
+  while (page_id != kNoPage) {
+    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    total += Count(node);
+    page_id = NextLeaf(node);
+  }
+  return total;
+}
+
+uint32_t BTreeIndex::Height() {
+  uint32_t height = 1;
+  uint32_t page_id = Root();
+  while (true) {
+    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    if (IsLeaf(node)) return height;
+    ++height;
+    page_id = Child0(node);
+  }
+}
+
+}  // namespace treebench

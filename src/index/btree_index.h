@@ -1,0 +1,126 @@
+#ifndef TREEBENCH_INDEX_BTREE_INDEX_H_
+#define TREEBENCH_INDEX_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/cache/two_level_cache.h"
+#include "src/common/status.h"
+#include "src/cost/sim_context.h"
+#include "src/storage/rid.h"
+
+namespace treebench {
+
+/// A disk-backed B+-tree mapping int64 keys to Rids. As in O2 (paper
+/// Section 5), leaves store only object identifiers — no object properties —
+/// so an index scan must still fetch objects to project attributes.
+///
+/// Duplicate keys are allowed (entries are ordered by (key, rid)). All page
+/// access goes through the TwoLevelCache, so index-page reads show up in the
+/// simulated I/O counts exactly as the paper's Figure 7/9 analysis requires
+/// ("we read all the collection pages but also those of the index
+/// structure").
+///
+/// Page layout (pages live in the index's own file):
+///   page 0: meta  — u32 root page id
+///   node:   u8 is_leaf, u16 count,
+///           leaf:     u32 next_leaf, then count x (i64 key, 8B rid)
+///           internal: u32 child0,    then count x (i64 key, 8B rid,
+///                                                  u32 child)
+///             child0 holds composites <  entry[0];
+///             child[i] holds composites >= entry[i-1].
+class BTreeIndex {
+ public:
+  static constexpr uint32_t kNoPage = 0xFFFFFFFF;
+  static constexpr uint32_t kLeafCapacity = (kPageSize - 7) / 16;  // 255
+  /// Internal entries carry the composite (i64 key, 8B rid, u32 child) so
+  /// duplicate keys order deterministically across splits: 20 bytes each.
+  static constexpr uint32_t kInternalCapacity = (kPageSize - 7) / 20;
+
+  /// Opens an index in `file_id`; if the file is empty, initializes a fresh
+  /// empty tree.
+  BTreeIndex(TwoLevelCache* cache, SimContext* sim, uint16_t file_id);
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  uint16_t file_id() const { return file_id_; }
+
+  /// Inserts one entry (duplicates allowed). Charges index-insert CPU plus
+  /// the page traffic of the root-to-leaf descent and any splits.
+  Status Insert(int64_t key, const Rid& rid);
+
+  /// Removes one (key, rid) entry; NotFound if absent. Leaves may underflow
+  /// (no rebalancing — deletion is rare in the modeled workloads).
+  Status Remove(int64_t key, const Rid& rid);
+
+  /// All rids with exactly this key.
+  std::vector<Rid> Lookup(int64_t key);
+
+  /// Replaces the tree contents from (key, rid) pairs sorted by (key, rid):
+  /// packed leaf build, then internal levels. This is the fast
+  /// "create the index once the collection is populated" path.
+  Status BulkBuild(const std::vector<std::pair<int64_t, Rid>>& sorted);
+
+  /// Forward iterator over entries with lo <= key < hi, in key order.
+  class RangeIterator {
+   public:
+    RangeIterator(BTreeIndex* tree, int64_t lo, int64_t hi);
+
+    bool Valid() const { return valid_; }
+    void Next();
+    int64_t key() const { return key_; }
+    const Rid& rid() const { return rid_; }
+
+   private:
+    void LoadCurrent();
+
+    BTreeIndex* tree_;
+    int64_t hi_;
+    uint32_t page_ = kNoPage;
+    uint32_t pos_ = 0;
+    bool valid_ = false;
+    int64_t key_ = 0;
+    Rid rid_;
+  };
+
+  RangeIterator Scan(int64_t lo, int64_t hi) {
+    return RangeIterator(this, lo, hi);
+  }
+
+  /// Number of entries (walks the leaf level).
+  uint64_t CountEntries();
+
+  /// Height of the tree (1 = root is a leaf).
+  uint32_t Height();
+
+  /// Total pages in the index file (meta included).
+  uint32_t NumPages() const { return cache_->disk()->NumPages(file_id_); }
+
+ private:
+  friend class RangeIterator;
+
+  uint32_t Root();
+  void SetRoot(uint32_t page_id);
+
+  /// Descends to the leaf that should contain (key, rid); fills `path` with
+  /// the internal pages visited (root first).
+  uint32_t FindLeaf(int64_t key, const Rid& rid,
+                    std::vector<uint32_t>* path);
+
+  /// Leftmost leaf whose entries may contain keys >= lo.
+  uint32_t FindLeafForLow(int64_t lo);
+
+  /// Splits a full leaf/internal node; returns {separator key, new page}.
+  std::pair<int64_t, uint32_t> SplitLeaf(uint32_t page_id);
+  std::pair<int64_t, uint32_t> SplitInternal(uint32_t page_id);
+
+  TwoLevelCache* cache_;
+  SimContext* sim_;
+  uint16_t file_id_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_INDEX_BTREE_INDEX_H_

@@ -1,0 +1,462 @@
+#include "src/objects/object_store.h"
+
+#include "src/common/logging.h"
+
+namespace treebench {
+
+using object_layout::ObjectView;
+using object_layout::StoredField;
+
+ObjectStore::ObjectStore(Schema* schema, TwoLevelCache* cache,
+                         SimContext* sim, StringStorage string_mode,
+                         double fill_factor, uint64_t handle_arena_bytes)
+    : schema_(schema),
+      cache_(cache),
+      sim_(sim),
+      sets_(cache, sim),
+      string_mode_(string_mode),
+      fill_factor_(fill_factor),
+      handle_arena_bytes_(handle_arena_bytes != 0
+                              ? handle_arena_bytes
+                              : sim->model().ram_bytes / 16) {}
+
+RecordFile* ObjectStore::File(uint16_t file_id) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    it = files_
+             .emplace(file_id, std::make_unique<RecordFile>(
+                                   cache_, file_id, fill_factor_))
+             .first;
+  }
+  return it->second.get();
+}
+
+uint16_t ObjectStore::DefaultOverflowFile() {
+  if (default_overflow_file_ == 0xFFFF) {
+    default_overflow_file_ = cache_->disk()->CreateFile("__set_overflow");
+  }
+  return default_overflow_file_;
+}
+
+Result<StoredField> ObjectStore::ToStoredField(const AttrDef& attr,
+                                               const Value& v,
+                                               RecordFile* home,
+                                               uint16_t overflow_file) {
+  switch (attr.type) {
+    case AttrType::kInt32:
+      return StoredField(std::get<int32_t>(v));
+    case AttrType::kChar:
+      return StoredField(std::get<char>(v));
+    case AttrType::kString: {
+      const std::string& s = std::get<std::string>(v);
+      if (string_mode_ == StringStorage::kInline) return StoredField(s);
+      // Separate record: the string payload becomes its own record in the
+      // owner's file, referenced by Rid.
+      std::vector<uint8_t> bytes(s.begin(), s.end());
+      Rid rid;
+      TB_ASSIGN_OR_RETURN(rid, home->Append(bytes));
+      return StoredField(rid);
+    }
+    case AttrType::kRef:
+      return StoredField(std::get<Rid>(v));
+    case AttrType::kRefSet: {
+      const auto& elements = std::get<std::vector<Rid>>(v);
+      if (elements.empty()) return StoredField(kNilRid);
+      Rid rid;
+      TB_ASSIGN_OR_RETURN(rid, sets_.Write(home, overflow_file, elements));
+      return StoredField(rid);
+    }
+  }
+  return Status::Internal("unknown attribute type");
+}
+
+Result<Rid> ObjectStore::CreateObject(uint16_t class_id,
+                                      const ObjectData& data,
+                                      const CreateOptions& opts) {
+  const ClassDef& cls = schema_->GetClass(class_id);
+  if (data.size() != cls.attr_count()) {
+    return Status::InvalidArgument("attribute count mismatch for class " +
+                                   cls.name());
+  }
+  RecordFile* home = File(opts.file_id);
+  uint16_t overflow = opts.set_overflow_file != 0xFFFF
+                          ? opts.set_overflow_file
+                          : DefaultOverflowFile();
+
+  std::vector<StoredField> fields;
+  fields.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    StoredField f(0);
+    TB_ASSIGN_OR_RETURN(f, ToStoredField(cls.attr(i), data[i], home,
+                                         overflow));
+    fields.push_back(std::move(f));
+  }
+
+  uint8_t capacity = opts.preallocate_index_header
+                         ? object_layout::kDefaultIndexCapacity
+                         : 0;
+  std::vector<uint8_t> record = object_layout::Encode(
+      cls, string_mode_, capacity, /*index_ids=*/{}, fields);
+  sim_->ChargeObjectCreate();
+  return home->Append(record);
+}
+
+Result<std::span<const uint8_t>> ObjectStore::ReadRecord(const Rid& rid,
+                                                         Rid* canonical) {
+  Rid cur = rid;
+  for (int hop = 0; hop < 8; ++hop) {
+    std::span<const uint8_t> rec;
+    TB_ASSIGN_OR_RETURN(rec, File(cur.file_id)->Read(cur));
+    if (rec.size() < object_layout::kFixedHeaderSize) {
+      return Status::Corruption("record too small for an object header");
+    }
+    if ((rec[2] & object_layout::kFlagForward) == 0) {
+      *canonical = cur;
+      return rec;
+    }
+    cur = Rid::DecodeFrom(rec.data() + object_layout::kFixedHeaderSize);
+  }
+  return Status::Corruption("forwarding chain too long");
+}
+
+Result<Rid> ObjectStore::ResolveForward(const Rid& rid) {
+  Rid canonical;
+  TB_RETURN_IF_ERROR(ReadRecord(rid, &canonical).status());
+  return canonical;
+}
+
+Result<ObjectHandle*> ObjectStore::Get(const Rid& rid) {
+  uint64_t key = rid.Packed();
+  auto alias_it = alias_.find(key);
+  if (alias_it != alias_.end()) key = alias_it->second;
+
+  auto it = handles_.find(key);
+  if (it != handles_.end()) {
+    // Already resident: cheap re-reference (no page access needed — the
+    // handle caches the object's location and bookkeeping).
+    sim_->ChargeHandleLookup();
+    ++it->second->refcount;
+    return it->second.get();
+  }
+
+  // Materialize: read the record (this ensures page residency and charges
+  // any fault), then allocate and initialize the handle.
+  Rid canonical;
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, ReadRecord(rid, &canonical));
+  uint64_t canon_key = canonical.Packed();
+  if (canon_key != rid.Packed()) {
+    alias_[rid.Packed()] = canon_key;
+    auto canon_it = handles_.find(canon_key);
+    if (canon_it != handles_.end()) {
+      sim_->ChargeHandleLookup();
+      ++canon_it->second->refcount;
+      return canon_it->second.get();
+    }
+  }
+
+  sim_->ChargeHandleGet();
+  sim_->AddHandleMemory(static_cast<int64_t>(sim_->HandleBytes()));
+  auto handle = std::make_unique<ObjectHandle>();
+  handle->rid = canonical;
+  handle->class_id = ObjectView(rec, nullptr, string_mode_).class_id();
+  handle->refcount = 1;
+  ObjectHandle* ptr = handle.get();
+  handles_.emplace(canon_key, std::move(handle));
+  MaybeCollectZombies();
+  return ptr;
+}
+
+void ObjectStore::Unref(ObjectHandle* handle) {
+  TB_CHECK(handle != nullptr && handle->refcount > 0);
+  sim_->ChargeHandleUnref();
+  if (--handle->refcount == 0) {
+    // Delayed destruction: park on the zombie list.
+    zombies_.push_back(handle->rid.Packed());
+  }
+}
+
+void ObjectStore::MaybeCollectZombies() {
+  uint64_t bytes = sim_->HandleBytes();
+  if (handles_.size() * bytes <= handle_arena_bytes_) return;
+  size_t target = handle_arena_bytes_ / bytes / 2;
+  while (!zombies_.empty() && handles_.size() > target) {
+    uint64_t key = zombies_.front();
+    zombies_.pop_front();
+    auto it = handles_.find(key);
+    if (it != handles_.end() && it->second->refcount == 0) {
+      handles_.erase(it);
+      sim_->AddHandleMemory(-static_cast<int64_t>(bytes));
+    }
+  }
+}
+
+void ObjectStore::ReleaseZombies() {
+  uint64_t bytes = sim_->HandleBytes();
+  while (!zombies_.empty()) {
+    uint64_t key = zombies_.front();
+    zombies_.pop_front();
+    auto it = handles_.find(key);
+    if (it != handles_.end() && it->second->refcount == 0) {
+      handles_.erase(it);
+      sim_->AddHandleMemory(-static_cast<int64_t>(bytes));
+    }
+  }
+}
+
+void ObjectStore::DropAllHandles() {
+  sim_->AddHandleMemory(-static_cast<int64_t>(handles_.size() *
+                                              sim_->HandleBytes()));
+  handles_.clear();
+  zombies_.clear();
+  alias_.clear();
+}
+
+namespace {
+
+// Every attribute access decodes through a fresh view of the record bytes;
+// the page access below re-touches the cache, so evicted pages fault again
+// (objects are not pinned while a handle exists, as in O2's swappable
+// client cache).
+struct RecordAccess {
+  std::span<const uint8_t> bytes;
+  const ClassDef* cls;
+};
+
+}  // namespace
+
+Result<int32_t> ObjectStore::GetInt32(ObjectHandle* h, size_t attr) {
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, File(h->rid.file_id)->Read(h->rid));
+  sim_->ChargeAttrAccess();
+  const ClassDef& cls = schema_->GetClass(h->class_id);
+  return ObjectView(rec, &cls, string_mode_).GetInt32(attr);
+}
+
+Result<char> ObjectStore::GetChar(ObjectHandle* h, size_t attr) {
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, File(h->rid.file_id)->Read(h->rid));
+  sim_->ChargeAttrAccess();
+  const ClassDef& cls = schema_->GetClass(h->class_id);
+  return ObjectView(rec, &cls, string_mode_).GetChar(attr);
+}
+
+Result<std::string> ObjectStore::GetString(ObjectHandle* h, size_t attr) {
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, File(h->rid.file_id)->Read(h->rid));
+  sim_->ChargeAttrAccess();
+  const ClassDef& cls = schema_->GetClass(h->class_id);
+  ObjectView view(rec, &cls, string_mode_);
+  if (string_mode_ == StringStorage::kInline) {
+    return std::string(view.GetInlineString(attr));
+  }
+  Rid srid = view.GetStringRid(attr);
+  std::span<const uint8_t> payload;
+  TB_ASSIGN_OR_RETURN(payload, File(srid.file_id)->Read(srid));
+  sim_->ChargeLiteralHandle();
+  return std::string(reinterpret_cast<const char*>(payload.data()),
+                     payload.size());
+}
+
+Result<Rid> ObjectStore::GetRef(ObjectHandle* h, size_t attr) {
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, File(h->rid.file_id)->Read(h->rid));
+  sim_->ChargeAttrAccess();
+  const ClassDef& cls = schema_->GetClass(h->class_id);
+  return ObjectView(rec, &cls, string_mode_).GetRef(attr);
+}
+
+Result<std::vector<Rid>> ObjectStore::GetRefSet(ObjectHandle* h,
+                                                size_t attr) {
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, File(h->rid.file_id)->Read(h->rid));
+  sim_->ChargeAttrAccess();
+  const ClassDef& cls = schema_->GetClass(h->class_id);
+  Rid set_rid = ObjectView(rec, &cls, string_mode_).GetSetRid(attr);
+  if (!set_rid.valid()) return std::vector<Rid>{};
+  return sets_.Read(File(set_rid.file_id), set_rid);
+}
+
+Result<uint32_t> ObjectStore::GetRefSetCount(ObjectHandle* h, size_t attr) {
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, File(h->rid.file_id)->Read(h->rid));
+  sim_->ChargeAttrAccess();
+  const ClassDef& cls = schema_->GetClass(h->class_id);
+  Rid set_rid = ObjectView(rec, &cls, string_mode_).GetSetRid(attr);
+  if (!set_rid.valid()) return 0u;
+  return sets_.Count(File(set_rid.file_id), set_rid);
+}
+
+Result<ObjectData> ObjectStore::Materialize(ObjectHandle* h) {
+  const ClassDef& cls = schema_->GetClass(h->class_id);
+  ObjectData data;
+  data.reserve(cls.attr_count());
+  for (size_t i = 0; i < cls.attr_count(); ++i) {
+    switch (cls.attr(i).type) {
+      case AttrType::kInt32: {
+        int32_t v = 0;
+        TB_ASSIGN_OR_RETURN(v, GetInt32(h, i));
+        data.emplace_back(v);
+        break;
+      }
+      case AttrType::kChar: {
+        char v = 0;
+        TB_ASSIGN_OR_RETURN(v, GetChar(h, i));
+        data.emplace_back(v);
+        break;
+      }
+      case AttrType::kString: {
+        std::string v;
+        TB_ASSIGN_OR_RETURN(v, GetString(h, i));
+        data.emplace_back(std::move(v));
+        break;
+      }
+      case AttrType::kRef: {
+        Rid v;
+        TB_ASSIGN_OR_RETURN(v, GetRef(h, i));
+        data.emplace_back(v);
+        break;
+      }
+      case AttrType::kRefSet: {
+        std::vector<Rid> v;
+        TB_ASSIGN_OR_RETURN(v, GetRefSet(h, i));
+        data.emplace_back(std::move(v));
+        break;
+      }
+    }
+  }
+  return data;
+}
+
+Status ObjectStore::SetInt32(const Rid& rid, size_t attr, int32_t v) {
+  Rid canonical;
+  TB_RETURN_IF_ERROR(ReadRecord(rid, &canonical).status());
+  std::span<uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, File(canonical.file_id)->ReadMutable(canonical));
+  const ClassDef& cls = schema_->GetClass(ObjectView(rec, nullptr,
+                                                     string_mode_)
+                                              .class_id());
+  object_layout::SetInt32At(rec, cls, string_mode_, attr, v);
+  return Status::OK();
+}
+
+Status ObjectStore::SetRef(const Rid& rid, size_t attr, const Rid& v) {
+  Rid canonical;
+  TB_RETURN_IF_ERROR(ReadRecord(rid, &canonical).status());
+  std::span<uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, File(canonical.file_id)->ReadMutable(canonical));
+  const ClassDef& cls = schema_->GetClass(ObjectView(rec, nullptr,
+                                                     string_mode_)
+                                              .class_id());
+  object_layout::SetRefAt(rec, cls, string_mode_, attr, v);
+  return Status::OK();
+}
+
+Status ObjectStore::SetRefSet(const Rid& rid, size_t attr,
+                              const std::vector<Rid>& elements,
+                              uint16_t set_overflow_file) {
+  Rid canonical;
+  TB_RETURN_IF_ERROR(ReadRecord(rid, &canonical).status());
+  uint16_t overflow = set_overflow_file != 0xFFFF ? set_overflow_file
+                                                  : DefaultOverflowFile();
+  RecordFile* home = File(canonical.file_id);
+
+  std::span<const uint8_t> rec_ro;
+  TB_ASSIGN_OR_RETURN(rec_ro, home->Read(canonical));
+  const ClassDef& cls = schema_->GetClass(
+      ObjectView(rec_ro, nullptr, string_mode_).class_id());
+  Rid old_set = ObjectView(rec_ro, &cls, string_mode_).GetSetRid(attr);
+
+  Rid new_set;
+  if (!old_set.valid()) {
+    if (elements.empty()) return Status::OK();
+    TB_ASSIGN_OR_RETURN(new_set, sets_.Write(home, overflow, elements));
+  } else {
+    TB_ASSIGN_OR_RETURN(new_set,
+                        sets_.Update(home, overflow, old_set, elements));
+  }
+  if (new_set != old_set) {
+    std::span<uint8_t> rec;
+    TB_ASSIGN_OR_RETURN(rec, home->ReadMutable(canonical));
+    object_layout::SetSetRidAt(rec, cls, string_mode_, attr, new_set);
+  }
+  return Status::OK();
+}
+
+Result<Rid> ObjectStore::AddIndexRef(const Rid& rid, uint32_t index_id) {
+  Rid canonical;
+  std::span<const uint8_t> rec_ro;
+  TB_ASSIGN_OR_RETURN(rec_ro, ReadRecord(rid, &canonical));
+  RecordFile* home = File(canonical.file_id);
+
+  {
+    std::span<uint8_t> rec;
+    TB_ASSIGN_OR_RETURN(rec, home->ReadMutable(canonical));
+    Status s = object_layout::AddIndexIdAt(rec, index_id);
+    if (s.ok()) return canonical;
+    if (!s.IsResourceExhausted()) return s;
+  }
+
+  // No free slot: relocate the object with a grown header (the paper's
+  // "reallocate all objects on disk so as to add index information in their
+  // header" — Section 3.2). The old record becomes a forwarding stub, so
+  // existing references stay valid but pay an extra hop, and the physical
+  // organization is destroyed.
+  std::span<const uint8_t> old_rec;
+  TB_ASSIGN_OR_RETURN(old_rec, home->Read(canonical));
+  ObjectView old_view(old_rec, nullptr, string_mode_);
+  uint8_t old_capacity = old_view.index_capacity();
+  uint8_t new_capacity = static_cast<uint8_t>(
+      old_capacity + object_layout::kDefaultIndexCapacity);
+
+  // Rebuild the record with the same body but a larger header.
+  size_t old_header = object_layout::HeaderSize(old_capacity);
+  std::vector<uint8_t> grown(object_layout::HeaderSize(new_capacity) +
+                             (old_rec.size() - old_header));
+  std::copy(old_rec.begin(),
+            old_rec.begin() + object_layout::kFixedHeaderSize, grown.begin());
+  grown[3] = new_capacity;
+  // Copy existing index ids.
+  std::copy(old_rec.begin() + object_layout::kFixedHeaderSize,
+            old_rec.begin() + old_header,
+            grown.begin() + object_layout::kFixedHeaderSize);
+  // Copy the attribute body.
+  std::copy(old_rec.begin() + old_header, old_rec.end(),
+            grown.begin() + object_layout::HeaderSize(new_capacity));
+  Status add = object_layout::AddIndexIdAt(grown, index_id);
+  TB_CHECK(add.ok());
+
+  sim_->ChargeRelocation();
+  has_relocations_ = true;
+  Rid new_rid;
+  TB_ASSIGN_OR_RETURN(new_rid, home->Append(grown));
+  uint16_t class_id = old_view.class_id();
+  std::vector<uint8_t> stub = object_layout::EncodeForward(class_id, new_rid);
+  TB_RETURN_IF_ERROR(home->Update(canonical, stub));
+  alias_[canonical.Packed()] = new_rid.Packed();
+  return new_rid;
+}
+
+Result<std::vector<uint32_t>> ObjectStore::GetIndexIds(const Rid& rid) {
+  Rid canonical;
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, ReadRecord(rid, &canonical));
+  ObjectView view(rec, nullptr, string_mode_);
+  std::vector<uint32_t> ids;
+  ids.reserve(view.index_count());
+  for (uint8_t i = 0; i < view.index_count(); ++i) {
+    ids.push_back(view.index_id(i));
+  }
+  return ids;
+}
+
+Status ObjectStore::RemoveIndexRef(const Rid& rid, uint32_t index_id) {
+  Rid canonical;
+  TB_RETURN_IF_ERROR(ReadRecord(rid, &canonical).status());
+  std::span<uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, File(canonical.file_id)->ReadMutable(canonical));
+  object_layout::RemoveIndexIdAt(rec, index_id);
+  return Status::OK();
+}
+
+}  // namespace treebench

@@ -1,0 +1,169 @@
+#ifndef TREEBENCH_OBJECTS_OBJECT_STORE_H_
+#define TREEBENCH_OBJECTS_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/two_level_cache.h"
+#include "src/common/status.h"
+#include "src/cost/sim_context.h"
+#include "src/objects/object_layout.h"
+#include "src/objects/schema.h"
+#include "src/objects/set_store.h"
+#include "src/objects/value.h"
+#include "src/storage/record_file.h"
+#include "src/storage/rid.h"
+
+namespace treebench {
+
+/// The in-memory representative of an object — O2's *Handle* (paper
+/// Section 4). The real O2 handle is ~60 bytes of bookkeeping (flags,
+/// index-list pointer, type pointer, version pointer, reference count, ...);
+/// here the bookkeeping burden is *modeled*: every materialization /
+/// re-reference / unreference charges the configured handle costs, and the
+/// handle's modeled footprint counts against the simulated machine's RAM.
+struct ObjectHandle {
+  Rid rid;  // canonical Rid (forwards resolved)
+  uint16_t class_id = 0;
+  uint32_t refcount = 0;
+};
+
+/// Placement directives for object creation.
+struct CreateOptions {
+  /// File receiving the object record (chosen by the clustering strategy).
+  uint16_t file_id = 0;
+  /// Objects created as members of an indexed collection get 8 index-id
+  /// slots in their header up front; others get none and pay a record
+  /// relocation when their first index arrives (paper Section 3.2).
+  bool preallocate_index_header = false;
+  /// File for >page set values; 0xFFFF selects the store's default.
+  uint16_t set_overflow_file = 0xFFFF;
+};
+
+/// Object persistence + in-memory object management over the cached page
+/// store: creation, handle-based access with delayed handle destruction,
+/// attribute reads/writes, set materialization, forwarding stubs and the
+/// index-header growth path.
+class ObjectStore {
+ public:
+  ObjectStore(Schema* schema, TwoLevelCache* cache, SimContext* sim,
+              StringStorage string_mode = StringStorage::kInline,
+              double fill_factor = 0.9, uint64_t handle_arena_bytes = 0);
+
+  /// Modeled budget for resident handles before delayed destruction frees
+  /// zombie (refcount-0) handles, O2-style ("the destruction of Handles is
+  /// delayed as much as possible", Section 4.4). Defaults to 1/16 of the
+  /// modeled machine's RAM (8 MB on the paper's 128 MB Sparc 20).
+  uint64_t handle_arena_bytes() const { return handle_arena_bytes_; }
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  Schema* schema() { return schema_; }
+  TwoLevelCache* cache() { return cache_; }
+  SimContext* sim() { return sim_; }
+  StringStorage string_mode() const { return string_mode_; }
+
+  /// Record-file wrapper for a disk file (created lazily, shared cursor).
+  RecordFile* File(uint16_t file_id);
+
+  /// The store's default overflow file for large set values.
+  uint16_t DefaultOverflowFile();
+
+  // ---- Creation ----
+  Result<Rid> CreateObject(uint16_t class_id, const ObjectData& data,
+                           const CreateOptions& opts);
+
+  // ---- Handle path (what queries use) ----
+  /// Materializes (or re-references) the object's handle. Page residency is
+  /// ensured through the cache, so a cold Get also pays the page fault.
+  Result<ObjectHandle*> Get(const Rid& rid);
+  /// Releases one reference; destruction is delayed (zombie list).
+  void Unref(ObjectHandle* handle);
+
+  Result<int32_t> GetInt32(ObjectHandle* h, size_t attr);
+  Result<char> GetChar(ObjectHandle* h, size_t attr);
+  Result<std::string> GetString(ObjectHandle* h, size_t attr);
+  Result<Rid> GetRef(ObjectHandle* h, size_t attr);
+  Result<std::vector<Rid>> GetRefSet(ObjectHandle* h, size_t attr);
+  Result<uint32_t> GetRefSetCount(ObjectHandle* h, size_t attr);
+
+  /// Materializes every attribute (convenience for tests/examples).
+  Result<ObjectData> Materialize(ObjectHandle* h);
+
+  // ---- Raw updates (loader / maintenance path) ----
+  Status SetInt32(const Rid& rid, size_t attr, int32_t v);
+  Status SetRef(const Rid& rid, size_t attr, const Rid& v);
+  /// Replaces a set value; relocates the set record when it grows.
+  Status SetRefSet(const Rid& rid, size_t attr,
+                   const std::vector<Rid>& elements,
+                   uint16_t set_overflow_file = 0xFFFF);
+
+  // ---- Index header maintenance ----
+  /// Records index membership in the object header. When the header has no
+  /// slot (object created unindexed), the object is *relocated*: a bigger
+  /// record is appended at the file tail and a forwarding stub replaces the
+  /// old record — destroying clustering, exactly the Section 3.2 trap.
+  /// Returns the object's canonical Rid after the operation.
+  Result<Rid> AddIndexRef(const Rid& rid, uint32_t index_id);
+  Status RemoveIndexRef(const Rid& rid, uint32_t index_id);
+
+  /// Follows forwarding stubs to the canonical Rid (charges the page
+  /// accesses of each hop).
+  Result<Rid> ResolveForward(const Rid& rid);
+
+  /// True once any object has been relocated (stale references may exist).
+  bool has_relocations() const { return has_relocations_; }
+  void clear_relocations_flag() { has_relocations_ = false; }
+
+  /// Index ids recorded in the object's header (Section 4.4: what lets
+  /// updates find the indexes to maintain without scanning them all).
+  Result<std::vector<uint32_t>> GetIndexIds(const Rid& rid);
+
+  // ---- Handle table introspection ----
+  size_t resident_handles() const { return handles_.size(); }
+  /// Frees all zombie handles immediately (e.g. at transaction end).
+  void ReleaseZombies();
+
+  /// Drops every handle unconditionally (cold client restart). Callers must
+  /// not hold ObjectHandle pointers across this.
+  void DropAllHandles();
+
+ private:
+  /// Reads the object record, following forwards; returns the canonical
+  /// rid in *canonical.
+  Result<std::span<const uint8_t>> ReadRecord(const Rid& rid, Rid* canonical);
+
+  Result<object_layout::StoredField> ToStoredField(const AttrDef& attr,
+                                                   const Value& v,
+                                                   RecordFile* home,
+                                                   uint16_t overflow_file);
+
+  void MaybeCollectZombies();
+
+  Schema* schema_;
+  TwoLevelCache* cache_;
+  SimContext* sim_;
+  SetStore sets_;
+  StringStorage string_mode_;
+  double fill_factor_;
+  uint64_t handle_arena_bytes_;
+
+  std::unordered_map<uint16_t, std::unique_ptr<RecordFile>> files_;
+  uint16_t default_overflow_file_ = 0xFFFF;
+
+  // Handle table: canonical packed rid -> handle. Aliases map a forwarded
+  // (old) rid to its canonical key.
+  std::unordered_map<uint64_t, std::unique_ptr<ObjectHandle>> handles_;
+  std::unordered_map<uint64_t, uint64_t> alias_;
+  std::deque<uint64_t> zombies_;
+  bool has_relocations_ = false;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_OBJECTS_OBJECT_STORE_H_

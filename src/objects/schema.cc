@@ -1,0 +1,54 @@
+#include "src/objects/schema.h"
+
+#include "src/common/logging.h"
+
+namespace treebench {
+
+std::string_view AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kInt32:
+      return "int32";
+    case AttrType::kChar:
+      return "char";
+    case AttrType::kString:
+      return "string";
+    case AttrType::kRef:
+      return "ref";
+    case AttrType::kRefSet:
+      return "set<ref>";
+  }
+  return "unknown";
+}
+
+Result<size_t> ClassDef::AttrIndex(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return Status::NotFound("class " + name_ + " has no attribute " + name);
+}
+
+Result<uint16_t> Schema::AddClass(std::string name,
+                                  std::vector<AttrDef> attrs) {
+  for (const auto& c : classes_) {
+    if (c.name() == name) {
+      return Status::AlreadyExists("class " + name + " already defined");
+    }
+  }
+  uint16_t id = static_cast<uint16_t>(classes_.size());
+  classes_.emplace_back(id, std::move(name), std::move(attrs));
+  return id;
+}
+
+const ClassDef& Schema::GetClass(uint16_t class_id) const {
+  TB_CHECK(class_id < classes_.size());
+  return classes_[class_id];
+}
+
+Result<const ClassDef*> Schema::FindClass(const std::string& name) const {
+  for (const auto& c : classes_) {
+    if (c.name() == name) return &c;
+  }
+  return Status::NotFound("no class named " + name);
+}
+
+}  // namespace treebench

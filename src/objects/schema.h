@@ -1,0 +1,85 @@
+#ifndef TREEBENCH_OBJECTS_SCHEMA_H_
+#define TREEBENCH_OBJECTS_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace treebench {
+
+/// Attribute types of the ODMG-flavoured object model — the subset the
+/// Derby schema needs (Figure 1): integers, chars, strings, object
+/// references and sets of references (1-N relationships).
+enum class AttrType : uint8_t {
+  kInt32 = 0,
+  kChar = 1,
+  kString = 2,
+  kRef = 3,
+  kRefSet = 4,
+};
+
+std::string_view AttrTypeName(AttrType type);
+
+struct AttrDef {
+  AttrDef(std::string name_in, AttrType type_in,
+          std::string target_class_in = "", std::string inverse_attr_in = "")
+      : name(std::move(name_in)),
+        type(type_in),
+        target_class(std::move(target_class_in)),
+        inverse_attr(std::move(inverse_attr_in)) {}
+
+  std::string name;
+  AttrType type;
+  /// For kRef / kRefSet attributes: the referenced class, and the inverse
+  /// relationship attribute on that class (ODMG-style relationships, e.g.
+  /// Provider.clients inverse Patient.primary_care_provider). Optional;
+  /// the OQL binder uses them to derive child-to-parent navigation.
+  std::string target_class;
+  std::string inverse_attr;
+};
+
+/// A class definition: ordered, typed attributes.
+class ClassDef {
+ public:
+  ClassDef(uint16_t id, std::string name, std::vector<AttrDef> attrs)
+      : id_(id), name_(std::move(name)), attrs_(std::move(attrs)) {}
+
+  uint16_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const std::vector<AttrDef>& attrs() const { return attrs_; }
+  size_t attr_count() const { return attrs_.size(); }
+
+  const AttrDef& attr(size_t index) const { return attrs_[index]; }
+
+  /// Index of the attribute named `name`.
+  Result<size_t> AttrIndex(const std::string& name) const;
+
+ private:
+  uint16_t id_;
+  std::string name_;
+  std::vector<AttrDef> attrs_;
+};
+
+/// The database schema: a registry of classes.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(const Schema&) = delete;
+  Schema& operator=(const Schema&) = delete;
+
+  /// Registers a class; returns its id.
+  Result<uint16_t> AddClass(std::string name, std::vector<AttrDef> attrs);
+
+  const ClassDef& GetClass(uint16_t class_id) const;
+  Result<const ClassDef*> FindClass(const std::string& name) const;
+  size_t class_count() const { return classes_.size(); }
+
+ private:
+  std::vector<ClassDef> classes_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_OBJECTS_SCHEMA_H_

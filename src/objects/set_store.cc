@@ -1,0 +1,156 @@
+#include "src/objects/set_store.h"
+
+#include "src/common/byte_io.h"
+#include "src/common/logging.h"
+
+namespace treebench {
+
+std::vector<uint8_t> SetStore::EncodeInline(
+    const std::vector<Rid>& elements) const {
+  std::vector<uint8_t> out(5 + elements.size() * Rid::kEncodedSize);
+  out[0] = 0;  // kind: inline
+  PutU32(out.data() + 1, static_cast<uint32_t>(elements.size()));
+  uint8_t* p = out.data() + 5;
+  for (const Rid& r : elements) {
+    r.EncodeTo(p);
+    p += Rid::kEncodedSize;
+  }
+  return out;
+}
+
+Result<Rid> SetStore::Write(RecordFile* home, uint16_t overflow_file,
+                            const std::vector<Rid>& elements) {
+  size_t inline_size = 5 + elements.size() * Rid::kEncodedSize;
+  if (inline_size <= kMaxInlineBytes) {
+    return home->Append(EncodeInline(elements));
+  }
+  return WriteOverflow(home, overflow_file, elements);
+}
+
+Result<Rid> SetStore::WriteOverflow(RecordFile* home, uint16_t overflow_file,
+                                    const std::vector<Rid>& elements) {
+  // Build the chain front-to-back.
+  uint32_t first_page = kChainEnd;
+  uint32_t prev_page = kChainEnd;
+  for (size_t start = 0; start < elements.size();
+       start += kRidsPerChainPage) {
+    auto [page_id, data] = cache_->NewPage(overflow_file);
+    uint32_t n = static_cast<uint32_t>(
+        std::min<size_t>(kRidsPerChainPage, elements.size() - start));
+    PutU32(data, kChainEnd);
+    PutU16(data + 4, static_cast<uint16_t>(n));
+    for (uint32_t i = 0; i < n; ++i) {
+      elements[start + i].EncodeTo(data + 6 + i * Rid::kEncodedSize);
+    }
+    if (prev_page == kChainEnd) {
+      first_page = page_id;
+    } else {
+      uint8_t* prev = cache_->GetPageForWrite(overflow_file, prev_page);
+      PutU32(prev, page_id);
+    }
+    prev_page = page_id;
+  }
+
+  std::vector<uint8_t> desc(11);
+  desc[0] = 1;  // kind: overflow
+  PutU32(desc.data() + 1, static_cast<uint32_t>(elements.size()));
+  PutU16(desc.data() + 5, overflow_file);
+  PutU32(desc.data() + 7, first_page);
+  return home->Append(desc);
+}
+
+Result<std::vector<Rid>> SetStore::Read(RecordFile* home, const Rid& set_rid) {
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, home->Read(set_rid));
+  sim_->ChargeLiteralHandle();
+  if (rec.empty()) return Status::Corruption("empty set record");
+  uint32_t count = GetU32(rec.data() + 1);
+  std::vector<Rid> out;
+  out.reserve(count);
+  if (rec[0] == 0) {
+    for (uint32_t i = 0; i < count; ++i) {
+      out.push_back(Rid::DecodeFrom(rec.data() + 5 + i * Rid::kEncodedSize));
+    }
+    return out;
+  }
+  uint16_t file = GetU16(rec.data() + 5);
+  uint32_t page = GetU32(rec.data() + 7);
+  while (page != kChainEnd) {
+    const uint8_t* data = cache_->GetPage(file, page);
+    uint32_t next = GetU32(data);
+    uint16_t n = GetU16(data + 4);
+    for (uint16_t i = 0; i < n; ++i) {
+      out.push_back(Rid::DecodeFrom(data + 6 + i * Rid::kEncodedSize));
+    }
+    page = next;
+  }
+  if (out.size() != count) return Status::Corruption("set chain truncated");
+  return out;
+}
+
+Result<uint32_t> SetStore::Count(RecordFile* home, const Rid& set_rid) {
+  std::span<const uint8_t> rec;
+  TB_ASSIGN_OR_RETURN(rec, home->Read(set_rid));
+  return GetU32(rec.data() + 1);
+}
+
+Result<Rid> SetStore::Update(RecordFile* home, uint16_t overflow_file,
+                             const Rid& set_rid,
+                             const std::vector<Rid>& elements) {
+  // Overflow sets whose new contents fit the existing chain are rewritten
+  // in place (the common case: filling in a placeholder of the same size).
+  {
+    std::span<const uint8_t> rec;
+    TB_ASSIGN_OR_RETURN(rec, home->Read(set_rid));
+    if (rec[0] == 1) {
+      uint32_t old_count = GetU32(rec.data() + 1);
+      uint64_t chain_capacity =
+          (static_cast<uint64_t>(old_count) + kRidsPerChainPage - 1) /
+          kRidsPerChainPage * kRidsPerChainPage;
+      if (elements.size() <= chain_capacity && !elements.empty()) {
+        uint16_t file = GetU16(rec.data() + 5);
+        uint32_t page = GetU32(rec.data() + 7);
+        size_t start = 0;
+        while (page != kChainEnd) {
+          uint8_t* data = cache_->GetPageForWrite(file, page);
+          uint32_t n = static_cast<uint32_t>(std::min<size_t>(
+              kRidsPerChainPage, elements.size() - start));
+          for (uint32_t i = 0; i < n; ++i) {
+            elements[start + i].EncodeTo(data + 6 + i * Rid::kEncodedSize);
+          }
+          PutU16(data + 4, static_cast<uint16_t>(n));
+          start += n;
+          page = GetU32(data);
+          if (start >= elements.size()) {
+            // Zero out any remaining chain pages.
+            while (page != kChainEnd) {
+              uint8_t* tail = cache_->GetPageForWrite(file, page);
+              PutU16(tail + 4, 0);
+              page = GetU32(tail);
+            }
+            break;
+          }
+        }
+        std::span<uint8_t> desc;
+        TB_ASSIGN_OR_RETURN(desc, home->ReadMutable(set_rid));
+        PutU32(desc.data() + 1, static_cast<uint32_t>(elements.size()));
+        return set_rid;
+      }
+    }
+  }
+
+  size_t inline_size = 5 + elements.size() * Rid::kEncodedSize;
+  if (inline_size <= kMaxInlineBytes) {
+    std::vector<uint8_t> encoded = EncodeInline(elements);
+    Status in_place = home->Update(set_rid, encoded);
+    if (in_place.ok()) return set_rid;
+    if (!in_place.IsResourceExhausted()) return in_place;
+  }
+  // Relocate: tombstone the old record and write anew. (Chain pages of a
+  // replaced overflow set are simply orphaned, as a real system would leave
+  // them to a vacuum pass.)
+  TB_RETURN_IF_ERROR(home->Delete(set_rid));
+  return Write(home, overflow_file, elements);
+}
+
+}  // namespace treebench

@@ -1,0 +1,32 @@
+#ifndef TREEBENCH_OBJECTS_VALUE_H_
+#define TREEBENCH_OBJECTS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/storage/rid.h"
+
+namespace treebench {
+
+/// A runtime attribute value. The variant alternatives line up with
+/// AttrType (int32, char, string, ref, set<ref>).
+using Value = std::variant<int32_t, char, std::string, Rid, std::vector<Rid>>;
+
+/// The attribute values of one object, ordered as in its ClassDef.
+using ObjectData = std::vector<Value>;
+
+inline int32_t AsInt(const Value& v) { return std::get<int32_t>(v); }
+inline char AsChar(const Value& v) { return std::get<char>(v); }
+inline const std::string& AsString(const Value& v) {
+  return std::get<std::string>(v);
+}
+inline const Rid& AsRef(const Value& v) { return std::get<Rid>(v); }
+inline const std::vector<Rid>& AsRefSet(const Value& v) {
+  return std::get<std::vector<Rid>>(v);
+}
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_OBJECTS_VALUE_H_

@@ -1,0 +1,220 @@
+#include "src/query/binder.h"
+
+namespace treebench {
+
+namespace {
+
+// Resolves the class behind a collection by peeking at its first member.
+Result<uint16_t> CollectionClass(Database* db, const std::string& name) {
+  PersistentCollection* col = nullptr;
+  TB_ASSIGN_OR_RETURN(col, db->GetCollection(name));
+  if (col->Count() == 0) {
+    return Status::InvalidArgument("collection " + name +
+                                   " is empty; cannot infer its class");
+  }
+  Rid first;
+  TB_ASSIGN_OR_RETURN(first, col->At(0));
+  ObjectHandle* h = nullptr;
+  TB_ASSIGN_OR_RETURN(h, db->store().Get(first));
+  uint16_t class_id = h->class_id;
+  db->store().Unref(h);
+  return class_id;
+}
+
+// Applies `op literal` to a [lo, hi) range.
+Status NarrowRange(oql::CompareOp op, int64_t literal, int64_t* lo,
+                   int64_t* hi) {
+  switch (op) {
+    case oql::CompareOp::kLt:
+      *hi = std::min(*hi, literal);
+      return Status::OK();
+    case oql::CompareOp::kLe:
+      *hi = std::min(*hi, literal + 1);
+      return Status::OK();
+    case oql::CompareOp::kGt:
+      *lo = std::max(*lo, literal + 1);
+      return Status::OK();
+    case oql::CompareOp::kGe:
+      *lo = std::max(*lo, literal);
+      return Status::OK();
+    case oql::CompareOp::kEq:
+      *lo = std::max(*lo, literal);
+      *hi = std::min(*hi, literal + 1);
+      return Status::OK();
+  }
+  return Status::Internal("unknown comparison");
+}
+
+}  // namespace
+
+Result<BoundQuery> Bind(Database* db, const oql::Query& query) {
+  if (query.ranges.empty() || query.ranges.size() > 2) {
+    return Status::Unimplemented(
+        "only one- and two-variable queries are supported");
+  }
+
+  // ---- Single-collection selection ----
+  if (query.ranges.size() == 1) {
+    const oql::Range& range = query.ranges[0];
+    if (!range.over_collection()) {
+      return Status::InvalidArgument(
+          "single-variable query must range over a named collection");
+    }
+    BoundSelection sel;
+    sel.collection = range.collection;
+    TB_ASSIGN_OR_RETURN(sel.class_id, CollectionClass(db, range.collection));
+    const ClassDef& cls = db->schema().GetClass(sel.class_id);
+
+    if (query.projection.size() != 1 ||
+        query.projection[0].path.var != range.var ||
+        query.projection[0].path.attr.empty()) {
+      return Status::Unimplemented(
+          "selection must project one attribute of the range variable");
+    }
+    TB_ASSIGN_OR_RETURN(sel.proj_attr,
+                        cls.AttrIndex(query.projection[0].path.attr));
+
+    if (query.conditions.empty()) {
+      sel.unbounded = true;
+      sel.key_attr = sel.proj_attr;
+      return BoundQuery(sel);
+    }
+    // All conditions must target one attribute of the variable.
+    bool have_attr = false;
+    for (const auto& cond : query.conditions) {
+      if (cond.path.var != range.var || cond.path.attr.empty()) {
+        return Status::InvalidArgument("condition must reference " +
+                                       range.var + ".<attr>");
+      }
+      size_t attr = 0;
+      TB_ASSIGN_OR_RETURN(attr, cls.AttrIndex(cond.path.attr));
+      if (!have_attr) {
+        sel.key_attr = attr;
+        have_attr = true;
+      } else if (attr != sel.key_attr) {
+        return Status::Unimplemented(
+            "selection predicates must range over a single attribute");
+      }
+      if (cls.attr(attr).type != AttrType::kInt32) {
+        return Status::Unimplemented("only int32 predicates are supported");
+      }
+      TB_RETURN_IF_ERROR(NarrowRange(cond.op, cond.literal, &sel.lo,
+                                     &sel.hi));
+    }
+    return BoundQuery(sel);
+  }
+
+  // ---- Two-variable tree query ----
+  const oql::Range& parent = query.ranges[0];
+  const oql::Range& child = query.ranges[1];
+  if (!parent.over_collection() || child.over_collection() ||
+      child.path.var != parent.var) {
+    return Status::Unimplemented(
+        "two-variable queries must look like: p in C, c in p.<set>");
+  }
+  BoundTreeQuery out;
+  TreeQuerySpec& spec = out.spec;
+  spec.parent_collection = parent.collection;
+  uint16_t parent_class = 0;
+  TB_ASSIGN_OR_RETURN(parent_class, CollectionClass(db, parent.collection));
+  const ClassDef& pcls = db->schema().GetClass(parent_class);
+  TB_ASSIGN_OR_RETURN(spec.parent_set_attr,
+                      pcls.AttrIndex(child.path.attr));
+  const AttrDef& set_attr = pcls.attr(spec.parent_set_attr);
+  if (set_attr.type != AttrType::kRefSet) {
+    return Status::InvalidArgument(child.path.attr + " is not a set<ref>");
+  }
+  if (set_attr.target_class.empty() || set_attr.inverse_attr.empty()) {
+    return Status::InvalidArgument(
+        "relationship " + child.path.attr +
+        " lacks ODMG target/inverse declarations needed for binding");
+  }
+  const ClassDef* ccls = nullptr;
+  TB_ASSIGN_OR_RETURN(ccls, db->schema().FindClass(set_attr.target_class));
+  TB_ASSIGN_OR_RETURN(spec.child_parent_attr,
+                      ccls->AttrIndex(set_attr.inverse_attr));
+  // The child extent: a collection whose class matches the target class.
+  // By Derby convention the extent shares the class name pluralized; look
+  // for a registered collection of that class instead.
+  spec.child_collection.clear();
+  for (const std::string& name : {set_attr.target_class + "s",
+                                  set_attr.target_class}) {
+    if (db->GetCollection(name).ok()) {
+      Result<uint16_t> cid = CollectionClass(db, name);
+      if (cid.ok() && *cid == ccls->id()) {
+        spec.child_collection = name;
+        break;
+      }
+    }
+  }
+  if (spec.child_collection.empty()) {
+    return Status::InvalidArgument("no extent found for class " +
+                                   set_attr.target_class);
+  }
+
+  // Projection: tuple(parent attr, child attr) in either order.
+  if (query.projection.size() != 2) {
+    return Status::Unimplemented(
+        "tree query must project tuple(parent attr, child attr)");
+  }
+  bool have_parent_proj = false, have_child_proj = false;
+  for (const auto& field : query.projection) {
+    if (field.path.var == parent.var && !field.path.attr.empty()) {
+      TB_ASSIGN_OR_RETURN(spec.parent_proj_attr,
+                          pcls.AttrIndex(field.path.attr));
+      have_parent_proj = true;
+    } else if (field.path.var == child.var && !field.path.attr.empty()) {
+      TB_ASSIGN_OR_RETURN(spec.child_proj_attr,
+                          ccls->AttrIndex(field.path.attr));
+      have_child_proj = true;
+    } else {
+      return Status::Unimplemented("unsupported projection field " +
+                                   field.path.ToString());
+    }
+  }
+  if (!have_parent_proj || !have_child_proj) {
+    return Status::Unimplemented(
+        "tree query must project one parent and one child attribute");
+  }
+
+  // Predicates: one `< k` style range per variable.
+  int64_t parent_lo = INT64_MIN + 1, parent_hi = INT64_MAX;
+  int64_t child_lo = INT64_MIN + 1, child_hi = INT64_MAX;
+  bool have_parent_key = false, have_child_key = false;
+  for (const auto& cond : query.conditions) {
+    if (cond.path.var == parent.var) {
+      size_t attr = 0;
+      TB_ASSIGN_OR_RETURN(attr, pcls.AttrIndex(cond.path.attr));
+      if (have_parent_key && attr != spec.parent_key_attr) {
+        return Status::Unimplemented("one parent predicate attribute only");
+      }
+      spec.parent_key_attr = attr;
+      have_parent_key = true;
+      TB_RETURN_IF_ERROR(NarrowRange(cond.op, cond.literal, &parent_lo,
+                                     &parent_hi));
+    } else if (cond.path.var == child.var) {
+      size_t attr = 0;
+      TB_ASSIGN_OR_RETURN(attr, ccls->AttrIndex(cond.path.attr));
+      if (have_child_key && attr != spec.child_key_attr) {
+        return Status::Unimplemented("one child predicate attribute only");
+      }
+      spec.child_key_attr = attr;
+      have_child_key = true;
+      TB_RETURN_IF_ERROR(NarrowRange(cond.op, cond.literal, &child_lo,
+                                     &child_hi));
+    } else {
+      return Status::InvalidArgument("condition references unknown variable " +
+                                     cond.path.var);
+    }
+  }
+  if (!have_parent_key || !have_child_key || parent_lo != INT64_MIN + 1 ||
+      child_lo != INT64_MIN + 1) {
+    return Status::Unimplemented(
+        "tree query needs `parent.key < k2 and child.key < k1` predicates");
+  }
+  spec.parent_hi = parent_hi;
+  spec.child_hi = child_hi;
+  return BoundQuery(std::move(out));
+}
+
+}  // namespace treebench

@@ -1,0 +1,46 @@
+#ifndef TREEBENCH_QUERY_BINDER_H_
+#define TREEBENCH_QUERY_BINDER_H_
+
+#include <string>
+#include <variant>
+
+#include "src/catalog/database.h"
+#include "src/query/oql/ast.h"
+#include "src/query/tree_query.h"
+
+namespace treebench {
+
+/// A bound single-collection selection: key in [lo, hi), one projected
+/// attribute.
+struct BoundSelection {
+  std::string collection;
+  uint16_t class_id = 0;
+  size_t key_attr = 0;
+  int64_t lo = INT64_MIN + 1;
+  int64_t hi = INT64_MAX;
+  size_t proj_attr = 0;
+  /// True if the range is the whole domain (no usable predicate).
+  bool unbounded = false;
+};
+
+/// A bound two-collection tree query, expressed as the Section 5 spec.
+struct BoundTreeQuery {
+  TreeQuerySpec spec;
+};
+
+using BoundQuery = std::variant<BoundSelection, BoundTreeQuery>;
+
+/// Resolves an OQL AST against the catalog: collections to classes,
+/// attribute names to positions, dependent ranges to relationship
+/// attributes (using the schema's ODMG inverse declarations), and
+/// normalizes predicates into half-open int ranges.
+///
+/// Supported shapes: one range over a collection (selection), or two
+/// ranges where the second ranges over `first.setattr` (tree query) with
+/// one int predicate per variable and a tuple(parent attr, child attr)
+/// projection.
+Result<BoundQuery> Bind(Database* db, const oql::Query& query);
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_QUERY_BINDER_H_

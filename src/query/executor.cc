@@ -1,0 +1,35 @@
+#include "src/query/executor.h"
+
+#include "src/query/oql/parser.h"
+#include "src/query/selection.h"
+#include "src/query/tree_query.h"
+
+namespace treebench {
+
+Result<QueryRunStats> ExecuteOql(Database* db, const std::string& oql,
+                                 OptimizerStrategy strategy,
+                                 PlanChoice* chosen) {
+  oql::Query ast;
+  TB_ASSIGN_OR_RETURN(ast, oql::Parse(oql));
+  BoundQuery bound = BoundSelection{};
+  TB_ASSIGN_OR_RETURN(bound, Bind(db, ast));
+  PlanChoice plan;
+  TB_ASSIGN_OR_RETURN(plan, ChoosePlan(db, bound, strategy));
+  if (chosen != nullptr) *chosen = plan;
+
+  if (!plan.is_tree) {
+    const auto& q = std::get<BoundSelection>(bound);
+    SelectionSpec spec;
+    spec.collection = q.collection;
+    spec.key_attr = q.key_attr;
+    spec.lo = q.lo;
+    spec.hi = q.hi;
+    spec.proj_attr = q.proj_attr;
+    spec.mode = plan.selection_mode;
+    return RunSelection(db, spec);
+  }
+  const auto& q = std::get<BoundTreeQuery>(bound);
+  return RunTreeQuery(db, q.spec, plan.algo);
+}
+
+}  // namespace treebench

@@ -1,0 +1,21 @@
+#ifndef TREEBENCH_QUERY_EXECUTOR_H_
+#define TREEBENCH_QUERY_EXECUTOR_H_
+
+#include <string>
+
+#include "src/catalog/database.h"
+#include "src/query/optimizer.h"
+#include "src/query/query_stats.h"
+
+namespace treebench {
+
+/// End-to-end OQL execution: parse -> bind -> choose plan -> run, cold.
+/// Returns the run's simulated time and counters; the chosen plan is
+/// reported through *chosen when non-null.
+Result<QueryRunStats> ExecuteOql(Database* db, const std::string& oql,
+                                 OptimizerStrategy strategy,
+                                 PlanChoice* chosen = nullptr);
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_QUERY_EXECUTOR_H_

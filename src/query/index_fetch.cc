@@ -1,0 +1,57 @@
+#include "src/query/index_fetch.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace treebench {
+
+Status ForEachSelected(Database* db, const std::string& collection,
+                       size_t key_attr, int64_t lo, int64_t hi,
+                       FetchOrder order,
+                       const std::function<Status(const Rid&)>& fn) {
+  ObjectStore& store = db->store();
+  IndexInfo* idx = db->FindIndex(collection, key_attr);
+
+  if (idx == nullptr) {
+    // Standard scan: handle + predicate per member.
+    PersistentCollection* col = nullptr;
+    TB_ASSIGN_OR_RETURN(col, db->GetCollection(collection));
+    for (auto it = col->Scan(); it.Valid(); it.Next()) {
+      ObjectHandle* h = nullptr;
+      TB_ASSIGN_OR_RETURN(h, store.Get(it.rid()));
+      int32_t v = 0;
+      TB_ASSIGN_OR_RETURN(v, store.GetInt32(h, key_attr));
+      db->sim().ChargeCompare();
+      bool selected = v >= lo && v < hi;
+      store.Unref(h);
+      if (selected) TB_RETURN_IF_ERROR(fn(it.rid()));
+    }
+    return Status::OK();
+  }
+
+  bool sorted_fetch = order == FetchOrder::kRidSorted ||
+                      (order == FetchOrder::kAuto && !idx->clustered);
+  if (!sorted_fetch) {
+    for (auto it = idx->tree->Scan(lo, hi); it.Valid(); it.Next()) {
+      TB_RETURN_IF_ERROR(fn(it.rid()));
+    }
+    return Status::OK();
+  }
+
+  // Sorted index scan (paper Figure 8, right): collect the qualifying
+  // Rids, sort them by physical position, then fetch sequentially.
+  std::vector<Rid> rids;
+  for (auto it = idx->tree->Scan(lo, hi); it.Valid(); it.Next()) {
+    rids.push_back(it.rid());
+  }
+  db->sim().ChargeSort(rids.size());
+  std::sort(rids.begin(), rids.end(), [](const Rid& a, const Rid& b) {
+    return a.Packed() < b.Packed();
+  });
+  for (const Rid& rid : rids) {
+    TB_RETURN_IF_ERROR(fn(rid));
+  }
+  return Status::OK();
+}
+
+}  // namespace treebench

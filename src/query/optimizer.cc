@@ -1,0 +1,336 @@
+#include "src/query/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+#include "src/query/query_stats.h"
+
+namespace treebench {
+
+namespace {
+
+double Clamp01(double v) { return std::max(0.0, std::min(1.0, v)); }
+
+// Fraction of [min, max] covered by [lo, hi).
+double RangeSelectivity(int64_t lo, int64_t hi,
+                        std::pair<int64_t, int64_t> domain) {
+  double width = static_cast<double>(domain.second - domain.first) + 1.0;
+  double covered = static_cast<double>(std::min(hi, domain.second + 1) -
+                                       std::max(lo, domain.first));
+  return Clamp01(covered / width);
+}
+
+}  // namespace
+
+double CostEstimator::RandomFetchFaults(double n, double pages,
+                                        double cache_pages) {
+  if (n <= 0 || pages <= 0) return 0;
+  // Distinct pages touched (balls into bins).
+  double distinct = pages * (1.0 - std::exp(-n / pages));
+  if (pages <= cache_pages) return distinct;  // everything stays resident
+  // Revisits miss with the steady-state LRU probability.
+  double revisits = std::max(0.0, n - distinct);
+  return distinct + revisits * (1.0 - cache_pages / pages);
+}
+
+double CostEstimator::PageFaultSeconds() const {
+  const CostModel& m = db_->sim().model();
+  return (m.disk_read_page_ns + m.rpc_latency_ns +
+          m.rpc_per_byte_ns * kPageSize) /
+         1e9;
+}
+
+double CostEstimator::FreeRamBytes() const {
+  const CostModel& m = db_->sim().model();
+  double fixed = static_cast<double>(db_->cache().config().client_bytes +
+                                     db_->cache().config().server_bytes);
+  double arena = static_cast<double>(db_->store().handle_arena_bytes());
+  return std::max(
+      0.0, static_cast<double>(m.ram_bytes) -
+               static_cast<double>(m.reserved_bytes) - fixed - arena);
+}
+
+Result<CostEstimator::CollInfo> CostEstimator::Info(
+    const std::string& collection) const {
+  const CollectionStats* stats = db_->GetStats(collection);
+  if (stats == nullptr) {
+    return Status::NotFound("no statistics for collection " + collection +
+                            " (run Analyze first)");
+  }
+  CollInfo info;
+  info.count = static_cast<double>(stats->count);
+  info.pages = static_cast<double>(stats->object_pages);
+  info.rid_pages =
+      std::ceil(info.count / PersistentCollection::kRidsPerPage);
+  if (!stats->avg_fanout.empty()) {
+    info.fanout = stats->avg_fanout.begin()->second;
+  }
+  return info;
+}
+
+Result<double> CostEstimator::Selection(const BoundSelection& q,
+                                        SelectionMode mode) const {
+  const CostModel& m = db_->sim().model();
+  CollInfo info;
+  TB_ASSIGN_OR_RETURN(info, Info(q.collection));
+  const CollectionStats* stats = db_->GetStats(q.collection);
+  double sel = 1.0;
+  auto domain = stats->int_attr_range.find(q.key_attr);
+  if (!q.unbounded && domain != stats->int_attr_range.end()) {
+    sel = RangeSelectivity(q.lo, q.hi, domain->second);
+  }
+  double n = sel * info.count;
+  double fault = PageFaultSeconds();
+  double cache_pages = db_->cache().config().client_pages();
+  double handle_pair = (m.handle_get_ns + m.handle_unref_ns) / 1e9;
+  double attr = m.attr_access_ns / 1e9;
+  double result_cost = n * (attr + m.set_append_ns / 1e9);
+
+  IndexInfo* idx = db_->FindIndex(q.collection, q.key_attr);
+  double leaf_pages = std::ceil(info.count / BTreeIndex::kLeafCapacity);
+
+  switch (mode) {
+    case SelectionMode::kScan:
+      return (info.rid_pages + info.pages) * fault +
+             info.count * (handle_pair + attr + m.compare_ns / 1e9) +
+             result_cost;
+    case SelectionMode::kIndexScan: {
+      if (idx == nullptr) return Status::NotFound("no index");
+      double fetch_faults =
+          idx->clustered ? sel * info.pages
+                         : RandomFetchFaults(n, info.pages, cache_pages);
+      return (sel * leaf_pages + fetch_faults) * fault +
+             n * (handle_pair + attr) + result_cost;
+    }
+    case SelectionMode::kSortedIndexScan: {
+      if (idx == nullptr) return Status::NotFound("no index");
+      double distinct =
+          info.pages * (1.0 - std::exp(-n / std::max(1.0, info.pages)));
+      double fetch_faults = idx->clustered ? sel * info.pages : distinct;
+      double sort = n * std::max(1.0, std::log2(std::max(2.0, n))) *
+                    m.sort_per_element_level_ns / 1e9;
+      return (sel * leaf_pages + fetch_faults) * fault + sort +
+             n * (handle_pair + attr) + result_cost;
+    }
+  }
+  return Status::Internal("unknown selection mode");
+}
+
+Result<double> CostEstimator::Tree(const TreeQuerySpec& spec,
+                                   TreeJoinAlgo algo) const {
+  const CostModel& m = db_->sim().model();
+  CollInfo parent, child;
+  TB_ASSIGN_OR_RETURN(parent, Info(spec.parent_collection));
+  TB_ASSIGN_OR_RETURN(child, Info(spec.child_collection));
+  const CollectionStats* pstats = db_->GetStats(spec.parent_collection);
+  const CollectionStats* cstats = db_->GetStats(spec.child_collection);
+
+  double sp = 1.0, sc = 1.0;
+  if (auto it = pstats->int_attr_range.find(spec.parent_key_attr);
+      it != pstats->int_attr_range.end()) {
+    sp = RangeSelectivity(INT64_MIN + 1, spec.parent_hi, it->second);
+  }
+  if (auto it = cstats->int_attr_range.find(spec.child_key_attr);
+      it != cstats->int_attr_range.end()) {
+    sc = RangeSelectivity(INT64_MIN + 1, spec.child_hi, it->second);
+  }
+  double np = sp * parent.count;
+  double nc = sc * child.count;
+  double results = sp * sc * child.count;
+  double fanout = std::max(1.0, parent.fanout);
+
+  double fault = PageFaultSeconds();
+  double cache_pages = db_->cache().config().client_pages();
+  double handle_pair = (m.handle_get_ns + m.handle_unref_ns) / 1e9;
+  double lookup_pair = (m.handle_lookup_ns + m.handle_unref_ns) / 1e9;
+  double attr = m.attr_access_ns / 1e9;
+  double cmp = m.compare_ns / 1e9;
+  double tuple = (m.tuple_construct_ns + m.bag_append_ns) / 1e9;
+  double sort_unit = m.sort_per_element_level_ns / 1e9;
+
+  bool composition =
+      db_->clustering() == ClusteringStrategy::kComposition;
+
+  IndexInfo* pidx = db_->FindIndex(spec.parent_collection,
+                                   spec.parent_key_attr);
+  IndexInfo* cidx = db_->FindIndex(spec.child_collection,
+                                   spec.child_key_attr);
+
+  // Cost of producing the selected members of a collection via its index
+  // (kAuto fetch discipline): I/O + per-object handle churn.
+  auto fetch_cost = [&](const CollInfo& info, IndexInfo* idx, double s,
+                        double n) {
+    double leaf_pages =
+        std::ceil(info.count / BTreeIndex::kLeafCapacity) * s;
+    double faults;
+    double sort = 0;
+    if (idx == nullptr) {
+      // Fallback: full scan with predicate.
+      return (info.rid_pages + info.pages) * fault +
+             info.count * (handle_pair + attr + cmp);
+    }
+    if (idx->clustered) {
+      faults = s * info.pages;
+    } else {
+      // Sorted fetch: distinct pages once.
+      faults = info.pages * (1.0 - std::exp(-n / std::max(1.0, info.pages)));
+      sort = n * std::max(1.0, std::log2(std::max(2.0, n))) * sort_unit;
+    }
+    return (leaf_pages + faults) * fault + sort + n * handle_pair;
+  };
+
+  // Swap penalty once transient structures outgrow free RAM.
+  auto swap_cost = [&](double transient_bytes, double touches) {
+    double free_ram = FreeRamBytes();
+    if (transient_bytes <= free_ram || transient_bytes <= 0) return 0.0;
+    double fraction = (transient_bytes - free_ram) / transient_bytes;
+    return touches * fraction * 2 * m.swap_io_ns / 1e9;
+  };
+  double result_bytes = results * kResultTupleBytes;
+
+  switch (algo) {
+    case TreeJoinAlgo::kNL: {
+      double parents = fetch_cost(parent, pidx, sp, np);
+      // Set-record reads: adjacent under composition; otherwise the set
+      // records/chains are extra sequential pages.
+      double set_bytes = parent.count * (9.0 + 8.0 * fanout);
+      double set_pages = composition ? 0.0 : sp * set_bytes / kPageSize;
+      double child_faults =
+          composition
+              ? 0.0  // children share their parent's pages
+              : RandomFetchFaults(sp * child.count, child.pages, cache_pages);
+      double children = sp * child.count * (handle_pair + attr + cmp);
+      return parents + np * (attr + m.literal_handle_ns / 1e9) +
+             (set_pages + child_faults) * fault + children +
+             results * (attr + tuple) +
+             swap_cost(result_bytes, results);
+    }
+    case TreeJoinAlgo::kNOJOIN: {
+      double children = fetch_cost(child, cidx, sc, nc);
+      // Parent residency: handles stay hot if few parents; pages stay hot
+      // if the parent file fits the cache.
+      double parent_faults =
+          parent.pages <= cache_pages
+              ? parent.pages
+              : RandomFetchFaults(nc, parent.pages, cache_pages);
+      if (composition) parent_faults = 0;  // parents share child pages
+      double parent_handles =
+          parent.count * 60.0 <= db_->store().handle_arena_bytes()
+              ? parent.count * handle_pair + (nc - parent.count) * lookup_pair
+              : nc * handle_pair;
+      return children + nc * (attr + cmp) + parent_faults * fault +
+             std::max(0.0, parent_handles) + results * (attr + tuple) +
+             swap_cost(result_bytes, results);
+    }
+    case TreeJoinAlgo::kPHJ: {
+      double build = fetch_cost(parent, pidx, sp, np) +
+                     np * (attr + m.hash_insert_ns / 1e9);
+      double probe = fetch_cost(child, cidx, sc, nc) +
+                     nc * (attr + m.hash_probe_ns / 1e9);
+      double table = np * kHashParentEntryBytes;
+      return build + probe + results * (attr + tuple) +
+             swap_cost(table + result_bytes, np + nc + results);
+    }
+    case TreeJoinAlgo::kCHJ: {
+      double groups =
+          parent.count *
+          (1.0 - std::exp(-nc / std::max(1.0, parent.count)));
+      double build = fetch_cost(child, cidx, sc, nc) +
+                     nc * (2 * attr + m.hash_insert_ns / 1e9);
+      double probe = fetch_cost(parent, pidx, sp, np) +
+                     np * (m.hash_probe_ns / 1e9) +
+                     std::min(np, groups) * attr;
+      double table =
+          groups * kHashParentEntryBytes + nc * kHashChildElementBytes;
+      return build + probe + results * tuple +
+             swap_cost(table + result_bytes, np + nc + results);
+    }
+    case TreeJoinAlgo::kHybridPHJ: {
+      // PHJ base cost, but spilled partitions pay sequential temp-file I/O
+      // instead of swap thrashing.
+      double build = fetch_cost(parent, pidx, sp, np) +
+                     np * (attr + m.hash_insert_ns / 1e9);
+      double probe = fetch_cost(child, cidx, sc, nc) +
+                     nc * (attr + m.hash_probe_ns / 1e9);
+      double table = np * kHashParentEntryBytes;
+      double free_ram = FreeRamBytes();
+      double spill = 0;
+      if (table > free_ram && table > 0) {
+        double f = 1.0 - free_ram / table;  // spilled fraction
+        double bytes = f * (np * kHashParentEntryBytes + nc * 16.0);
+        spill = 2.0 * bytes / kPageSize * m.disk_read_page_ns / 1e9;
+      }
+      return build + probe + spill + results * (attr + tuple) +
+             swap_cost(result_bytes, results);
+    }
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+Result<PlanChoice> ChoosePlan(Database* db, const BoundQuery& query,
+                              OptimizerStrategy strategy) {
+  PlanChoice choice;
+  if (std::holds_alternative<BoundSelection>(query)) {
+    const auto& sel = std::get<BoundSelection>(query);
+    choice.is_tree = false;
+    IndexInfo* idx = db->FindIndex(sel.collection, sel.key_attr);
+    if (strategy == OptimizerStrategy::kHeuristic) {
+      // O2's rule: use an index whenever one matches the predicate.
+      choice.selection_mode = (idx != nullptr && !sel.unbounded)
+                                  ? SelectionMode::kIndexScan
+                                  : SelectionMode::kScan;
+      choice.rationale = idx != nullptr && !sel.unbounded
+                             ? "heuristic: index available"
+                             : "heuristic: no usable index";
+      return choice;
+    }
+    CostEstimator est(db);
+    double best = 0;
+    bool have = false;
+    for (SelectionMode mode :
+         {SelectionMode::kScan, SelectionMode::kIndexScan,
+          SelectionMode::kSortedIndexScan}) {
+      Result<double> cost = est.Selection(sel, mode);
+      if (!cost.ok()) continue;  // mode not applicable (no index)
+      if (!have || *cost < best) {
+        best = *cost;
+        have = true;
+        choice.selection_mode = mode;
+      }
+    }
+    if (!have) return Status::Internal("no applicable selection mode");
+    choice.estimated_seconds = best;
+    choice.rationale = "cost-based: estimated " + FormatSeconds(best) + " s";
+    return choice;
+  }
+
+  const auto& tree = std::get<BoundTreeQuery>(query);
+  choice.is_tree = true;
+  if (strategy == OptimizerStrategy::kHeuristic) {
+    // Object systems favor navigation (paper Section 1: the main focus is
+    // random navigation); O2 descends the path expression.
+    choice.algo = TreeJoinAlgo::kNL;
+    choice.rationale = "heuristic: navigate the path p.clients";
+    return choice;
+  }
+  CostEstimator est(db);
+  double best = 0;
+  bool have = false;
+  for (TreeJoinAlgo algo :
+       {TreeJoinAlgo::kNL, TreeJoinAlgo::kNOJOIN, TreeJoinAlgo::kPHJ,
+        TreeJoinAlgo::kCHJ, TreeJoinAlgo::kHybridPHJ}) {
+    double cost = 0;
+    TB_ASSIGN_OR_RETURN(cost, est.Tree(tree.spec, algo));
+    if (!have || cost < best) {
+      best = cost;
+      have = true;
+      choice.algo = algo;
+    }
+  }
+  choice.estimated_seconds = best;
+  choice.rationale = "cost-based: estimated " + FormatSeconds(best) + " s";
+  return choice;
+}
+
+}  // namespace treebench

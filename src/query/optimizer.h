@@ -1,0 +1,74 @@
+#ifndef TREEBENCH_QUERY_OPTIMIZER_H_
+#define TREEBENCH_QUERY_OPTIMIZER_H_
+
+#include <string>
+
+#include "src/catalog/database.h"
+#include "src/query/binder.h"
+#include "src/query/selection.h"
+#include "src/query/tree_query.h"
+
+namespace treebench {
+
+/// How physical plans are chosen.
+enum class OptimizerStrategy {
+  /// O2-circa-1999: fixed rules, navigation-first for object queries,
+  /// index-if-available for selections (paper Section 2: "relies on
+  /// heuristics to choose the 'best' execution plans. As expected, this
+  /// implies that 'best' is sometimes rather bad").
+  kHeuristic,
+  /// What the authors set out to build: estimate each strategy's cost from
+  /// catalog statistics with formulas mirroring the engine's cost model,
+  /// pick the cheapest.
+  kCostBased,
+};
+
+struct PlanChoice {
+  bool is_tree = false;
+  SelectionMode selection_mode = SelectionMode::kScan;
+  TreeJoinAlgo algo = TreeJoinAlgo::kNL;
+  /// Estimated simulated seconds (cost-based strategy only; 0 otherwise).
+  double estimated_seconds = 0;
+  std::string rationale;
+};
+
+/// Analytic cost estimates, in simulated seconds, built from the catalog's
+/// CollectionStats, the cache configuration and the CostModel — the
+/// engine-side twin of the simulation. These are estimates: they use
+/// expected-value approximations (random-fetch fault counts, group counts,
+/// swap overflow fractions) rather than running anything.
+class CostEstimator {
+ public:
+  explicit CostEstimator(Database* db) : db_(db) {}
+
+  Result<double> Selection(const BoundSelection& q, SelectionMode mode) const;
+  Result<double> Tree(const TreeQuerySpec& spec, TreeJoinAlgo algo) const;
+
+  /// Expected page faults when fetching `n` objects in random order from a
+  /// collection spanning `pages` pages through a `cache_pages` LRU cache.
+  static double RandomFetchFaults(double n, double pages,
+                                  double cache_pages);
+
+ private:
+  struct CollInfo {
+    double count = 0;
+    double pages = 0;
+    double rid_pages = 0;
+    double fanout = 0;  // of the first set<ref> attribute, if any
+  };
+  Result<CollInfo> Info(const std::string& collection) const;
+
+  /// Seconds for one client-cache page fault (disk + RPC path, cold).
+  double PageFaultSeconds() const;
+  double FreeRamBytes() const;
+
+  Database* db_;
+};
+
+/// Chooses the physical plan for a bound query.
+Result<PlanChoice> ChoosePlan(Database* db, const BoundQuery& query,
+                              OptimizerStrategy strategy);
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_QUERY_OPTIMIZER_H_

@@ -1,0 +1,57 @@
+#ifndef TREEBENCH_QUERY_OQL_AST_H_
+#define TREEBENCH_QUERY_OQL_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treebench::oql {
+
+/// `var` or `var.attr` — the only value expressions the paper's workload
+/// needs.
+struct Path {
+  std::string var;
+  std::string attr;  // empty: the variable itself
+
+  std::string ToString() const {
+    return attr.empty() ? var : var + "." + attr;
+  }
+};
+
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// `path op integer-literal`.
+struct Condition {
+  Path path;
+  CompareOp op;
+  int64_t literal = 0;
+};
+
+/// `var in Collection` or `var in outer.attr` (dependent range over a
+/// relationship — the "queries over trees" shape).
+struct Range {
+  std::string var;
+  std::string collection;  // set when ranging over a named collection
+  Path path;               // set when ranging over another variable's set
+  bool over_collection() const { return !collection.empty(); }
+};
+
+/// One projected field, optionally labeled: `label: path` inside tuple(...).
+struct ProjectionField {
+  std::string label;
+  Path path;
+};
+
+/// select <projection> from <ranges> where <conds and ...>
+struct Query {
+  std::vector<ProjectionField> projection;
+  bool tuple_projection = false;
+  std::vector<Range> ranges;
+  std::vector<Condition> conditions;
+};
+
+}  // namespace treebench::oql
+
+#endif  // TREEBENCH_QUERY_OQL_AST_H_

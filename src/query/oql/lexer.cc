@@ -1,0 +1,113 @@
+#include "src/query/oql/lexer.h"
+
+#include <cctype>
+
+namespace treebench::oql {
+
+namespace {
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string lower = Lowered(word);
+      TokenKind kind = TokenKind::kIdent;
+      if (lower == "select") kind = TokenKind::kSelect;
+      else if (lower == "from") kind = TokenKind::kFrom;
+      else if (lower == "where") kind = TokenKind::kWhere;
+      else if (lower == "in") kind = TokenKind::kIn;
+      else if (lower == "and") kind = TokenKind::kAnd;
+      else if (lower == "tuple") kind = TokenKind::kTuple;
+      out.push_back(Token{kind, word, 0, start});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      Token t{TokenKind::kInt, input.substr(i, j - i), 0, start};
+      t.value = std::stoll(t.text);
+      out.push_back(t);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        out.push_back(Token{TokenKind::kComma, ",", 0, start});
+        ++i;
+        break;
+      case '.':
+        out.push_back(Token{TokenKind::kDot, ".", 0, start});
+        ++i;
+        break;
+      case ':':
+        out.push_back(Token{TokenKind::kColon, ":", 0, start});
+        ++i;
+        break;
+      case '(':
+        out.push_back(Token{TokenKind::kLParen, "(", 0, start});
+        ++i;
+        break;
+      case ')':
+        out.push_back(Token{TokenKind::kRParen, ")", 0, start});
+        ++i;
+        break;
+      case '=':
+        out.push_back(Token{TokenKind::kEq, "=", 0, start});
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          out.push_back(Token{TokenKind::kLe, "<=", 0, start});
+          i += 2;
+        } else {
+          out.push_back(Token{TokenKind::kLt, "<", 0, start});
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          out.push_back(Token{TokenKind::kGe, ">=", 0, start});
+          i += 2;
+        } else {
+          out.push_back(Token{TokenKind::kGt, ">", 0, start});
+          ++i;
+        }
+        break;
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(i));
+    }
+  }
+  out.push_back(Token{TokenKind::kEnd, "", 0, n});
+  return out;
+}
+
+}  // namespace treebench::oql

@@ -1,0 +1,47 @@
+#ifndef TREEBENCH_QUERY_OQL_LEXER_H_
+#define TREEBENCH_QUERY_OQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace treebench::oql {
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kSelect,
+  kFrom,
+  kWhere,
+  kIn,
+  kAnd,
+  kTuple,
+  kComma,
+  kDot,
+  kColon,
+  kLParen,
+  kRParen,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier spelling
+  int64_t value = 0;  // integer literal
+  size_t offset = 0;  // position in the input (for error messages)
+};
+
+/// Tokenizes an OQL string. Keywords are case-insensitive, identifiers keep
+/// their case.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace treebench::oql
+
+#endif  // TREEBENCH_QUERY_OQL_LEXER_H_

@@ -1,0 +1,208 @@
+#include "src/query/oql/parser.h"
+
+#include "src/query/oql/lexer.h"
+
+namespace treebench::oql {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    Query q;
+    TB_RETURN_IF_ERROR(Expect(TokenKind::kSelect));
+    TB_RETURN_IF_ERROR(ParseProjection(&q));
+    TB_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+    TB_RETURN_IF_ERROR(ParseRanges(&q));
+    if (Peek().kind == TokenKind::kWhere) {
+      Advance();
+      TB_RETURN_IF_ERROR(ParseConditions(&q));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("trailing input");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(
+        "OQL parse error at offset " + std::to_string(Peek().offset) + ": " +
+        msg);
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) return Err("unexpected token '" + Peek().text + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Path> ParsePath() {
+    if (Peek().kind != TokenKind::kIdent) return Err("expected identifier");
+    Path p;
+    p.var = Advance().text;
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdent) {
+        return Err("expected attribute name after '.'");
+      }
+      p.attr = Advance().text;
+    }
+    return p;
+  }
+
+  Status ParseProjection(Query* q) {
+    if (Peek().kind == TokenKind::kTuple) {
+      Advance();
+      TB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      q->tuple_projection = true;
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) return Err("expected field");
+        ProjectionField field;
+        field.label = Advance().text;
+        TB_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+        TB_ASSIGN_OR_RETURN(field.path, ParsePath());
+        q->projection.push_back(std::move(field));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      return Expect(TokenKind::kRParen);
+    }
+    ProjectionField field;
+    TB_ASSIGN_OR_RETURN(field.path, ParsePath());
+    field.label = field.path.ToString();
+    q->projection.push_back(std::move(field));
+    return Status::OK();
+  }
+
+  Status ParseRanges(Query* q) {
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) return Err("expected variable");
+      Range r;
+      r.var = Advance().text;
+      TB_RETURN_IF_ERROR(Expect(TokenKind::kIn));
+      if (Peek().kind != TokenKind::kIdent) return Err("expected source");
+      std::string first = Advance().text;
+      if (Peek().kind == TokenKind::kDot) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdent) {
+          return Err("expected attribute after '.'");
+        }
+        r.path.var = first;
+        r.path.attr = Advance().text;
+      } else {
+        r.collection = first;
+      }
+      q->ranges.push_back(std::move(r));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParseConditions(Query* q) {
+    while (true) {
+      Condition cond;
+      if (Peek().kind == TokenKind::kInt) {
+        // literal op path  ->  normalize to path (flipped op) literal.
+        int64_t lit = Advance().value;
+        CompareOp op;
+        TB_ASSIGN_OR_RETURN(op, ParseOp());
+        TB_ASSIGN_OR_RETURN(cond.path, ParsePath());
+        switch (op) {
+          case CompareOp::kLt:
+            cond.op = CompareOp::kGt;
+            break;
+          case CompareOp::kLe:
+            cond.op = CompareOp::kGe;
+            break;
+          case CompareOp::kGt:
+            cond.op = CompareOp::kLt;
+            break;
+          case CompareOp::kGe:
+            cond.op = CompareOp::kLe;
+            break;
+          case CompareOp::kEq:
+            cond.op = CompareOp::kEq;
+            break;
+        }
+        cond.literal = lit;
+      } else {
+        TB_ASSIGN_OR_RETURN(cond.path, ParsePath());
+        TB_ASSIGN_OR_RETURN(cond.op, ParseOp());
+        if (Peek().kind != TokenKind::kInt) {
+          return Err("expected integer literal");
+        }
+        cond.literal = Advance().value;
+      }
+      q->conditions.push_back(cond);
+      if (Peek().kind == TokenKind::kAnd) {
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Result<CompareOp> ParseOp() {
+    switch (Peek().kind) {
+      case TokenKind::kLt:
+        Advance();
+        return CompareOp::kLt;
+      case TokenKind::kLe:
+        Advance();
+        return CompareOp::kLe;
+      case TokenKind::kGt:
+        Advance();
+        return CompareOp::kGt;
+      case TokenKind::kGe:
+        Advance();
+        return CompareOp::kGe;
+      case TokenKind::kEq:
+        Advance();
+        return CompareOp::kEq;
+      default:
+        return Err("expected comparison operator");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(const std::string& input) {
+  std::vector<Token> tokens;
+  TB_ASSIGN_OR_RETURN(tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace treebench::oql

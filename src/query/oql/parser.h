@@ -1,0 +1,32 @@
+#ifndef TREEBENCH_QUERY_OQL_PARSER_H_
+#define TREEBENCH_QUERY_OQL_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/query/oql/ast.h"
+
+namespace treebench::oql {
+
+/// Parses the OQL subset the paper's workload uses:
+///
+///   select pa.age from pa in Patients where pa.num > 500
+///   select tuple(n: p.name, a: pa.age)
+///   from p in Providers, pa in p.clients
+///   where pa.mrn < 200000 and p.upin < 200
+///
+/// Grammar:
+///   query      := SELECT projection FROM ranges [WHERE conds]
+///   projection := TUPLE '(' field (',' field)* ')' | path
+///   field      := ident ':' path
+///   ranges     := range (',' range)*
+///   range      := ident IN (ident | ident '.' ident)
+///   conds      := cond (AND cond)*
+///   cond       := path op int | int op path
+///   path       := ident ['.' ident]
+///   op         := '<' | '<=' | '>' | '>=' | '='
+Result<Query> Parse(const std::string& input);
+
+}  // namespace treebench::oql
+
+#endif  // TREEBENCH_QUERY_OQL_PARSER_H_

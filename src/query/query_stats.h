@@ -1,0 +1,60 @@
+#ifndef TREEBENCH_QUERY_QUERY_STATS_H_
+#define TREEBENCH_QUERY_QUERY_STATS_H_
+
+#include <cstdint>
+
+#include "src/cost/metrics.h"
+#include "src/cost/sim_context.h"
+
+namespace treebench {
+
+/// What one measured query run produced: simulated wall-clock plus the raw
+/// counters (the numbers the paper's Stat objects record, Figure 3).
+struct QueryRunStats {
+  double seconds = 0;
+  uint64_t result_count = 0;
+  Metrics metrics;
+};
+
+/// Tracks the simulated memory of a query result (tuples/values are
+/// transient client memory; big results contribute to swapping just like
+/// big hash tables). RAII: releases the accounted bytes at scope exit.
+class ResultAccounting {
+ public:
+  ResultAccounting(SimContext* sim, uint32_t bytes_per_entry)
+      : sim_(sim), bytes_(bytes_per_entry) {}
+  ~ResultAccounting() { sim_->FreeTransient(count_ * bytes_); }
+
+  ResultAccounting(const ResultAccounting&) = delete;
+  ResultAccounting& operator=(const ResultAccounting&) = delete;
+
+  /// Accounts one result tuple (f(p, pa) construction + bag append).
+  void AddTuple() {
+    sim_->AllocTransient(bytes_);
+    ++count_;
+    sim_->ChargeTuple();
+  }
+
+  /// Accounts one element appended to a persistent-capable set (the
+  /// Section 4.2 selection results).
+  void AddSetElement() {
+    sim_->AllocTransient(bytes_);
+    ++count_;
+    sim_->ChargeSetAppend();
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  SimContext* sim_;
+  uint64_t bytes_;
+  uint64_t count_ = 0;
+};
+
+/// Modeled footprints: an [p.name, pa.age] result tuple and a set element.
+inline constexpr uint32_t kResultTupleBytes = 24;
+inline constexpr uint32_t kResultSetElementBytes = 12;
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_QUERY_QUERY_STATS_H_

@@ -1,0 +1,80 @@
+#include "src/query/selection.h"
+
+#include "src/query/index_fetch.h"
+
+namespace treebench {
+
+std::string_view SelectionModeName(SelectionMode mode) {
+  switch (mode) {
+    case SelectionMode::kScan:
+      return "scan";
+    case SelectionMode::kIndexScan:
+      return "index";
+    case SelectionMode::kSortedIndexScan:
+      return "index+sort";
+  }
+  return "?";
+}
+
+Result<QueryRunStats> RunSelection(Database* db, const SelectionSpec& spec) {
+  if (spec.cold) db->BeginMeasuredRun();
+  SimContext& sim = db->sim();
+  ObjectStore& store = db->store();
+
+  QueryRunStats out;
+  {
+    ResultAccounting result(&sim, kResultSetElementBytes);
+
+    auto emit = [&](const Rid& rid) -> Status {
+      ObjectHandle* h = nullptr;
+      TB_ASSIGN_OR_RETURN(h, store.Get(rid));
+      int32_t proj = 0;
+      TB_ASSIGN_OR_RETURN(proj, store.GetInt32(h, spec.proj_attr));
+      (void)proj;
+      result.AddSetElement();
+      store.Unref(h);
+      return Status::OK();
+    };
+
+    switch (spec.mode) {
+      case SelectionMode::kScan: {
+        // Evaluate the predicate object by object (no index, even if one
+        // exists): the Figure 8 standard scan.
+        PersistentCollection* col = nullptr;
+        TB_ASSIGN_OR_RETURN(col, db->GetCollection(spec.collection));
+        for (auto it = col->Scan(); it.Valid(); it.Next()) {
+          ObjectHandle* h = nullptr;
+          TB_ASSIGN_OR_RETURN(h, store.Get(it.rid()));
+          int32_t v = 0;
+          TB_ASSIGN_OR_RETURN(v, store.GetInt32(h, spec.key_attr));
+          sim.ChargeCompare();
+          if (v >= spec.lo && v < spec.hi) {
+            int32_t proj = 0;
+            TB_ASSIGN_OR_RETURN(proj, store.GetInt32(h, spec.proj_attr));
+            (void)proj;
+            result.AddSetElement();
+          }
+          store.Unref(h);
+        }
+        break;
+      }
+      case SelectionMode::kIndexScan:
+        TB_RETURN_IF_ERROR(ForEachSelected(db, spec.collection,
+                                           spec.key_attr, spec.lo, spec.hi,
+                                           FetchOrder::kKeyOrder, emit));
+        break;
+      case SelectionMode::kSortedIndexScan:
+        TB_RETURN_IF_ERROR(ForEachSelected(db, spec.collection,
+                                           spec.key_attr, spec.lo, spec.hi,
+                                           FetchOrder::kRidSorted, emit));
+        break;
+    }
+    out.result_count = result.count();
+  }
+
+  out.seconds = sim.elapsed_seconds();
+  out.metrics = sim.metrics();
+  return out;
+}
+
+}  // namespace treebench

@@ -1,0 +1,50 @@
+#ifndef TREEBENCH_QUERY_SELECTION_H_
+#define TREEBENCH_QUERY_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/catalog/database.h"
+#include "src/query/query_stats.h"
+
+namespace treebench {
+
+/// Evaluation strategies for the paper's simple selection
+/// ("get the age of patients whose num > k", Sections 4.2-4.3).
+enum class SelectionMode {
+  /// Standard scan: handle + predicate for every collection member
+  /// (Figure 8, left).
+  kScan,
+  /// Index range scan, objects fetched in key order — random I/O when the
+  /// index is unclustered (the Figure 6 regime).
+  kIndexScan,
+  /// Index range scan with a preliminary Rid sort (Figure 8, right; the
+  /// Figure 7 technique).
+  kSortedIndexScan,
+};
+
+std::string_view SelectionModeName(SelectionMode mode);
+
+struct SelectionSpec {
+  std::string collection = "Patients";
+  /// Attribute the predicate ranges over (e.g. Patient.num).
+  size_t key_attr = 0;
+  /// Selects key in [lo, hi).
+  int64_t lo = INT64_MIN + 1;
+  int64_t hi = 0;
+  /// Attribute projected into the result (e.g. Patient.age).
+  size_t proj_attr = 0;
+  SelectionMode mode = SelectionMode::kScan;
+  /// Cold run (server shutdown + clock reset first), as all paper
+  /// measurements are.
+  bool cold = true;
+};
+
+/// Runs the selection and reports simulated time + counters. The result is
+/// built as a persistent-capable set of integers, whose construction cost
+/// the paper quantifies at ~1100 s for 1.8M elements (Section 4.2).
+Result<QueryRunStats> RunSelection(Database* db, const SelectionSpec& spec);
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_QUERY_SELECTION_H_

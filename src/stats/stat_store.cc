@@ -1,0 +1,131 @@
+#include "src/stats/stat_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace treebench {
+
+void StatRecord::FillFrom(const Metrics& m, double seconds) {
+  cc_page_faults = m.client_cache_misses;
+  elapsed_seconds = seconds;
+  rpcs_number = m.rpc_count;
+  rpcs_total_bytes = m.rpc_bytes;
+  d2sc_read_pages = m.disk_reads;
+  sc2cc_read_pages = m.client_cache_misses;
+  cc_miss_rate_pct = m.ClientMissRatePct();
+  sc_miss_rate_pct = m.ServerMissRatePct();
+  swap_ios = m.swap_ios;
+}
+
+std::string StatRecord::CsvHeader() {
+  return "numtest,database,cluster,algo,query,cold,sel_patients_pct,"
+         "sel_providers_pct,elapsed_seconds,result_count,cc_page_faults,"
+         "rpcs_number,rpcs_total_bytes,d2sc_read_pages,sc2cc_read_pages,"
+         "cc_miss_rate_pct,sc_miss_rate_pct,swap_ios,server_cache_bytes,"
+         "client_cache_bytes";
+}
+
+std::string StatRecord::ToCsvRow() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%d,%s,%s,%s,\"%s\",%d,%.3f,%.3f,%.2f,%llu,%llu,%llu,%llu,%llu,%llu,"
+      "%.2f,%.2f,%llu,%llu,%llu",
+      numtest, database.c_str(), cluster.c_str(), algo.c_str(),
+      query_text.c_str(), cold ? 1 : 0, selectivity_patients_pct,
+      selectivity_providers_pct, elapsed_seconds,
+      static_cast<unsigned long long>(result_count),
+      static_cast<unsigned long long>(cc_page_faults),
+      static_cast<unsigned long long>(rpcs_number),
+      static_cast<unsigned long long>(rpcs_total_bytes),
+      static_cast<unsigned long long>(d2sc_read_pages),
+      static_cast<unsigned long long>(sc2cc_read_pages), cc_miss_rate_pct,
+      sc_miss_rate_pct, static_cast<unsigned long long>(swap_ios),
+      static_cast<unsigned long long>(server_cache_bytes),
+      static_cast<unsigned long long>(client_cache_bytes));
+  return buf;
+}
+
+int StatStore::Add(StatRecord record) {
+  if (record.numtest == 0) record.numtest = next_id_++;
+  int id = record.numtest;
+  next_id_ = std::max(next_id_, id + 1);
+  records_.push_back(std::move(record));
+  return id;
+}
+
+std::vector<const StatRecord*> StatStore::Select(
+    const std::function<bool(const StatRecord&)>& pred) const {
+  std::vector<const StatRecord*> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const StatRecord*> StatStore::WinnersByGroup() const {
+  std::map<std::tuple<std::string, std::string, double, double>,
+           const StatRecord*>
+      best;
+  for (const auto& r : records_) {
+    auto key = std::make_tuple(r.database, r.cluster,
+                               r.selectivity_patients_pct,
+                               r.selectivity_providers_pct);
+    auto it = best.find(key);
+    if (it == best.end() || r.elapsed_seconds < it->second->elapsed_seconds) {
+      best[key] = &r;
+    }
+  }
+  std::vector<const StatRecord*> out;
+  out.reserve(best.size());
+  for (auto& [key, rec] : best) out.push_back(rec);
+  return out;
+}
+
+Status StatStore::ExportCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  std::fprintf(f, "%s\n", StatRecord::CsvHeader().c_str());
+  for (const auto& r : records_) {
+    std::fprintf(f, "%s\n", r.ToCsvRow().c_str());
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status StatStore::ExportGnuplot(
+    const std::string& path,
+    const std::function<bool(const StatRecord&)>& pred) const {
+  // Pivot: rows = selectivity on patients, columns = algorithms.
+  std::set<std::string> algos;
+  std::map<double, std::map<std::string, double>> rows;
+  for (const auto& r : records_) {
+    if (!pred(r)) continue;
+    algos.insert(r.algo);
+    rows[r.selectivity_patients_pct][r.algo] = r.elapsed_seconds;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  std::fprintf(f, "# sel_patients_pct");
+  for (const auto& a : algos) std::fprintf(f, " %s", a.c_str());
+  std::fprintf(f, "\n");
+  for (const auto& [sel, cols] : rows) {
+    std::fprintf(f, "%g", sel);
+    for (const auto& a : algos) {
+      auto it = cols.find(a);
+      if (it == cols.end()) {
+        std::fprintf(f, " -");
+      } else {
+        std::fprintf(f, " %.2f", it->second);
+      }
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace treebench

@@ -1,0 +1,98 @@
+#ifndef TREEBENCH_STATS_STAT_STORE_H_
+#define TREEBENCH_STATS_STAT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/cost/metrics.h"
+
+namespace treebench {
+
+/// One benchmark measurement — the paper's `Stat` object (Figure 3),
+/// flattened: "An object of class Stat is created each time an experiment
+/// is done."
+struct StatRecord {
+  int numtest = 0;
+
+  // class Query
+  std::string query_text;
+  bool cold = true;
+  std::string projection_type;
+  double selectivity_patients_pct = 0;
+  double selectivity_providers_pct = 0;
+
+  // experiment context
+  std::string database;   // e.g. "derby-1Mx3"
+  std::string cluster;    // class | random | composition | association
+  std::string algo;       // NL | NOJOIN | PHJ | CHJ | scan | index ...
+
+  // class System
+  uint64_t server_cache_bytes = 0;
+  uint64_t client_cache_bytes = 0;
+  bool same_workstation = true;
+
+  // measurements (Figure 3 attribute-for-attribute)
+  uint64_t cc_page_faults = 0;     // CCPagefaults
+  double elapsed_seconds = 0;      // ElapsedTime
+  uint64_t rpcs_number = 0;        // RPCsnumber
+  uint64_t rpcs_total_bytes = 0;   // RPCstotalsize
+  uint64_t d2sc_read_pages = 0;    // D2SCreadpages
+  uint64_t sc2cc_read_pages = 0;   // SC2CCreadpages
+  double cc_miss_rate_pct = 0;     // CCMissrate
+  double sc_miss_rate_pct = 0;     // SCMissrate
+
+  uint64_t result_count = 0;
+  uint64_t swap_ios = 0;
+
+  /// Fills the measurement fields from a run's Metrics.
+  void FillFrom(const Metrics& m, double seconds);
+
+  /// CSV header / row (stable column order).
+  static std::string CsvHeader();
+  std::string ToCsvRow() const;
+};
+
+/// The benchmark-results database the authors wished they had from day one
+/// ("a database was a very reasonable place to store information",
+/// Section 3.3): append measurements, query them back with predicates,
+/// export CSV and gnuplot data files.
+class StatStore {
+ public:
+  StatStore() = default;
+
+  /// Appends a record, assigning numtest if it is 0.
+  int Add(StatRecord record);
+
+  size_t size() const { return records_.size(); }
+  const std::vector<StatRecord>& records() const { return records_; }
+
+  /// All records matching a predicate ("a query language can be used to
+  /// extract the information you are looking for").
+  std::vector<const StatRecord*> Select(
+      const std::function<bool(const StatRecord&)>& pred) const;
+
+  /// Fastest record per (database, cluster, selectivities) group — the
+  /// paper's Figure 15 "winning algorithms" view.
+  std::vector<const StatRecord*> WinnersByGroup() const;
+
+  /// Writes all records as CSV.
+  Status ExportCsv(const std::string& path) const;
+
+  /// Writes a gnuplot-ready data file: x = selectivity on patients,
+  /// one column per algorithm, for records matching `pred`
+  /// (the YAT-to-gnuplot conversion of the paper's acknowledgments).
+  Status ExportGnuplot(const std::string& path,
+                       const std::function<bool(const StatRecord&)>& pred)
+      const;
+
+ private:
+  std::vector<StatRecord> records_;
+  int next_id_ = 1;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_STATS_STAT_STORE_H_

@@ -1,0 +1,62 @@
+#include "src/storage/disk_manager.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace treebench {
+
+uint16_t DiskManager::CreateFile(std::string name) {
+  TB_CHECK(files_.size() < 0xFFFF);
+  files_.push_back(FileInfo{std::move(name), {}});
+  return static_cast<uint16_t>(files_.size() - 1);
+}
+
+Result<uint16_t> DiskManager::FindFile(const std::string& name) const {
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].name == name) return static_cast<uint16_t>(i);
+  }
+  return Status::NotFound("no file named " + name);
+}
+
+const std::string& DiskManager::FileName(uint16_t file_id) const {
+  TB_CHECK(file_id < files_.size());
+  return files_[file_id].name;
+}
+
+uint32_t DiskManager::AllocatePage(uint16_t file_id) {
+  TB_CHECK(file_id < files_.size());
+  auto& pages = files_[file_id].pages;
+  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  std::memset(buf.get(), 0, kPageSize);
+  Page(buf.get()).Init();
+  pages.push_back(std::move(buf));
+  return static_cast<uint32_t>(pages.size() - 1);
+}
+
+uint32_t DiskManager::NumPages(uint16_t file_id) const {
+  TB_CHECK(file_id < files_.size());
+  return static_cast<uint32_t>(files_[file_id].pages.size());
+}
+
+uint8_t* DiskManager::RawPage(uint16_t file_id, uint32_t page_id) {
+  TB_CHECK(file_id < files_.size());
+  TB_CHECK(page_id < files_[file_id].pages.size());
+  return files_[file_id].pages[page_id].get();
+}
+
+const uint8_t* DiskManager::RawPage(uint16_t file_id, uint32_t page_id) const {
+  TB_CHECK(file_id < files_.size());
+  TB_CHECK(page_id < files_[file_id].pages.size());
+  return files_[file_id].pages[page_id].get();
+}
+
+uint64_t DiskManager::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) {
+    total += static_cast<uint64_t>(f.pages.size()) * kPageSize;
+  }
+  return total;
+}
+
+}  // namespace treebench

@@ -1,0 +1,60 @@
+#ifndef TREEBENCH_STORAGE_DISK_MANAGER_H_
+#define TREEBENCH_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/page.h"
+#include "src/storage/rid.h"
+
+namespace treebench {
+
+/// The simulated disk: a set of named files, each an append-only sequence of
+/// 4 KiB pages held in process memory.
+///
+/// DiskManager itself charges no cost — it is the ground truth below the
+/// cache hierarchy. All timed access goes through TwoLevelCache, which
+/// charges disk reads/writes and RPCs; direct RawPage() access is reserved
+/// for the cache layer and for tests.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Creates an empty file and returns its id.
+  uint16_t CreateFile(std::string name);
+
+  Result<uint16_t> FindFile(const std::string& name) const;
+
+  const std::string& FileName(uint16_t file_id) const;
+
+  uint16_t file_count() const { return static_cast<uint16_t>(files_.size()); }
+
+  /// Appends a fresh zeroed page (already Page::Init'ed); returns its id.
+  uint32_t AllocatePage(uint16_t file_id);
+
+  uint32_t NumPages(uint16_t file_id) const;
+
+  /// Direct access to page bytes — bypasses all cost accounting.
+  uint8_t* RawPage(uint16_t file_id, uint32_t page_id);
+  const uint8_t* RawPage(uint16_t file_id, uint32_t page_id) const;
+
+  /// Total bytes across all files (what the paper's "buy big" disk holds).
+  uint64_t TotalBytes() const;
+
+ private:
+  struct FileInfo {
+    std::string name;
+    std::vector<std::unique_ptr<uint8_t[]>> pages;
+  };
+
+  std::vector<FileInfo> files_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,96 @@
+#include "src/storage/page.h"
+
+#include <cstring>
+
+#include "src/common/byte_io.h"
+#include "src/common/logging.h"
+
+namespace treebench {
+
+void Page::Init() {
+  PutU16(data_, 0);                // slot count
+  PutU16(data_ + 2, kHeaderSize);  // free pointer
+}
+
+uint16_t Page::slot_count() const { return GetU16(data_); }
+
+uint32_t Page::DirStart() const {
+  return kPageSize - kSlotEntrySize * static_cast<uint32_t>(slot_count());
+}
+
+uint32_t Page::FreeSpace() const {
+  uint32_t free_ptr = GetU16(data_ + 2);
+  uint32_t dir_start = DirStart();
+  return dir_start > free_ptr ? dir_start - free_ptr : 0;
+}
+
+uint16_t Page::SlotOffset(uint16_t slot) const {
+  return GetU16(data_ + kPageSize - kSlotEntrySize * (slot + 1));
+}
+
+uint16_t Page::SlotLength(uint16_t slot) const {
+  return GetU16(data_ + kPageSize - kSlotEntrySize * (slot + 1) + 2);
+}
+
+bool Page::IsLive(uint16_t slot) const {
+  return slot < slot_count() && SlotOffset(slot) != kDeletedOffset;
+}
+
+Result<uint16_t> Page::Insert(std::span<const uint8_t> record) {
+  TB_CHECK(record.size() <= kMaxRecordSize);
+  uint32_t len = static_cast<uint32_t>(record.size());
+  if (!Fits(len)) {
+    return Status::ResourceExhausted("page full");
+  }
+  uint16_t slot = slot_count();
+  uint16_t offset = GetU16(data_ + 2);
+  std::memcpy(data_ + offset, record.data(), len);
+  // Slot directory entry.
+  uint8_t* entry = data_ + kPageSize - kSlotEntrySize * (slot + 1);
+  PutU16(entry, offset);
+  PutU16(entry + 2, static_cast<uint16_t>(len));
+  // Header.
+  PutU16(data_, static_cast<uint16_t>(slot + 1));
+  PutU16(data_ + 2, static_cast<uint16_t>(offset + len));
+  return slot;
+}
+
+Result<std::span<const uint8_t>> Page::Get(uint16_t slot) const {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no such slot");
+  }
+  return std::span<const uint8_t>(data_ + SlotOffset(slot), SlotLength(slot));
+}
+
+Result<std::span<uint8_t>> Page::GetMutable(uint16_t slot) {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no such slot");
+  }
+  return std::span<uint8_t>(data_ + SlotOffset(slot), SlotLength(slot));
+}
+
+Status Page::Update(uint16_t slot, std::span<const uint8_t> record) {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no such slot");
+  }
+  uint16_t old_len = SlotLength(slot);
+  if (record.size() > old_len) {
+    return Status::ResourceExhausted("record grew; relocation required");
+  }
+  std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
+  PutU16(data_ + kPageSize - kSlotEntrySize * (slot + 1) + 2,
+         static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+Status Page::Delete(uint16_t slot) {
+  if (!IsLive(slot)) {
+    return Status::NotFound("no such slot");
+  }
+  uint8_t* entry = data_ + kPageSize - kSlotEntrySize * (slot + 1);
+  PutU16(entry, kDeletedOffset);
+  PutU16(entry + 2, 0);
+  return Status::OK();
+}
+
+}  // namespace treebench

@@ -1,0 +1,80 @@
+#ifndef TREEBENCH_STORAGE_PAGE_H_
+#define TREEBENCH_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/status.h"
+
+namespace treebench {
+
+/// Pages are 4 KiB, as in O2 (paper Section 2).
+inline constexpr uint32_t kPageSize = 4096;
+
+/// A classic slotted page, viewed over a 4 KiB buffer owned by the
+/// DiskManager.
+///
+/// Layout:
+///   [0..2)   u16 slot count
+///   [2..4)   u16 free pointer (offset of first unused data byte)
+///   [4..fp)  record data, growing upward
+///   [dir..4096) slot directory growing downward: per slot
+///              {u16 offset, u16 length}; offset 0xFFFF marks a deleted slot.
+///
+/// Records never span pages; larger values are chunked by higher layers
+/// (collections over 4 KiB go to a separate file, as O2 does).
+class Page {
+ public:
+  static constexpr uint16_t kDeletedOffset = 0xFFFF;
+  static constexpr uint32_t kHeaderSize = 4;
+  static constexpr uint32_t kSlotEntrySize = 4;
+  /// Largest record payload a fresh page can host.
+  static constexpr uint32_t kMaxRecordSize =
+      kPageSize - kHeaderSize - kSlotEntrySize;
+
+  /// Wraps (does not own) a 4 KiB buffer. The buffer must outlive the Page.
+  explicit Page(uint8_t* data) : data_(data) {}
+
+  /// Zeroes the header of a freshly allocated page.
+  void Init();
+
+  uint16_t slot_count() const;
+  /// Contiguous free bytes available for a new record (slot entry included).
+  uint32_t FreeSpace() const;
+
+  /// True if a record of `len` payload bytes fits.
+  bool Fits(uint32_t len) const { return FreeSpace() >= len + kSlotEntrySize; }
+
+  /// Appends a record, returns its slot number.
+  Result<uint16_t> Insert(std::span<const uint8_t> record);
+
+  /// Returns the payload of `slot`, or NotFound for deleted/invalid slots.
+  Result<std::span<const uint8_t>> Get(uint16_t slot) const;
+
+  /// Mutable access to the payload of `slot` (for in-place field updates).
+  Result<std::span<uint8_t>> GetMutable(uint16_t slot);
+
+  /// In-place update; fails with ResourceExhausted if the new payload is
+  /// longer than the old one (the caller must then relocate the record —
+  /// this is exactly the "grow the object header" trap of Section 3.2).
+  Status Update(uint16_t slot, std::span<const uint8_t> record);
+
+  /// Tombstones a slot. The space is not compacted.
+  Status Delete(uint16_t slot);
+
+  /// True if `slot` holds a live record.
+  bool IsLive(uint16_t slot) const;
+
+  const uint8_t* raw() const { return data_; }
+
+ private:
+  uint16_t SlotOffset(uint16_t slot) const;
+  uint16_t SlotLength(uint16_t slot) const;
+  uint32_t DirStart() const;
+
+  uint8_t* data_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_STORAGE_PAGE_H_

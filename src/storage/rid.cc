@@ -1,0 +1,14 @@
+#include "src/storage/rid.h"
+
+#include <cstdio>
+
+namespace treebench {
+
+std::string Rid::ToString() const {
+  if (!valid()) return "@nil";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "@%u.%u.%u", file_id, page_id, slot);
+  return buf;
+}
+
+}  // namespace treebench

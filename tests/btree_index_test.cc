@@ -1,0 +1,220 @@
+#include "src/index/btree_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "src/common/random.h"
+
+namespace treebench {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() {
+    cache_ = std::make_unique<TwoLevelCache>(&disk_, &sim_, CacheConfig{});
+    file_ = disk_.CreateFile("idx");
+    tree_ = std::make_unique<BTreeIndex>(cache_.get(), &sim_, file_);
+  }
+
+  static Rid MakeRid(uint32_t i) {
+    return Rid(1, i / 50, static_cast<uint16_t>(i % 50));
+  }
+
+  DiskManager disk_;
+  SimContext sim_;
+  std::unique_ptr<TwoLevelCache> cache_;
+  uint16_t file_;
+  std::unique_ptr<BTreeIndex> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_->CountEntries(), 0u);
+  EXPECT_EQ(tree_->Height(), 1u);
+  EXPECT_TRUE(tree_->Lookup(5).empty());
+  auto it = tree_->Scan(0, 100);
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, InsertAndLookupFewKeys) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree_->Insert(i * 10, MakeRid(i)).ok());
+  }
+  EXPECT_EQ(tree_->CountEntries(), 10u);
+  auto rids = tree_->Lookup(30);
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], MakeRid(3));
+  EXPECT_TRUE(tree_->Lookup(35).empty());
+}
+
+TEST_F(BTreeTest, DuplicateKeys) {
+  for (uint32_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tree_->Insert(7, MakeRid(i)).ok());
+  }
+  ASSERT_TRUE(tree_->Insert(6, MakeRid(100)).ok());
+  ASSERT_TRUE(tree_->Insert(8, MakeRid(101)).ok());
+  auto rids = tree_->Lookup(7);
+  EXPECT_EQ(rids.size(), 20u);
+}
+
+TEST_F(BTreeTest, ManyInsertsSplitAndStaySorted) {
+  // Enough entries to force several leaf splits and an internal level.
+  const int kN = 5000;
+  Lrand48 rng(11);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < kN; ++i) keys.push_back(static_cast<int64_t>(i));
+  rng.Shuffle(&keys);
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(
+        tree_->Insert(keys[i], MakeRid(static_cast<uint32_t>(keys[i]))).ok());
+  }
+  EXPECT_EQ(tree_->CountEntries(), static_cast<uint64_t>(kN));
+  EXPECT_GE(tree_->Height(), 2u);
+
+  // Full scan yields keys in order, exactly once each.
+  int64_t expect = 0;
+  for (auto it = tree_->Scan(INT64_MIN + 1, INT64_MAX); it.Valid();
+       it.Next()) {
+    EXPECT_EQ(it.key(), expect);
+    EXPECT_EQ(it.rid(), MakeRid(static_cast<uint32_t>(expect)));
+    ++expect;
+  }
+  EXPECT_EQ(expect, kN);
+}
+
+TEST_F(BTreeTest, RangeScanBounds) {
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree_->Insert(i, MakeRid(i)).ok());
+  }
+  int count = 0;
+  for (auto it = tree_->Scan(100, 200); it.Valid(); it.Next()) {
+    EXPECT_GE(it.key(), 100);
+    EXPECT_LT(it.key(), 200);
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(BTreeTest, RemoveEntries) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree_->Insert(i, MakeRid(i)).ok());
+  }
+  ASSERT_TRUE(tree_->Remove(50, MakeRid(50)).ok());
+  EXPECT_TRUE(tree_->Lookup(50).empty());
+  EXPECT_EQ(tree_->CountEntries(), 99u);
+  EXPECT_TRUE(tree_->Remove(50, MakeRid(50)).IsNotFound());
+  // Removing one of several duplicates keeps the others.
+  tree_->Insert(60, MakeRid(1000)).ok();
+  ASSERT_TRUE(tree_->Remove(60, MakeRid(60)).ok());
+  auto rids = tree_->Lookup(60);
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], MakeRid(1000));
+}
+
+TEST_F(BTreeTest, BulkBuildMatchesIncremental) {
+  std::vector<std::pair<int64_t, Rid>> sorted;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    sorted.emplace_back(static_cast<int64_t>(i * 2), MakeRid(i));
+  }
+  ASSERT_TRUE(tree_->BulkBuild(sorted).ok());
+  EXPECT_EQ(tree_->CountEntries(), 3000u);
+  EXPECT_EQ(tree_->Lookup(100).size(), 1u);
+  EXPECT_TRUE(tree_->Lookup(101).empty());
+  int count = 0;
+  int64_t prev = INT64_MIN;
+  for (auto it = tree_->Scan(INT64_MIN + 1, INT64_MAX); it.Valid();
+       it.Next()) {
+    EXPECT_GT(it.key(), prev);
+    prev = it.key();
+    ++count;
+  }
+  EXPECT_EQ(count, 3000);
+}
+
+TEST_F(BTreeTest, BulkBuildRejectsUnsortedInput) {
+  std::vector<std::pair<int64_t, Rid>> bad{{5, MakeRid(0)}, {3, MakeRid(1)}};
+  EXPECT_TRUE(tree_->BulkBuild(bad).IsInvalidArgument());
+}
+
+TEST_F(BTreeTest, BulkBuildEmpty) {
+  ASSERT_TRUE(tree_->BulkBuild({}).ok());
+  EXPECT_EQ(tree_->CountEntries(), 0u);
+}
+
+TEST_F(BTreeTest, ScanChargesLeafPageIo) {
+  std::vector<std::pair<int64_t, Rid>> sorted;
+  for (uint32_t i = 0; i < 2550; ++i) {  // 10 packed leaves
+    sorted.emplace_back(static_cast<int64_t>(i), MakeRid(i));
+  }
+  ASSERT_TRUE(tree_->BulkBuild(sorted).ok());
+  cache_->Shutdown();
+  sim_.ResetClock();
+  int n = 0;
+  for (auto it = tree_->Scan(INT64_MIN + 1, INT64_MAX); it.Valid(); it.Next())
+    ++n;
+  EXPECT_EQ(n, 2550);
+  // Cold scan reads the meta page, the root spine and each of the 10
+  // leaves once.
+  EXPECT_GE(sim_.metrics().disk_reads, 11u);
+  EXPECT_LE(sim_.metrics().disk_reads, 14u);
+}
+
+// Property sweep: random workloads of inserts compared against a
+// std::multimap reference model.
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceModel) {
+  DiskManager disk;
+  SimContext sim;
+  TwoLevelCache cache(&disk, &sim, CacheConfig{});
+  uint16_t file = disk.CreateFile("idx");
+  BTreeIndex tree(&cache, &sim, file);
+
+  Lrand48 rng(GetParam());
+  std::multimap<int64_t, uint64_t> model;
+  const int kOps = 4000;
+  for (int i = 0; i < kOps; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(500));  // heavy duplicates
+    Rid rid(2, static_cast<uint32_t>(i), 0);
+    ASSERT_TRUE(tree.Insert(key, rid).ok());
+    model.emplace(key, rid.Packed());
+  }
+  ASSERT_EQ(tree.CountEntries(), model.size());
+
+  // Point lookups across the whole key domain.
+  for (int64_t key = 0; key < 500; ++key) {
+    auto rids = tree.Lookup(key);
+    auto [lo, hi] = model.equal_range(key);
+    size_t expect = static_cast<size_t>(std::distance(lo, hi));
+    ASSERT_EQ(rids.size(), expect) << "key " << key;
+  }
+
+  // Random range scans.
+  for (int t = 0; t < 20; ++t) {
+    int64_t lo = static_cast<int64_t>(rng.Uniform(500));
+    int64_t hi = lo + static_cast<int64_t>(rng.Uniform(100));
+    size_t got = 0;
+    int64_t prev_key = INT64_MIN;
+    for (auto it = tree.Scan(lo, hi); it.Valid(); it.Next()) {
+      ASSERT_GE(it.key(), lo);
+      ASSERT_LT(it.key(), hi);
+      ASSERT_GE(it.key(), prev_key);
+      prev_key = it.key();
+      ++got;
+    }
+    size_t expect = 0;
+    for (auto it = model.lower_bound(lo); it != model.end() && it->first < hi;
+         ++it) {
+      ++expect;
+    }
+    ASSERT_EQ(got, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace treebench

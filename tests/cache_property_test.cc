@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/cache/two_level_cache.h"
+#include "src/common/random.h"
+
+namespace treebench {
+namespace {
+
+// Reference LRU model for one cache level.
+class ModelLru {
+ public:
+  explicit ModelLru(size_t capacity) : capacity_(capacity) {}
+
+  // Returns true on hit; on miss inserts (evicting LRU).
+  bool Access(uint32_t page) {
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (*it == page) {
+        order_.erase(it);
+        order_.push_front(page);
+        return true;
+      }
+    }
+    order_.push_front(page);
+    if (order_.size() > capacity_) order_.pop_back();
+    return false;
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<uint32_t> order_;
+};
+
+// Drives the real two-level cache and an independent two-level reference
+// model with the same random access stream; fault counters must agree
+// exactly at every step.
+class CachePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CachePropertyTest, MatchesTwoLevelReferenceModel) {
+  DiskManager disk;
+  SimContext sim;
+  CacheConfig cfg;
+  cfg.client_bytes = 8 * kPageSize;
+  cfg.server_bytes = 4 * kPageSize;
+  TwoLevelCache cache(&disk, &sim, cfg);
+  uint16_t file = disk.CreateFile("data");
+  const uint32_t kPages = 64;
+  for (uint32_t i = 0; i < kPages; ++i) disk.AllocatePage(file);
+
+  ModelLru client_model(8), server_model(4);
+  uint64_t model_client_misses = 0, model_disk_reads = 0;
+
+  Lrand48 rng(GetParam());
+  for (int step = 0; step < 3000; ++step) {
+    uint32_t page = static_cast<uint32_t>(rng.Uniform(kPages));
+    cache.GetPage(file, page);
+    if (!client_model.Access(page)) {
+      ++model_client_misses;
+      if (!server_model.Access(page)) ++model_disk_reads;
+    }
+    ASSERT_EQ(sim.metrics().client_cache_misses, model_client_misses)
+        << "step " << step;
+    ASSERT_EQ(sim.metrics().disk_reads, model_disk_reads)
+        << "step " << step;
+  }
+  // Sanity: with 64 pages vs an 8-page client cache, most accesses miss.
+  EXPECT_GT(sim.metrics().client_cache_misses, 2000u);
+  // RPC count equals client misses on a read-only stream.
+  EXPECT_EQ(sim.metrics().rpc_count, sim.metrics().client_cache_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertyTest,
+                         ::testing::Values(11, 22, 33));
+
+TEST(CacheDeterminismTest, IdenticalRunsProduceIdenticalAccounting) {
+  auto run = []() {
+    DiskManager disk;
+    SimContext sim;
+    CacheConfig cfg;
+    cfg.client_bytes = 16 * kPageSize;
+    cfg.server_bytes = 8 * kPageSize;
+    TwoLevelCache cache(&disk, &sim, cfg);
+    uint16_t file = disk.CreateFile("d");
+    for (int i = 0; i < 128; ++i) disk.AllocatePage(file);
+    Lrand48 rng(99);
+    for (int i = 0; i < 5000; ++i) {
+      uint32_t page = static_cast<uint32_t>(rng.Uniform(128));
+      if (rng.OneIn(0.2)) {
+        cache.GetPageForWrite(file, page);
+      } else {
+        cache.GetPage(file, page);
+      }
+    }
+    cache.Shutdown();
+    return std::make_tuple(sim.elapsed_ns(), sim.metrics().disk_reads,
+                           sim.metrics().disk_writes,
+                           sim.metrics().rpc_count);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CacheWriteBackTest, EveryDirtyPageReachesDiskExactlyOnce) {
+  DiskManager disk;
+  SimContext sim;
+  CacheConfig cfg;
+  cfg.client_bytes = 4 * kPageSize;
+  cfg.server_bytes = 2 * kPageSize;
+  TwoLevelCache cache(&disk, &sim, cfg);
+  uint16_t file = disk.CreateFile("d");
+  const uint32_t kPages = 32;
+  for (uint32_t i = 0; i < kPages; ++i) disk.AllocatePage(file);
+  // Dirty every page once, sequentially.
+  for (uint32_t i = 0; i < kPages; ++i) cache.GetPageForWrite(file, i);
+  cache.FlushAll();
+  // Each dirtied page is written exactly once (no re-dirtying happened).
+  EXPECT_EQ(sim.metrics().disk_writes, kPages);
+}
+
+}  // namespace
+}  // namespace treebench

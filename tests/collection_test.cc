@@ -1,0 +1,79 @@
+#include "src/catalog/collection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace treebench {
+namespace {
+
+class CollectionTest : public ::testing::Test {
+ protected:
+  CollectionTest() {
+    cache_ = std::make_unique<TwoLevelCache>(&disk_, &sim_, CacheConfig{});
+    uint16_t file = disk_.CreateFile("col");
+    col_ = std::make_unique<PersistentCollection>(cache_.get(), &sim_, file,
+                                                  "Stuff");
+  }
+
+  DiskManager disk_;
+  SimContext sim_;
+  std::unique_ptr<TwoLevelCache> cache_;
+  std::unique_ptr<PersistentCollection> col_;
+};
+
+TEST_F(CollectionTest, EmptyCollection) {
+  EXPECT_EQ(col_->Count(), 0u);
+  EXPECT_EQ(col_->name(), "Stuff");
+  auto it = col_->Scan();
+  EXPECT_FALSE(it.Valid());
+  EXPECT_TRUE(col_->At(0).status().code() == StatusCode::kOutOfRange);
+}
+
+TEST_F(CollectionTest, AppendAndScanInOrder) {
+  for (uint32_t i = 0; i < 2000; ++i) {
+    col_->Append(Rid(1, i, static_cast<uint16_t>(i % 7)));
+  }
+  EXPECT_EQ(col_->Count(), 2000u);
+  uint32_t i = 0;
+  for (auto it = col_->Scan(); it.Valid(); it.Next(), ++i) {
+    EXPECT_EQ(it.rid(), Rid(1, i, static_cast<uint16_t>(i % 7)));
+    EXPECT_EQ(it.index(), i);
+  }
+  EXPECT_EQ(i, 2000u);
+}
+
+TEST_F(CollectionTest, CrossesPageBoundaries) {
+  // kRidsPerPage elements fill exactly one data page; one more starts a
+  // second page.
+  for (uint32_t i = 0; i <= PersistentCollection::kRidsPerPage; ++i) {
+    col_->Append(Rid(0, i, 0));
+  }
+  EXPECT_EQ(col_->DataPages(), 2u);
+  EXPECT_EQ(*col_->At(PersistentCollection::kRidsPerPage),
+            Rid(0, PersistentCollection::kRidsPerPage, 0));
+}
+
+TEST_F(CollectionTest, RandomAccessAndRepair) {
+  for (uint32_t i = 0; i < 100; ++i) col_->Append(Rid(0, i, 0));
+  EXPECT_EQ(*col_->At(42), Rid(0, 42, 0));
+  ASSERT_TRUE(col_->Set(42, Rid(5, 999, 3)).ok());
+  EXPECT_EQ(*col_->At(42), Rid(5, 999, 3));
+  EXPECT_TRUE(col_->Set(100, Rid(0, 0, 0)).code() ==
+              StatusCode::kOutOfRange);
+}
+
+TEST_F(CollectionTest, SequentialScanIoIsDense) {
+  const uint32_t kN = 5 * PersistentCollection::kRidsPerPage;
+  for (uint32_t i = 0; i < kN; ++i) col_->Append(Rid(0, i, 0));
+  cache_->Shutdown();
+  sim_.ResetClock();
+  uint64_t n = 0;
+  for (auto it = col_->Scan(); it.Valid(); it.Next()) ++n;
+  EXPECT_EQ(n, kN);
+  // Meta page + 5 data pages.
+  EXPECT_EQ(sim_.metrics().disk_reads, 6u);
+}
+
+}  // namespace
+}  // namespace treebench

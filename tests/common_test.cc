@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/byte_io.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+
+namespace treebench {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing widget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing widget");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("past the end");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  int h = 0;
+  TB_ASSIGN_OR_RETURN(h, Half(x));
+  TB_ASSIGN_OR_RETURN(h, Half(h));
+  return h;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = Quarter(6);  // 6/2 = 3, odd
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Lrand48Test, DeterministicAcrossInstances) {
+  Lrand48 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Lrand48Test, MatchesLibcLrand48FirstDraws) {
+  // Reference values from glibc: srand48(0); lrand48() x3.
+  Lrand48 r(0);
+  EXPECT_EQ(r.Next(), 366850414u);
+  EXPECT_EQ(r.Next(), 1610402240u);
+  EXPECT_EQ(r.Next(), 206956554u);
+}
+
+TEST(Lrand48Test, UniformInRange) {
+  Lrand48 r(42);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Lrand48Test, UniformCoversAllBuckets) {
+  Lrand48 r(42);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Lrand48Test, UniformRangeInclusive) {
+  Lrand48 r(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Lrand48Test, ShufflePreservesElements) {
+  Lrand48 r(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Lrand48Test, NextStringIsLowercaseAscii) {
+  Lrand48 r(9);
+  std::string s = r.NextString(16);
+  EXPECT_EQ(s.size(), 16u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(ByteIoTest, RoundTrips) {
+  uint8_t buf[8];
+  PutU16(buf, 0xBEEF);
+  EXPECT_EQ(GetU16(buf), 0xBEEF);
+  PutU32(buf, 0xDEADBEEFu);
+  EXPECT_EQ(GetU32(buf), 0xDEADBEEFu);
+  PutU64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(GetU64(buf), 0x0123456789ABCDEFull);
+  PutI32(buf, -123456);
+  EXPECT_EQ(GetI32(buf), -123456);
+  PutI64(buf, -9876543210LL);
+  EXPECT_EQ(GetI64(buf), -9876543210LL);
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(4096), "4.0 KiB");
+  EXPECT_EQ(HumanBytes(32ull << 20), "32.0 MiB");
+}
+
+TEST(StringUtilTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(802.154), "802.15");
+  EXPECT_EQ(FormatSeconds(1.0, 1), "1.0");
+}
+
+TEST(StringUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(3000000), "3,000,000");
+}
+
+}  // namespace
+}  // namespace treebench

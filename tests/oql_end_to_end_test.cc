@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/benchdb/derby.h"
+#include "src/query/binder.h"
+#include "src/query/executor.h"
+#include "src/query/oql/parser.h"
+
+namespace treebench {
+namespace {
+
+class OqlEndToEndTest : public ::testing::Test {
+ protected:
+  OqlEndToEndTest() {
+    DerbyConfig cfg;
+    cfg.providers = 150;
+    cfg.avg_children = 4;
+    cfg.seed = 3;
+    derby_ = BuildDerby(cfg).value();
+  }
+  std::unique_ptr<DerbyDb> derby_;
+};
+
+TEST_F(OqlEndToEndTest, BindsSelection) {
+  auto ast =
+      oql::Parse("select pa.age from pa in Patients where pa.num >= 100 and "
+                 "pa.num < 900")
+          .value();
+  BoundQuery bound = Bind(derby_->db.get(), ast).value();
+  ASSERT_TRUE(std::holds_alternative<BoundSelection>(bound));
+  const auto& sel = std::get<BoundSelection>(bound);
+  EXPECT_EQ(sel.collection, "Patients");
+  EXPECT_EQ(sel.key_attr, derby_->meta.c_num);
+  EXPECT_EQ(sel.lo, 100);
+  EXPECT_EQ(sel.hi, 900);
+  EXPECT_EQ(sel.proj_attr, derby_->meta.c_age);
+}
+
+TEST_F(OqlEndToEndTest, BindsTreeQueryThroughInverseRelationship) {
+  auto ast = oql::Parse(
+                 "select tuple(n: p.name, a: pa.age) "
+                 "from p in Providers, pa in p.clients "
+                 "where pa.mrn < 300 and p.upin < 75")
+                 .value();
+  BoundQuery bound = Bind(derby_->db.get(), ast).value();
+  ASSERT_TRUE(std::holds_alternative<BoundTreeQuery>(bound));
+  const auto& spec = std::get<BoundTreeQuery>(bound).spec;
+  EXPECT_EQ(spec.parent_collection, "Providers");
+  EXPECT_EQ(spec.child_collection, "Patients");
+  EXPECT_EQ(spec.parent_set_attr, derby_->meta.p_clients);
+  EXPECT_EQ(spec.child_parent_attr, derby_->meta.c_pcp);
+  EXPECT_EQ(spec.parent_hi, 75);
+  EXPECT_EQ(spec.child_hi, 300);
+}
+
+TEST_F(OqlEndToEndTest, BinderRejectsUnknowns) {
+  auto bad1 = oql::Parse("select x.age from x in Nope where x.a < 1").value();
+  EXPECT_FALSE(Bind(derby_->db.get(), bad1).ok());
+  auto bad2 =
+      oql::Parse("select pa.nothere from pa in Patients where pa.num < 1")
+          .value();
+  EXPECT_FALSE(Bind(derby_->db.get(), bad2).ok());
+  auto bad3 = oql::Parse(
+                  "select tuple(a: p.name, b: c.age) from p in Providers, "
+                  "c in p.name where c.age < 1 and p.upin < 1")
+                  .value();
+  EXPECT_FALSE(Bind(derby_->db.get(), bad3).ok());  // p.name not a set
+}
+
+TEST_F(OqlEndToEndTest, ExecutesSelectionBothStrategies) {
+  std::string q =
+      "select pa.age from pa in Patients where pa.num < 400000";
+  PlanChoice heuristic_plan, cost_plan;
+  auto h = ExecuteOql(derby_->db.get(), q, OptimizerStrategy::kHeuristic,
+                      &heuristic_plan)
+               .value();
+  auto c = ExecuteOql(derby_->db.get(), q, OptimizerStrategy::kCostBased,
+                      &cost_plan)
+               .value();
+  EXPECT_EQ(h.result_count, c.result_count);
+  EXPECT_GT(h.result_count, 0u);
+  EXPECT_FALSE(heuristic_plan.is_tree);
+  // Cost-based should never be slower than the heuristic by more than the
+  // estimation error; at minimum both ran.
+  EXPECT_GT(c.seconds, 0.0);
+}
+
+TEST_F(OqlEndToEndTest, ExecutesTreeQueryAndCountsMatchBruteForce) {
+  std::string q =
+      "select tuple(n: p.name, a: pa.age) "
+      "from p in Providers, pa in p.clients "
+      "where pa.mrn < 300 and p.upin < 75";
+  PlanChoice plan;
+  auto run = ExecuteOql(derby_->db.get(), q, OptimizerStrategy::kCostBased,
+                        &plan)
+                 .value();
+  EXPECT_TRUE(plan.is_tree);
+
+  // Brute-force reference.
+  Database& db = *derby_->db;
+  uint64_t expect = 0;
+  PersistentCollection* pats = db.GetCollection("Patients").value();
+  for (auto it = pats->Scan(); it.Valid(); it.Next()) {
+    ObjectHandle* ch = db.store().Get(it.rid()).value();
+    int32_t mrn = db.store().GetInt32(ch, derby_->meta.c_mrn).value();
+    Rid pcp = db.store().GetRef(ch, derby_->meta.c_pcp).value();
+    ObjectHandle* ph = db.store().Get(pcp).value();
+    int32_t upin = db.store().GetInt32(ph, derby_->meta.p_upin).value();
+    if (mrn < 300 && upin < 75) ++expect;
+    db.store().Unref(ph);
+    db.store().Unref(ch);
+  }
+  EXPECT_EQ(run.result_count, expect);
+}
+
+TEST_F(OqlEndToEndTest, HeuristicTreePlanIsNavigation) {
+  std::string q =
+      "select tuple(n: p.name, a: pa.age) "
+      "from p in Providers, pa in p.clients "
+      "where pa.mrn < 300 and p.upin < 75";
+  PlanChoice plan;
+  ExecuteOql(derby_->db.get(), q, OptimizerStrategy::kHeuristic, &plan)
+      .value();
+  EXPECT_TRUE(plan.is_tree);
+  EXPECT_EQ(plan.algo, TreeJoinAlgo::kNL);  // O2 navigates
+}
+
+}  // namespace
+}  // namespace treebench

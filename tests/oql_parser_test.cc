@@ -1,0 +1,95 @@
+#include "src/query/oql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/oql/lexer.h"
+
+namespace treebench::oql {
+namespace {
+
+TEST(OqlLexerTest, TokenizesPunctuationAndKeywords) {
+  auto tokens = Tokenize("select tuple(a: p.name) from p in X where "
+                         "p.x <= 5 and p.y >= -2")
+                    .value();
+  EXPECT_EQ(tokens.front().kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+  int ints = 0;
+  for (const auto& t : tokens) {
+    if (t.kind == TokenKind::kInt) ++ints;
+  }
+  EXPECT_EQ(ints, 2);
+}
+
+TEST(OqlLexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("SELECT x FROM y IN Z").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFrom);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kIn);
+}
+
+TEST(OqlLexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Tokenize("select # from x").ok());
+}
+
+TEST(OqlParserTest, SimpleSelection) {
+  Query q = Parse("select pa.age from pa in Patients where pa.num > 500")
+                .value();
+  ASSERT_EQ(q.projection.size(), 1u);
+  EXPECT_FALSE(q.tuple_projection);
+  EXPECT_EQ(q.projection[0].path.var, "pa");
+  EXPECT_EQ(q.projection[0].path.attr, "age");
+  ASSERT_EQ(q.ranges.size(), 1u);
+  EXPECT_EQ(q.ranges[0].var, "pa");
+  EXPECT_EQ(q.ranges[0].collection, "Patients");
+  ASSERT_EQ(q.conditions.size(), 1u);
+  EXPECT_EQ(q.conditions[0].op, CompareOp::kGt);
+  EXPECT_EQ(q.conditions[0].literal, 500);
+}
+
+TEST(OqlParserTest, TreeQueryWithTupleProjection) {
+  Query q = Parse(
+                "select tuple(n: p.name, a: pa.age) "
+                "from p in Providers, pa in p.clients "
+                "where pa.mrn < 200000 and p.upin < 200")
+                .value();
+  EXPECT_TRUE(q.tuple_projection);
+  ASSERT_EQ(q.projection.size(), 2u);
+  EXPECT_EQ(q.projection[0].label, "n");
+  EXPECT_EQ(q.projection[1].path.ToString(), "pa.age");
+  ASSERT_EQ(q.ranges.size(), 2u);
+  EXPECT_TRUE(q.ranges[0].over_collection());
+  EXPECT_FALSE(q.ranges[1].over_collection());
+  EXPECT_EQ(q.ranges[1].path.var, "p");
+  EXPECT_EQ(q.ranges[1].path.attr, "clients");
+  ASSERT_EQ(q.conditions.size(), 2u);
+}
+
+TEST(OqlParserTest, FlippedLiteralComparison) {
+  Query q = Parse("select p.age from p in Patients where 10 < p.age")
+                .value();
+  ASSERT_EQ(q.conditions.size(), 1u);
+  // 10 < p.age is normalized to p.age > 10.
+  EXPECT_EQ(q.conditions[0].op, CompareOp::kGt);
+  EXPECT_EQ(q.conditions[0].literal, 10);
+}
+
+TEST(OqlParserTest, NoWhereClause) {
+  Query q = Parse("select p.age from p in Patients").value();
+  EXPECT_TRUE(q.conditions.empty());
+}
+
+TEST(OqlParserTest, Errors) {
+  EXPECT_FALSE(Parse("select from x in Y").ok());
+  EXPECT_FALSE(Parse("select a.b").ok());                       // no from
+  EXPECT_FALSE(Parse("select a.b from a in X where a.b <").ok());
+  EXPECT_FALSE(Parse("select a.b from a in X extra").ok());     // trailing
+  EXPECT_FALSE(Parse("select tuple(a p.x) from p in X").ok());  // missing :
+}
+
+TEST(OqlParserTest, NegativeLiterals) {
+  Query q = Parse("select p.x from p in X where p.x > -5").value();
+  EXPECT_EQ(q.conditions[0].literal, -5);
+}
+
+}  // namespace
+}  // namespace treebench::oql

@@ -1,0 +1,124 @@
+#include "src/storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace treebench {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string ToStr(std::span<const uint8_t> s) {
+  return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+}
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : page_(buf_) { page_.Init(); }
+  uint8_t buf_[kPageSize] = {};
+  Page page_;
+};
+
+TEST_F(PageTest, FreshPageIsEmpty) {
+  EXPECT_EQ(page_.slot_count(), 0);
+  EXPECT_EQ(page_.FreeSpace(), kPageSize - Page::kHeaderSize);
+}
+
+TEST_F(PageTest, InsertAndGet) {
+  auto rec = Bytes("hello world");
+  auto slot = page_.Insert(rec);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(*slot, 0);
+  auto got = page_.Get(0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToStr(*got), "hello world");
+}
+
+TEST_F(PageTest, MultipleRecordsGetDistinctSlots) {
+  for (int i = 0; i < 10; ++i) {
+    auto slot = page_.Insert(Bytes("rec" + std::to_string(i)));
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(*slot, i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ToStr(*page_.Get(static_cast<uint16_t>(i))),
+              "rec" + std::to_string(i));
+  }
+}
+
+TEST_F(PageTest, GetInvalidSlotIsNotFound) {
+  EXPECT_TRUE(page_.Get(0).status().IsNotFound());
+  page_.Insert(Bytes("x")).value();
+  EXPECT_TRUE(page_.Get(1).status().IsNotFound());
+}
+
+TEST_F(PageTest, DeleteTombstones) {
+  page_.Insert(Bytes("a")).value();
+  page_.Insert(Bytes("b")).value();
+  ASSERT_TRUE(page_.Delete(0).ok());
+  EXPECT_FALSE(page_.IsLive(0));
+  EXPECT_TRUE(page_.Get(0).status().IsNotFound());
+  EXPECT_EQ(ToStr(*page_.Get(1)), "b");  // other slots unaffected
+  EXPECT_TRUE(page_.Delete(0).IsNotFound());  // double delete
+}
+
+TEST_F(PageTest, UpdateInPlaceSameSize) {
+  page_.Insert(Bytes("abcd")).value();
+  ASSERT_TRUE(page_.Update(0, Bytes("wxyz")).ok());
+  EXPECT_EQ(ToStr(*page_.Get(0)), "wxyz");
+}
+
+TEST_F(PageTest, UpdateShrinks) {
+  page_.Insert(Bytes("abcdef")).value();
+  ASSERT_TRUE(page_.Update(0, Bytes("xy")).ok());
+  EXPECT_EQ(ToStr(*page_.Get(0)), "xy");
+}
+
+TEST_F(PageTest, UpdateGrowthIsRejected) {
+  page_.Insert(Bytes("ab")).value();
+  Status s = page_.Update(0, Bytes("abcdef"));
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(ToStr(*page_.Get(0)), "ab");  // unchanged
+}
+
+TEST_F(PageTest, FillsUntilExhausted) {
+  std::vector<uint8_t> rec(100, 0xAB);
+  int inserted = 0;
+  while (true) {
+    auto slot = page_.Insert(rec);
+    if (!slot.ok()) {
+      EXPECT_TRUE(slot.status().IsResourceExhausted());
+      break;
+    }
+    ++inserted;
+  }
+  // 100-byte payload + 4-byte slot entry: expect ~39 records in 4092 bytes.
+  EXPECT_GT(inserted, 35);
+  EXPECT_LT(inserted, 41);
+  // All inserted records still readable.
+  for (int i = 0; i < inserted; ++i) {
+    ASSERT_TRUE(page_.Get(static_cast<uint16_t>(i)).ok());
+  }
+}
+
+TEST_F(PageTest, MaxRecordFitsExactly) {
+  std::vector<uint8_t> rec(Page::kMaxRecordSize, 0x7);
+  auto slot = page_.Insert(rec);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(page_.FreeSpace(), 0u);
+  EXPECT_EQ(page_.Get(0)->size(), Page::kMaxRecordSize);
+}
+
+TEST_F(PageTest, FreeSpaceAccounting) {
+  uint32_t before = page_.FreeSpace();
+  page_.Insert(Bytes("0123456789")).value();
+  EXPECT_EQ(page_.FreeSpace(), before - 10 - Page::kSlotEntrySize);
+}
+
+}  // namespace
+}  // namespace treebench

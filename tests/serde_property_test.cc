@@ -1,0 +1,205 @@
+// Property tests: object encode/decode round-trips over randomized
+// schemas and values, and cross-organization query invariants (the same
+// logical database must answer every query identically regardless of its
+// physical placement).
+#include <gtest/gtest.h>
+
+#include "src/benchdb/derby.h"
+#include "src/common/random.h"
+#include "src/objects/object_layout.h"
+#include "src/query/selection.h"
+#include "src/query/tree_query.h"
+
+namespace treebench {
+namespace {
+
+using object_layout::Encode;
+using object_layout::ObjectView;
+using object_layout::StoredField;
+
+// ---- Randomized encode/decode round-trips ----
+
+class SerdeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerdeSweep, RandomSchemaRoundTrips) {
+  Lrand48 rng(GetParam());
+  Schema schema;
+
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random schema: 1..8 attributes of random types.
+    std::vector<AttrDef> attrs;
+    size_t n_attrs = 1 + rng.Uniform(8);
+    for (size_t a = 0; a < n_attrs; ++a) {
+      AttrType type = static_cast<AttrType>(rng.Uniform(5));
+      attrs.emplace_back("a" + std::to_string(a), type);
+    }
+    uint16_t cls_id =
+        schema
+            .AddClass("C" + std::to_string(GetParam()) + "_" +
+                          std::to_string(trial),
+                      attrs)
+            .value();
+    const ClassDef& cls = schema.GetClass(cls_id);
+
+    for (StringStorage mode :
+         {StringStorage::kInline, StringStorage::kSeparateRecord}) {
+      // Random values.
+      std::vector<StoredField> fields;
+      std::vector<int32_t> ints;
+      std::vector<char> chars;
+      std::vector<std::string> strings;
+      std::vector<Rid> rids;
+      for (size_t a = 0; a < n_attrs; ++a) {
+        switch (cls.attr(a).type) {
+          case AttrType::kInt32: {
+            int32_t v = static_cast<int32_t>(rng.Next()) -
+                        static_cast<int32_t>(rng.Next() / 2);
+            ints.push_back(v);
+            fields.emplace_back(v);
+            break;
+          }
+          case AttrType::kChar: {
+            char c = static_cast<char>('!' + rng.Uniform(90));
+            chars.push_back(c);
+            fields.emplace_back(c);
+            break;
+          }
+          case AttrType::kString: {
+            std::string s = rng.NextString(rng.Uniform(40));
+            strings.push_back(s);
+            if (mode == StringStorage::kInline) {
+              fields.emplace_back(s);
+            } else {
+              Rid r(static_cast<uint16_t>(rng.Uniform(100)),
+                    static_cast<uint32_t>(rng.Next()),
+                    static_cast<uint16_t>(rng.Uniform(100)));
+              rids.push_back(r);
+              fields.emplace_back(r);
+            }
+            break;
+          }
+          case AttrType::kRef:
+          case AttrType::kRefSet: {
+            Rid r(static_cast<uint16_t>(rng.Uniform(100)),
+                  static_cast<uint32_t>(rng.Next()),
+                  static_cast<uint16_t>(rng.Uniform(100)));
+            rids.push_back(r);
+            fields.emplace_back(r);
+            break;
+          }
+        }
+      }
+      uint8_t capacity = static_cast<uint8_t>(rng.Uniform(9));
+      std::vector<uint32_t> index_ids;
+      for (uint8_t i = 0; i < capacity && rng.OneIn(0.5); ++i) {
+        index_ids.push_back(static_cast<uint32_t>(rng.Uniform(200)));
+      }
+
+      auto rec = Encode(cls, mode, capacity, index_ids, fields);
+      ObjectView view(rec, &cls, mode);
+      ASSERT_EQ(view.class_id(), cls_id);
+      ASSERT_EQ(view.index_capacity(), capacity);
+      ASSERT_EQ(view.index_count(), index_ids.size());
+      for (size_t i = 0; i < index_ids.size(); ++i) {
+        ASSERT_EQ(view.index_id(static_cast<uint8_t>(i)),
+                  index_ids[i] & 0xFF);
+      }
+
+      size_t ii = 0, ci = 0, si = 0, ri = 0;
+      for (size_t a = 0; a < n_attrs; ++a) {
+        switch (cls.attr(a).type) {
+          case AttrType::kInt32:
+            ASSERT_EQ(view.GetInt32(a), ints[ii++]);
+            break;
+          case AttrType::kChar:
+            ASSERT_EQ(view.GetChar(a), chars[ci++]);
+            break;
+          case AttrType::kString:
+            if (mode == StringStorage::kInline) {
+              ASSERT_EQ(view.GetInlineString(a), strings[si++]);
+            } else {
+              ++si;
+              ASSERT_EQ(view.GetStringRid(a), rids[ri++]);
+            }
+            break;
+          case AttrType::kRef:
+            ASSERT_EQ(view.GetRef(a), rids[ri++]);
+            break;
+          case AttrType::kRefSet:
+            ASSERT_EQ(view.GetSetRid(a), rids[ri++]);
+            break;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdeSweep, ::testing::Values(1, 7, 42));
+
+// ---- Cross-organization invariants ----
+
+struct XOrgCase {
+  double sel_pat;
+  double sel_prov;
+};
+
+class CrossOrganizationInvariant
+    : public ::testing::TestWithParam<XOrgCase> {};
+
+TEST_P(CrossOrganizationInvariant, SameAnswersEverywhere) {
+  auto [sel_pat, sel_prov] = GetParam();
+
+  std::vector<uint64_t> tree_counts;
+  std::vector<uint64_t> selection_counts;
+  for (ClusteringStrategy clustering :
+       {ClusteringStrategy::kClassClustered, ClusteringStrategy::kRandomized,
+        ClusteringStrategy::kComposition,
+        ClusteringStrategy::kAssociationOrdered}) {
+    DerbyConfig cfg;
+    cfg.providers = 80;
+    cfg.avg_children = 6;
+    cfg.seed = 77;
+    cfg.clustering = clustering;
+    auto derby = BuildDerby(cfg).value();
+
+    TreeQuerySpec spec = DerbyTreeQuery(*derby, sel_pat, sel_prov);
+    uint64_t count = 0;
+    bool first = true;
+    for (TreeJoinAlgo algo :
+         {TreeJoinAlgo::kNL, TreeJoinAlgo::kNOJOIN, TreeJoinAlgo::kPHJ,
+          TreeJoinAlgo::kCHJ, TreeJoinAlgo::kHybridPHJ}) {
+      auto run = RunTreeQuery(derby->db.get(), spec, algo).value();
+      if (first) {
+        count = run.result_count;
+        first = false;
+      } else {
+        ASSERT_EQ(run.result_count, count)
+            << ClusteringName(clustering) << "/" << AlgoName(algo);
+      }
+    }
+    tree_counts.push_back(count);
+
+    SelectionSpec sel;
+    sel.collection = "Patients";
+    sel.key_attr = derby->meta.c_num;
+    sel.hi = derby->NumCutoff(sel_pat);
+    sel.proj_attr = derby->meta.c_age;
+    sel.mode = SelectionMode::kSortedIndexScan;
+    selection_counts.push_back(
+        RunSelection(derby->db.get(), sel)->result_count);
+  }
+  // All four physical organizations hold the same logical database.
+  for (size_t i = 1; i < tree_counts.size(); ++i) {
+    EXPECT_EQ(tree_counts[i], tree_counts[0]);
+    EXPECT_EQ(selection_counts[i], selection_counts[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CrossOrganizationInvariant,
+                         ::testing::Values(XOrgCase{10, 10},
+                                           XOrgCase{50, 50},
+                                           XOrgCase{90, 90},
+                                           XOrgCase{100, 100}));
+
+}  // namespace
+}  // namespace treebench

@@ -1,0 +1,138 @@
+#include "src/objects/set_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace treebench {
+namespace {
+
+class SetStoreTest : public ::testing::Test {
+ protected:
+  SetStoreTest() {
+    cache_ = std::make_unique<TwoLevelCache>(&disk_, &sim_, CacheConfig{});
+    home_file_ = disk_.CreateFile("home");
+    overflow_file_ = disk_.CreateFile("overflow");
+    home_ = std::make_unique<RecordFile>(cache_.get(), home_file_);
+    sets_ = std::make_unique<SetStore>(cache_.get(), &sim_);
+  }
+
+  static std::vector<Rid> MakeRids(uint32_t n, uint32_t salt = 0) {
+    std::vector<Rid> out;
+    out.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) out.emplace_back(9, salt + i, 1);
+    return out;
+  }
+
+  DiskManager disk_;
+  SimContext sim_;
+  std::unique_ptr<TwoLevelCache> cache_;
+  uint16_t home_file_, overflow_file_;
+  std::unique_ptr<RecordFile> home_;
+  std::unique_ptr<SetStore> sets_;
+};
+
+TEST_F(SetStoreTest, SmallSetStaysInline) {
+  auto rids = MakeRids(10);
+  Rid set_rid = sets_->Write(home_.get(), overflow_file_, rids).value();
+  EXPECT_EQ(set_rid.file_id, home_file_);  // in the owner's file
+  EXPECT_EQ(disk_.NumPages(overflow_file_), 0u);
+  EXPECT_EQ(*sets_->Read(home_.get(), set_rid), rids);
+  EXPECT_EQ(*sets_->Count(home_.get(), set_rid), 10u);
+}
+
+TEST_F(SetStoreTest, LargeSetChainsInOverflowFile) {
+  auto rids = MakeRids(1300);  // > 2 chain pages
+  Rid set_rid = sets_->Write(home_.get(), overflow_file_, rids).value();
+  EXPECT_EQ(set_rid.file_id, home_file_);  // the descriptor stays home
+  EXPECT_EQ(disk_.NumPages(overflow_file_), 3u);  // 511+511+278
+  EXPECT_EQ(*sets_->Read(home_.get(), set_rid), rids);
+}
+
+TEST_F(SetStoreTest, ReadChargesLiteralHandle) {
+  auto rids = MakeRids(3);
+  Rid set_rid = sets_->Write(home_.get(), overflow_file_, rids).value();
+  sim_.ResetClock();
+  sets_->Read(home_.get(), set_rid).value();
+  EXPECT_EQ(sim_.metrics().literal_handles, 1u);
+}
+
+TEST_F(SetStoreTest, UpdateInlineInPlace) {
+  auto rids = MakeRids(10);
+  Rid set_rid = sets_->Write(home_.get(), overflow_file_, rids).value();
+  auto smaller = MakeRids(6, 100);
+  Rid updated =
+      sets_->Update(home_.get(), overflow_file_, set_rid, smaller).value();
+  EXPECT_EQ(updated, set_rid);  // same record
+  EXPECT_EQ(*sets_->Read(home_.get(), set_rid), smaller);
+}
+
+TEST_F(SetStoreTest, UpdateGrowthRelocatesRecord) {
+  auto rids = MakeRids(4);
+  Rid set_rid = sets_->Write(home_.get(), overflow_file_, rids).value();
+  auto bigger = MakeRids(50, 200);
+  Rid updated =
+      sets_->Update(home_.get(), overflow_file_, set_rid, bigger).value();
+  EXPECT_NE(updated, set_rid);
+  EXPECT_EQ(*sets_->Read(home_.get(), updated), bigger);
+  // Old record tombstoned.
+  EXPECT_TRUE(home_->Read(set_rid).status().IsNotFound());
+}
+
+TEST_F(SetStoreTest, OverflowUpdateInPlaceSameSize) {
+  // Placeholder-then-fill, the composition loader's pattern.
+  std::vector<Rid> placeholder(1000, kNilRid);
+  Rid set_rid =
+      sets_->Write(home_.get(), overflow_file_, placeholder).value();
+  uint32_t pages_before = disk_.NumPages(overflow_file_);
+  auto real = MakeRids(1000, 500);
+  Rid updated =
+      sets_->Update(home_.get(), overflow_file_, set_rid, real).value();
+  EXPECT_EQ(updated, set_rid);
+  EXPECT_EQ(disk_.NumPages(overflow_file_), pages_before);  // no new pages
+  EXPECT_EQ(*sets_->Read(home_.get(), set_rid), real);
+}
+
+TEST_F(SetStoreTest, OverflowUpdateShrinkKeepsChain) {
+  auto rids = MakeRids(1000);
+  Rid set_rid = sets_->Write(home_.get(), overflow_file_, rids).value();
+  auto smaller = MakeRids(600, 300);
+  Rid updated =
+      sets_->Update(home_.get(), overflow_file_, set_rid, smaller).value();
+  EXPECT_EQ(updated, set_rid);
+  auto read = sets_->Read(home_.get(), set_rid).value();
+  EXPECT_EQ(read, smaller);
+}
+
+TEST_F(SetStoreTest, EmptySetRoundTrip) {
+  Rid set_rid = sets_->Write(home_.get(), overflow_file_, {}).value();
+  EXPECT_TRUE(sets_->Read(home_.get(), set_rid)->empty());
+  EXPECT_EQ(*sets_->Count(home_.get(), set_rid), 0u);
+}
+
+// Parameterized sweep across the inline/overflow boundary.
+class SetStoreSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SetStoreSizeSweep, RoundTripsAtEverySize) {
+  DiskManager disk;
+  SimContext sim;
+  TwoLevelCache cache(&disk, &sim, CacheConfig{});
+  uint16_t home_file = disk.CreateFile("home");
+  uint16_t overflow = disk.CreateFile("ovf");
+  RecordFile home(&cache, home_file);
+  SetStore sets(&cache, &sim);
+
+  uint32_t n = GetParam();
+  std::vector<Rid> rids;
+  for (uint32_t i = 0; i < n; ++i) rids.emplace_back(3, i * 7, 2);
+  Rid set_rid = sets.Write(&home, overflow, rids).value();
+  EXPECT_EQ(*sets.Read(&home, set_rid), rids);
+  EXPECT_EQ(*sets.Count(&home, set_rid), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SetStoreSizeSweep,
+                         ::testing::Values(1, 3, 424, 425, 511, 512, 1000,
+                                           1022, 1023, 2048));
+
+}  // namespace
+}  // namespace treebench

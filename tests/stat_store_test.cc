@@ -1,0 +1,121 @@
+#include "src/stats/stat_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace treebench {
+namespace {
+
+StatRecord MakeRecord(const std::string& algo, double seconds,
+                      double sel_pat, double sel_prov,
+                      const std::string& cluster = "class") {
+  StatRecord r;
+  r.database = "derby-2kx1000";
+  r.cluster = cluster;
+  r.algo = algo;
+  r.query_text = "select ...";
+  r.selectivity_patients_pct = sel_pat;
+  r.selectivity_providers_pct = sel_prov;
+  r.elapsed_seconds = seconds;
+  return r;
+}
+
+TEST(StatStoreTest, AddAssignsIds) {
+  StatStore store;
+  int a = store.Add(MakeRecord("NL", 100, 10, 10));
+  int b = store.Add(MakeRecord("PHJ", 90, 10, 10));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(StatStoreTest, SelectFilters) {
+  StatStore store;
+  store.Add(MakeRecord("NL", 100, 10, 10));
+  store.Add(MakeRecord("PHJ", 90, 10, 10));
+  store.Add(MakeRecord("NL", 1500, 90, 90));
+  auto nls = store.Select(
+      [](const StatRecord& r) { return r.algo == "NL"; });
+  EXPECT_EQ(nls.size(), 2u);
+  auto fast = store.Select(
+      [](const StatRecord& r) { return r.elapsed_seconds < 95; });
+  ASSERT_EQ(fast.size(), 1u);
+  EXPECT_EQ(fast[0]->algo, "PHJ");
+}
+
+TEST(StatStoreTest, WinnersPickFastestPerGroup) {
+  StatStore store;
+  store.Add(MakeRecord("NL", 100, 10, 10));
+  store.Add(MakeRecord("PHJ", 90, 10, 10));
+  store.Add(MakeRecord("CHJ", 95, 10, 10));
+  store.Add(MakeRecord("NL", 1500, 90, 90));
+  store.Add(MakeRecord("PHJ", 1900, 90, 90));
+  auto winners = store.WinnersByGroup();
+  ASSERT_EQ(winners.size(), 2u);
+  EXPECT_EQ(winners[0]->algo, "PHJ");  // (10,10)
+  EXPECT_EQ(winners[1]->algo, "NL");   // (90,90)
+}
+
+TEST(StatStoreTest, FillFromMetrics) {
+  Metrics m;
+  m.client_cache_misses = 500;
+  m.client_cache_hits = 1500;
+  m.disk_reads = 400;
+  m.rpc_count = 500;
+  m.rpc_bytes = 500 * 4096;
+  m.swap_ios = 7;
+  StatRecord r;
+  r.FillFrom(m, 12.5);
+  EXPECT_EQ(r.cc_page_faults, 500u);
+  EXPECT_EQ(r.d2sc_read_pages, 400u);
+  EXPECT_EQ(r.rpcs_number, 500u);
+  EXPECT_DOUBLE_EQ(r.elapsed_seconds, 12.5);
+  EXPECT_DOUBLE_EQ(r.cc_miss_rate_pct, 25.0);
+  EXPECT_EQ(r.swap_ios, 7u);
+}
+
+TEST(StatStoreTest, CsvExportRoundTrips) {
+  StatStore store;
+  store.Add(MakeRecord("NL", 100.25, 10, 10));
+  store.Add(MakeRecord("PHJ", 90.5, 10, 90));
+  std::string path = ::testing::TempDir() + "/stats.csv";
+  ASSERT_TRUE(store.ExportCsv(path).ok());
+  std::ifstream in(path);
+  std::string header, row1, row2, extra;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, row1)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, row2)));
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, extra)));
+  EXPECT_EQ(header, StatRecord::CsvHeader());
+  EXPECT_NE(row1.find("NL"), std::string::npos);
+  EXPECT_NE(row1.find("100.25"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StatStoreTest, GnuplotExportPivots) {
+  StatStore store;
+  store.Add(MakeRecord("NL", 100, 10, 10));
+  store.Add(MakeRecord("PHJ", 90, 10, 10));
+  store.Add(MakeRecord("NL", 1500, 90, 10));
+  store.Add(MakeRecord("PHJ", 925, 90, 10));
+  std::string path = ::testing::TempDir() + "/plot.dat";
+  ASSERT_TRUE(store
+                  .ExportGnuplot(path, [](const StatRecord& r) {
+                    return r.selectivity_providers_pct == 10;
+                  })
+                  .ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+  EXPECT_NE(content.find("# sel_patients_pct NL PHJ"), std::string::npos);
+  EXPECT_NE(content.find("10 100.00 90.00"), std::string::npos);
+  EXPECT_NE(content.find("90 1500.00 925.00"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace treebench
