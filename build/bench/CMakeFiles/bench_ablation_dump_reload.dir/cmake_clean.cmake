@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dump_reload.dir/bench_ablation_dump_reload.cc.o"
+  "CMakeFiles/bench_ablation_dump_reload.dir/bench_ablation_dump_reload.cc.o.d"
+  "bench_ablation_dump_reload"
+  "bench_ablation_dump_reload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dump_reload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

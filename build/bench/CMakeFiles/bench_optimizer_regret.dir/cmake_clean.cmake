@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_regret.dir/bench_optimizer_regret.cc.o"
+  "CMakeFiles/bench_optimizer_regret.dir/bench_optimizer_regret.cc.o.d"
+  "bench_optimizer_regret"
+  "bench_optimizer_regret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_regret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_loading.dir/bench_sec32_loading.cc.o"
+  "CMakeFiles/bench_sec32_loading.dir/bench_sec32_loading.cc.o.d"
+  "bench_sec32_loading"
+  "bench_sec32_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

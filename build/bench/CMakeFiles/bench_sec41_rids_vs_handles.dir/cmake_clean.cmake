@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_rids_vs_handles.dir/bench_sec41_rids_vs_handles.cc.o"
+  "CMakeFiles/bench_sec41_rids_vs_handles.dir/bench_sec41_rids_vs_handles.cc.o.d"
+  "bench_sec41_rids_vs_handles"
+  "bench_sec41_rids_vs_handles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_rids_vs_handles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec41_rids_vs_handles.
+# This may be replaced when dependencies are built.

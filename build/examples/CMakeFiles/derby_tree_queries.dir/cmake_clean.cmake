@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derby_tree_queries.dir/derby_tree_queries.cc.o"
+  "CMakeFiles/derby_tree_queries.dir/derby_tree_queries.cc.o.d"
+  "derby_tree_queries"
+  "derby_tree_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derby_tree_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/results_warehouse.dir/results_warehouse.cc.o"
+  "CMakeFiles/results_warehouse.dir/results_warehouse.cc.o.d"
+  "results_warehouse"
+  "results_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/results_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

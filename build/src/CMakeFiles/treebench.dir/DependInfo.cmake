@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchdb/derby.cc" "src/CMakeFiles/treebench.dir/benchdb/derby.cc.o" "gcc" "src/CMakeFiles/treebench.dir/benchdb/derby.cc.o.d"
+  "/root/repo/src/benchdb/loader.cc" "src/CMakeFiles/treebench.dir/benchdb/loader.cc.o" "gcc" "src/CMakeFiles/treebench.dir/benchdb/loader.cc.o.d"
+  "/root/repo/src/cache/lru_page_cache.cc" "src/CMakeFiles/treebench.dir/cache/lru_page_cache.cc.o" "gcc" "src/CMakeFiles/treebench.dir/cache/lru_page_cache.cc.o.d"
+  "/root/repo/src/cache/two_level_cache.cc" "src/CMakeFiles/treebench.dir/cache/two_level_cache.cc.o" "gcc" "src/CMakeFiles/treebench.dir/cache/two_level_cache.cc.o.d"
+  "/root/repo/src/catalog/collection.cc" "src/CMakeFiles/treebench.dir/catalog/collection.cc.o" "gcc" "src/CMakeFiles/treebench.dir/catalog/collection.cc.o.d"
+  "/root/repo/src/catalog/database.cc" "src/CMakeFiles/treebench.dir/catalog/database.cc.o" "gcc" "src/CMakeFiles/treebench.dir/catalog/database.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/treebench.dir/common/random.cc.o" "gcc" "src/CMakeFiles/treebench.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/treebench.dir/common/status.cc.o" "gcc" "src/CMakeFiles/treebench.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/treebench.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/treebench.dir/common/string_util.cc.o.d"
+  "/root/repo/src/cost/metrics.cc" "src/CMakeFiles/treebench.dir/cost/metrics.cc.o" "gcc" "src/CMakeFiles/treebench.dir/cost/metrics.cc.o.d"
+  "/root/repo/src/cost/sim_context.cc" "src/CMakeFiles/treebench.dir/cost/sim_context.cc.o" "gcc" "src/CMakeFiles/treebench.dir/cost/sim_context.cc.o.d"
+  "/root/repo/src/index/btree_index.cc" "src/CMakeFiles/treebench.dir/index/btree_index.cc.o" "gcc" "src/CMakeFiles/treebench.dir/index/btree_index.cc.o.d"
+  "/root/repo/src/objects/object_layout.cc" "src/CMakeFiles/treebench.dir/objects/object_layout.cc.o" "gcc" "src/CMakeFiles/treebench.dir/objects/object_layout.cc.o.d"
+  "/root/repo/src/objects/object_store.cc" "src/CMakeFiles/treebench.dir/objects/object_store.cc.o" "gcc" "src/CMakeFiles/treebench.dir/objects/object_store.cc.o.d"
+  "/root/repo/src/objects/schema.cc" "src/CMakeFiles/treebench.dir/objects/schema.cc.o" "gcc" "src/CMakeFiles/treebench.dir/objects/schema.cc.o.d"
+  "/root/repo/src/objects/set_store.cc" "src/CMakeFiles/treebench.dir/objects/set_store.cc.o" "gcc" "src/CMakeFiles/treebench.dir/objects/set_store.cc.o.d"
+  "/root/repo/src/query/binder.cc" "src/CMakeFiles/treebench.dir/query/binder.cc.o" "gcc" "src/CMakeFiles/treebench.dir/query/binder.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/treebench.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/treebench.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/index_fetch.cc" "src/CMakeFiles/treebench.dir/query/index_fetch.cc.o" "gcc" "src/CMakeFiles/treebench.dir/query/index_fetch.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/CMakeFiles/treebench.dir/query/optimizer.cc.o" "gcc" "src/CMakeFiles/treebench.dir/query/optimizer.cc.o.d"
+  "/root/repo/src/query/oql/lexer.cc" "src/CMakeFiles/treebench.dir/query/oql/lexer.cc.o" "gcc" "src/CMakeFiles/treebench.dir/query/oql/lexer.cc.o.d"
+  "/root/repo/src/query/oql/parser.cc" "src/CMakeFiles/treebench.dir/query/oql/parser.cc.o" "gcc" "src/CMakeFiles/treebench.dir/query/oql/parser.cc.o.d"
+  "/root/repo/src/query/selection.cc" "src/CMakeFiles/treebench.dir/query/selection.cc.o" "gcc" "src/CMakeFiles/treebench.dir/query/selection.cc.o.d"
+  "/root/repo/src/query/tree_query.cc" "src/CMakeFiles/treebench.dir/query/tree_query.cc.o" "gcc" "src/CMakeFiles/treebench.dir/query/tree_query.cc.o.d"
+  "/root/repo/src/stats/stat_store.cc" "src/CMakeFiles/treebench.dir/stats/stat_store.cc.o" "gcc" "src/CMakeFiles/treebench.dir/stats/stat_store.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/treebench.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/treebench.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/treebench.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/treebench.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/record_file.cc" "src/CMakeFiles/treebench.dir/storage/record_file.cc.o" "gcc" "src/CMakeFiles/treebench.dir/storage/record_file.cc.o.d"
+  "/root/repo/src/storage/rid.cc" "src/CMakeFiles/treebench.dir/storage/rid.cc.o" "gcc" "src/CMakeFiles/treebench.dir/storage/rid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derby_test.dir/derby_test.cc.o"
+  "CMakeFiles/derby_test.dir/derby_test.cc.o.d"
+  "derby_test"
+  "derby_test.pdb"
+  "derby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_and_cache_test.dir/disk_and_cache_test.cc.o"
+  "CMakeFiles/disk_and_cache_test.dir/disk_and_cache_test.cc.o.d"
+  "disk_and_cache_test"
+  "disk_and_cache_test.pdb"
+  "disk_and_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_and_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_fetch_test.dir/index_fetch_test.cc.o"
+  "CMakeFiles/index_fetch_test.dir/index_fetch_test.cc.o.d"
+  "index_fetch_test"
+  "index_fetch_test.pdb"
+  "index_fetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_fetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oql_end_to_end_test.dir/oql_end_to_end_test.cc.o"
+  "CMakeFiles/oql_end_to_end_test.dir/oql_end_to_end_test.cc.o.d"
+  "oql_end_to_end_test"
+  "oql_end_to_end_test.pdb"
+  "oql_end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oql_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

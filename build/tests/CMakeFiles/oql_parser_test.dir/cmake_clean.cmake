@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oql_parser_test.dir/oql_parser_test.cc.o"
+  "CMakeFiles/oql_parser_test.dir/oql_parser_test.cc.o.d"
+  "oql_parser_test"
+  "oql_parser_test.pdb"
+  "oql_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

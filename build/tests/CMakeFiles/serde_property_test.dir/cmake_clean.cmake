@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serde_property_test.dir/serde_property_test.cc.o"
+  "CMakeFiles/serde_property_test.dir/serde_property_test.cc.o.d"
+  "serde_property_test"
+  "serde_property_test.pdb"
+  "serde_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serde_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_store_test.dir/set_store_test.cc.o"
+  "CMakeFiles/set_store_test.dir/set_store_test.cc.o.d"
+  "set_store_test"
+  "set_store_test.pdb"
+  "set_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

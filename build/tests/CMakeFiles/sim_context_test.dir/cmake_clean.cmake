@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_context_test.dir/sim_context_test.cc.o"
+  "CMakeFiles/sim_context_test.dir/sim_context_test.cc.o.d"
+  "sim_context_test"
+  "sim_context_test.pdb"
+  "sim_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

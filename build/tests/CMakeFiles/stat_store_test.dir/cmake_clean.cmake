@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_store_test.dir/stat_store_test.cc.o"
+  "CMakeFiles/stat_store_test.dir/stat_store_test.cc.o.d"
+  "stat_store_test"
+  "stat_store_test.pdb"
+  "stat_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

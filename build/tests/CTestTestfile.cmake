@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/btree_index_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_property_test[1]_include.cmake")
+include("/root/repo/build/tests/collection_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/derby_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_and_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/index_fetch_test[1]_include.cmake")
+include("/root/repo/build/tests/loader_test[1]_include.cmake")
+include("/root/repo/build/tests/maintenance_test[1]_include.cmake")
+include("/root/repo/build/tests/object_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/object_store_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/oql_end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/oql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/page_test[1]_include.cmake")
+include("/root/repo/build/tests/serde_property_test[1]_include.cmake")
+include("/root/repo/build/tests/set_store_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_context_test[1]_include.cmake")
+include("/root/repo/build/tests/stat_store_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_query_test[1]_include.cmake")
