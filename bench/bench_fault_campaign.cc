@@ -1,0 +1,233 @@
+// Fault campaign: how much do transient faults cost? Runs the canonical
+// Derby tree query fault-free, then under seeded RPC/disk fault campaigns of
+// increasing intensity, and reports the cost delta: retries absorbed by the
+// backoff path, time spent backing off, re-reads, and hard failures. A
+// second table measures the checkpointed-recovery loader: an uninterrupted
+// bulk load vs one killed by RPC bursts and replayed from its checkpoints.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "src/benchdb/loader.h"
+#include "src/common/string_util.h"
+#include "src/cost/fault_injector.h"
+#include "src/query/tree_query.h"
+
+namespace treebench::bench {
+namespace {
+
+struct CampaignRow {
+  std::string label;
+  std::string outcome;
+  double seconds = 0;
+  Metrics metrics;
+  uint64_t injected = 0;
+};
+
+CampaignRow RunCampaign(DerbyDb& derby, const std::string& label,
+                        double rpc_p, double disk_read_p, uint64_t seed) {
+  Database& db = *derby.db;
+  FaultInjector& faults = db.sim().faults();
+  if (rpc_p > 0 || disk_read_p > 0) {
+    faults.Arm(seed);
+    faults.SetProbability(FaultSite::kRpc, rpc_p);
+    faults.SetProbability(FaultSite::kDiskRead, disk_read_p);
+  } else {
+    faults.Disarm();
+  }
+
+  TreeQuerySpec spec = DerbyTreeQuery(derby, 90, 10);
+  Result<QueryRunStats> run =
+      RunTreeQuery(&db, spec, TreeJoinAlgo::kNL);
+
+  CampaignRow row;
+  row.label = label;
+  if (run.ok()) {
+    row.outcome = "ok";
+    row.seconds = run->seconds;
+    row.metrics = run->metrics;
+  } else {
+    // The query died; the partial metrics up to the failure still live in
+    // the sim context.
+    row.outcome = StatusCodeName(run.status().code());
+    row.seconds = db.sim().elapsed_seconds();
+    row.metrics = db.sim().metrics();
+  }
+  row.injected = faults.injected(FaultSite::kRpc) +
+                 faults.injected(FaultSite::kDiskRead);
+  faults.Disarm();
+  return row;
+}
+
+void QueryCampaigns(const BenchOptions& opts) {
+  DerbyConfig cfg;
+  cfg.providers = 2000;
+  cfg.avg_children = 1000;
+  cfg.clustering = ClusteringStrategy::kClassClustered;
+  cfg.scale = opts.scale;
+  auto derby = BuildDerby(cfg).value();
+
+  struct Intensity {
+    std::string label;
+    double rpc_p;
+    double disk_p;
+  };
+  std::vector<Intensity> campaigns = {
+      {"fault-free", 0.0, 0.0},
+      {"rpc 0.1%", 0.001, 0.0},
+      {"rpc 1%", 0.01, 0.0},
+      {"rpc 1% + disk 0.1%", 0.01, 0.001},
+      {"rpc 5%", 0.05, 0.0},
+  };
+
+  std::vector<CampaignRow> results;
+  for (const Intensity& in : campaigns) {
+    results.push_back(
+        RunCampaign(*derby, in.label, in.rpc_p, in.disk_p, /*seed=*/1));
+  }
+
+  const CampaignRow& base = results.front();
+  std::vector<std::vector<std::string>> rows;
+  for (const CampaignRow& r : results) {
+    rows.push_back({r.label, r.outcome,
+                    FormatSeconds(r.seconds * opts.scale),
+                    base.seconds > 0 ? Ratio(r.seconds, base.seconds) : "-",
+                    WithThousands(r.injected),
+                    WithThousands(r.metrics.rpc_retries),
+                    WithThousands(r.metrics.rpc_failures),
+                    WithThousands(r.metrics.disk_read_faults),
+                    FormatSeconds(
+                        static_cast<double>(r.metrics.retry_backoff_ns) /
+                        1e9 * opts.scale)});
+  }
+  PrintTable(
+      "NL 90/10 on 2e3x2e6 class cluster under seeded fault campaigns",
+      {"campaign", "outcome", "time (s)", "vs clean", "injected", "retries",
+       "failures", "disk faults", "backoff (s)"},
+      rows);
+  std::printf(
+      "\nexpected: RPC fault rates up to a few percent are fully absorbed\n"
+      "by the 4-attempt backoff path at a modest time premium (an RPC is\n"
+      "abandoned only after 4 consecutive losses). Disk faults are not\n"
+      "retried, so even a 0.1%% disk rate aborts the cold run early with\n"
+      "Unavailable. Every run of a given campaign is bit-identical\n"
+      "(seeded injector).\n");
+}
+
+void LoaderCampaign(const BenchOptions& opts) {
+  // Keep enough objects (and a small enough client cache) that the load
+  // itself generates steady RPC traffic for the bursts to land in.
+  const int kObjects =
+      std::max(800, static_cast<int>(20000 / opts.scale));
+  const uint32_t kCommitEvery = std::max(50, kObjects / 8);
+  auto make_db = []() {
+    DatabaseOptions dbo;
+    dbo.cache.client_bytes = 16 * kPageSize;
+    dbo.cache.server_bytes = 8 * kPageSize;
+    return dbo;
+  };
+  auto setup = [](Database* db, uint16_t* cls, uint16_t* file) {
+    *cls = db->CreateClass("Item", {{"k", AttrType::kInt32},
+                                    {"pad", AttrType::kString}})
+               .value();
+    db->CreateCollection("Items").value();
+    *file = db->CreateFile("items");
+  };
+  auto item = [](int i) {
+    return ObjectData{static_cast<int32_t>(i),
+                      std::string(400, static_cast<char>('a' + i % 26))};
+  };
+  LoadOptions lopts;
+  lopts.commit_every = kCommitEvery;
+  lopts.checkpoint_recovery = true;
+  auto check = [](const Status& s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "loader campaign failed: %s\n",
+                   s.ToString().c_str());
+      std::abort();
+    }
+  };
+
+  // Uninterrupted load.
+  Database clean(make_db());
+  uint16_t ccls = 0, cfile = 0;
+  setup(&clean, &ccls, &cfile);
+  uint64_t rpc_before = clean.sim().metrics().rpc_count;
+  double t0 = clean.sim().elapsed_seconds();
+  {
+    Loader loader(&clean, lopts);
+    CreateOptions co;
+    co.file_id = cfile;
+    for (int i = 0; i < kObjects; ++i) {
+      loader.CreateObject(ccls, item(i), co, "Items").value();
+    }
+    check(loader.Commit());
+  }
+  double clean_seconds = clean.sim().elapsed_seconds() - t0;
+  uint64_t clean_rpcs = clean.sim().metrics().rpc_count - rpc_before;
+
+  // Killed-and-replayed load: three RPC bursts, each long enough to
+  // exhaust the 4-attempt retry budget, spread across the load.
+  Database faulty(make_db());
+  uint16_t fcls = 0, ffile = 0;
+  setup(&faulty, &fcls, &ffile);
+  double f0 = faulty.sim().elapsed_seconds();
+  Loader loader(&faulty, lopts);
+  faulty.sim().faults().Arm(7);
+  for (uint64_t quarter : {1, 2, 3}) {  // at 1/4, 1/2 and 3/4 of the load
+    faulty.sim().faults().Schedule(
+        {FaultSite::kRpc, clean_rpcs * quarter / 4, 0.0, 4});
+  }
+  CreateOptions co;
+  co.file_id = ffile;
+  uint64_t replayed_objects = 0;
+  uint64_t next = 0;
+  while (next < static_cast<uint64_t>(kObjects)) {
+    Status s =
+        loader.CreateObject(fcls, item(static_cast<int>(next)), co, "Items")
+            .status();
+    if (!s.ok()) {
+      check(loader.RollbackToCheckpoint());
+      replayed_objects += next - loader.objects_created();
+      next = loader.objects_created();
+      continue;
+    }
+    next = loader.objects_created();
+  }
+  faulty.sim().faults().Disarm();
+  check(loader.Commit());
+  double faulty_seconds = faulty.sim().elapsed_seconds() - f0;
+
+  PrintTable(
+      "checkpointed bulk load: uninterrupted vs killed-and-replayed (" +
+          WithThousands(kObjects) + " objects, commit every " +
+          WithThousands(kCommitEvery) + ")",
+      {"load", "time (s)", "vs clean", "kills", "replayed objs",
+       "final objs"},
+      {{"uninterrupted", FormatSeconds(clean_seconds * opts.scale),
+        Ratio(clean_seconds, clean_seconds), "0", "0",
+        WithThousands(kObjects)},
+       {"3 RPC bursts",
+        FormatSeconds(faulty_seconds * opts.scale),
+        Ratio(faulty_seconds, clean_seconds),
+        WithThousands(faulty.sim().metrics().checkpoint_replays),
+        WithThousands(replayed_objects), WithThousands(kObjects)}});
+  std::printf(
+      "\nexpected: each kill costs at most one batch of re-driven work, so\n"
+      "the replay overhead is bounded by kills x commit interval; both\n"
+      "databases hold identical objects (see fault_injection_test).\n");
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  QueryCampaigns(opts);
+  std::printf("\n");
+  LoaderCampaign(opts);
+  return 0;
+}
+
+}  // namespace
+}  // namespace treebench::bench
+
+int main(int argc, char** argv) { return treebench::bench::Main(argc, argv); }

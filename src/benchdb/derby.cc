@@ -322,14 +322,18 @@ Result<std::unique_ptr<DerbyDb>> BuildDerby(const DerbyConfig& config) {
       // repaired extents for the stats below.
       PersistentCollection* prov = db.GetCollection("Providers").value();
       uint64_t i = 0;
-      for (auto it = prov->Scan(); it.Valid(); it.Next()) {
-        provider_rids[i++] = it.rid();
+      auto pit = prov->Scan();
+      for (; pit.Valid(); pit.Next()) {
+        provider_rids[i++] = pit.rid();
       }
+      TB_RETURN_IF_ERROR(pit.status());
       PersistentCollection* pat = db.GetCollection("Patients").value();
       uint64_t m = 0;
-      for (auto it = pat->Scan(); it.Valid(); it.Next()) {
-        patient_rids[m++] = it.rid();
+      auto cit = pat->Scan();
+      for (; cit.Valid(); cit.Next()) {
+        patient_rids[m++] = cit.rid();
       }
+      TB_RETURN_IF_ERROR(cit.status());
     }
   }
 

@@ -2,9 +2,24 @@
 
 namespace treebench {
 
+Status Loader::EnsureCheckpointEpoch() {
+  if (epoch_started_) return Status::OK();
+  // The checkpoint baseline must be on disk: pre-images are captured from
+  // disk bytes, so anything still dirty in the caches would roll back to a
+  // stale version.
+  TB_RETURN_IF_ERROR(db_->cache().FlushAll());
+  db_->disk().BeginUndoEpoch();
+  epoch_started_ = true;
+  checkpoint_created_ = created_;
+  return Status::OK();
+}
+
 Result<Rid> Loader::CreateObject(uint16_t class_id, const ObjectData& data,
                                  const CreateOptions& create_opts,
                                  const std::string& collection) {
+  if (opts_.checkpoint_recovery) {
+    TB_RETURN_IF_ERROR(EnsureCheckpointEpoch());
+  }
   if (opts_.transactions && uncommitted_ >= opts_.max_uncommitted) {
     return Status::ResourceExhausted(
         "out of memory: too many objects created within one transaction "
@@ -22,7 +37,7 @@ Result<Rid> Loader::CreateObject(uint16_t class_id, const ObjectData& data,
     TB_ASSIGN_OR_RETURN(col, db_->GetCollection(collection));
     Rid canonical;
     TB_ASSIGN_OR_RETURN(canonical, db_->NotifyInsert(collection, rid));
-    col->Append(canonical);
+    TB_RETURN_IF_ERROR(col->Append(canonical));
     rid = canonical;
   }
   ++created_;
@@ -37,9 +52,35 @@ Status Loader::Commit() {
     db_->sim().ChargeCommit();
     uncommitted_ = 0;
   }
+  if (opts_.checkpoint_recovery && epoch_started_) {
+    // Durability point: push every dirty page to disk, then the epoch's
+    // work is final and a fresh epoch starts from the new disk state.
+    TB_RETURN_IF_ERROR(db_->cache().FlushAll());
+    db_->disk().CommitUndoEpoch();
+    db_->disk().BeginUndoEpoch();
+    checkpoint_created_ = created_;
+  }
   // Transaction end releases the in-memory representatives accumulated by
   // the creation loop.
   db_->store().ReleaseZombies();
+  return Status::OK();
+}
+
+Status Loader::RollbackToCheckpoint() {
+  if (!opts_.checkpoint_recovery || !epoch_started_) {
+    return Status::InvalidArgument(
+        "rollback requires checkpoint_recovery loading");
+  }
+  db_->sim().metrics().checkpoint_replays++;
+  db_->disk().RollbackUndoEpoch();
+  // Everything above the disk may reference undone state: cached pages,
+  // object handles, record-file append cursors.
+  db_->cache().DropAll();
+  db_->store().DropAllHandles();
+  db_->store().ResetFileCursors();
+  db_->disk().BeginUndoEpoch();
+  created_ = checkpoint_created_;
+  uncommitted_ = 0;
   return Status::OK();
 }
 

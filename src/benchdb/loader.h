@@ -23,11 +23,23 @@ struct LoadOptions {
   uint32_t max_uncommitted = 100000;
   /// Approximate log bytes per created object when transactions are on.
   uint32_t log_bytes_per_object = 128;
+  /// Checkpointed recovery: every Commit() flushes both caches and rotates
+  /// the disk's undo epoch, so a failed batch can be rolled back with
+  /// RollbackToCheckpoint() and re-driven from objects_created(). Off by
+  /// default — the flush changes the load's I/O profile.
+  bool checkpoint_recovery = false;
 };
 
 /// Wraps a Database for bulk creation: forwards object creation while
 /// charging transaction costs, enforcing the uncommitted-object limit and
 /// maintaining any predeclared indexes via Database::NotifyInsert.
+///
+/// With LoadOptions::checkpoint_recovery on, the loader is *resumable*: each
+/// commit is a checkpoint (durable flush + undo-epoch rotation). When a
+/// creation fails mid-batch — e.g. a fault campaign exhausts the RPC
+/// retries — call RollbackToCheckpoint() and resume feeding objects starting
+/// at objects_created(); the database ends up identical to an uninterrupted
+/// load.
 class Loader {
  public:
   Loader(Database* db, LoadOptions opts) : db_(db), opts_(opts) {}
@@ -42,16 +54,31 @@ class Loader {
                            const std::string& collection = "");
 
   /// Commits the open transaction (no-op in transaction-off mode beyond
-  /// releasing handles).
+  /// releasing handles). Under checkpoint_recovery this is the durability
+  /// point: flush everything, then rotate the undo epoch.
   Status Commit();
 
+  /// Discards all work since the last checkpoint: restores the disk to the
+  /// last committed state, empties both caches and drops all handles and
+  /// cached file cursors. objects_created() rewinds to the checkpoint.
+  /// Requires checkpoint_recovery.
+  Status RollbackToCheckpoint();
+
   uint64_t objects_created() const { return created_; }
+  uint64_t checkpointed_objects() const { return checkpoint_created_; }
 
  private:
+  /// Opens the first undo epoch lazily: the pre-existing state (schema
+  /// files, collections, index metas) must be durable before pre-images
+  /// are trusted, so everything dirty is flushed first.
+  Status EnsureCheckpointEpoch();
+
   Database* db_;
   LoadOptions opts_;
   uint64_t created_ = 0;
+  uint64_t checkpoint_created_ = 0;
   uint32_t uncommitted_ = 0;
+  bool epoch_started_ = false;
 };
 
 }  // namespace treebench

@@ -1,5 +1,7 @@
 #include "src/cache/two_level_cache.h"
 
+#include <algorithm>
+
 namespace treebench {
 
 TwoLevelCache::TwoLevelCache(DiskManager* disk, SimContext* sim,
@@ -18,79 +20,164 @@ TwoLevelCache::~TwoLevelCache() {
       -static_cast<int64_t>(config_.client_bytes + config_.server_bytes));
 }
 
-const uint8_t* TwoLevelCache::GetPage(uint16_t file_id, uint32_t page_id) {
-  return Ensure(file_id, page_id, /*for_write=*/false);
+Result<const uint8_t*> TwoLevelCache::GetPage(uint16_t file_id,
+                                              uint32_t page_id) {
+  TB_ASSIGN_OR_RETURN(uint8_t* data,
+                      Ensure(file_id, page_id, /*for_write=*/false));
+  return static_cast<const uint8_t*>(data);
 }
 
-uint8_t* TwoLevelCache::GetPageForWrite(uint16_t file_id, uint32_t page_id) {
+Result<uint8_t*> TwoLevelCache::GetPageForWrite(uint16_t file_id,
+                                                uint32_t page_id) {
   return Ensure(file_id, page_id, /*for_write=*/true);
 }
 
-uint8_t* TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
-                               bool for_write) {
+Result<uint8_t*> TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
+                                       bool for_write) {
   uint64_t key = Key(file_id, page_id);
   Metrics& m = sim_->metrics();
   if (client_.Touch(key)) {
     ++m.client_cache_hits;
   } else {
-    // Client-cache page fault: one RPC ships the page from the server.
+    // Client-cache page fault: one RPC ships the page from the server. The
+    // request travels first (a lost RPC costs no server work), then the
+    // server materializes the page.
     ++m.client_cache_misses;
-    EnsureAtServer(key);
-    sim_->ChargeRpc(kPageSize);
+    TB_RETURN_IF_ERROR(RpcToServer(kPageSize));
+    TB_RETURN_IF_ERROR(EnsureAtServer(key));
     LruPageCache::Evicted ev = client_.Insert(key);
-    if (ev.valid && ev.dirty) WriteBackToServer(ev.key);
+    if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteBackToServer(ev.key));
   }
-  if (for_write) client_.MarkDirty(key);
+  if (for_write) {
+    client_.MarkDirty(key);
+    disk_->JournalPageWrite(file_id, page_id);
+  }
   return disk_->RawPage(file_id, page_id);
 }
 
-void TwoLevelCache::EnsureAtServer(uint64_t key) {
+Status TwoLevelCache::RpcToServer(uint64_t bytes) {
+  const RetryPolicy& rp = config_.retry;
+  Metrics& m = sim_->metrics();
+  double backoff = rp.initial_backoff_ns;
+  for (uint32_t attempt = 0; attempt < rp.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      double wait = std::min(backoff, rp.max_backoff_ns);
+      sim_->Charge(wait);
+      m.retry_backoff_ns += static_cast<uint64_t>(wait);
+      backoff *= rp.backoff_multiplier;
+    }
+    bool failed =
+        sim_->faults().ShouldFail(FaultSite::kRpc, sim_->elapsed_ns());
+    // The attempt consumes wire time whether or not the reply arrives.
+    sim_->ChargeRpc(bytes);
+    if (!failed) return Status::OK();
+    if (attempt + 1 < rp.max_attempts) ++m.rpc_retries;
+  }
+  ++m.rpc_failures;
+  return Status::Unavailable("rpc to server failed after retries");
+}
+
+Status TwoLevelCache::EnsureAtServer(uint64_t key) {
   Metrics& m = sim_->metrics();
   if (server_.Touch(key)) {
     ++m.server_cache_hits;
-    return;
+    return Status::OK();
   }
   ++m.server_cache_misses;
+  if (sim_->faults().ShouldFail(FaultSite::kDiskRead, sim_->elapsed_ns())) {
+    ++m.disk_read_faults;
+    sim_->ChargeDiskRead();
+    return Status::Unavailable("disk read failed");
+  }
   sim_->ChargeDiskRead();
+  uint16_t file_id = static_cast<uint16_t>(key >> 32);
+  uint32_t page_id = static_cast<uint32_t>(key);
+  TB_ASSIGN_OR_RETURN(const uint8_t* raw, disk_->RawPage(file_id, page_id));
+  if (!VerifyPageChecksum(raw)) {
+    ++m.corruptions_detected;
+    return Status::Corruption("page checksum mismatch on cache fill (file " +
+                              std::to_string(file_id) + " page " +
+                              std::to_string(page_id) + ")");
+  }
   LruPageCache::Evicted ev = server_.Insert(key);
-  if (ev.valid && ev.dirty) sim_->ChargeDiskWrite();
+  if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteToDisk(ev.key));
+  return Status::OK();
 }
 
-void TwoLevelCache::WriteBackToServer(uint64_t key) {
+Status TwoLevelCache::WriteBackToServer(uint64_t key) {
   // Evicted dirty client page: one RPC down, page becomes dirty at the
   // server (written to disk on server-level eviction or flush).
-  sim_->ChargeRpc(kPageSize);
+  TB_RETURN_IF_ERROR(RpcToServer(kPageSize));
   if (!server_.Touch(key)) {
     LruPageCache::Evicted ev = server_.Insert(key, /*dirty=*/true);
-    if (ev.valid && ev.dirty) sim_->ChargeDiskWrite();
+    if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteToDisk(ev.key));
   } else {
     server_.MarkDirty(key);
   }
+  return Status::OK();
 }
 
-std::pair<uint32_t, uint8_t*> TwoLevelCache::NewPage(uint16_t file_id) {
+Status TwoLevelCache::WriteToDisk(uint64_t key) {
+  Metrics& m = sim_->metrics();
+  if (sim_->faults().ShouldFail(FaultSite::kDiskWrite, sim_->elapsed_ns())) {
+    ++m.disk_write_faults;
+    sim_->ChargeDiskWrite();
+    return Status::Unavailable("disk write failed");
+  }
+  uint16_t file_id = static_cast<uint16_t>(key >> 32);
+  uint32_t page_id = static_cast<uint32_t>(key);
+  TB_ASSIGN_OR_RETURN(uint8_t* raw, disk_->RawPage(file_id, page_id));
+  StampPageChecksum(raw);
+  if (sim_->faults().ShouldFail(FaultSite::kPageWriteCorruption,
+                                sim_->elapsed_ns())) {
+    // Silent bit rot on the way to the platter: the stored image no longer
+    // matches its freshly stamped trailer, so the next fill detects it.
+    raw[kPageSize / 2] ^= 0xA5;
+  }
+  sim_->ChargeDiskWrite();
+  return Status::OK();
+}
+
+Result<std::pair<uint32_t, uint8_t*>> TwoLevelCache::NewPage(
+    uint16_t file_id) {
   uint32_t page_id = disk_->AllocatePage(file_id);
   uint64_t key = Key(file_id, page_id);
   LruPageCache::Evicted ev = client_.Insert(key, /*dirty=*/true);
-  if (ev.valid && ev.dirty) WriteBackToServer(ev.key);
-  return {page_id, disk_->RawPage(file_id, page_id)};
+  if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteBackToServer(ev.key));
+  TB_ASSIGN_OR_RETURN(uint8_t* raw, disk_->RawPage(file_id, page_id));
+  return std::pair<uint32_t, uint8_t*>(page_id, raw);
 }
 
-void TwoLevelCache::FlushAll() {
+Status TwoLevelCache::FlushAll() {
+  Status first_error = Status::OK();
+  auto note = [&first_error](const Status& s) {
+    if (first_error.ok() && !s.ok()) first_error = s;
+  };
   client_.FlushDirty([&](uint64_t key) {
-    sim_->ChargeRpc(kPageSize);
+    Status s = RpcToServer(kPageSize);
+    if (!s.ok()) {
+      note(s);
+      return;
+    }
     if (server_.Touch(key)) {
       server_.MarkDirty(key);
     } else {
       LruPageCache::Evicted ev = server_.Insert(key, /*dirty=*/true);
-      if (ev.valid && ev.dirty) sim_->ChargeDiskWrite();
+      if (ev.valid && ev.dirty) note(WriteToDisk(ev.key));
     }
   });
-  server_.FlushDirty([&](uint64_t) { sim_->ChargeDiskWrite(); });
+  server_.FlushDirty([&](uint64_t key) { note(WriteToDisk(key)); });
+  return first_error;
 }
 
-void TwoLevelCache::Shutdown() {
-  FlushAll();
+Status TwoLevelCache::Shutdown() {
+  Status st = FlushAll();
+  client_.Clear();
+  server_.Clear();
+  return st;
+}
+
+void TwoLevelCache::DropAll() {
   client_.Clear();
   server_.Clear();
 }

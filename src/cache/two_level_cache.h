@@ -5,16 +5,30 @@
 #include <utility>
 
 #include "src/cache/lru_page_cache.h"
+#include "src/common/status.h"
 #include "src/cost/sim_context.h"
 #include "src/storage/disk_manager.h"
 
 namespace treebench {
+
+/// Bounded exponential backoff for the client->server RPC path. A transient
+/// RPC fault (FaultSite::kRpc) consumes one attempt; each retry first waits
+/// `initial_backoff_ns * backoff_multiplier^(retry-1)` (capped at
+/// `max_backoff_ns`) of simulated time, then re-sends. Exhaustion surfaces
+/// StatusCode::kUnavailable to the caller.
+struct RetryPolicy {
+  uint32_t max_attempts = 4;
+  double initial_backoff_ns = 1e6;  // 1 ms
+  double backoff_multiplier = 2.0;
+  double max_backoff_ns = 100e6;  // 100 ms
+};
 
 /// Cache sizes of the paper's configuration (Section 2): 4 MB server cache,
 /// 32 MB client cache, client and server on the same machine.
 struct CacheConfig {
   uint64_t client_bytes = 32ull << 20;
   uint64_t server_bytes = 4ull << 20;
+  RetryPolicy retry;
 
   uint32_t client_pages() const {
     return static_cast<uint32_t>(client_bytes / kPageSize);
@@ -32,6 +46,16 @@ struct CacheConfig {
 /// All costs (disk reads/writes, RPC latency + page shipping, fault
 /// counters) are charged to the SimContext; both cache footprints are
 /// registered against the simulated machine's RAM.
+///
+/// This is also the engine's fault boundary (see docs/fault_model.md):
+///  - every client->server RPC runs under the RetryPolicy and can fail
+///    transiently (FaultSite::kRpc);
+///  - every server-level disk read verifies the page checksum and can fail
+///    (FaultSite::kDiskRead) or detect corruption (kCorruption);
+///  - every server-level disk write stamps the checksum and can fail
+///    (FaultSite::kDiskWrite) or corrupt the page (kPageWriteCorruption);
+///  - the first write access to a page inside an open undo epoch journals
+///    its pre-image for rollback.
 class TwoLevelCache {
  public:
   TwoLevelCache(DiskManager* disk, SimContext* sim, CacheConfig config);
@@ -46,15 +70,15 @@ class TwoLevelCache {
 
   /// Read access to a page; charges whatever faults the access incurs and
   /// returns a pointer to the page bytes.
-  const uint8_t* GetPage(uint16_t file_id, uint32_t page_id);
+  Result<const uint8_t*> GetPage(uint16_t file_id, uint32_t page_id);
 
   /// Write access: as GetPage, plus the page is marked dirty in the client
-  /// cache.
-  uint8_t* GetPageForWrite(uint16_t file_id, uint32_t page_id);
+  /// cache (and journaled if an undo epoch is open).
+  Result<uint8_t*> GetPageForWrite(uint16_t file_id, uint32_t page_id);
 
   /// Allocates a fresh page in `file_id`; it is born resident and dirty in
   /// the client cache (no read I/O).
-  std::pair<uint32_t, uint8_t*> NewPage(uint16_t file_id);
+  Result<std::pair<uint32_t, uint8_t*>> NewPage(uint16_t file_id);
 
   /// True if the page is resident at the client level (no cost).
   bool InClientCache(uint16_t file_id, uint32_t page_id) const {
@@ -62,12 +86,18 @@ class TwoLevelCache {
   }
 
   /// Ships all dirty client pages to the server and all dirty server pages
-  /// to disk.
-  void FlushAll();
+  /// to disk. Under fault injection the first error is returned; dirty bits
+  /// are cleared regardless (a failed flush is followed by rollback).
+  Status FlushAll();
 
   /// Cold restart: flush, then drop both cache levels. The paper runs every
   /// query after a server shutdown ("cold situation", Section 2).
-  void Shutdown();
+  Status Shutdown();
+
+  /// Crash: drop both cache levels *without* flushing. Unflushed work is
+  /// lost from the cost model's perspective; the caller is expected to roll
+  /// the disk back to the last checkpoint.
+  void DropAll();
 
  private:
   static uint64_t Key(uint16_t file_id, uint32_t page_id) {
@@ -76,13 +106,21 @@ class TwoLevelCache {
 
   /// Ensures residency at the client level, charging faults; returns page
   /// bytes.
-  uint8_t* Ensure(uint16_t file_id, uint32_t page_id, bool for_write);
+  Result<uint8_t*> Ensure(uint16_t file_id, uint32_t page_id, bool for_write);
+
+  /// One client->server RPC of `bytes`, under the retry policy.
+  Status RpcToServer(uint64_t bytes);
 
   /// Brings a page into the server cache (disk read if absent); handles
   /// server-level eviction write-back.
-  void EnsureAtServer(uint64_t key);
+  Status EnsureAtServer(uint64_t key);
 
-  void WriteBackToServer(uint64_t key);
+  /// Ships an evicted dirty client page down to the server level.
+  Status WriteBackToServer(uint64_t key);
+
+  /// Writes one server-level page to disk: stamps the checksum, charges the
+  /// write, and applies injected write faults / silent corruption.
+  Status WriteToDisk(uint64_t key);
 
   DiskManager* disk_;
   SimContext* sim_;

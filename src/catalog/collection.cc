@@ -10,53 +10,73 @@ PersistentCollection::PersistentCollection(TwoLevelCache* cache,
                                            std::string name)
     : cache_(cache), sim_(sim), file_id_(file_id), name_(std::move(name)) {
   if (cache_->disk()->NumPages(file_id_) == 0) {
-    auto [meta_id, meta] = cache_->NewPage(file_id_);
-    TB_CHECK(meta_id == 0);
-    PutU64(meta, 0);
+    // Collection setup happens before any fault campaign is armed.
+    auto fresh = cache_->NewPage(file_id_);
+    TB_CHECK(fresh.ok());
+    TB_CHECK(fresh->first == 0);
+    PutU64(fresh->second, 0);
   }
 }
 
-uint64_t PersistentCollection::Count() {
-  return GetU64(cache_->GetPage(file_id_, 0));
+Result<uint64_t> PersistentCollection::Count() {
+  TB_ASSIGN_OR_RETURN(const uint8_t* meta, cache_->GetPage(file_id_, 0));
+  return GetU64(meta);
 }
 
-void PersistentCollection::Append(const Rid& rid) {
-  uint64_t count = Count();
+Status PersistentCollection::Append(const Rid& rid) {
+  uint64_t count = 0;
+  TB_ASSIGN_OR_RETURN(count, Count());
   uint32_t page_index = static_cast<uint32_t>(count / kRidsPerPage);
   uint32_t offset = static_cast<uint32_t>(count % kRidsPerPage);
   uint8_t* data;
   if (offset == 0) {
-    auto [page_id, fresh] = cache_->NewPage(file_id_);
-    TB_CHECK(page_id == page_index + 1);
-    data = fresh;
+    std::pair<uint32_t, uint8_t*> fresh{};
+    TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
+    TB_CHECK(fresh.first == page_index + 1);
+    data = fresh.second;
     PutU16(data, 0);
   } else {
-    data = cache_->GetPageForWrite(file_id_, page_index + 1);
+    TB_ASSIGN_OR_RETURN(data, cache_->GetPageForWrite(file_id_,
+                                                      page_index + 1));
   }
   rid.EncodeTo(data + 2 + offset * Rid::kEncodedSize);
   PutU16(data, static_cast<uint16_t>(offset + 1));
-  PutU64(cache_->GetPageForWrite(file_id_, 0), count + 1);
+  TB_ASSIGN_OR_RETURN(uint8_t* meta, cache_->GetPageForWrite(file_id_, 0));
+  PutU64(meta, count + 1);
+  return Status::OK();
 }
 
 Result<Rid> PersistentCollection::At(uint64_t i) {
-  if (i >= Count()) return Status::OutOfRange("collection index");
+  uint64_t count = 0;
+  TB_ASSIGN_OR_RETURN(count, Count());
+  if (i >= count) return Status::OutOfRange("collection index");
   uint32_t page_index = static_cast<uint32_t>(i / kRidsPerPage);
   uint32_t offset = static_cast<uint32_t>(i % kRidsPerPage);
-  const uint8_t* data = cache_->GetPage(file_id_, page_index + 1);
+  TB_ASSIGN_OR_RETURN(const uint8_t* data,
+                      cache_->GetPage(file_id_, page_index + 1));
   return Rid::DecodeFrom(data + 2 + offset * Rid::kEncodedSize);
 }
 
 Status PersistentCollection::Set(uint64_t i, const Rid& rid) {
-  if (i >= Count()) return Status::OutOfRange("collection index");
+  uint64_t count = 0;
+  TB_ASSIGN_OR_RETURN(count, Count());
+  if (i >= count) return Status::OutOfRange("collection index");
   uint32_t page_index = static_cast<uint32_t>(i / kRidsPerPage);
   uint32_t offset = static_cast<uint32_t>(i % kRidsPerPage);
-  uint8_t* data = cache_->GetPageForWrite(file_id_, page_index + 1);
+  TB_ASSIGN_OR_RETURN(uint8_t* data,
+                      cache_->GetPageForWrite(file_id_, page_index + 1));
   rid.EncodeTo(data + 2 + offset * Rid::kEncodedSize);
   return Status::OK();
 }
 
 PersistentCollection::Iterator::Iterator(PersistentCollection* col)
-    : col_(col), count_(col->Count()) {
+    : col_(col) {
+  Result<uint64_t> count = col->Count();
+  if (!count.ok()) {
+    status_ = count.status();
+    return;
+  }
+  count_ = *count;
   Load();
 }
 
@@ -64,8 +84,13 @@ void PersistentCollection::Iterator::Load() {
   if (index_ >= count_) return;
   uint32_t page_index = static_cast<uint32_t>(index_ / kRidsPerPage);
   uint32_t offset = static_cast<uint32_t>(index_ % kRidsPerPage);
-  const uint8_t* data = col_->cache_->GetPage(col_->file_id_, page_index + 1);
-  rid_ = Rid::DecodeFrom(data + 2 + offset * Rid::kEncodedSize);
+  Result<const uint8_t*> data =
+      col_->cache_->GetPage(col_->file_id_, page_index + 1);
+  if (!data.ok()) {
+    status_ = data.status();
+    return;
+  }
+  rid_ = Rid::DecodeFrom(*data + 2 + offset * Rid::kEncodedSize);
 }
 
 }  // namespace treebench

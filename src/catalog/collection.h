@@ -19,10 +19,12 @@ namespace treebench {
 /// organization — the distinction at the heart of the paper's Section 5.
 ///
 /// File layout: page 0 holds a u64 element count; data pages (1..N) hold
-/// u16 count + packed 8-byte Rids.
+/// u16 count + packed 8-byte Rids (the last 4 bytes of every page belong to
+/// the checksum trailer).
 class PersistentCollection {
  public:
-  static constexpr uint32_t kRidsPerPage = (kPageSize - 2) / Rid::kEncodedSize;
+  static constexpr uint32_t kRidsPerPage =
+      (kPageChecksumOffset - 2) / Rid::kEncodedSize;
 
   /// Opens (or initializes) the collection stored in `file_id`.
   PersistentCollection(TwoLevelCache* cache, SimContext* sim,
@@ -31,10 +33,10 @@ class PersistentCollection {
   const std::string& name() const { return name_; }
   uint16_t file_id() const { return file_id_; }
 
-  uint64_t Count();
+  Result<uint64_t> Count();
 
   /// Appends one element reference.
-  void Append(const Rid& rid);
+  Status Append(const Rid& rid);
 
   /// Element at position `i` (charges the page access).
   Result<Rid> At(uint64_t i);
@@ -46,11 +48,14 @@ class PersistentCollection {
   class Iterator {
    public:
     explicit Iterator(PersistentCollection* col);
-    bool Valid() const { return index_ < count_; }
+    bool Valid() const { return status_.ok() && index_ < count_; }
     void Next() {
       ++index_;
       Load();
     }
+    /// OK unless the scan stopped on a page-access error; check after the
+    /// loop.
+    const Status& status() const { return status_; }
     const Rid& rid() const { return rid_; }
     uint64_t index() const { return index_; }
 
@@ -60,6 +65,7 @@ class PersistentCollection {
     PersistentCollection* col_;
     uint64_t index_ = 0;
     uint64_t count_ = 0;
+    Status status_;
     Rid rid_;
   };
 

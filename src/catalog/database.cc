@@ -104,9 +104,13 @@ Result<IndexInfo*> Database::CreateIndex(const std::string& index_name,
   IndexInfo* ptr = info.get();
   indexes_.push_back(std::move(info));
 
-  if (mode == IndexBuildMode::kAfterLoadIncremental && col->Count() > 0) {
+  uint64_t col_count = 0;
+  TB_ASSIGN_OR_RETURN(col_count, col->Count());
+
+  if (mode == IndexBuildMode::kAfterLoadIncremental && col_count > 0) {
     uint64_t position = 0;
-    for (auto it = col->Scan(); it.Valid(); it.Next(), ++position) {
+    auto it = col->Scan();
+    for (; it.Valid(); it.Next(), ++position) {
       Rid canonical;
       TB_ASSIGN_OR_RETURN(canonical, store_.AddIndexRef(it.rid(), ptr->id));
       if (canonical != it.rid()) {
@@ -119,18 +123,20 @@ Result<IndexInfo*> Database::CreateIndex(const std::string& index_name,
       store_.Unref(h);
       TB_RETURN_IF_ERROR(ptr->tree->Insert(key, canonical));
     }
+    TB_RETURN_IF_ERROR(it.status());
     return ptr;
   }
 
-  if (mode == IndexBuildMode::kAfterLoad && col->Count() > 0) {
+  if (mode == IndexBuildMode::kAfterLoad && col_count > 0) {
     // The Section 3.2 trap, faithfully: every member's header must record
     // its membership. Objects created without header slots are relocated
     // (forwarding stubs destroy the physical organization); the extent is
     // repaired to point at the new locations.
     std::vector<std::pair<int64_t, Rid>> entries;
-    entries.reserve(col->Count());
+    entries.reserve(col_count);
     uint64_t position = 0;
-    for (auto it = col->Scan(); it.Valid(); it.Next(), ++position) {
+    auto it = col->Scan();
+    for (; it.Valid(); it.Next(), ++position) {
       Rid canonical;
       TB_ASSIGN_OR_RETURN(canonical, store_.AddIndexRef(it.rid(), ptr->id));
       if (canonical != it.rid()) {
@@ -143,6 +149,7 @@ Result<IndexInfo*> Database::CreateIndex(const std::string& index_name,
       store_.Unref(h);
       entries.emplace_back(key, canonical);
     }
+    TB_RETURN_IF_ERROR(it.status());
     std::sort(entries.begin(), entries.end(),
               [](const auto& a, const auto& b) {
                 if (a.first != b.first) return a.first < b.first;
@@ -181,7 +188,8 @@ Status Database::Analyze(const std::string& collection) {
   uint64_t fanout_samples = 0;
   std::map<size_t, uint64_t> fanout_total;
 
-  for (auto it = col->Scan(); it.Valid(); it.Next()) {
+  auto it = col->Scan();
+  for (; it.Valid(); it.Next()) {
     const Rid& rid = it.rid();
     ++stats.count;
     pages.insert((static_cast<uint64_t>(rid.file_id) << 32) | rid.page_id);
@@ -211,6 +219,7 @@ Status Database::Analyze(const std::string& collection) {
     ++fanout_samples;
     store_.Unref(h);
   }
+  TB_RETURN_IF_ERROR(it.status());
   stats.object_pages = pages.size();
   stats.scan_clustered = ordered;
   for (auto& [a, total] : fanout_total) {
@@ -276,8 +285,11 @@ Status Database::DumpAndReload(ClusteringStrategy placement) {
   std::map<std::string, std::vector<Dumped>> dumped;
   for (auto& [name, col] : collections_) {
     std::vector<Dumped>& objs = dumped[name];
-    objs.reserve(col->Count());
-    for (auto it = col->Scan(); it.Valid(); it.Next()) {
+    uint64_t count = 0;
+    TB_ASSIGN_OR_RETURN(count, col->Count());
+    objs.reserve(count);
+    auto it = col->Scan();
+    for (; it.Valid(); it.Next()) {
       ObjectHandle* h = nullptr;
       TB_ASSIGN_OR_RETURN(h, store_.Get(it.rid()));
       Dumped d;
@@ -287,6 +299,7 @@ Status Database::DumpAndReload(ClusteringStrategy placement) {
       store_.Unref(h);
       objs.push_back(std::move(d));
     }
+    TB_RETURN_IF_ERROR(it.status());
   }
   store_.DropAllHandles();
 
@@ -453,9 +466,10 @@ Status Database::DumpAndReload(ClusteringStrategy placement) {
   return Status::OK();
 }
 
-void Database::ColdRestart() {
-  cache_.Shutdown();
+Status Database::ColdRestart() {
+  Status s = cache_.Shutdown();
   store_.DropAllHandles();
+  return s;
 }
 
 }  // namespace treebench

@@ -172,13 +172,15 @@ class Database {
 
   /// Server shutdown + client restart: flush and empty both caches and drop
   /// all in-memory handles. Every paper measurement runs cold (Section 2).
-  void ColdRestart();
+  /// The flush can fail under an armed fault campaign.
+  Status ColdRestart();
 
   /// ColdRestart + clock/counter reset: the state in which each paper query
   /// is measured.
-  void BeginMeasuredRun() {
-    ColdRestart();
+  Status BeginMeasuredRun() {
+    TB_RETURN_IF_ERROR(ColdRestart());
     sim_.ResetClock();
+    return Status::OK();
   }
 
  private:

@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  kUnavailable,  // transient failure (RPC timeout, disk hiccup); retryable
 };
 
 /// Returns a stable human-readable name ("Ok", "NotFound", ...).
@@ -64,6 +65,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -76,6 +80,9 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "Ok" or "NotFound: no such file".
   std::string ToString() const;

@@ -1,0 +1,128 @@
+#ifndef TREEBENCH_COST_FAULT_INJECTOR_H_
+#define TREEBENCH_COST_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace treebench {
+
+/// Points in the engine where a fault can be injected.
+enum class FaultSite : uint8_t {
+  kRpc = 0,              // client->server page request fails transiently
+  kDiskRead,             // server-side disk read fails
+  kDiskWrite,            // server-side disk write fails
+  kPageWriteCorruption,  // a page is silently corrupted as it hits disk
+};
+
+inline constexpr int kNumFaultSites = 4;
+
+/// A precisely targeted fault: fires at the site's `at_op`-th operation
+/// (counted from arming, 0-based) for `count` consecutive operations, but
+/// never before simulated time `after_ns`. `at_op == kAnyOp` makes the
+/// trigger purely time-based: the first `count` operations at the site after
+/// `after_ns` fail.
+struct ScheduledFault {
+  static constexpr uint64_t kAnyOp = ~0ull;
+
+  FaultSite site = FaultSite::kRpc;
+  uint64_t at_op = kAnyOp;
+  double after_ns = 0.0;
+  uint32_t count = 1;
+};
+
+/// Deterministic fault source owned by SimContext. Faults come from two
+/// channels, both reproducible given the same seed and call sequence:
+///
+///  - a schedule of precisely targeted faults (see ScheduledFault), and
+///  - a per-site failure probability drawn from a seeded SplitMix64 stream.
+///
+/// The injector is disarmed by default, so the happy path costs one branch.
+/// Engine layers call ShouldFail(site, now_ns) at each failable operation;
+/// the call advances the site's operation counter even when no fault fires,
+/// which is what makes nth-op schedules meaningful.
+class FaultInjector {
+ public:
+  /// Enables injection and (re)seeds the probability stream. Counters and
+  /// the schedule are cleared so campaigns start from a known state.
+  void Arm(uint64_t seed) {
+    armed_ = true;
+    rng_state_ = seed + 0x9e3779b97f4a7c15ull;
+    ops_.fill(0);
+    injected_.fill(0);
+    probability_.fill(0.0);
+    schedule_.clear();
+  }
+
+  /// Disables injection; schedules and probabilities stay for inspection.
+  void Disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  /// Sets the independent per-operation failure probability for a site.
+  void SetProbability(FaultSite site, double p) {
+    probability_[Index(site)] = p;
+  }
+
+  /// Adds a targeted fault to the schedule.
+  void Schedule(ScheduledFault fault) {
+    schedule_.push_back(Entry{fault, fault.count});
+  }
+
+  /// Returns true if the operation about to execute at `site` must fail.
+  /// Always advances the site's op counter.
+  bool ShouldFail(FaultSite site, double now_ns) {
+    if (!armed_) return false;
+    int idx = Index(site);
+    uint64_t op = ops_[idx]++;
+    bool fail = false;
+    for (Entry& e : schedule_) {
+      if (e.fault.site != site || e.remaining == 0) continue;
+      if (now_ns < e.fault.after_ns) continue;
+      if (e.fault.at_op != ScheduledFault::kAnyOp &&
+          (op < e.fault.at_op || op >= e.fault.at_op + e.fault.count)) {
+        continue;
+      }
+      --e.remaining;
+      fail = true;
+      break;
+    }
+    if (!fail && probability_[idx] > 0.0 && NextDouble() < probability_[idx]) {
+      fail = true;
+    }
+    if (fail) ++injected_[idx];
+    return fail;
+  }
+
+  uint64_t ops(FaultSite site) const { return ops_[Index(site)]; }
+  uint64_t injected(FaultSite site) const { return injected_[Index(site)]; }
+
+ private:
+  struct Entry {
+    ScheduledFault fault;
+    uint32_t remaining;
+  };
+
+  static int Index(FaultSite site) { return static_cast<int>(site); }
+
+  // SplitMix64: tiny, seedable, and identical on every platform.
+  uint64_t NextU64() {
+    uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool armed_ = false;
+  uint64_t rng_state_ = 0;
+  std::array<uint64_t, kNumFaultSites> ops_{};
+  std::array<uint64_t, kNumFaultSites> injected_{};
+  std::array<double, kNumFaultSites> probability_{};
+  std::vector<Entry> schedule_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_COST_FAULT_INJECTOR_H_

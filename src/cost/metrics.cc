@@ -5,7 +5,7 @@
 namespace treebench {
 
 std::string Metrics::ToString() const {
-  char buf[1024];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "disk_reads=%llu disk_writes=%llu rpcs=%llu rpc_bytes=%llu\n"
@@ -13,7 +13,9 @@ std::string Metrics::ToString() const {
       "server_cache: hits=%llu misses=%llu miss%%=%.1f swap_ios=%llu\n"
       "handles: gets=%llu lookups=%llu unrefs=%llu literals=%llu\n"
       "cpu: attr=%llu cmp=%llu hash_ins=%llu hash_probe=%llu sorted=%llu\n"
-      "results: set_appends=%llu tuples=%llu",
+      "results: set_appends=%llu tuples=%llu\n"
+      "faults: rpc_retries=%llu rpc_failures=%llu disk_rd=%llu disk_wr=%llu "
+      "corrupt=%llu replays=%llu backoff_ns=%llu",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(disk_writes),
       static_cast<unsigned long long>(rpc_count),
@@ -34,7 +36,14 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(hash_probes),
       static_cast<unsigned long long>(sorted_elements),
       static_cast<unsigned long long>(set_appends),
-      static_cast<unsigned long long>(tuples_built));
+      static_cast<unsigned long long>(tuples_built),
+      static_cast<unsigned long long>(rpc_retries),
+      static_cast<unsigned long long>(rpc_failures),
+      static_cast<unsigned long long>(disk_read_faults),
+      static_cast<unsigned long long>(disk_write_faults),
+      static_cast<unsigned long long>(corruptions_detected),
+      static_cast<unsigned long long>(checkpoint_replays),
+      static_cast<unsigned long long>(retry_backoff_ns));
   return buf;
 }
 

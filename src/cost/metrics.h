@@ -45,6 +45,15 @@ struct Metrics {
   uint64_t relocations = 0;
   uint64_t index_inserts = 0;
 
+  // Fault injection / recovery (robustness campaigns).
+  uint64_t rpc_retries = 0;          // failed attempts that were retried
+  uint64_t rpc_failures = 0;         // RPCs abandoned after retry exhaustion
+  uint64_t disk_read_faults = 0;
+  uint64_t disk_write_faults = 0;
+  uint64_t corruptions_detected = 0;  // checksum mismatches on cache fill
+  uint64_t checkpoint_replays = 0;    // loader rollbacks to last checkpoint
+  uint64_t retry_backoff_ns = 0;      // simulated time spent backing off
+
   /// Client cache miss rate in percent (as the paper's CCMissrate).
   double ClientMissRatePct() const {
     uint64_t total = client_cache_hits + client_cache_misses;
@@ -59,6 +68,9 @@ struct Metrics {
 
   /// Multi-line human-readable dump.
   std::string ToString() const;
+
+  /// Field-wise equality; used to prove fault-campaign determinism.
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 };
 
 }  // namespace treebench

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "src/cost/cost_model.h"
+#include "src/cost/fault_injector.h"
 #include "src/cost/metrics.h"
 
 namespace treebench {
@@ -36,6 +37,12 @@ class SimContext {
   const CostModel& model() const { return model_; }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
+
+  /// Deterministic fault source for robustness campaigns. Disarmed by
+  /// default; survives ResetClock so a campaign can be armed once and then
+  /// measured across several runs.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
 
   double elapsed_ns() const { return clock_ns_; }
   double elapsed_seconds() const { return clock_ns_ / 1e9; }
@@ -223,6 +230,7 @@ class SimContext {
  private:
   CostModel model_;
   Metrics metrics_;
+  FaultInjector faults_;
   double clock_ns_ = 0;
 
   HandleMode handle_mode_ = HandleMode::kFat;

@@ -119,51 +119,64 @@ BTreeIndex::BTreeIndex(TwoLevelCache* cache, SimContext* sim,
                        uint16_t file_id)
     : cache_(cache), sim_(sim), file_id_(file_id) {
   if (cache_->disk()->NumPages(file_id_) == 0) {
-    auto [meta_id, meta] = cache_->NewPage(file_id_);
-    TB_CHECK(meta_id == 0);
-    auto [root_id, root] = cache_->NewPage(file_id_);
-    InitLeaf(root);
-    PutU32(meta, root_id);
+    // Index setup happens before any fault campaign is armed.
+    auto meta = cache_->NewPage(file_id_);
+    TB_CHECK(meta.ok());
+    TB_CHECK(meta->first == 0);
+    auto root = cache_->NewPage(file_id_);
+    TB_CHECK(root.ok());
+    InitLeaf(root->second);
+    PutU32(meta->second, root->first);
   }
 }
 
-uint32_t BTreeIndex::Root() {
-  return GetU32(cache_->GetPage(file_id_, 0));
+Result<uint32_t> BTreeIndex::Root() {
+  TB_ASSIGN_OR_RETURN(const uint8_t* meta, cache_->GetPage(file_id_, 0));
+  return GetU32(meta);
 }
 
-void BTreeIndex::SetRoot(uint32_t page_id) {
-  PutU32(cache_->GetPageForWrite(file_id_, 0), page_id);
+Status BTreeIndex::SetRoot(uint32_t page_id) {
+  TB_ASSIGN_OR_RETURN(uint8_t* meta, cache_->GetPageForWrite(file_id_, 0));
+  PutU32(meta, page_id);
+  return Status::OK();
 }
 
-uint32_t BTreeIndex::FindLeaf(int64_t key, const Rid& rid,
-                              std::vector<uint32_t>* path) {
-  uint32_t page_id = Root();
+Result<uint32_t> BTreeIndex::FindLeaf(int64_t key, const Rid& rid,
+                                      std::vector<uint32_t>* path) {
+  uint32_t page_id = 0;
+  TB_ASSIGN_OR_RETURN(page_id, Root());
   uint64_t packed = rid.Packed();
   while (true) {
-    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    TB_ASSIGN_OR_RETURN(const uint8_t* node,
+                        cache_->GetPage(file_id_, page_id));
     if (IsLeaf(node)) return page_id;
     if (path != nullptr) path->push_back(page_id);
     page_id = ResolveChild(node, InternalChildFor(node, key, packed));
   }
 }
 
-uint32_t BTreeIndex::FindLeafForLow(int64_t lo) {
+Result<uint32_t> BTreeIndex::FindLeafForLow(int64_t lo) {
   // Minimal composite for `lo`: rid_packed = 0.
-  uint32_t page_id = Root();
+  uint32_t page_id = 0;
+  TB_ASSIGN_OR_RETURN(page_id, Root());
   while (true) {
-    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    TB_ASSIGN_OR_RETURN(const uint8_t* node,
+                        cache_->GetPage(file_id_, page_id));
     if (IsLeaf(node)) return page_id;
     page_id = ResolveChild(node, InternalChildFor(node, lo, 0));
   }
 }
 
-std::pair<int64_t, uint32_t> BTreeIndex::SplitLeaf(uint32_t page_id) {
-  uint8_t* node = cache_->GetPageForWrite(file_id_, page_id);
+Result<std::pair<int64_t, uint32_t>> BTreeIndex::SplitLeaf(uint32_t page_id) {
+  TB_ASSIGN_OR_RETURN(uint8_t* node,
+                      cache_->GetPageForWrite(file_id_, page_id));
   uint16_t n = Count(node);
   uint16_t keep = n / 2;
-  auto [new_id, new_node] = cache_->NewPage(file_id_);
+  std::pair<uint32_t, uint8_t*> fresh{};
+  TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
+  auto [new_id, new_node] = fresh;
   // NewPage may have evicted and refetched; re-acquire old node pointer.
-  node = cache_->GetPageForWrite(file_id_, page_id);
+  TB_ASSIGN_OR_RETURN(node, cache_->GetPageForWrite(file_id_, page_id));
   InitLeaf(new_node);
   uint16_t moved = n - keep;
   std::memcpy(LeafEntry(new_node, 0), LeafEntry(node, keep),
@@ -172,15 +185,19 @@ std::pair<int64_t, uint32_t> BTreeIndex::SplitLeaf(uint32_t page_id) {
   SetNextLeaf(new_node, NextLeaf(node));
   SetCount(node, keep);
   SetNextLeaf(node, new_id);
-  return {LeafKey(new_node, 0), new_id};
+  return std::pair<int64_t, uint32_t>{LeafKey(new_node, 0), new_id};
 }
 
-std::pair<int64_t, uint32_t> BTreeIndex::SplitInternal(uint32_t page_id) {
-  uint8_t* node = cache_->GetPageForWrite(file_id_, page_id);
+Result<std::pair<int64_t, uint32_t>> BTreeIndex::SplitInternal(
+    uint32_t page_id) {
+  TB_ASSIGN_OR_RETURN(uint8_t* node,
+                      cache_->GetPageForWrite(file_id_, page_id));
   uint16_t n = Count(node);
   uint16_t mid = n / 2;  // entry `mid` becomes the separator pushed up
-  auto [new_id, new_node] = cache_->NewPage(file_id_);
-  node = cache_->GetPageForWrite(file_id_, page_id);
+  std::pair<uint32_t, uint8_t*> fresh{};
+  TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
+  auto [new_id, new_node] = fresh;
+  TB_ASSIGN_OR_RETURN(node, cache_->GetPageForWrite(file_id_, page_id));
   InitInternal(new_node);
   int64_t up_key = InternalKey(node, mid);
   SetChild0(new_node, InternalChild(node, mid));
@@ -191,26 +208,31 @@ std::pair<int64_t, uint32_t> BTreeIndex::SplitInternal(uint32_t page_id) {
   SetCount(node, mid);
   // The separator rid travels with the key inside the entry we copied out;
   // reconstruct it for the parent insert.
-  return {up_key, new_id};
+  return std::pair<int64_t, uint32_t>{up_key, new_id};
 }
 
 Status BTreeIndex::Insert(int64_t key, const Rid& rid) {
   sim_->ChargeIndexInsertCpu();
   std::vector<uint32_t> path;
-  uint32_t leaf_id = FindLeaf(key, rid, &path);
-  uint8_t* leaf = cache_->GetPageForWrite(file_id_, leaf_id);
+  uint32_t leaf_id = 0;
+  TB_ASSIGN_OR_RETURN(leaf_id, FindLeaf(key, rid, &path));
+  TB_ASSIGN_OR_RETURN(uint8_t* leaf,
+                      cache_->GetPageForWrite(file_id_, leaf_id));
 
   if (Count(leaf) >= kLeafCapacity) {
-    auto [sep_key, new_id] = SplitLeaf(leaf_id);
+    std::pair<int64_t, uint32_t> split{};
+    TB_ASSIGN_OR_RETURN(split, SplitLeaf(leaf_id));
+    auto [sep_key, new_id] = split;
     // Separator rid = first rid of the new (right) leaf.
-    const uint8_t* right = cache_->GetPage(file_id_, new_id);
+    TB_ASSIGN_OR_RETURN(const uint8_t* right,
+                        cache_->GetPage(file_id_, new_id));
     uint64_t sep_rid = LeafRid(right, 0).Packed();
     Rid sep_rid_obj = LeafRid(right, 0);
 
     // Choose the half that receives the new entry.
     uint32_t target =
         CompositeLess(key, rid.Packed(), sep_key, sep_rid) ? leaf_id : new_id;
-    leaf = cache_->GetPageForWrite(file_id_, target);
+    TB_ASSIGN_OR_RETURN(leaf, cache_->GetPageForWrite(file_id_, target));
     uint32_t pos = LeafLowerBound(leaf, key, rid.Packed());
     std::memmove(LeafEntry(leaf, pos + 1), LeafEntry(leaf, pos),
                  kLeafEntrySize * (Count(leaf) - pos));
@@ -224,27 +246,32 @@ Status BTreeIndex::Insert(int64_t key, const Rid& rid) {
     uint32_t up_child = new_id;
     while (true) {
       if (path.empty()) {
-        auto [root_id, root] = cache_->NewPage(file_id_);
+        std::pair<uint32_t, uint8_t*> fresh{};
+        TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
+        auto [root_id, root] = fresh;
         InitInternal(root);
-        SetChild0(root, Root());
+        uint32_t old_root = 0;
+        TB_ASSIGN_OR_RETURN(old_root, Root());
+        SetChild0(root, old_root);
         PutI64(InternalEntry(root, 0), up_key);
         up_rid.EncodeTo(InternalEntry(root, 0) + 8);
         PutU32(InternalEntry(root, 0) + 16, up_child);
         SetCount(root, 1);
-        SetRoot(root_id);
+        TB_RETURN_IF_ERROR(SetRoot(root_id));
         break;
       }
       uint32_t parent_id = path.back();
       path.pop_back();
-      uint8_t* parent = cache_->GetPageForWrite(file_id_, parent_id);
+      TB_ASSIGN_OR_RETURN(uint8_t* parent,
+                          cache_->GetPageForWrite(file_id_, parent_id));
       if (Count(parent) < kInternalCapacity) {
-        uint32_t pos = InternalChildFor(parent, up_key, up_rid.Packed());
-        std::memmove(InternalEntry(parent, pos + 1),
-                     InternalEntry(parent, pos),
-                     kInternalEntrySize * (Count(parent) - pos));
-        PutI64(InternalEntry(parent, pos), up_key);
-        up_rid.EncodeTo(InternalEntry(parent, pos) + 8);
-        PutU32(InternalEntry(parent, pos) + 16, up_child);
+        uint32_t pos2 = InternalChildFor(parent, up_key, up_rid.Packed());
+        std::memmove(InternalEntry(parent, pos2 + 1),
+                     InternalEntry(parent, pos2),
+                     kInternalEntrySize * (Count(parent) - pos2));
+        PutI64(InternalEntry(parent, pos2), up_key);
+        up_rid.EncodeTo(InternalEntry(parent, pos2) + 8);
+        PutU32(InternalEntry(parent, pos2) + 16, up_child);
         SetCount(parent, Count(parent) + 1);
         break;
       }
@@ -252,20 +279,22 @@ Status BTreeIndex::Insert(int64_t key, const Rid& rid) {
       uint16_t mid = Count(parent) / 2;
       int64_t parent_up_key = InternalKey(parent, mid);
       Rid parent_up_rid = Rid::DecodeFrom(InternalEntry(parent, mid) + 8);
-      auto [sep2, new_parent_id] = SplitInternal(parent_id);
-      (void)sep2;
+      std::pair<int64_t, uint32_t> psplit{};
+      TB_ASSIGN_OR_RETURN(psplit, SplitInternal(parent_id));
+      uint32_t new_parent_id = psplit.second;
       uint32_t target_id =
           CompositeLess(up_key, up_rid.Packed(), parent_up_key,
                         parent_up_rid.Packed())
               ? parent_id
               : new_parent_id;
-      uint8_t* tnode = cache_->GetPageForWrite(file_id_, target_id);
-      uint32_t pos = InternalChildFor(tnode, up_key, up_rid.Packed());
-      std::memmove(InternalEntry(tnode, pos + 1), InternalEntry(tnode, pos),
-                   kInternalEntrySize * (Count(tnode) - pos));
-      PutI64(InternalEntry(tnode, pos), up_key);
-      up_rid.EncodeTo(InternalEntry(tnode, pos) + 8);
-      PutU32(InternalEntry(tnode, pos) + 16, up_child);
+      TB_ASSIGN_OR_RETURN(uint8_t* tnode,
+                          cache_->GetPageForWrite(file_id_, target_id));
+      uint32_t pos2 = InternalChildFor(tnode, up_key, up_rid.Packed());
+      std::memmove(InternalEntry(tnode, pos2 + 1), InternalEntry(tnode, pos2),
+                   kInternalEntrySize * (Count(tnode) - pos2));
+      PutI64(InternalEntry(tnode, pos2), up_key);
+      up_rid.EncodeTo(InternalEntry(tnode, pos2) + 8);
+      PutU32(InternalEntry(tnode, pos2) + 16, up_child);
       SetCount(tnode, Count(tnode) + 1);
 
       up_key = parent_up_key;
@@ -285,8 +314,10 @@ Status BTreeIndex::Insert(int64_t key, const Rid& rid) {
 }
 
 Status BTreeIndex::Remove(int64_t key, const Rid& rid) {
-  uint32_t leaf_id = FindLeaf(key, rid, nullptr);
-  uint8_t* leaf = cache_->GetPageForWrite(file_id_, leaf_id);
+  uint32_t leaf_id = 0;
+  TB_ASSIGN_OR_RETURN(leaf_id, FindLeaf(key, rid, nullptr));
+  TB_ASSIGN_OR_RETURN(uint8_t* leaf,
+                      cache_->GetPageForWrite(file_id_, leaf_id));
   uint32_t pos = LeafLowerBound(leaf, key, rid.Packed());
   if (pos >= Count(leaf) || LeafKey(leaf, pos) != key ||
       LeafRid(leaf, pos) != rid) {
@@ -298,11 +329,13 @@ Status BTreeIndex::Remove(int64_t key, const Rid& rid) {
   return Status::OK();
 }
 
-std::vector<Rid> BTreeIndex::Lookup(int64_t key) {
+Result<std::vector<Rid>> BTreeIndex::Lookup(int64_t key) {
   std::vector<Rid> out;
-  for (RangeIterator it = Scan(key, key + 1); it.Valid(); it.Next()) {
+  RangeIterator it = Scan(key, key + 1);
+  for (; it.Valid(); it.Next()) {
     out.push_back(it.rid());
   }
+  TB_RETURN_IF_ERROR(it.status());
   return out;
 }
 
@@ -324,13 +357,15 @@ Status BTreeIndex::BulkBuild(
   std::vector<ChildRef> level;
   uint32_t prev_leaf = kNoPage;
   if (sorted.empty()) {
-    auto [root_id, root] = cache_->NewPage(file_id_);
-    InitLeaf(root);
-    SetRoot(root_id);
-    return Status::OK();
+    std::pair<uint32_t, uint8_t*> fresh{};
+    TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
+    InitLeaf(fresh.second);
+    return SetRoot(fresh.first);
   }
   for (size_t start = 0; start < sorted.size(); start += kLeafCapacity) {
-    auto [page_id, node] = cache_->NewPage(file_id_);
+    std::pair<uint32_t, uint8_t*> fresh{};
+    TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
+    auto [page_id, node] = fresh;
     InitLeaf(node);
     uint32_t n = static_cast<uint32_t>(
         std::min<size_t>(kLeafCapacity, sorted.size() - start));
@@ -340,7 +375,9 @@ Status BTreeIndex::BulkBuild(
     }
     SetCount(node, static_cast<uint16_t>(n));
     if (prev_leaf != kNoPage) {
-      SetNextLeaf(cache_->GetPageForWrite(file_id_, prev_leaf), page_id);
+      TB_ASSIGN_OR_RETURN(uint8_t* prev,
+                          cache_->GetPageForWrite(file_id_, prev_leaf));
+      SetNextLeaf(prev, page_id);
     }
     prev_leaf = page_id;
     level.push_back(
@@ -354,7 +391,9 @@ Status BTreeIndex::BulkBuild(
     size_t i = 0;
     while (i < level.size()) {
       size_t n = std::min<size_t>(kInternalCapacity + 1, level.size() - i);
-      auto [page_id, node] = cache_->NewPage(file_id_);
+      std::pair<uint32_t, uint8_t*> fresh{};
+      TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
+      auto [page_id, node] = fresh;
       InitInternal(node);
       SetChild0(node, level[i].page);
       for (size_t j = 1; j < n; ++j) {
@@ -371,23 +410,37 @@ Status BTreeIndex::BulkBuild(
     }
     level = std::move(next);
   }
-  SetRoot(level[0].page);
-  return Status::OK();
+  return SetRoot(level[0].page);
 }
 
 BTreeIndex::RangeIterator::RangeIterator(BTreeIndex* tree, int64_t lo,
                                          int64_t hi)
     : tree_(tree), hi_(hi) {
-  page_ = tree_->FindLeafForLow(lo);
-  const uint8_t* node = tree_->cache_->GetPage(tree_->file_id_, page_);
-  pos_ = LeafLowerBound(node, lo, 0);
+  Result<uint32_t> leaf = tree_->FindLeafForLow(lo);
+  if (!leaf.ok()) {
+    status_ = leaf.status();
+    return;
+  }
+  page_ = *leaf;
+  Result<const uint8_t*> node = tree_->cache_->GetPage(tree_->file_id_, page_);
+  if (!node.ok()) {
+    status_ = node.status();
+    return;
+  }
+  pos_ = LeafLowerBound(*node, lo, 0);
   LoadCurrent();
 }
 
 void BTreeIndex::RangeIterator::LoadCurrent() {
   valid_ = false;
   while (page_ != kNoPage) {
-    const uint8_t* node = tree_->cache_->GetPage(tree_->file_id_, page_);
+    Result<const uint8_t*> got =
+        tree_->cache_->GetPage(tree_->file_id_, page_);
+    if (!got.ok()) {
+      status_ = got.status();
+      return;
+    }
+    const uint8_t* node = *got;
     if (pos_ < Count(node)) {
       key_ = LeafKey(node, pos_);
       if (key_ >= hi_) return;  // past range
@@ -405,28 +458,33 @@ void BTreeIndex::RangeIterator::Next() {
   LoadCurrent();
 }
 
-uint64_t BTreeIndex::CountEntries() {
+Result<uint64_t> BTreeIndex::CountEntries() {
   uint64_t total = 0;
   // Walk down the leftmost spine, then across.
-  uint32_t page_id = Root();
+  uint32_t page_id = 0;
+  TB_ASSIGN_OR_RETURN(page_id, Root());
   while (true) {
-    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    TB_ASSIGN_OR_RETURN(const uint8_t* node,
+                        cache_->GetPage(file_id_, page_id));
     if (IsLeaf(node)) break;
     page_id = Child0(node);
   }
   while (page_id != kNoPage) {
-    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    TB_ASSIGN_OR_RETURN(const uint8_t* node,
+                        cache_->GetPage(file_id_, page_id));
     total += Count(node);
     page_id = NextLeaf(node);
   }
   return total;
 }
 
-uint32_t BTreeIndex::Height() {
+Result<uint32_t> BTreeIndex::Height() {
   uint32_t height = 1;
-  uint32_t page_id = Root();
+  uint32_t page_id = 0;
+  TB_ASSIGN_OR_RETURN(page_id, Root());
   while (true) {
-    const uint8_t* node = cache_->GetPage(file_id_, page_id);
+    TB_ASSIGN_OR_RETURN(const uint8_t* node,
+                        cache_->GetPage(file_id_, page_id));
     if (IsLeaf(node)) return height;
     ++height;
     page_id = Child0(node);

@@ -33,10 +33,11 @@ namespace treebench {
 class BTreeIndex {
  public:
   static constexpr uint32_t kNoPage = 0xFFFFFFFF;
-  static constexpr uint32_t kLeafCapacity = (kPageSize - 7) / 16;  // 255
+  /// Node bytes end at the page checksum trailer.
+  static constexpr uint32_t kLeafCapacity = (kPageChecksumOffset - 7) / 16;
   /// Internal entries carry the composite (i64 key, 8B rid, u32 child) so
   /// duplicate keys order deterministically across splits: 20 bytes each.
-  static constexpr uint32_t kInternalCapacity = (kPageSize - 7) / 20;
+  static constexpr uint32_t kInternalCapacity = (kPageChecksumOffset - 7) / 20;
 
   /// Opens an index in `file_id`; if the file is empty, initializes a fresh
   /// empty tree.
@@ -56,7 +57,7 @@ class BTreeIndex {
   Status Remove(int64_t key, const Rid& rid);
 
   /// All rids with exactly this key.
-  std::vector<Rid> Lookup(int64_t key);
+  Result<std::vector<Rid>> Lookup(int64_t key);
 
   /// Replaces the tree contents from (key, rid) pairs sorted by (key, rid):
   /// packed leaf build, then internal levels. This is the fast
@@ -70,6 +71,9 @@ class BTreeIndex {
 
     bool Valid() const { return valid_; }
     void Next();
+    /// OK unless the scan stopped on a page-access error; check after the
+    /// loop.
+    const Status& status() const { return status_; }
     int64_t key() const { return key_; }
     const Rid& rid() const { return rid_; }
 
@@ -81,6 +85,7 @@ class BTreeIndex {
     uint32_t page_ = kNoPage;
     uint32_t pos_ = 0;
     bool valid_ = false;
+    Status status_;
     int64_t key_ = 0;
     Rid rid_;
   };
@@ -90,10 +95,10 @@ class BTreeIndex {
   }
 
   /// Number of entries (walks the leaf level).
-  uint64_t CountEntries();
+  Result<uint64_t> CountEntries();
 
   /// Height of the tree (1 = root is a leaf).
-  uint32_t Height();
+  Result<uint32_t> Height();
 
   /// Total pages in the index file (meta included).
   uint32_t NumPages() const { return cache_->disk()->NumPages(file_id_); }
@@ -101,20 +106,20 @@ class BTreeIndex {
  private:
   friend class RangeIterator;
 
-  uint32_t Root();
-  void SetRoot(uint32_t page_id);
+  Result<uint32_t> Root();
+  Status SetRoot(uint32_t page_id);
 
   /// Descends to the leaf that should contain (key, rid); fills `path` with
   /// the internal pages visited (root first).
-  uint32_t FindLeaf(int64_t key, const Rid& rid,
-                    std::vector<uint32_t>* path);
+  Result<uint32_t> FindLeaf(int64_t key, const Rid& rid,
+                            std::vector<uint32_t>* path);
 
   /// Leftmost leaf whose entries may contain keys >= lo.
-  uint32_t FindLeafForLow(int64_t lo);
+  Result<uint32_t> FindLeafForLow(int64_t lo);
 
   /// Splits a full leaf/internal node; returns {separator key, new page}.
-  std::pair<int64_t, uint32_t> SplitLeaf(uint32_t page_id);
-  std::pair<int64_t, uint32_t> SplitInternal(uint32_t page_id);
+  Result<std::pair<int64_t, uint32_t>> SplitLeaf(uint32_t page_id);
+  Result<std::pair<int64_t, uint32_t>> SplitInternal(uint32_t page_id);
 
   TwoLevelCache* cache_;
   SimContext* sim_;

@@ -133,6 +133,13 @@ class ObjectStore {
   /// not hold ObjectHandle pointers across this.
   void DropAllHandles();
 
+  /// Re-derives every cached RecordFile append cursor from the disk's
+  /// current page counts. Must be called after a disk rollback truncates
+  /// files, or appends would target pages past the new end of file.
+  void ResetFileCursors() {
+    for (auto& [id, file] : files_) file->ResetTailCursor();
+  }
+
  private:
   /// Reads the object record, following forwards; returns the canonical
   /// rid in *canonical.

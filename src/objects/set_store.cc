@@ -34,7 +34,9 @@ Result<Rid> SetStore::WriteOverflow(RecordFile* home, uint16_t overflow_file,
   uint32_t prev_page = kChainEnd;
   for (size_t start = 0; start < elements.size();
        start += kRidsPerChainPage) {
-    auto [page_id, data] = cache_->NewPage(overflow_file);
+    std::pair<uint32_t, uint8_t*> fresh{};
+    TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(overflow_file));
+    auto [page_id, data] = fresh;
     uint32_t n = static_cast<uint32_t>(
         std::min<size_t>(kRidsPerChainPage, elements.size() - start));
     PutU32(data, kChainEnd);
@@ -45,7 +47,9 @@ Result<Rid> SetStore::WriteOverflow(RecordFile* home, uint16_t overflow_file,
     if (prev_page == kChainEnd) {
       first_page = page_id;
     } else {
-      uint8_t* prev = cache_->GetPageForWrite(overflow_file, prev_page);
+      uint8_t* prev = nullptr;
+      TB_ASSIGN_OR_RETURN(prev,
+                          cache_->GetPageForWrite(overflow_file, prev_page));
       PutU32(prev, page_id);
     }
     prev_page = page_id;
@@ -76,7 +80,8 @@ Result<std::vector<Rid>> SetStore::Read(RecordFile* home, const Rid& set_rid) {
   uint16_t file = GetU16(rec.data() + 5);
   uint32_t page = GetU32(rec.data() + 7);
   while (page != kChainEnd) {
-    const uint8_t* data = cache_->GetPage(file, page);
+    const uint8_t* data = nullptr;
+    TB_ASSIGN_OR_RETURN(data, cache_->GetPage(file, page));
     uint32_t next = GetU32(data);
     uint16_t n = GetU16(data + 4);
     for (uint16_t i = 0; i < n; ++i) {
@@ -112,7 +117,8 @@ Result<Rid> SetStore::Update(RecordFile* home, uint16_t overflow_file,
         uint32_t page = GetU32(rec.data() + 7);
         size_t start = 0;
         while (page != kChainEnd) {
-          uint8_t* data = cache_->GetPageForWrite(file, page);
+          uint8_t* data = nullptr;
+          TB_ASSIGN_OR_RETURN(data, cache_->GetPageForWrite(file, page));
           uint32_t n = static_cast<uint32_t>(std::min<size_t>(
               kRidsPerChainPage, elements.size() - start));
           for (uint32_t i = 0; i < n; ++i) {
@@ -124,7 +130,8 @@ Result<Rid> SetStore::Update(RecordFile* home, uint16_t overflow_file,
           if (start >= elements.size()) {
             // Zero out any remaining chain pages.
             while (page != kChainEnd) {
-              uint8_t* tail = cache_->GetPageForWrite(file, page);
+              uint8_t* tail = nullptr;
+              TB_ASSIGN_OR_RETURN(tail, cache_->GetPageForWrite(file, page));
               PutU16(tail + 4, 0);
               page = GetU32(tail);
             }

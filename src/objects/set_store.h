@@ -35,9 +35,9 @@ class SetStore {
   /// page) inline.
   static constexpr size_t kMaxInlineBytes = 3400;
   static constexpr uint32_t kChainEnd = 0xFFFFFFFF;
-  /// Rids per 4 KiB chain page.
+  /// Rids per 4 KiB chain page (minus the checksum trailer).
   static constexpr uint32_t kRidsPerChainPage =
-      (kPageSize - 6) / Rid::kEncodedSize;
+      (kPageChecksumOffset - 6) / Rid::kEncodedSize;
 
   SetStore(TwoLevelCache* cache, SimContext* sim)
       : cache_(cache), sim_(sim) {}

@@ -8,7 +8,9 @@ namespace {
 Result<uint16_t> CollectionClass(Database* db, const std::string& name) {
   PersistentCollection* col = nullptr;
   TB_ASSIGN_OR_RETURN(col, db->GetCollection(name));
-  if (col->Count() == 0) {
+  uint64_t count = 0;
+  TB_ASSIGN_OR_RETURN(count, col->Count());
+  if (count == 0) {
     return Status::InvalidArgument("collection " + name +
                                    " is empty; cannot infer its class");
   }

@@ -16,7 +16,8 @@ Status ForEachSelected(Database* db, const std::string& collection,
     // Standard scan: handle + predicate per member.
     PersistentCollection* col = nullptr;
     TB_ASSIGN_OR_RETURN(col, db->GetCollection(collection));
-    for (auto it = col->Scan(); it.Valid(); it.Next()) {
+    auto it = col->Scan();
+    for (; it.Valid(); it.Next()) {
       ObjectHandle* h = nullptr;
       TB_ASSIGN_OR_RETURN(h, store.Get(it.rid()));
       int32_t v = 0;
@@ -26,24 +27,27 @@ Status ForEachSelected(Database* db, const std::string& collection,
       store.Unref(h);
       if (selected) TB_RETURN_IF_ERROR(fn(it.rid()));
     }
-    return Status::OK();
+    return it.status();
   }
 
   bool sorted_fetch = order == FetchOrder::kRidSorted ||
                       (order == FetchOrder::kAuto && !idx->clustered);
   if (!sorted_fetch) {
-    for (auto it = idx->tree->Scan(lo, hi); it.Valid(); it.Next()) {
+    auto it = idx->tree->Scan(lo, hi);
+    for (; it.Valid(); it.Next()) {
       TB_RETURN_IF_ERROR(fn(it.rid()));
     }
-    return Status::OK();
+    return it.status();
   }
 
   // Sorted index scan (paper Figure 8, right): collect the qualifying
   // Rids, sort them by physical position, then fetch sequentially.
   std::vector<Rid> rids;
-  for (auto it = idx->tree->Scan(lo, hi); it.Valid(); it.Next()) {
+  auto it = idx->tree->Scan(lo, hi);
+  for (; it.Valid(); it.Next()) {
     rids.push_back(it.rid());
   }
+  TB_RETURN_IF_ERROR(it.status());
   db->sim().ChargeSort(rids.size());
   std::sort(rids.begin(), rids.end(), [](const Rid& a, const Rid& b) {
     return a.Packed() < b.Packed();

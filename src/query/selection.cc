@@ -17,7 +17,7 @@ std::string_view SelectionModeName(SelectionMode mode) {
 }
 
 Result<QueryRunStats> RunSelection(Database* db, const SelectionSpec& spec) {
-  if (spec.cold) db->BeginMeasuredRun();
+  if (spec.cold) TB_RETURN_IF_ERROR(db->BeginMeasuredRun());
   SimContext& sim = db->sim();
   ObjectStore& store = db->store();
 
@@ -42,7 +42,8 @@ Result<QueryRunStats> RunSelection(Database* db, const SelectionSpec& spec) {
         // exists): the Figure 8 standard scan.
         PersistentCollection* col = nullptr;
         TB_ASSIGN_OR_RETURN(col, db->GetCollection(spec.collection));
-        for (auto it = col->Scan(); it.Valid(); it.Next()) {
+        auto it = col->Scan();
+        for (; it.Valid(); it.Next()) {
           ObjectHandle* h = nullptr;
           TB_ASSIGN_OR_RETURN(h, store.Get(it.rid()));
           int32_t v = 0;
@@ -56,6 +57,7 @@ Result<QueryRunStats> RunSelection(Database* db, const SelectionSpec& spec) {
           }
           store.Unref(h);
         }
+        TB_RETURN_IF_ERROR(it.status());
         break;
       }
       case SelectionMode::kIndexScan:

@@ -387,7 +387,7 @@ Status RunHybridPHJ(Database* db, const TreeQuerySpec& spec,
 
 Result<QueryRunStats> RunTreeQuery(Database* db, const TreeQuerySpec& spec,
                                    TreeJoinAlgo algo) {
-  if (spec.cold) db->BeginMeasuredRun();
+  if (spec.cold) TB_RETURN_IF_ERROR(db->BeginMeasuredRun());
   QueryRunStats out;
   {
     ResultAccounting result(&db->sim(), kResultTupleBytes);

@@ -6,6 +6,14 @@
 
 namespace treebench {
 
+namespace {
+
+uint64_t PageKey(uint16_t file_id, uint32_t page_id) {
+  return (static_cast<uint64_t>(file_id) << 32) | page_id;
+}
+
+}  // namespace
+
 uint16_t DiskManager::CreateFile(std::string name) {
   TB_CHECK(files_.size() < 0xFFFF);
   files_.push_back(FileInfo{std::move(name), {}});
@@ -19,9 +27,11 @@ Result<uint16_t> DiskManager::FindFile(const std::string& name) const {
   return Status::NotFound("no file named " + name);
 }
 
-const std::string& DiskManager::FileName(uint16_t file_id) const {
-  TB_CHECK(file_id < files_.size());
-  return files_[file_id].name;
+Result<std::string_view> DiskManager::FileName(uint16_t file_id) const {
+  if (file_id >= files_.size()) {
+    return Status::OutOfRange("no such file id");
+  }
+  return std::string_view(files_[file_id].name);
 }
 
 uint32_t DiskManager::AllocatePage(uint16_t file_id) {
@@ -30,6 +40,7 @@ uint32_t DiskManager::AllocatePage(uint16_t file_id) {
   auto buf = std::make_unique<uint8_t[]>(kPageSize);
   std::memset(buf.get(), 0, kPageSize);
   Page(buf.get()).Init();
+  StampPageChecksum(buf.get());
   pages.push_back(std::move(buf));
   return static_cast<uint32_t>(pages.size() - 1);
 }
@@ -39,15 +50,24 @@ uint32_t DiskManager::NumPages(uint16_t file_id) const {
   return static_cast<uint32_t>(files_[file_id].pages.size());
 }
 
-uint8_t* DiskManager::RawPage(uint16_t file_id, uint32_t page_id) {
-  TB_CHECK(file_id < files_.size());
-  TB_CHECK(page_id < files_[file_id].pages.size());
+Result<uint8_t*> DiskManager::RawPage(uint16_t file_id, uint32_t page_id) {
+  if (file_id >= files_.size()) {
+    return Status::OutOfRange("no such file id");
+  }
+  if (page_id >= files_[file_id].pages.size()) {
+    return Status::OutOfRange("page id past end of file");
+  }
   return files_[file_id].pages[page_id].get();
 }
 
-const uint8_t* DiskManager::RawPage(uint16_t file_id, uint32_t page_id) const {
-  TB_CHECK(file_id < files_.size());
-  TB_CHECK(page_id < files_[file_id].pages.size());
+Result<const uint8_t*> DiskManager::RawPage(uint16_t file_id,
+                                            uint32_t page_id) const {
+  if (file_id >= files_.size()) {
+    return Status::OutOfRange("no such file id");
+  }
+  if (page_id >= files_[file_id].pages.size()) {
+    return Status::OutOfRange("page id past end of file");
+  }
   return files_[file_id].pages[page_id].get();
 }
 
@@ -57,6 +77,51 @@ uint64_t DiskManager::TotalBytes() const {
     total += static_cast<uint64_t>(f.pages.size()) * kPageSize;
   }
   return total;
+}
+
+void DiskManager::BeginUndoEpoch() {
+  undo_open_ = true;
+  undo_images_.clear();
+  undo_base_pages_.clear();
+  undo_base_pages_.reserve(files_.size());
+  for (const auto& f : files_) {
+    undo_base_pages_.push_back(static_cast<uint32_t>(f.pages.size()));
+  }
+}
+
+void DiskManager::JournalPageWrite(uint16_t file_id, uint32_t page_id) {
+  if (!undo_open_) return;
+  // Pages (or whole files) born after epoch begin are handled by truncation.
+  if (file_id >= undo_base_pages_.size()) return;
+  if (page_id >= undo_base_pages_[file_id]) return;
+  uint64_t key = PageKey(file_id, page_id);
+  if (undo_images_.count(key)) return;
+  auto img = std::make_unique<uint8_t[]>(kPageSize);
+  std::memcpy(img.get(), files_[file_id].pages[page_id].get(), kPageSize);
+  undo_images_.emplace(key, std::move(img));
+}
+
+void DiskManager::CommitUndoEpoch() {
+  undo_open_ = false;
+  undo_images_.clear();
+  undo_base_pages_.clear();
+}
+
+void DiskManager::RollbackUndoEpoch() {
+  TB_CHECK(undo_open_);
+  for (auto& [key, img] : undo_images_) {
+    uint16_t file_id = static_cast<uint16_t>(key >> 32);
+    uint32_t page_id = static_cast<uint32_t>(key);
+    std::memcpy(files_[file_id].pages[page_id].get(), img.get(), kPageSize);
+  }
+  for (size_t i = 0; i < files_.size(); ++i) {
+    uint32_t base =
+        i < undo_base_pages_.size() ? undo_base_pages_[i] : 0;
+    if (files_[i].pages.size() > base) files_[i].pages.resize(base);
+  }
+  undo_open_ = false;
+  undo_images_.clear();
+  undo_base_pages_.clear();
 }
 
 }  // namespace treebench

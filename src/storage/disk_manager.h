@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -19,6 +21,13 @@ namespace treebench {
 /// cache hierarchy. All timed access goes through TwoLevelCache, which
 /// charges disk reads/writes and RPCs; direct RawPage() access is reserved
 /// for the cache layer and for tests.
+///
+/// For crash recovery the DiskManager keeps an optional undo journal: while
+/// an epoch is open, the cache reports the first write-access to each page
+/// (JournalPageWrite) and the journal captures that page's pre-image. A
+/// rollback restores every pre-image and truncates files back to their
+/// page counts at epoch begin, taking the disk to its exact state at the
+/// last checkpoint.
 class DiskManager {
  public:
   DiskManager() = default;
@@ -30,21 +39,45 @@ class DiskManager {
 
   Result<uint16_t> FindFile(const std::string& name) const;
 
-  const std::string& FileName(uint16_t file_id) const;
+  Result<std::string_view> FileName(uint16_t file_id) const;
 
   uint16_t file_count() const { return static_cast<uint16_t>(files_.size()); }
 
-  /// Appends a fresh zeroed page (already Page::Init'ed); returns its id.
+  /// Appends a fresh zeroed page (already Page::Init'ed, with a valid
+  /// checksum trailer); returns its id.
   uint32_t AllocatePage(uint16_t file_id);
 
   uint32_t NumPages(uint16_t file_id) const;
 
-  /// Direct access to page bytes — bypasses all cost accounting.
-  uint8_t* RawPage(uint16_t file_id, uint32_t page_id);
-  const uint8_t* RawPage(uint16_t file_id, uint32_t page_id) const;
+  /// Direct access to page bytes — bypasses all cost accounting. Returns
+  /// OutOfRange for an unknown file or page.
+  Result<uint8_t*> RawPage(uint16_t file_id, uint32_t page_id);
+  Result<const uint8_t*> RawPage(uint16_t file_id, uint32_t page_id) const;
 
   /// Total bytes across all files (what the paper's "buy big" disk holds).
   uint64_t TotalBytes() const;
+
+  // ---- Undo journal ----
+
+  /// Opens a new undo epoch, discarding any previous one. Records current
+  /// per-file page counts as the truncation point for rollback.
+  void BeginUndoEpoch();
+
+  /// True while an epoch is open.
+  bool UndoEpochOpen() const { return undo_open_; }
+
+  /// Captures the pre-image of a page about to be modified. Cheap no-op
+  /// when no epoch is open or the page is already journaled. Pages born
+  /// after epoch begin need no pre-image (rollback truncates them away).
+  void JournalPageWrite(uint16_t file_id, uint32_t page_id);
+
+  /// Declares the epoch's work durable; pre-images are discarded.
+  void CommitUndoEpoch();
+
+  /// Restores all journaled pre-images and truncates every file to its page
+  /// count at epoch begin (files created after begin shrink to zero pages
+  /// but keep their ids). Closes the epoch.
+  void RollbackUndoEpoch();
 
  private:
   struct FileInfo {
@@ -53,6 +86,10 @@ class DiskManager {
   };
 
   std::vector<FileInfo> files_;
+
+  bool undo_open_ = false;
+  std::vector<uint32_t> undo_base_pages_;  // per-file page count at begin
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> undo_images_;
 };
 
 }  // namespace treebench

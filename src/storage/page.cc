@@ -7,6 +7,45 @@
 
 namespace treebench {
 
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  constexpr Crc32Table() : entries() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrc32Table;
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, uint32_t len) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint32_t i = 0; i < len; ++i) {
+    crc = kCrc32Table.entries[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t PageChecksum(const uint8_t* page) {
+  return Crc32(page, kPageChecksumOffset);
+}
+
+void StampPageChecksum(uint8_t* page) {
+  PutU32(page + kPageChecksumOffset, PageChecksum(page));
+}
+
+bool VerifyPageChecksum(const uint8_t* page) {
+  return GetU32(page + kPageChecksumOffset) == PageChecksum(page);
+}
+
 void Page::Init() {
   PutU16(data_, 0);                // slot count
   PutU16(data_ + 2, kHeaderSize);  // free pointer
@@ -15,7 +54,8 @@ void Page::Init() {
 uint16_t Page::slot_count() const { return GetU16(data_); }
 
 uint32_t Page::DirStart() const {
-  return kPageSize - kSlotEntrySize * static_cast<uint32_t>(slot_count());
+  return kPageChecksumOffset -
+         kSlotEntrySize * static_cast<uint32_t>(slot_count());
 }
 
 uint32_t Page::FreeSpace() const {
@@ -25,11 +65,11 @@ uint32_t Page::FreeSpace() const {
 }
 
 uint16_t Page::SlotOffset(uint16_t slot) const {
-  return GetU16(data_ + kPageSize - kSlotEntrySize * (slot + 1));
+  return GetU16(data_ + kPageChecksumOffset - kSlotEntrySize * (slot + 1));
 }
 
 uint16_t Page::SlotLength(uint16_t slot) const {
-  return GetU16(data_ + kPageSize - kSlotEntrySize * (slot + 1) + 2);
+  return GetU16(data_ + kPageChecksumOffset - kSlotEntrySize * (slot + 1) + 2);
 }
 
 bool Page::IsLive(uint16_t slot) const {
@@ -46,7 +86,7 @@ Result<uint16_t> Page::Insert(std::span<const uint8_t> record) {
   uint16_t offset = GetU16(data_ + 2);
   std::memcpy(data_ + offset, record.data(), len);
   // Slot directory entry.
-  uint8_t* entry = data_ + kPageSize - kSlotEntrySize * (slot + 1);
+  uint8_t* entry = data_ + kPageChecksumOffset - kSlotEntrySize * (slot + 1);
   PutU16(entry, offset);
   PutU16(entry + 2, static_cast<uint16_t>(len));
   // Header.
@@ -78,7 +118,7 @@ Status Page::Update(uint16_t slot, std::span<const uint8_t> record) {
     return Status::ResourceExhausted("record grew; relocation required");
   }
   std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
-  PutU16(data_ + kPageSize - kSlotEntrySize * (slot + 1) + 2,
+  PutU16(data_ + kPageChecksumOffset - kSlotEntrySize * (slot + 1) + 2,
          static_cast<uint16_t>(record.size()));
   return Status::OK();
 }
@@ -87,7 +127,7 @@ Status Page::Delete(uint16_t slot) {
   if (!IsLive(slot)) {
     return Status::NotFound("no such slot");
   }
-  uint8_t* entry = data_ + kPageSize - kSlotEntrySize * (slot + 1);
+  uint8_t* entry = data_ + kPageChecksumOffset - kSlotEntrySize * (slot + 1);
   PutU16(entry, kDeletedOffset);
   PutU16(entry + 2, 0);
   return Status::OK();

@@ -11,6 +11,27 @@ namespace treebench {
 /// Pages are 4 KiB, as in O2 (paper Section 2).
 inline constexpr uint32_t kPageSize = 4096;
 
+/// Every page — slotted or raw-layout (B+-tree nodes, Rid pages, set-chain
+/// pages) — reserves its last 4 bytes for a CRC32 over bytes
+/// [0, kPageChecksumOffset). The checksum is stamped whenever a page is
+/// written to disk and verified whenever the server cache fills from disk,
+/// so silent corruption surfaces as StatusCode::kCorruption instead of
+/// wrong query results. While a page sits dirty in cache the trailer is
+/// stale; only disk images are guaranteed coherent.
+inline constexpr uint32_t kPageChecksumOffset = kPageSize - 4;
+
+/// CRC32 (reflected, polynomial 0xEDB88320) over `len` bytes.
+uint32_t Crc32(const uint8_t* data, uint32_t len);
+
+/// Computes the checksum a coherent page image would carry.
+uint32_t PageChecksum(const uint8_t* page);
+
+/// Writes the checksum into the page trailer.
+void StampPageChecksum(uint8_t* page);
+
+/// True if the trailer matches the page contents.
+bool VerifyPageChecksum(const uint8_t* page);
+
 /// A classic slotted page, viewed over a 4 KiB buffer owned by the
 /// DiskManager.
 ///
@@ -28,9 +49,10 @@ class Page {
   static constexpr uint16_t kDeletedOffset = 0xFFFF;
   static constexpr uint32_t kHeaderSize = 4;
   static constexpr uint32_t kSlotEntrySize = 4;
-  /// Largest record payload a fresh page can host.
+  /// Largest record payload a fresh page can host. The slot directory is
+  /// anchored at kPageChecksumOffset so the checksum trailer stays intact.
   static constexpr uint32_t kMaxRecordSize =
-      kPageSize - kHeaderSize - kSlotEntrySize;
+      kPageChecksumOffset - kHeaderSize - kSlotEntrySize;
 
   /// Wraps (does not own) a 4 KiB buffer. The buffer must outlive the Page.
   explicit Page(uint8_t* data) : data_(data) {}

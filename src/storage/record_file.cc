@@ -18,26 +18,29 @@ uint32_t RecordFile::NumPages() const {
 Result<Rid> RecordFile::Append(std::span<const uint8_t> record) {
   TB_CHECK(record.size() <= Page::kMaxRecordSize);
   if (tail_page_ != 0xFFFFFFFF) {
-    uint8_t* data = cache_->GetPageForWrite(file_id_, tail_page_);
+    TB_ASSIGN_OR_RETURN(uint8_t* data,
+                        cache_->GetPageForWrite(file_id_, tail_page_));
     Page page(data);
     if (UsedFraction(page) < fill_factor_ && page.Fits(record.size())) {
       Result<uint16_t> slot = page.Insert(record);
       if (slot.ok()) return Rid(file_id_, tail_page_, slot.value());
     }
   }
-  auto [page_id, data] = cache_->NewPage(file_id_);
-  tail_page_ = page_id;
-  Page page(data);
+  std::pair<uint32_t, uint8_t*> fresh{};
+  TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
+  tail_page_ = fresh.first;
+  Page page(fresh.second);
   Result<uint16_t> slot = page.Insert(record);
   TB_CHECK(slot.ok());
-  return Rid(file_id_, page_id, slot.value());
+  return Rid(file_id_, fresh.first, slot.value());
 }
 
 Result<std::span<const uint8_t>> RecordFile::Read(const Rid& rid) {
   if (rid.file_id != file_id_) {
     return Status::InvalidArgument("rid does not belong to this file");
   }
-  const uint8_t* data = cache_->GetPage(file_id_, rid.page_id);
+  TB_ASSIGN_OR_RETURN(const uint8_t* data,
+                      cache_->GetPage(file_id_, rid.page_id));
   return Page(const_cast<uint8_t*>(data)).Get(rid.slot);
 }
 
@@ -45,7 +48,8 @@ Result<std::span<uint8_t>> RecordFile::ReadMutable(const Rid& rid) {
   if (rid.file_id != file_id_) {
     return Status::InvalidArgument("rid does not belong to this file");
   }
-  uint8_t* data = cache_->GetPageForWrite(file_id_, rid.page_id);
+  TB_ASSIGN_OR_RETURN(uint8_t* data,
+                      cache_->GetPageForWrite(file_id_, rid.page_id));
   return Page(data).GetMutable(rid.slot);
 }
 
@@ -53,7 +57,8 @@ Status RecordFile::Update(const Rid& rid, std::span<const uint8_t> record) {
   if (rid.file_id != file_id_) {
     return Status::InvalidArgument("rid does not belong to this file");
   }
-  uint8_t* data = cache_->GetPageForWrite(file_id_, rid.page_id);
+  TB_ASSIGN_OR_RETURN(uint8_t* data,
+                      cache_->GetPageForWrite(file_id_, rid.page_id));
   return Page(data).Update(rid.slot, record);
 }
 
@@ -61,7 +66,8 @@ Status RecordFile::Delete(const Rid& rid) {
   if (rid.file_id != file_id_) {
     return Status::InvalidArgument("rid does not belong to this file");
   }
-  uint8_t* data = cache_->GetPageForWrite(file_id_, rid.page_id);
+  TB_ASSIGN_OR_RETURN(uint8_t* data,
+                      cache_->GetPageForWrite(file_id_, rid.page_id));
   return Page(data).Delete(rid.slot);
 }
 
@@ -76,8 +82,13 @@ void RecordFile::Iterator::Advance(bool first) {
   (void)first;
   valid_ = false;
   while (page_id_ < file_->NumPages()) {
-    const uint8_t* data = file_->cache_->GetPage(file_->file_id_, page_id_);
-    Page page(const_cast<uint8_t*>(data));
+    Result<const uint8_t*> got =
+        file_->cache_->GetPage(file_->file_id_, page_id_);
+    if (!got.ok()) {
+      status_ = got.status();
+      return;
+    }
+    Page page(const_cast<uint8_t*>(*got));
     for (int32_t s = slot_ + 1; s < page.slot_count(); ++s) {
       if (page.IsLive(static_cast<uint16_t>(s))) {
         slot_ = s;

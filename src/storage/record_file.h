@@ -28,6 +28,13 @@ class RecordFile {
   uint16_t file_id() const { return file_id_; }
   uint32_t NumPages() const;
 
+  /// Re-derives the append cursor from the file's current page count. Must
+  /// be called after a disk rollback truncates the file.
+  void ResetTailCursor() {
+    uint32_t pages = cache_->disk()->NumPages(file_id_);
+    tail_page_ = pages > 0 ? pages - 1 : 0xFFFFFFFF;
+  }
+
   /// Appends a record at the current tail (new page if the tail page is
   /// past the fill threshold or too full).
   Result<Rid> Append(std::span<const uint8_t> record);
@@ -50,9 +57,14 @@ class RecordFile {
    public:
     Iterator(RecordFile* file, uint32_t start_page);
 
-    /// False when the file is exhausted.
+    /// False when the file is exhausted or a page access failed; check
+    /// status() to distinguish.
     bool Valid() const { return valid_; }
     void Next();
+
+    /// OK unless the scan stopped on a page-access error (fault injection,
+    /// corruption). Callers must check this after the loop.
+    const Status& status() const { return status_; }
 
     const Rid& rid() const { return rid_; }
     std::span<const uint8_t> record() const { return record_; }
@@ -64,6 +76,7 @@ class RecordFile {
     uint32_t page_id_;
     int32_t slot_;  // current slot within page (-1 before first)
     bool valid_ = false;
+    Status status_;
     Rid rid_;
     std::span<const uint8_t> record_;
   };

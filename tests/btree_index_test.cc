@@ -31,9 +31,9 @@ class BTreeTest : public ::testing::Test {
 };
 
 TEST_F(BTreeTest, EmptyTree) {
-  EXPECT_EQ(tree_->CountEntries(), 0u);
-  EXPECT_EQ(tree_->Height(), 1u);
-  EXPECT_TRUE(tree_->Lookup(5).empty());
+  EXPECT_EQ(tree_->CountEntries().value(), 0u);
+  EXPECT_EQ(tree_->Height().value(), 1u);
+  EXPECT_TRUE(tree_->Lookup(5).value().empty());
   auto it = tree_->Scan(0, 100);
   EXPECT_FALSE(it.Valid());
 }
@@ -42,11 +42,11 @@ TEST_F(BTreeTest, InsertAndLookupFewKeys) {
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(tree_->Insert(i * 10, MakeRid(i)).ok());
   }
-  EXPECT_EQ(tree_->CountEntries(), 10u);
-  auto rids = tree_->Lookup(30);
+  EXPECT_EQ(tree_->CountEntries().value(), 10u);
+  auto rids = tree_->Lookup(30).value();
   ASSERT_EQ(rids.size(), 1u);
   EXPECT_EQ(rids[0], MakeRid(3));
-  EXPECT_TRUE(tree_->Lookup(35).empty());
+  EXPECT_TRUE(tree_->Lookup(35).value().empty());
 }
 
 TEST_F(BTreeTest, DuplicateKeys) {
@@ -55,7 +55,7 @@ TEST_F(BTreeTest, DuplicateKeys) {
   }
   ASSERT_TRUE(tree_->Insert(6, MakeRid(100)).ok());
   ASSERT_TRUE(tree_->Insert(8, MakeRid(101)).ok());
-  auto rids = tree_->Lookup(7);
+  auto rids = tree_->Lookup(7).value();
   EXPECT_EQ(rids.size(), 20u);
 }
 
@@ -70,8 +70,8 @@ TEST_F(BTreeTest, ManyInsertsSplitAndStaySorted) {
     ASSERT_TRUE(
         tree_->Insert(keys[i], MakeRid(static_cast<uint32_t>(keys[i]))).ok());
   }
-  EXPECT_EQ(tree_->CountEntries(), static_cast<uint64_t>(kN));
-  EXPECT_GE(tree_->Height(), 2u);
+  EXPECT_EQ(tree_->CountEntries().value(), static_cast<uint64_t>(kN));
+  EXPECT_GE(tree_->Height().value(), 2u);
 
   // Full scan yields keys in order, exactly once each.
   int64_t expect = 0;
@@ -102,13 +102,13 @@ TEST_F(BTreeTest, RemoveEntries) {
     ASSERT_TRUE(tree_->Insert(i, MakeRid(i)).ok());
   }
   ASSERT_TRUE(tree_->Remove(50, MakeRid(50)).ok());
-  EXPECT_TRUE(tree_->Lookup(50).empty());
-  EXPECT_EQ(tree_->CountEntries(), 99u);
+  EXPECT_TRUE(tree_->Lookup(50).value().empty());
+  EXPECT_EQ(tree_->CountEntries().value(), 99u);
   EXPECT_TRUE(tree_->Remove(50, MakeRid(50)).IsNotFound());
   // Removing one of several duplicates keeps the others.
   tree_->Insert(60, MakeRid(1000)).ok();
   ASSERT_TRUE(tree_->Remove(60, MakeRid(60)).ok());
-  auto rids = tree_->Lookup(60);
+  auto rids = tree_->Lookup(60).value();
   ASSERT_EQ(rids.size(), 1u);
   EXPECT_EQ(rids[0], MakeRid(1000));
 }
@@ -119,9 +119,9 @@ TEST_F(BTreeTest, BulkBuildMatchesIncremental) {
     sorted.emplace_back(static_cast<int64_t>(i * 2), MakeRid(i));
   }
   ASSERT_TRUE(tree_->BulkBuild(sorted).ok());
-  EXPECT_EQ(tree_->CountEntries(), 3000u);
-  EXPECT_EQ(tree_->Lookup(100).size(), 1u);
-  EXPECT_TRUE(tree_->Lookup(101).empty());
+  EXPECT_EQ(tree_->CountEntries().value(), 3000u);
+  EXPECT_EQ(tree_->Lookup(100).value().size(), 1u);
+  EXPECT_TRUE(tree_->Lookup(101).value().empty());
   int count = 0;
   int64_t prev = INT64_MIN;
   for (auto it = tree_->Scan(INT64_MIN + 1, INT64_MAX); it.Valid();
@@ -140,7 +140,7 @@ TEST_F(BTreeTest, BulkBuildRejectsUnsortedInput) {
 
 TEST_F(BTreeTest, BulkBuildEmpty) {
   ASSERT_TRUE(tree_->BulkBuild({}).ok());
-  EXPECT_EQ(tree_->CountEntries(), 0u);
+  EXPECT_EQ(tree_->CountEntries().value(), 0u);
 }
 
 TEST_F(BTreeTest, ScanChargesLeafPageIo) {
@@ -149,7 +149,7 @@ TEST_F(BTreeTest, ScanChargesLeafPageIo) {
     sorted.emplace_back(static_cast<int64_t>(i), MakeRid(i));
   }
   ASSERT_TRUE(tree_->BulkBuild(sorted).ok());
-  cache_->Shutdown();
+  ASSERT_TRUE(cache_->Shutdown().ok());
   sim_.ResetClock();
   int n = 0;
   for (auto it = tree_->Scan(INT64_MIN + 1, INT64_MAX); it.Valid(); it.Next())
@@ -181,11 +181,11 @@ TEST_P(BTreePropertyTest, MatchesReferenceModel) {
     ASSERT_TRUE(tree.Insert(key, rid).ok());
     model.emplace(key, rid.Packed());
   }
-  ASSERT_EQ(tree.CountEntries(), model.size());
+  ASSERT_EQ(tree.CountEntries().value(), model.size());
 
   // Point lookups across the whole key domain.
   for (int64_t key = 0; key < 500; ++key) {
-    auto rids = tree.Lookup(key);
+    auto rids = tree.Lookup(key).value();
     auto [lo, hi] = model.equal_range(key);
     size_t expect = static_cast<size_t>(std::distance(lo, hi));
     ASSERT_EQ(rids.size(), expect) << "key " << key;

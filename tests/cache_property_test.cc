@@ -94,7 +94,7 @@ TEST(CacheDeterminismTest, IdenticalRunsProduceIdenticalAccounting) {
         cache.GetPage(file, page);
       }
     }
-    cache.Shutdown();
+    EXPECT_TRUE(cache.Shutdown().ok());
     return std::make_tuple(sim.elapsed_ns(), sim.metrics().disk_reads,
                            sim.metrics().disk_writes,
                            sim.metrics().rpc_count);

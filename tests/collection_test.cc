@@ -23,7 +23,7 @@ class CollectionTest : public ::testing::Test {
 };
 
 TEST_F(CollectionTest, EmptyCollection) {
-  EXPECT_EQ(col_->Count(), 0u);
+  EXPECT_EQ(col_->Count().value(), 0u);
   EXPECT_EQ(col_->name(), "Stuff");
   auto it = col_->Scan();
   EXPECT_FALSE(it.Valid());
@@ -34,7 +34,7 @@ TEST_F(CollectionTest, AppendAndScanInOrder) {
   for (uint32_t i = 0; i < 2000; ++i) {
     col_->Append(Rid(1, i, static_cast<uint16_t>(i % 7)));
   }
-  EXPECT_EQ(col_->Count(), 2000u);
+  EXPECT_EQ(col_->Count().value(), 2000u);
   uint32_t i = 0;
   for (auto it = col_->Scan(); it.Valid(); it.Next(), ++i) {
     EXPECT_EQ(it.rid(), Rid(1, i, static_cast<uint16_t>(i % 7)));
@@ -66,7 +66,7 @@ TEST_F(CollectionTest, RandomAccessAndRepair) {
 TEST_F(CollectionTest, SequentialScanIoIsDense) {
   const uint32_t kN = 5 * PersistentCollection::kRidsPerPage;
   for (uint32_t i = 0; i < kN; ++i) col_->Append(Rid(0, i, 0));
-  cache_->Shutdown();
+  ASSERT_TRUE(cache_->Shutdown().ok());
   sim_.ResetClock();
   uint64_t n = 0;
   for (auto it = col_->Scan(); it.Valid(); it.Next()) ++n;

@@ -21,8 +21,8 @@ TEST(DerbyBuildTest, ClassClusteredBasics) {
   Database& db = *derby->db;
   EXPECT_EQ(derby->meta.num_providers, 100u);
   EXPECT_EQ(derby->meta.num_patients, 500u);
-  EXPECT_EQ(db.GetCollection("Providers").value()->Count(), 100u);
-  EXPECT_EQ(db.GetCollection("Patients").value()->Count(), 500u);
+  EXPECT_EQ(db.GetCollection("Providers").value()->Count().value(), 100u);
+  EXPECT_EQ(db.GetCollection("Patients").value()->Count().value(), 500u);
   // Class clustering: separate files exist.
   EXPECT_TRUE(db.disk().FindFile("providers").ok());
   EXPECT_TRUE(db.disk().FindFile("patients").ok());
@@ -33,7 +33,7 @@ TEST(DerbyBuildTest, ClassClusteredBasics) {
   EXPECT_TRUE(db.FindIndexByName("idx_upin")->clustered);
   EXPECT_TRUE(db.FindIndexByName("idx_mrn")->clustered);
   EXPECT_FALSE(db.FindIndexByName("idx_num")->clustered);
-  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries(), 500u);
+  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries().value(), 500u);
   EXPECT_GT(derby->load_seconds, 0.0);
 }
 
@@ -152,7 +152,7 @@ TEST(DerbyBuildTest, AfterLoadIndexingRelocatesEverything) {
   EXPECT_EQ(db.sim().metrics().relocations, 100u + 500u);
   EXPECT_TRUE(db.store().has_relocations());
   // Indexes still correct: every patient reachable via mrn.
-  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries(), 500u);
+  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries().value(), 500u);
   // Extents repaired: direct access works without forwarding surprises.
   PersistentCollection* pats = db.GetCollection("Patients").value();
   for (auto it = pats->Scan(); it.Valid(); it.Next()) {
@@ -168,9 +168,9 @@ TEST(DerbyBuildTest, IncrementalIndexingMatchesBulk) {
   auto derby = BuildDerby(cfg).value();
   Database& db = *derby->db;
   EXPECT_EQ(db.sim().metrics().relocations, 0u);
-  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries(), 500u);
-  EXPECT_EQ(db.FindIndexByName("idx_num")->tree->CountEntries(), 500u);
-  EXPECT_EQ(db.FindIndexByName("idx_upin")->tree->CountEntries(), 100u);
+  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries().value(), 500u);
+  EXPECT_EQ(db.FindIndexByName("idx_num")->tree->CountEntries().value(), 500u);
+  EXPECT_EQ(db.FindIndexByName("idx_upin")->tree->CountEntries().value(), 100u);
 }
 
 TEST(DerbyBuildTest, TransactionLimitTrips) {

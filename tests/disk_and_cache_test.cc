@@ -35,7 +35,7 @@ TEST(DiskManagerTest, CreateFilesAndPages) {
   uint16_t f1 = disk.CreateFile("providers");
   uint16_t f2 = disk.CreateFile("patients");
   EXPECT_NE(f1, f2);
-  EXPECT_EQ(disk.FileName(f1), "providers");
+  EXPECT_EQ(disk.FileName(f1).value(), "providers");
   EXPECT_EQ(*disk.FindFile("patients"), f2);
   EXPECT_TRUE(disk.FindFile("nope").status().IsNotFound());
 
@@ -44,9 +44,17 @@ TEST(DiskManagerTest, CreateFilesAndPages) {
   EXPECT_EQ(p, 0u);
   EXPECT_EQ(disk.NumPages(f1), 1u);
   EXPECT_EQ(disk.TotalBytes(), kPageSize);
-  // Fresh pages come initialized as empty slotted pages.
-  Page page(disk.RawPage(f1, p));
+  // Fresh pages come initialized as empty slotted pages, with a valid
+  // checksum trailer.
+  uint8_t* raw = disk.RawPage(f1, p).value();
+  Page page(raw);
   EXPECT_EQ(page.slot_count(), 0);
+  EXPECT_TRUE(VerifyPageChecksum(raw));
+
+  // Out-of-range access is an error, not UB.
+  EXPECT_TRUE(disk.RawPage(f1, 99).status().IsOutOfRange());
+  EXPECT_TRUE(disk.RawPage(700, 0).status().IsOutOfRange());
+  EXPECT_TRUE(disk.FileName(700).status().IsOutOfRange());
 }
 
 TEST(LruPageCacheTest, EvictsLeastRecentlyUsed) {
@@ -147,7 +155,7 @@ TEST_F(TwoLevelCacheTest, ServerHitAfterClientEviction) {
 }
 
 TEST_F(TwoLevelCacheTest, DirtyEvictionWritesBack) {
-  std::memset(cache_->GetPageForWrite(file_, 0) + 100, 0xEE, 8);
+  std::memset(cache_->GetPageForWrite(file_, 0).value() + 100, 0xEE, 8);
   // Evict page 0 from the 4-page client cache.
   for (uint32_t p = 1; p <= 4; ++p) cache_->GetPage(file_, p);
   // The dirty page was shipped back to the server (an extra RPC beyond the
@@ -156,8 +164,8 @@ TEST_F(TwoLevelCacheTest, DirtyEvictionWritesBack) {
 }
 
 TEST_F(TwoLevelCacheTest, ShutdownFlushesAndColds) {
-  cache_->GetPageForWrite(file_, 0);
-  cache_->Shutdown();
+  cache_->GetPageForWrite(file_, 0).value();
+  ASSERT_TRUE(cache_->Shutdown().ok());
   EXPECT_GE(sim_.metrics().disk_writes, 1u);
   auto before = sim_.metrics();
   cache_->GetPage(file_, 0);
@@ -165,7 +173,7 @@ TEST_F(TwoLevelCacheTest, ShutdownFlushesAndColds) {
 }
 
 TEST_F(TwoLevelCacheTest, NewPageIsBornDirtyWithoutReadIo) {
-  auto [page_id, data] = cache_->NewPage(file_);
+  auto [page_id, data] = cache_->NewPage(file_).value();
   EXPECT_EQ(page_id, 16u);
   EXPECT_NE(data, nullptr);
   EXPECT_EQ(sim_.metrics().disk_reads, 0u);
@@ -258,7 +266,7 @@ TEST(RecordFileTest, SequentialScanFaultsOncePerPage) {
     file.Append(std::vector<uint8_t>(300, 1)).value();
   }
   uint32_t pages = file.NumPages();
-  cache.Shutdown();
+  ASSERT_TRUE(cache.Shutdown().ok());
   sim.ResetClock();
   for (auto it = file.Scan(); it.Valid(); it.Next()) {
   }

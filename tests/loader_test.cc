@@ -35,7 +35,7 @@ TEST_F(LoaderTest, TransactionOffChargesNoLogOrCommit) {
   ASSERT_TRUE(loader.Commit().ok());
   EXPECT_EQ(db_.sim().metrics().commits, 0u);
   EXPECT_EQ(loader.objects_created(), 100u);
-  EXPECT_EQ(db_.GetCollection("Items").value()->Count(), 100u);
+  EXPECT_EQ(db_.GetCollection("Items").value()->Count().value(), 100u);
 }
 
 TEST_F(LoaderTest, AutoCommitsEveryN) {
@@ -85,9 +85,9 @@ TEST_F(LoaderTest, MaintainsPredeclaredIndexes) {
         loader.CreateObject(cls_, ObjectData{i * 2}, Opts(), "Items").ok());
   }
   IndexInfo* idx = db_.FindIndexByName("idx_k");
-  EXPECT_EQ(idx->tree->CountEntries(), 200u);
-  EXPECT_EQ(idx->tree->Lookup(100).size(), 1u);
-  EXPECT_TRUE(idx->tree->Lookup(101).empty());
+  EXPECT_EQ(idx->tree->CountEntries().value(), 200u);
+  EXPECT_EQ(idx->tree->Lookup(100).value().size(), 1u);
+  EXPECT_TRUE(idx->tree->Lookup(101).value().empty());
 }
 
 TEST_F(LoaderTest, LogBytesChargedWhenTransactional) {

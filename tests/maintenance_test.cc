@@ -26,7 +26,7 @@ TEST(UpdateIndexedTest, UpdatesValueAndIndex) {
   db.store().Unref(h);
 
   IndexInfo* idx = db.FindIndexByName("idx_num");
-  ASSERT_FALSE(idx->tree->Lookup(old_num).empty());
+  ASSERT_FALSE(idx->tree->Lookup(old_num).value().empty());
 
   int32_t new_num = 999999 + 7;  // outside generated domain: unique
   ASSERT_TRUE(db.UpdateIndexedInt32(victim, derby->meta.c_num, new_num).ok());
@@ -36,10 +36,11 @@ TEST(UpdateIndexedTest, UpdatesValueAndIndex) {
   EXPECT_EQ(*db.store().GetInt32(h, derby->meta.c_num), new_num);
   db.store().Unref(h);
   // ...and index maintained: old entry gone for this rid, new one present.
-  auto via_new = idx->tree->Lookup(new_num);
+  auto via_new = idx->tree->Lookup(new_num).value();
   ASSERT_EQ(via_new.size(), 1u);
   EXPECT_EQ(via_new[0], victim);
-  for (const Rid& r : idx->tree->Lookup(old_num)) EXPECT_NE(r, victim);
+  auto via_old = idx->tree->Lookup(old_num).value();
+  for (const Rid& r : via_old) EXPECT_NE(r, victim);
 }
 
 TEST(UpdateIndexedTest, NoopWhenValueUnchanged) {
@@ -49,9 +50,11 @@ TEST(UpdateIndexedTest, NoopWhenValueUnchanged) {
   ObjectHandle* h = db.store().Get(victim).value();
   int32_t num = db.store().GetInt32(h, derby->meta.c_num).value();
   db.store().Unref(h);
-  uint64_t entries = db.FindIndexByName("idx_num")->tree->CountEntries();
+  uint64_t entries =
+      db.FindIndexByName("idx_num")->tree->CountEntries().value();
   ASSERT_TRUE(db.UpdateIndexedInt32(victim, derby->meta.c_num, num).ok());
-  EXPECT_EQ(db.FindIndexByName("idx_num")->tree->CountEntries(), entries);
+  EXPECT_EQ(db.FindIndexByName("idx_num")->tree->CountEntries().value(),
+            entries);
 }
 
 TEST(UpdateIndexedTest, RejectsNonIntAttribute) {
@@ -66,11 +69,12 @@ TEST(UpdateIndexedTest, OnlyMatchingIndexesAreTouched) {
   auto derby = BuildDerby(SmallConfig()).value();
   Database& db = *derby->db;
   Rid victim = db.GetCollection("Patients").value()->At(3).value();
-  uint64_t mrn_entries = db.FindIndexByName("idx_mrn")->tree->CountEntries();
+  uint64_t mrn_entries =
+      db.FindIndexByName("idx_mrn")->tree->CountEntries().value();
   ASSERT_TRUE(
       db.UpdateIndexedInt32(victim, derby->meta.c_num, 123456).ok());
   // The mrn index is untouched by a num update.
-  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries(),
+  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries().value(),
             mrn_entries);
 }
 
@@ -108,7 +112,7 @@ TEST_P(DumpReloadTest, PreservesLogicalDatabase) {
     db.store().Unref(h);
   }
   // Indexes were rebuilt completely.
-  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries(),
+  EXPECT_EQ(db.FindIndexByName("idx_mrn")->tree->CountEntries().value(),
             derby->meta.num_patients);
 }
 

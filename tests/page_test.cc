@@ -26,7 +26,7 @@ class PageTest : public ::testing::Test {
 
 TEST_F(PageTest, FreshPageIsEmpty) {
   EXPECT_EQ(page_.slot_count(), 0);
-  EXPECT_EQ(page_.FreeSpace(), kPageSize - Page::kHeaderSize);
+  EXPECT_EQ(page_.FreeSpace(), kPageChecksumOffset - Page::kHeaderSize);
 }
 
 TEST_F(PageTest, InsertAndGet) {
