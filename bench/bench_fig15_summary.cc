@@ -5,6 +5,7 @@
 #include <array>
 
 #include "common/bench_util.h"
+#include "src/cost/trace.h"
 #include "src/query/tree_query.h"
 
 namespace treebench::bench {
@@ -46,20 +47,29 @@ Winner BestAlgo(DerbyDb& derby, double sel_pat, double sel_prov,
   Winner best{"", 0};
   for (TreeJoinAlgo algo : {TreeJoinAlgo::kNL, TreeJoinAlgo::kNOJOIN,
                             TreeJoinAlgo::kPHJ, TreeJoinAlgo::kCHJ}) {
+    // Each run is traced; the StatRecord is filled from the trace root —
+    // the same deltas the run's global Metrics report, but attributable.
+    TraceSession session(&derby.db->sim());
     auto run = RunTreeQuery(derby.db.get(), spec, algo);
     if (!run.ok()) {
       std::fprintf(stderr, "FATAL: %s\n", run.status().ToString().c_str());
       std::exit(1);
     }
-    double seconds = run->seconds * scale;
+    std::unique_ptr<TraceNode> trace = session.Take();
+    if (trace == nullptr) {
+      std::fprintf(stderr, "FATAL: %s run produced no trace\n",
+                   std::string(AlgoName(algo)).c_str());
+      std::exit(1);
+    }
+    double seconds = trace->seconds * scale;
     StatRecord rec;
     rec.database = db_label;
     rec.cluster = std::string(ClusteringName(derby.db->clustering()));
     rec.algo = std::string(AlgoName(algo));
     rec.selectivity_patients_pct = sel_pat;
     rec.selectivity_providers_pct = sel_prov;
-    rec.result_count = run->result_count;
-    rec.FillFrom(run->metrics, seconds);
+    rec.result_count = trace->rows;
+    rec.FillFrom(trace->metrics, seconds);
     stats->Add(rec);
     if (best.algo.empty() || seconds < best.seconds) {
       best = {std::string(AlgoName(algo)), seconds};

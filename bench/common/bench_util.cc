@@ -18,6 +18,8 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opts.scale = static_cast<uint32_t>(std::max(1L, std::atol(arg + 8)));
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
       opts.csv_path = arg + 6;
+    } else if (std::strncmp(arg, "--trace-json=", 13) == 0) {
+      opts.trace_json_path = arg + 13;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       opts.verbose = true;
     }

@@ -17,11 +17,16 @@ struct BenchOptions {
   uint32_t scale = 1;
   /// Optional CSV output path ("" = stdout tables only).
   std::string csv_path;
+  /// Optional path for the EXPLAIN ANALYZE JSON trace of the bench's runs
+  /// ("" = no trace export). Benches that support it document what they
+  /// write; CI uploads fig09's as an artifact.
+  std::string trace_json_path;
   bool verbose = false;
 };
 
-/// Parses --scale=N, --csv=PATH, --verbose; ignores unknown flags (so
-/// google-benchmark style flags pass through if ever mixed).
+/// Parses --scale=N, --csv=PATH, --trace-json=PATH, --verbose; ignores
+/// unknown flags (so google-benchmark style flags pass through if ever
+/// mixed).
 BenchOptions ParseArgs(int argc, char** argv);
 
 /// Prints a ruled table: header row then rows; columns auto-sized.

@@ -35,14 +35,14 @@ Result<uint8_t*> TwoLevelCache::GetPageForWrite(uint16_t file_id,
 Result<uint8_t*> TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
                                        bool for_write) {
   uint64_t key = Key(file_id, page_id);
-  Metrics& m = sim_->metrics();
   if (client_.Touch(key)) {
-    ++m.client_cache_hits;
+    sim_->ChargeClientCacheHit();
   } else {
     // Client-cache page fault: one RPC ships the page from the server. The
     // request travels first (a lost RPC costs no server work), then the
-    // server materializes the page.
-    ++m.client_cache_misses;
+    // server materializes the page. Charged through the SimContext so an
+    // active MetricScope attributes the fault to the span touching the page.
+    sim_->ChargeClientCacheMiss();
     TB_RETURN_IF_ERROR(RpcToServer(kPageSize));
     TB_RETURN_IF_ERROR(EnsureAtServer(key));
     LruPageCache::Evicted ev = client_.Insert(key);
@@ -80,10 +80,10 @@ Status TwoLevelCache::RpcToServer(uint64_t bytes) {
 Status TwoLevelCache::EnsureAtServer(uint64_t key) {
   Metrics& m = sim_->metrics();
   if (server_.Touch(key)) {
-    ++m.server_cache_hits;
+    sim_->ChargeServerCacheHit();
     return Status::OK();
   }
-  ++m.server_cache_misses;
+  sim_->ChargeServerCacheMiss();
   if (sim_->faults().ShouldFail(FaultSite::kDiskRead, sim_->elapsed_ns())) {
     ++m.disk_read_faults;
     sim_->ChargeDiskRead();

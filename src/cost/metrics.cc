@@ -4,6 +4,63 @@
 
 namespace treebench {
 
+// Keeps the table in sync with the struct: adding a counter without listing
+// it here (and bumping this count) fails to compile.
+static_assert(sizeof(Metrics) == 31 * sizeof(uint64_t),
+              "new Metrics field? add it to MetricsFieldTable()");
+
+const std::vector<MetricsField>& MetricsFieldTable() {
+  static const std::vector<MetricsField> kFields = {
+      {"disk_reads", &Metrics::disk_reads},
+      {"disk_writes", &Metrics::disk_writes},
+      {"rpc_count", &Metrics::rpc_count},
+      {"rpc_bytes", &Metrics::rpc_bytes},
+      {"server_cache_hits", &Metrics::server_cache_hits},
+      {"server_cache_misses", &Metrics::server_cache_misses},
+      {"client_cache_hits", &Metrics::client_cache_hits},
+      {"client_cache_misses", &Metrics::client_cache_misses},
+      {"swap_ios", &Metrics::swap_ios},
+      {"handle_gets", &Metrics::handle_gets},
+      {"handle_lookups", &Metrics::handle_lookups},
+      {"handle_unrefs", &Metrics::handle_unrefs},
+      {"literal_handles", &Metrics::literal_handles},
+      {"attr_accesses", &Metrics::attr_accesses},
+      {"comparisons", &Metrics::comparisons},
+      {"hash_inserts", &Metrics::hash_inserts},
+      {"hash_probes", &Metrics::hash_probes},
+      {"sorted_elements", &Metrics::sorted_elements},
+      {"set_appends", &Metrics::set_appends},
+      {"tuples_built", &Metrics::tuples_built},
+      {"objects_created", &Metrics::objects_created},
+      {"commits", &Metrics::commits},
+      {"relocations", &Metrics::relocations},
+      {"index_inserts", &Metrics::index_inserts},
+      {"rpc_retries", &Metrics::rpc_retries},
+      {"rpc_failures", &Metrics::rpc_failures},
+      {"disk_read_faults", &Metrics::disk_read_faults},
+      {"disk_write_faults", &Metrics::disk_write_faults},
+      {"corruptions_detected", &Metrics::corruptions_detected},
+      {"checkpoint_replays", &Metrics::checkpoint_replays},
+      {"retry_backoff_ns", &Metrics::retry_backoff_ns},
+  };
+  return kFields;
+}
+
+Metrics Metrics::Diff(const Metrics& since) const {
+  Metrics out;
+  for (const MetricsField& f : MetricsFieldTable()) {
+    out.*(f.member) = this->*(f.member) - since.*(f.member);
+  }
+  return out;
+}
+
+Metrics& Metrics::operator+=(const Metrics& other) {
+  for (const MetricsField& f : MetricsFieldTable()) {
+    this->*(f.member) += other.*(f.member);
+  }
+  return *this;
+}
+
 std::string Metrics::ToString() const {
   char buf[2048];
   std::snprintf(

@@ -3,8 +3,23 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace treebench {
+
+struct Metrics;
+
+/// Name + pointer-to-member for one Metrics counter. All counters are
+/// uint64_t, so generic code (deltas, renderers, sum checks) can walk the
+/// struct instead of hand-listing fields in several places.
+struct MetricsField {
+  const char* name;
+  uint64_t Metrics::* member;
+};
+
+/// Every Metrics counter, in declaration order. The order is stable — the
+/// JSON trace schema and CSV-ish dumps rely on it.
+const std::vector<MetricsField>& MetricsFieldTable();
 
 /// Raw event counters accumulated during a run. These are the quantities the
 /// paper's Stat schema records (Figure 3): disk-to-server-cache reads, RPCs,
@@ -68,6 +83,19 @@ struct Metrics {
 
   /// Multi-line human-readable dump.
   std::string ToString() const;
+
+  /// Field-wise `*this - since`. Counters are monotonic within a measured
+  /// run, so this is how a MetricScope turns two snapshots into the cost of
+  /// a region. `since` must be an earlier snapshot of the same counters
+  /// (no ResetClock in between).
+  Metrics Diff(const Metrics& since) const;
+
+  /// Field-wise accumulation (used when summing child spans of a trace).
+  Metrics& operator+=(const Metrics& other);
+
+  friend Metrics operator-(const Metrics& a, const Metrics& b) {
+    return a.Diff(b);
+  }
 
   /// Field-wise equality; used to prove fault-campaign determinism.
   friend bool operator==(const Metrics&, const Metrics&) = default;

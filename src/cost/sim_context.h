@@ -9,6 +9,8 @@
 
 namespace treebench {
 
+class TraceCollector;
+
 /// How in-memory object representatives are allocated (paper Section 4.4).
 enum class HandleMode {
   kFat,      // O2 as measured: 60-byte handles, allocated per object.
@@ -48,12 +50,19 @@ class SimContext {
   double elapsed_seconds() const { return clock_ns_ / 1e9; }
 
   /// Clears the clock and counters but keeps memory registrations (the
-  /// caches stay allocated across queries).
+  /// caches stay allocated across queries). Must not run inside an open
+  /// MetricScope (its start snapshot would outrun the zeroed counters).
   void ResetClock() {
     clock_ns_ = 0;
     metrics_ = Metrics{};
     swap_debt_ = 0;
   }
+
+  /// Observability hook: while a TraceCollector is installed, MetricScopes
+  /// opened on this context record named spans of the Metrics/clock deltas
+  /// (src/cost/trace.h). Null (tracing off) by default.
+  TraceCollector* trace() const { return trace_; }
+  void set_trace(TraceCollector* t) { trace_ = t; }
 
   // ---- Generic charging ----
   void Charge(double ns) { clock_ns_ += ns; }
@@ -73,6 +82,16 @@ class SimContext {
     clock_ns_ += model_.rpc_latency_ns +
                  model_.rpc_per_byte_ns * static_cast<double>(bytes);
   }
+
+  // ---- Cache events ----
+  // Charged by the cache layers (src/cache). Time for the miss paths is
+  // charged separately through ChargeRpc/ChargeDiskRead; these record the
+  // hit/miss counters so an active MetricScope attributes them to the span
+  // that touched the page.
+  void ChargeClientCacheHit() { ++metrics_.client_cache_hits; }
+  void ChargeClientCacheMiss() { ++metrics_.client_cache_misses; }
+  void ChargeServerCacheHit() { ++metrics_.server_cache_hits; }
+  void ChargeServerCacheMiss() { ++metrics_.server_cache_misses; }
 
   // ---- Handles ----
   void ChargeHandleGet() {
@@ -231,6 +250,7 @@ class SimContext {
   CostModel model_;
   Metrics metrics_;
   FaultInjector faults_;
+  TraceCollector* trace_ = nullptr;
   double clock_ns_ = 0;
 
   HandleMode handle_mode_ = HandleMode::kFat;

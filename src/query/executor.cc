@@ -6,6 +6,25 @@
 
 namespace treebench {
 
+Result<QueryRunStats> RunBoundPlan(Database* db, const BoundQuery& bound,
+                                   const PlanChoice& plan, bool cold) {
+  if (!plan.is_tree) {
+    const auto& q = std::get<BoundSelection>(bound);
+    SelectionSpec spec;
+    spec.collection = q.collection;
+    spec.key_attr = q.key_attr;
+    spec.lo = q.lo;
+    spec.hi = q.hi;
+    spec.proj_attr = q.proj_attr;
+    spec.mode = plan.selection_mode;
+    spec.cold = cold;
+    return RunSelection(db, spec);
+  }
+  TreeQuerySpec spec = std::get<BoundTreeQuery>(bound).spec;
+  spec.cold = cold;
+  return RunTreeQuery(db, spec, plan.algo);
+}
+
 Result<QueryRunStats> ExecuteOql(Database* db, const std::string& oql,
                                  OptimizerStrategy strategy,
                                  PlanChoice* chosen) {
@@ -16,20 +35,7 @@ Result<QueryRunStats> ExecuteOql(Database* db, const std::string& oql,
   PlanChoice plan;
   TB_ASSIGN_OR_RETURN(plan, ChoosePlan(db, bound, strategy));
   if (chosen != nullptr) *chosen = plan;
-
-  if (!plan.is_tree) {
-    const auto& q = std::get<BoundSelection>(bound);
-    SelectionSpec spec;
-    spec.collection = q.collection;
-    spec.key_attr = q.key_attr;
-    spec.lo = q.lo;
-    spec.hi = q.hi;
-    spec.proj_attr = q.proj_attr;
-    spec.mode = plan.selection_mode;
-    return RunSelection(db, spec);
-  }
-  const auto& q = std::get<BoundTreeQuery>(bound);
-  return RunTreeQuery(db, q.spec, plan.algo);
+  return RunBoundPlan(db, bound, plan, /*cold=*/true);
 }
 
 }  // namespace treebench

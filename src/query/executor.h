@@ -11,10 +11,19 @@ namespace treebench {
 
 /// End-to-end OQL execution: parse -> bind -> choose plan -> run, cold.
 /// Returns the run's simulated time and counters; the chosen plan is
-/// reported through *chosen when non-null.
+/// reported through *chosen when non-null. An `explain analyze` prefix is
+/// accepted and ignored here — use ExplainAnalyze (src/query/explain.h) to
+/// get the annotated trace.
 Result<QueryRunStats> ExecuteOql(Database* db, const std::string& oql,
                                  OptimizerStrategy strategy,
                                  PlanChoice* chosen = nullptr);
+
+/// Runs an already-bound query with an already-chosen plan. `cold` maps to
+/// the runner specs' cold flag (cold restart + clock reset before the
+/// measured region); pass false when the caller has done its own
+/// BeginMeasuredRun — e.g. to open a trace session after the reset.
+Result<QueryRunStats> RunBoundPlan(Database* db, const BoundQuery& bound,
+                                   const PlanChoice& plan, bool cold = true);
 
 }  // namespace treebench
 

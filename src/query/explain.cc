@@ -1,0 +1,56 @@
+#include "src/query/explain.h"
+
+#include <cstdio>
+
+#include "src/query/executor.h"
+#include "src/query/oql/parser.h"
+#include "src/query/selection.h"
+#include "src/query/tree_query.h"
+
+namespace treebench {
+
+Result<ExplainAnalyzeResult> ExplainAnalyze(Database* db,
+                                            const std::string& oql,
+                                            OptimizerStrategy strategy) {
+  oql::Query ast;
+  TB_ASSIGN_OR_RETURN(ast, oql::Parse(oql));
+  BoundQuery bound = BoundSelection{};
+  TB_ASSIGN_OR_RETURN(bound, Bind(db, ast));
+  ExplainAnalyzeResult out;
+  TB_ASSIGN_OR_RETURN(out.plan, ChoosePlan(db, bound, strategy));
+
+  // Cold-restart *before* installing the trace: BeginMeasuredRun resets the
+  // clock and counters, which must not happen inside an open span.
+  TB_RETURN_IF_ERROR(db->BeginMeasuredRun());
+  TraceSession session(&db->sim());
+  TB_ASSIGN_OR_RETURN(out.run,
+                      RunBoundPlan(db, bound, out.plan, /*cold=*/false));
+  out.trace = session.Take();
+  if (out.trace == nullptr) {
+    return Status::Internal("query runner opened no trace spans");
+  }
+  return out;
+}
+
+std::string RenderExplainAnalyze(const ExplainAnalyzeResult& result) {
+  const PlanChoice& plan = result.plan;
+  std::string out = "plan: ";
+  out += plan.is_tree ? std::string(AlgoName(plan.algo))
+                      : std::string(SelectionModeName(plan.selection_mode));
+  if (!plan.rationale.empty()) {
+    out += "  (" + plan.rationale + ")";
+  }
+  out += "\n";
+  if (plan.estimated_seconds > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "estimated: %.3fs  actual: %.3fs\n",
+                  plan.estimated_seconds, result.run.seconds);
+    out += buf;
+  }
+  if (result.trace != nullptr) {
+    out += RenderTraceTree(*result.trace);
+  }
+  return out;
+}
+
+}  // namespace treebench

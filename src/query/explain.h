@@ -1,0 +1,37 @@
+#ifndef TREEBENCH_QUERY_EXPLAIN_H_
+#define TREEBENCH_QUERY_EXPLAIN_H_
+
+#include <memory>
+#include <string>
+
+#include "src/catalog/database.h"
+#include "src/cost/trace.h"
+#include "src/query/optimizer.h"
+#include "src/query/query_stats.h"
+
+namespace treebench {
+
+/// What `explain analyze <query>` yields: the plan the optimizer chose, the
+/// run's global stats, and the annotated operator/phase trace whose root
+/// deltas equal the global Metrics (the run is measured from a cold restart,
+/// so the root span sees every charged event).
+struct ExplainAnalyzeResult {
+  PlanChoice plan;
+  QueryRunStats run;
+  std::unique_ptr<TraceNode> trace;
+};
+
+/// Parses, binds, plans and runs `oql` (with or without the
+/// `explain analyze` prefix) under a trace session. Deterministic: two runs
+/// on same-seed databases produce byte-identical traces.
+Result<ExplainAnalyzeResult> ExplainAnalyze(Database* db,
+                                            const std::string& oql,
+                                            OptimizerStrategy strategy);
+
+/// The human-readable report: plan summary lines followed by the rendered
+/// trace tree.
+std::string RenderExplainAnalyze(const ExplainAnalyzeResult& result);
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_QUERY_EXPLAIN_H_

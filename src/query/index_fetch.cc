@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/cost/trace.h"
+
 namespace treebench {
 
 Status ForEachSelected(Database* db, const std::string& collection,
@@ -10,10 +12,13 @@ Status ForEachSelected(Database* db, const std::string& collection,
                        FetchOrder order,
                        const std::function<Status(const Rid&)>& fn) {
   ObjectStore& store = db->store();
+  SimContext& sim = db->sim();
   IndexInfo* idx = db->FindIndex(collection, key_attr);
 
   if (idx == nullptr) {
-    // Standard scan: handle + predicate per member.
+    // Standard scan: handle + predicate per member. The span includes the
+    // consumer's work (fn runs interleaved with the scan).
+    MetricScope scope(&sim, "scan(" + collection + ")");
     PersistentCollection* col = nullptr;
     TB_ASSIGN_OR_RETURN(col, db->GetCollection(collection));
     auto it = col->Scan();
@@ -22,10 +27,13 @@ Status ForEachSelected(Database* db, const std::string& collection,
       TB_ASSIGN_OR_RETURN(h, store.Get(it.rid()));
       int32_t v = 0;
       TB_ASSIGN_OR_RETURN(v, store.GetInt32(h, key_attr));
-      db->sim().ChargeCompare();
+      sim.ChargeCompare();
       bool selected = v >= lo && v < hi;
       store.Unref(h);
-      if (selected) TB_RETURN_IF_ERROR(fn(it.rid()));
+      if (selected) {
+        scope.AddRows(1);
+        TB_RETURN_IF_ERROR(fn(it.rid()));
+      }
     }
     return it.status();
   }
@@ -33,25 +41,39 @@ Status ForEachSelected(Database* db, const std::string& collection,
   bool sorted_fetch = order == FetchOrder::kRidSorted ||
                       (order == FetchOrder::kAuto && !idx->clustered);
   if (!sorted_fetch) {
+    // Key-order index scan; fn runs per qualifying rid inside the span.
+    MetricScope scope(&sim, "index_scan(" + collection + ")");
     auto it = idx->tree->Scan(lo, hi);
     for (; it.Valid(); it.Next()) {
+      scope.AddRows(1);
       TB_RETURN_IF_ERROR(fn(it.rid()));
     }
     return it.status();
   }
 
   // Sorted index scan (paper Figure 8, right): collect the qualifying
-  // Rids, sort them by physical position, then fetch sequentially.
+  // Rids, sort them by physical position, then fetch sequentially. Three
+  // distinct phases, one span each.
   std::vector<Rid> rids;
-  auto it = idx->tree->Scan(lo, hi);
-  for (; it.Valid(); it.Next()) {
-    rids.push_back(it.rid());
+  {
+    MetricScope scope(&sim, "index_scan(" + collection + ")");
+    auto it = idx->tree->Scan(lo, hi);
+    for (; it.Valid(); it.Next()) {
+      rids.push_back(it.rid());
+    }
+    TB_RETURN_IF_ERROR(it.status());
+    scope.AddRows(rids.size());
   }
-  TB_RETURN_IF_ERROR(it.status());
-  db->sim().ChargeSort(rids.size());
-  std::sort(rids.begin(), rids.end(), [](const Rid& a, const Rid& b) {
-    return a.Packed() < b.Packed();
-  });
+  {
+    MetricScope scope(&sim, "rid_sort");
+    sim.ChargeSort(rids.size());
+    std::sort(rids.begin(), rids.end(), [](const Rid& a, const Rid& b) {
+      return a.Packed() < b.Packed();
+    });
+    scope.AddRows(rids.size());
+  }
+  MetricScope scope(&sim, "fetch_sorted(" + collection + ")");
+  scope.AddRows(rids.size());
   for (const Rid& rid : rids) {
     TB_RETURN_IF_ERROR(fn(rid));
   }

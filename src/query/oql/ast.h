@@ -44,8 +44,11 @@ struct ProjectionField {
   Path path;
 };
 
-/// select <projection> from <ranges> where <conds and ...>
+/// [explain analyze] select <projection> from <ranges> where <conds and ...>
 struct Query {
+  /// `explain analyze` prefix: run the query and report the annotated
+  /// operator trace instead of just the result.
+  bool explain_analyze = false;
   std::vector<ProjectionField> projection;
   bool tuple_projection = false;
   std::vector<Range> ranges;

@@ -34,7 +34,9 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       std::string word = input.substr(i, j - i);
       std::string lower = Lowered(word);
       TokenKind kind = TokenKind::kIdent;
-      if (lower == "select") kind = TokenKind::kSelect;
+      if (lower == "explain") kind = TokenKind::kExplain;
+      else if (lower == "analyze") kind = TokenKind::kAnalyze;
+      else if (lower == "select") kind = TokenKind::kSelect;
       else if (lower == "from") kind = TokenKind::kFrom;
       else if (lower == "where") kind = TokenKind::kWhere;
       else if (lower == "in") kind = TokenKind::kIn;

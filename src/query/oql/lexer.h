@@ -12,6 +12,8 @@ namespace treebench::oql {
 enum class TokenKind {
   kIdent,
   kInt,
+  kExplain,
+  kAnalyze,
   kSelect,
   kFrom,
   kWhere,

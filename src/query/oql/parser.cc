@@ -28,6 +28,11 @@ class Parser {
 
   Result<Query> ParseQuery() {
     Query q;
+    if (Peek().kind == TokenKind::kExplain) {
+      Advance();
+      TB_RETURN_IF_ERROR(Expect(TokenKind::kAnalyze));
+      q.explain_analyze = true;
+    }
     TB_RETURN_IF_ERROR(Expect(TokenKind::kSelect));
     TB_RETURN_IF_ERROR(ParseProjection(&q));
     TB_RETURN_IF_ERROR(Expect(TokenKind::kFrom));

@@ -2,6 +2,8 @@
 #define TREEBENCH_QUERY_QUERY_STATS_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/cost/metrics.h"
 #include "src/cost/sim_context.h"
@@ -28,11 +30,22 @@ class ResultAccounting {
   ResultAccounting(const ResultAccounting&) = delete;
   ResultAccounting& operator=(const ResultAccounting&) = delete;
 
-  /// Accounts one result tuple (f(p, pa) construction + bag append).
-  void AddTuple() {
+  /// Differential-testing hook: when set, every AddTuple also records the
+  /// canonical (parent rid, child rid) pair it joined, so result *sets* —
+  /// not just counts — can be compared across algorithms. Pure real-side
+  /// bookkeeping; charges nothing to the simulation.
+  void CaptureTuples(std::vector<std::pair<uint64_t, uint64_t>>* out) {
+    capture_ = out;
+  }
+
+  /// Accounts one result tuple (f(p, pa) construction + bag append). The
+  /// keys are the packed canonical Rids of the joined pair (0 when the
+  /// caller has nothing to report, e.g. set-element results).
+  void AddTuple(uint64_t parent_key = 0, uint64_t child_key = 0) {
     sim_->AllocTransient(bytes_);
     ++count_;
     sim_->ChargeTuple();
+    if (capture_ != nullptr) capture_->emplace_back(parent_key, child_key);
   }
 
   /// Accounts one element appended to a persistent-capable set (the
@@ -49,6 +62,7 @@ class ResultAccounting {
   SimContext* sim_;
   uint64_t bytes_;
   uint64_t count_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>>* capture_ = nullptr;
 };
 
 /// Modeled footprints: an [p.name, pa.age] result tuple and a set element.

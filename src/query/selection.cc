@@ -1,5 +1,6 @@
 #include "src/query/selection.h"
 
+#include "src/cost/trace.h"
 #include "src/query/index_fetch.h"
 
 namespace treebench {
@@ -23,6 +24,11 @@ Result<QueryRunStats> RunSelection(Database* db, const SelectionSpec& spec) {
 
   QueryRunStats out;
   {
+    // Root span of the measured region; opened after the cold restart so
+    // its delta starts from zeroed counters.
+    MetricScope root(&sim, std::string("selection(") +
+                               std::string(SelectionModeName(spec.mode)) +
+                               ")");
     ResultAccounting result(&sim, kResultSetElementBytes);
 
     auto emit = [&](const Rid& rid) -> Status {
@@ -40,6 +46,7 @@ Result<QueryRunStats> RunSelection(Database* db, const SelectionSpec& spec) {
       case SelectionMode::kScan: {
         // Evaluate the predicate object by object (no index, even if one
         // exists): the Figure 8 standard scan.
+        MetricScope scan_scope(&sim, "scan(" + spec.collection + ")");
         PersistentCollection* col = nullptr;
         TB_ASSIGN_OR_RETURN(col, db->GetCollection(spec.collection));
         auto it = col->Scan();
@@ -54,6 +61,7 @@ Result<QueryRunStats> RunSelection(Database* db, const SelectionSpec& spec) {
             TB_ASSIGN_OR_RETURN(proj, store.GetInt32(h, spec.proj_attr));
             (void)proj;
             result.AddSetElement();
+            scan_scope.AddRows(1);
           }
           store.Unref(h);
         }
@@ -72,6 +80,7 @@ Result<QueryRunStats> RunSelection(Database* db, const SelectionSpec& spec) {
         break;
     }
     out.result_count = result.count();
+    root.AddRows(result.count());
   }
 
   out.seconds = sim.elapsed_seconds();

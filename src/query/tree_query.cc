@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cost/trace.h"
 #include "src/query/index_fetch.h"
 
 namespace treebench {
@@ -77,7 +78,9 @@ Status RunNL(Database* db, const TreeQuerySpec& spec,
             int32_t age = 0;
             TB_ASSIGN_OR_RETURN(age, store.GetInt32(ch, spec.child_proj_attr));
             (void)age;
-            result->AddTuple();
+            // ch->rid is canonical even when the p.clients ref is a stale
+            // pre-relocation address.
+            result->AddTuple(prid.Packed(), ch->rid.Packed());
           }
           store.Unref(ch);
         }
@@ -116,7 +119,7 @@ Status RunNOJOIN(Database* db, const TreeQuerySpec& spec,
           int32_t age = 0;
           TB_ASSIGN_OR_RETURN(age, store.GetInt32(ch, spec.child_proj_attr));
           (void)age;
-          result->AddTuple();
+          result->AddTuple(ph->rid.Packed(), crid.Packed());
         }
         store.Unref(ph);
         store.Unref(ch);
@@ -133,20 +136,27 @@ Status RunPHJ(Database* db, const TreeQuerySpec& spec,
   SimContext& sim = db->sim();
   std::unordered_map<uint64_t, std::string> table;
 
-  TB_RETURN_IF_ERROR(ForEachSelected(
-      db, spec.parent_collection, spec.parent_key_attr, kLo, spec.parent_hi,
-      FetchOrder::kAuto, [&](const Rid& prid) -> Status {
-        ObjectHandle* ph = nullptr;
-        TB_ASSIGN_OR_RETURN(ph, store.Get(prid));
-        std::string name;
-        TB_ASSIGN_OR_RETURN(name, store.GetString(ph, spec.parent_proj_attr));
-        sim.AllocTransient(kHashParentEntryBytes);
-        sim.ChargeHashInsert();
-        table.emplace(ph->rid.Packed(), std::move(name));
-        store.Unref(ph);
-        return Status::OK();
-      }));
+  {
+    MetricScope build(&sim, "build(parents)");
+    TB_RETURN_IF_ERROR(ForEachSelected(
+        db, spec.parent_collection, spec.parent_key_attr, kLo, spec.parent_hi,
+        FetchOrder::kAuto, [&](const Rid& prid) -> Status {
+          ObjectHandle* ph = nullptr;
+          TB_ASSIGN_OR_RETURN(ph, store.Get(prid));
+          std::string name;
+          TB_ASSIGN_OR_RETURN(name,
+                              store.GetString(ph, spec.parent_proj_attr));
+          sim.AllocTransient(kHashParentEntryBytes);
+          sim.ChargeHashInsert();
+          table.emplace(ph->rid.Packed(), std::move(name));
+          store.Unref(ph);
+          return Status::OK();
+        }));
+    build.AddRows(table.size());
+  }
 
+  MetricScope probe_scope(&sim, "probe(children)");
+  uint64_t before = result->count();
   bool resolve_refs = store.has_relocations();
   Status probe = ForEachSelected(
       db, spec.child_collection, spec.child_key_attr, kLo, spec.child_hi,
@@ -166,12 +176,13 @@ Status RunPHJ(Database* db, const TreeQuerySpec& spec,
           int32_t age = 0;
           TB_ASSIGN_OR_RETURN(age, store.GetInt32(ch, spec.child_proj_attr));
           (void)age;
-          result->AddTuple();
+          result->AddTuple(it->first, crid.Packed());
         }
         store.Unref(ch);
         return Status::OK();
       });
   sim.FreeTransient(table.size() * kHashParentEntryBytes);
+  probe_scope.AddRows(result->count() - before);
   return probe;
 }
 
@@ -183,37 +194,47 @@ Status RunCHJ(Database* db, const TreeQuerySpec& spec,
               ResultAccounting* result) {
   ObjectStore& store = db->store();
   SimContext& sim = db->sim();
-  std::unordered_map<uint64_t, std::vector<int32_t>> table;
+  // Value: (canonical child rid, age) per group member. The rid rides along
+  // for result-set capture; the modeled entry stays kHashChildElementBytes.
+  std::unordered_map<uint64_t, std::vector<std::pair<uint64_t, int32_t>>>
+      table;
   uint64_t groups = 0, elements = 0;
   bool resolve_refs = store.has_relocations();
 
-  TB_RETURN_IF_ERROR(ForEachSelected(
-      db, spec.child_collection, spec.child_key_attr, kLo, spec.child_hi,
-      FetchOrder::kAuto, [&](const Rid& crid) -> Status {
-        ObjectHandle* ch = nullptr;
-        TB_ASSIGN_OR_RETURN(ch, store.Get(crid));
-        Rid pref;
-        TB_ASSIGN_OR_RETURN(pref, store.GetRef(ch, spec.child_parent_attr));
-        if (pref.valid()) {
-          if (resolve_refs) {
-            TB_ASSIGN_OR_RETURN(pref, CanonicalRef(db, pref));
+  {
+    MetricScope build(&sim, "build(children)");
+    TB_RETURN_IF_ERROR(ForEachSelected(
+        db, spec.child_collection, spec.child_key_attr, kLo, spec.child_hi,
+        FetchOrder::kAuto, [&](const Rid& crid) -> Status {
+          ObjectHandle* ch = nullptr;
+          TB_ASSIGN_OR_RETURN(ch, store.Get(crid));
+          Rid pref;
+          TB_ASSIGN_OR_RETURN(pref, store.GetRef(ch, spec.child_parent_attr));
+          if (pref.valid()) {
+            if (resolve_refs) {
+              TB_ASSIGN_OR_RETURN(pref, CanonicalRef(db, pref));
+            }
+            int32_t age = 0;
+            TB_ASSIGN_OR_RETURN(age,
+                                store.GetInt32(ch, spec.child_proj_attr));
+            sim.ChargeHashInsert();
+            auto [it, inserted] = table.try_emplace(pref.Packed());
+            if (inserted) {
+              sim.AllocTransient(kHashParentEntryBytes);
+              ++groups;
+            }
+            sim.AllocTransient(kHashChildElementBytes);
+            ++elements;
+            it->second.emplace_back(crid.Packed(), age);
           }
-          int32_t age = 0;
-          TB_ASSIGN_OR_RETURN(age, store.GetInt32(ch, spec.child_proj_attr));
-          sim.ChargeHashInsert();
-          auto [it, inserted] = table.try_emplace(pref.Packed());
-          if (inserted) {
-            sim.AllocTransient(kHashParentEntryBytes);
-            ++groups;
-          }
-          sim.AllocTransient(kHashChildElementBytes);
-          ++elements;
-          it->second.push_back(age);
-        }
-        store.Unref(ch);
-        return Status::OK();
-      }));
+          store.Unref(ch);
+          return Status::OK();
+        }));
+    build.AddRows(elements);
+  }
 
+  MetricScope probe_scope(&sim, "probe(parents)");
+  uint64_t before = result->count();
   Status probe = ForEachSelected(
       db, spec.parent_collection, spec.parent_key_attr, kLo, spec.parent_hi,
       FetchOrder::kAuto, [&](const Rid& prid) -> Status {
@@ -225,9 +246,9 @@ Status RunCHJ(Database* db, const TreeQuerySpec& spec,
           std::string name;
           TB_ASSIGN_OR_RETURN(name,
                               store.GetString(ph, spec.parent_proj_attr));
-          for (int32_t age : it->second) {
+          for (const auto& [child_key, age] : it->second) {
             (void)age;
-            result->AddTuple();
+            result->AddTuple(it->first, child_key);
           }
         }
         store.Unref(ph);
@@ -235,6 +256,7 @@ Status RunCHJ(Database* db, const TreeQuerySpec& spec,
       });
   sim.FreeTransient(groups * kHashParentEntryBytes +
                     elements * kHashChildElementBytes);
+  probe_scope.AddRows(result->count() - before);
   return probe;
 }
 
@@ -305,65 +327,86 @@ Status RunHybridPHJ(Database* db, const TreeQuerySpec& spec,
   constexpr uint32_t kSpilledParentBytes = kHashParentEntryBytes;
   constexpr uint32_t kSpilledChildBytes = 16;  // (parent ref, age)
 
+  // A spilled child carries its canonical rid for result-set capture; the
+  // modeled temp-file record stays kSpilledChildBytes.
+  struct SpilledChild {
+    uint64_t parent_key;
+    uint64_t child_key;
+    int32_t age;
+  };
+
   // ---- Partition the parents; partition 0 builds in memory now ----
   std::unordered_map<uint64_t, std::string> table;
   std::vector<std::vector<std::pair<uint64_t, std::string>>> spilled_parents(
       partitions);
-  TB_RETURN_IF_ERROR(ForEachSelected(
-      db, spec.parent_collection, spec.parent_key_attr, kLo, spec.parent_hi,
-      FetchOrder::kAuto, [&](const Rid& prid) -> Status {
-        ObjectHandle* ph = nullptr;
-        TB_ASSIGN_OR_RETURN(ph, store.Get(prid));
-        std::string name;
-        TB_ASSIGN_OR_RETURN(name, store.GetString(ph, spec.parent_proj_attr));
-        uint64_t key = ph->rid.Packed();
-        uint32_t p = static_cast<uint32_t>(key % partitions);
-        if (p == 0) {
-          sim.AllocTransient(kHashParentEntryBytes);
-          sim.ChargeHashInsert();
-          table.emplace(key, std::move(name));
-        } else {
-          spill.Write(kSpilledParentBytes);
-          spilled_parents[p].emplace_back(key, std::move(name));
-        }
-        store.Unref(ph);
-        return Status::OK();
-      }));
+  {
+    MetricScope part_scope(&sim, "partition(parents)");
+    TB_RETURN_IF_ERROR(ForEachSelected(
+        db, spec.parent_collection, spec.parent_key_attr, kLo, spec.parent_hi,
+        FetchOrder::kAuto, [&](const Rid& prid) -> Status {
+          ObjectHandle* ph = nullptr;
+          TB_ASSIGN_OR_RETURN(ph, store.Get(prid));
+          std::string name;
+          TB_ASSIGN_OR_RETURN(name,
+                              store.GetString(ph, spec.parent_proj_attr));
+          uint64_t key = ph->rid.Packed();
+          uint32_t p = static_cast<uint32_t>(key % partitions);
+          if (p == 0) {
+            sim.AllocTransient(kHashParentEntryBytes);
+            sim.ChargeHashInsert();
+            table.emplace(key, std::move(name));
+          } else {
+            spill.Write(kSpilledParentBytes);
+            spilled_parents[p].emplace_back(key, std::move(name));
+          }
+          part_scope.AddRows(1);
+          store.Unref(ph);
+          return Status::OK();
+        }));
+  }
 
   // ---- Partition the children; partition 0 probes immediately ----
   bool resolve_refs = store.has_relocations();
-  std::vector<std::vector<std::pair<uint64_t, int32_t>>> spilled_children(
-      partitions);
-  TB_RETURN_IF_ERROR(ForEachSelected(
-      db, spec.child_collection, spec.child_key_attr, kLo, spec.child_hi,
-      FetchOrder::kAuto, [&](const Rid& crid) -> Status {
-        ObjectHandle* ch = nullptr;
-        TB_ASSIGN_OR_RETURN(ch, store.Get(crid));
-        Rid pref;
-        TB_ASSIGN_OR_RETURN(pref, store.GetRef(ch, spec.child_parent_attr));
-        if (pref.valid() && resolve_refs) {
-          TB_ASSIGN_OR_RETURN(pref, CanonicalRef(db, pref));
-        }
-        if (pref.valid()) {
-          uint64_t key = pref.Packed();
-          uint32_t p = static_cast<uint32_t>(key % partitions);
-          int32_t age = 0;
-          TB_ASSIGN_OR_RETURN(age, store.GetInt32(ch, spec.child_proj_attr));
-          if (p == 0) {
-            sim.ChargeHashProbe();
-            if (table.count(key) != 0) result->AddTuple();
-          } else {
-            spill.Write(kSpilledChildBytes);
-            spilled_children[p].emplace_back(key, age);
+  std::vector<std::vector<SpilledChild>> spilled_children(partitions);
+  {
+    MetricScope part_scope(&sim, "partition(children)");
+    TB_RETURN_IF_ERROR(ForEachSelected(
+        db, spec.child_collection, spec.child_key_attr, kLo, spec.child_hi,
+        FetchOrder::kAuto, [&](const Rid& crid) -> Status {
+          ObjectHandle* ch = nullptr;
+          TB_ASSIGN_OR_RETURN(ch, store.Get(crid));
+          Rid pref;
+          TB_ASSIGN_OR_RETURN(pref, store.GetRef(ch, spec.child_parent_attr));
+          if (pref.valid() && resolve_refs) {
+            TB_ASSIGN_OR_RETURN(pref, CanonicalRef(db, pref));
           }
-        }
-        store.Unref(ch);
-        return Status::OK();
-      }));
+          if (pref.valid()) {
+            uint64_t key = pref.Packed();
+            uint32_t p = static_cast<uint32_t>(key % partitions);
+            int32_t age = 0;
+            TB_ASSIGN_OR_RETURN(age,
+                                store.GetInt32(ch, spec.child_proj_attr));
+            if (p == 0) {
+              sim.ChargeHashProbe();
+              if (table.count(key) != 0) {
+                result->AddTuple(key, crid.Packed());
+              }
+            } else {
+              spill.Write(kSpilledChildBytes);
+              spilled_children[p].push_back({key, crid.Packed(), age});
+            }
+            part_scope.AddRows(1);
+          }
+          store.Unref(ch);
+          return Status::OK();
+        }));
+  }
   sim.FreeTransient(table.size() * kHashParentEntryBytes);
   table.clear();
 
   // ---- Join the spilled partitions one at a time ----
+  MetricScope join_scope(&sim, "join_spilled_partitions");
+  uint64_t before = result->count();
   for (uint32_t p = 1; p < partitions; ++p) {
     spill.Read(spilled_parents[p].size() * kSpilledParentBytes);
     std::unordered_map<uint64_t, std::string> part_table;
@@ -373,13 +416,15 @@ Status RunHybridPHJ(Database* db, const TreeQuerySpec& spec,
       part_table.emplace(key, std::move(name));
     }
     spill.Read(spilled_children[p].size() * kSpilledChildBytes);
-    for (auto& [key, age] : spilled_children[p]) {
-      (void)age;
+    for (const SpilledChild& sc : spilled_children[p]) {
       sim.ChargeHashProbe();
-      if (part_table.count(key) != 0) result->AddTuple();
+      if (part_table.count(sc.parent_key) != 0) {
+        result->AddTuple(sc.parent_key, sc.child_key);
+      }
     }
     sim.FreeTransient(part_table.size() * kHashParentEntryBytes);
   }
+  join_scope.AddRows(result->count() - before);
   return Status::OK();
 }
 
@@ -390,7 +435,12 @@ Result<QueryRunStats> RunTreeQuery(Database* db, const TreeQuerySpec& spec,
   if (spec.cold) TB_RETURN_IF_ERROR(db->BeginMeasuredRun());
   QueryRunStats out;
   {
+    // Root span; opened after the cold restart so its delta starts from
+    // zeroed counters.
+    MetricScope root(&db->sim(), "tree_query(" + std::string(AlgoName(algo)) +
+                                     ")");
     ResultAccounting result(&db->sim(), kResultTupleBytes);
+    result.CaptureTuples(spec.capture_tuples);
     Status s;
     switch (algo) {
       case TreeJoinAlgo::kNL:
@@ -411,6 +461,7 @@ Result<QueryRunStats> RunTreeQuery(Database* db, const TreeQuerySpec& spec,
     }
     TB_RETURN_IF_ERROR(s);
     out.result_count = result.count();
+    root.AddRows(result.count());
   }
   out.seconds = db->sim().elapsed_seconds();
   out.metrics = db->sim().metrics();

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/benchdb/derby.h"
 #include "src/catalog/database.h"
@@ -48,6 +50,11 @@ struct TreeQuerySpec {
   int64_t parent_hi = 0;  // upin < k2
   int64_t child_hi = 0;   // mrn < k1
   bool cold = true;
+  /// Differential-testing hook: when non-null, every emitted result tuple
+  /// appends its canonical (parent rid, child rid) packed pair here, so
+  /// tests can assert that all algorithms produce the same result *set*.
+  /// Costs nothing to the simulation.
+  std::vector<std::pair<uint64_t, uint64_t>>* capture_tuples = nullptr;
 };
 
 /// Builds the paper's canonical query spec over a Derby database, with

@@ -6,6 +6,7 @@
 #include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/common/string_util.h"
+#include "src/cost/metrics.h"
 
 namespace treebench {
 namespace {
@@ -185,6 +186,64 @@ TEST(StringUtilTest, WithThousands) {
   EXPECT_EQ(WithThousands(999), "999");
   EXPECT_EQ(WithThousands(1000), "1,000");
   EXPECT_EQ(WithThousands(3000000), "3,000,000");
+}
+
+TEST(MetricsTest, FieldTableCoversTheWholeStruct) {
+  const auto& table = MetricsFieldTable();
+  // One entry per uint64_t; the static_assert in metrics.cc keeps the count
+  // in sync when fields are added.
+  EXPECT_EQ(table.size() * sizeof(uint64_t), sizeof(Metrics));
+  std::set<std::string> names;
+  std::set<const uint64_t*> members;
+  Metrics probe;
+  for (const auto& f : table) {
+    names.insert(f.name);
+    members.insert(&(probe.*(f.member)));
+  }
+  EXPECT_EQ(names.size(), table.size());    // no duplicate names
+  EXPECT_EQ(members.size(), table.size());  // no duplicate members
+}
+
+TEST(MetricsTest, DiffSubtractsEveryField) {
+  const auto& table = MetricsFieldTable();
+  Metrics before, after;
+  uint64_t v = 1;
+  for (const auto& f : table) {
+    before.*(f.member) = v;
+    after.*(f.member) = 3 * v;
+    v += 7;
+  }
+  Metrics delta = after.Diff(before);
+  Metrics delta2 = after - before;  // operator- is Diff
+  v = 1;
+  for (const auto& f : table) {
+    EXPECT_EQ(delta.*(f.member), 2 * v) << f.name;
+    EXPECT_EQ(delta2.*(f.member), 2 * v) << f.name;
+    v += 7;
+  }
+}
+
+TEST(MetricsTest, PlusEqualsAccumulatesAndDiffInverts) {
+  const auto& table = MetricsFieldTable();
+  Metrics acc, inc;
+  uint64_t v = 5;
+  for (const auto& f : table) {
+    inc.*(f.member) = v;
+    v += 3;
+  }
+  acc += inc;
+  acc += inc;
+  v = 5;
+  for (const auto& f : table) {
+    EXPECT_EQ(acc.*(f.member), 2 * v) << f.name;
+    v += 3;
+  }
+  Metrics back = acc.Diff(inc);
+  v = 5;
+  for (const auto& f : table) {
+    EXPECT_EQ(back.*(f.member), v) << f.name;
+    v += 3;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+// Golden-file and invariant tests for the EXPLAIN ANALYZE trace.
+//
+// The committed golden (tests/golden/explain_trace.json) is the counter-only
+// JSON (include_time=false): counters are integer-exact on every platform,
+// while simulated times pass through libm and may differ in the last ulp
+// across C libraries. To regenerate after an intentional trace change:
+//
+//   ./build/tests/explain_trace_test --update-golden
+//
+// then review the diff of tests/golden/explain_trace.json and commit it.
+// (This binary carries its own main() for the flag, so it links GTest::gtest
+// without gtest_main.)
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/benchdb/derby.h"
+#include "src/cost/trace.h"
+#include "src/query/explain.h"
+
+namespace treebench {
+
+bool g_update_golden = false;
+
+namespace {
+
+const char kQuery[] =
+    "explain analyze select tuple(n: p.name, a: pa.age) "
+    "from p in Providers, pa in p.clients "
+    "where pa.mrn < 300 and p.upin < 75";
+
+std::unique_ptr<DerbyDb> FixtureDerby() {
+  DerbyConfig cfg;
+  cfg.providers = 150;
+  cfg.avg_children = 4;
+  cfg.seed = 3;
+  return BuildDerby(cfg).value();
+}
+
+ExplainAnalyzeResult Analyze(DerbyDb* derby) {
+  return ExplainAnalyze(derby->db.get(), kQuery, OptimizerStrategy::kCostBased)
+      .value();
+}
+
+std::string GoldenPath() {
+  return std::string(TREEBENCH_SOURCE_DIR) + "/tests/golden/explain_trace.json";
+}
+
+TEST(ExplainTraceTest, MatchesGoldenJson) {
+  auto derby = FixtureDerby();
+  ExplainAnalyzeResult ea = Analyze(derby.get());
+  ASSERT_NE(ea.trace, nullptr);
+  TraceJsonOptions opts;
+  opts.include_time = false;
+  std::string json = TraceToJson(*ea.trace, opts);
+
+  if (g_update_golden) {
+    std::ofstream out(GoldenPath(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << json;
+    out.close();
+    GTEST_SKIP() << "golden updated: " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good()) << "missing golden " << GoldenPath()
+                         << " — run with --update-golden to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(json, buf.str())
+      << "trace changed; if intentional, rerun with --update-golden "
+         "and commit the diff";
+}
+
+TEST(ExplainTraceTest, BitIdenticalAcrossSameSeedRuns) {
+  // Two independent databases from the same seed, two full runs: the JSON
+  // traces (times included — same process, same libm) must be bytewise
+  // equal, as must the rendered trees.
+  auto derby1 = FixtureDerby();
+  auto derby2 = FixtureDerby();
+  ExplainAnalyzeResult a = Analyze(derby1.get());
+  ExplainAnalyzeResult b = Analyze(derby2.get());
+  ASSERT_NE(a.trace, nullptr);
+  ASSERT_NE(b.trace, nullptr);
+  EXPECT_EQ(TraceToJson(*a.trace), TraceToJson(*b.trace));
+  EXPECT_EQ(RenderExplainAnalyze(a), RenderExplainAnalyze(b));
+}
+
+TEST(ExplainTraceTest, RootDeltasEqualGlobalTotals) {
+  // The root span opens right after the cold restart's counter reset and
+  // closes before the runner reads the globals, so its delta must equal the
+  // run's whole Metrics struct, field for field.
+  auto derby = FixtureDerby();
+  ExplainAnalyzeResult ea = Analyze(derby.get());
+  ASSERT_NE(ea.trace, nullptr);
+  for (const MetricsField& f : MetricsFieldTable()) {
+    EXPECT_EQ(ea.trace->metrics.*(f.member), ea.run.metrics.*(f.member))
+        << f.name;
+  }
+  EXPECT_DOUBLE_EQ(ea.trace->seconds, ea.run.seconds);
+  EXPECT_EQ(ea.trace->rows, ea.run.result_count);
+}
+
+void CheckChildrenNested(const TraceNode& node) {
+  Metrics child_sum;
+  double child_seconds = 0;
+  for (const auto& child : node.children) {
+    child_sum += child->metrics;
+    child_seconds += child->seconds;
+    CheckChildrenNested(*child);
+  }
+  for (const MetricsField& f : MetricsFieldTable()) {
+    EXPECT_LE(child_sum.*(f.member), node.metrics.*(f.member))
+        << node.name << ": " << f.name;
+  }
+  EXPECT_LE(child_seconds, node.seconds + 1e-12) << node.name;
+}
+
+TEST(ExplainTraceTest, ChildSpansNestWithinParents) {
+  // Children are disjoint sub-intervals of their parent, so their inclusive
+  // deltas sum to at most the parent's (the remainder is SelfMetrics).
+  auto derby = FixtureDerby();
+  ExplainAnalyzeResult ea = Analyze(derby.get());
+  ASSERT_NE(ea.trace, nullptr);
+  ASSERT_FALSE(ea.trace->children.empty());
+  CheckChildrenNested(*ea.trace);
+}
+
+TEST(ExplainTraceTest, RenderedReportNamesThePhases) {
+  auto derby = FixtureDerby();
+  ExplainAnalyzeResult ea = Analyze(derby.get());
+  std::string report = RenderExplainAnalyze(ea);
+  EXPECT_NE(report.find("plan: "), std::string::npos);
+  EXPECT_NE(report.find("tree_query("), std::string::npos);
+  EXPECT_NE(report.find("rows="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treebench
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      treebench::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

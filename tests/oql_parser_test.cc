@@ -91,5 +91,16 @@ TEST(OqlParserTest, NegativeLiterals) {
   EXPECT_EQ(q.conditions[0].literal, -5);
 }
 
+TEST(OqlParserTest, ExplainAnalyzePrefix) {
+  Query q = Parse("EXPLAIN ANALYZE select p.age from p in Patients").value();
+  EXPECT_TRUE(q.explain_analyze);
+  EXPECT_EQ(q.projection.size(), 1u);
+  Query plain = Parse("select p.age from p in Patients").value();
+  EXPECT_FALSE(plain.explain_analyze);
+  // `explain` alone (without `analyze`) is not a statement we support.
+  EXPECT_FALSE(Parse("explain select p.age from p in Patients").ok());
+  EXPECT_FALSE(Parse("analyze select p.age from p in Patients").ok());
+}
+
 }  // namespace
 }  // namespace treebench::oql
