@@ -1,0 +1,238 @@
+// Multi-client scale-out: runs the workload simulator (src/workload) over
+// the 2,000 x ~1,000 Derby database for client counts 1, 2, 4, ... 64 on
+// the class-clustered and composition-clustered organizations, and reports
+// throughput, latency percentiles, queueing delay at the shared server, and
+// fairness. Before each sweep it proves the 1-client degenerate case: a
+// one-query workload must reproduce the plain single-client query path's
+// Metrics counter-for-counter with zero rpc_queue_wait_ns (a hard check —
+// the bench fails otherwise).
+//
+// Expected shape: throughput grows sublinearly with clients (the single
+// simulated server saturates and rpc_queue_wait_ns grows), while the shared
+// server cache gives skewed (Zipf) workloads fewer disk reads per client
+// than N independent cold runs would pay.
+//
+// Extra flags (parsed from raw argv, beyond the common --scale/--csv):
+//   --clients=N   cap/select the swept client counts (runs {1, N})
+//   --queries=N   measured queries per client (default 8; smoke 3)
+//   --json=PATH   deterministic JSON array of every WorkloadReport
+//   --scale=0     smoke mode: tiny database (scale 64), counts {1, 4 or
+//                 --clients}, 3 queries/client — the CI configuration.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/query/executor.h"
+#include "src/query/oql/parser.h"
+#include "src/workload/client_session.h"
+#include "src/workload/sim_scheduler.h"
+
+namespace treebench::bench {
+namespace {
+
+struct ExtraArgs {
+  bool smoke = false;           // --scale=0
+  uint32_t clients = 0;         // --clients=N (0 = full sweep)
+  uint32_t queries = 0;         // --queries=N (0 = default)
+  std::string json_path;        // --json=PATH
+};
+
+// The common ParseArgs clamps --scale to >= 1, so smoke mode (--scale=0)
+// must be detected from raw argv.
+ExtraArgs ParseExtra(int argc, char** argv) {
+  ExtraArgs extra;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--scale=0") == 0) {
+      extra.smoke = true;
+    } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+      extra.clients = static_cast<uint32_t>(std::atol(arg + 10));
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      extra.queries = static_cast<uint32_t>(std::atol(arg + 10));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      extra.json_path = arg + 7;
+    }
+  }
+  return extra;
+}
+
+WorkloadSpec SweepSpec(uint32_t clients, uint32_t queries) {
+  WorkloadSpec spec;
+  spec.num_clients = clients;
+  spec.queries_per_client = queries;
+  spec.zipf_theta = 0.6;          // head-heavy: shared server cache pays off
+  spec.tree_query_fraction = 0.2;
+  spec.selection_pct = 2;
+  spec.tree_child_sel_pct = 10;
+  spec.tree_parent_sel_pct = 10;
+  spec.think_time_ns = 0;         // closed loop, maximum contention
+  spec.cold_start = true;
+  spec.seed = 42;
+  return spec;
+}
+
+/// Proves the degenerate case: a 1-client 1-query workload produces exactly
+/// the Metrics of the plain single-client path (BeginMeasuredRun +
+/// RunBoundPlan) on the same query, with zero queueing. Returns false (and
+/// prints the first differing counter) on mismatch.
+bool CheckOneClientExact(DerbyDb& derby) {
+  WorkloadSpec spec = SweepSpec(/*clients=*/1, /*queries=*/1);
+  spec.cold_per_query = true;  // the paper's per-query cold methodology
+
+  // The session's first generated query, replayed deterministically.
+  std::string oql;
+  {
+    ClientSession probe(0, spec, derby);
+    oql = probe.NextQuery().oql;
+  }
+
+  auto report = RunWorkload(&derby, spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "FATAL: workload: %s\n",
+                 report.status().ToString().c_str());
+    return false;
+  }
+
+  // Reference: the pre-existing single-client path on the identical query.
+  Database* db = derby.db.get();
+  auto ast = oql::Parse(oql);
+  if (!ast.ok()) return false;
+  auto bound = Bind(db, *ast);
+  if (!bound.ok()) return false;
+  auto plan = ChoosePlan(db, *bound, spec.strategy);
+  if (!plan.ok()) return false;
+  if (!db->BeginMeasuredRun().ok()) return false;
+  auto run = RunBoundPlan(db, *bound, *plan, /*cold=*/false);
+  if (!run.ok()) return false;
+
+  bool exact = true;
+  for (const MetricsField& f : MetricsFieldTable()) {
+    const uint64_t got = report->totals.*(f.member);
+    const uint64_t want = run->metrics.*(f.member);
+    if (got != want) {
+      std::fprintf(stderr, "1-client mismatch: %s workload=%llu single=%llu\n",
+                   f.name, (unsigned long long)got,
+                   (unsigned long long)want);
+      exact = false;
+    }
+  }
+  if (report->totals.rpc_queue_wait_ns != 0) {
+    std::fprintf(stderr, "1-client run queued (%llu ns) — must be 0\n",
+                 (unsigned long long)report->totals.rpc_queue_wait_ns);
+    exact = false;
+  }
+  std::printf("1-client exactness check: %s (query: %s)\n",
+              exact ? "PASS" : "FAIL", oql.c_str());
+  return exact;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  ExtraArgs extra = ParseExtra(argc, argv);
+  if (extra.smoke) opts.scale = 64;
+  const uint32_t queries = extra.queries > 0 ? extra.queries
+                           : extra.smoke    ? 3
+                                            : 8;
+
+  std::vector<uint32_t> counts;
+  if (extra.clients > 0) {
+    counts = {1, extra.clients};
+  } else if (extra.smoke) {
+    counts = {1, 4};
+  } else {
+    counts = {1, 2, 4, 8, 16, 32, 64};
+  }
+
+  const ClusteringStrategy kClusterings[] = {
+      ClusteringStrategy::kClassClustered, ClusteringStrategy::kComposition};
+
+  StatStore stats;
+  std::string json = "[\n";
+  bool first_json = true;
+  bool all_exact = true;
+
+  for (ClusteringStrategy clustering : kClusterings) {
+    auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
+    const std::string cluster_label =
+        std::string(ClusteringName(clustering));
+
+    all_exact = CheckOneClientExact(*derby) && all_exact;
+
+    std::vector<std::vector<std::string>> rows;
+    double qps1 = 0;
+    for (uint32_t n : counts) {
+      auto report = RunWorkload(derby.get(), SweepSpec(n, queries));
+      if (!report.ok()) {
+        std::fprintf(stderr, "FATAL: workload (%u clients): %s\n", n,
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      if (n == 1) qps1 = report->throughput_qps;
+      const double speedup =
+          qps1 > 0 ? report->throughput_qps / qps1 : 0;
+      rows.push_back(
+          {WithThousands(n), FormatSeconds(report->throughput_qps, 3),
+           FormatSeconds(speedup, 2),
+           FormatSeconds(report->latencies.Quantile(0.50) / 1e9),
+           FormatSeconds(report->latencies.Quantile(0.95) / 1e9),
+           FormatSeconds(report->latencies.Quantile(0.99) / 1e9),
+           FormatSeconds(
+               static_cast<double>(report->totals.rpc_queue_wait_ns) / 1e9),
+           FormatSeconds(report->server_utilization, 3),
+           FormatSeconds(report->fairness_ratio, 3),
+           WithThousands(report->totals.disk_reads)});
+
+      StatRecord rec;
+      rec.database = "derby-2e3x1e3";
+      rec.cluster = cluster_label;
+      rec.algo = "workload";
+      rec.query_text = "mixed selection/tree workload (zipf 0.6)";
+      rec.num_clients = n;
+      rec.throughput_qps = report->throughput_qps;
+      rec.latency_p50_s = report->latencies.Quantile(0.50) / 1e9;
+      rec.latency_p95_s = report->latencies.Quantile(0.95) / 1e9;
+      rec.latency_p99_s = report->latencies.Quantile(0.99) / 1e9;
+      rec.result_count = report->total_queries;
+      rec.server_cache_bytes = derby->db->cache().config().server_bytes;
+      rec.client_cache_bytes = derby->db->cache().config().client_bytes;
+      rec.FillFrom(report->totals, report->span_seconds);
+      stats.Add(rec);
+
+      if (!first_json) json += ",\n";
+      json += report->ToJson();
+      first_json = false;
+    }
+    PrintTable(
+        cluster_label + " — scale-out (simulated, " +
+            std::to_string(queries) + " queries/client)",
+        {"clients", "qps", "speedup", "p50(s)", "p95(s)", "p99(s)",
+         "queue wait(s)", "server util", "fairness", "disk reads"},
+        rows);
+  }
+  json += "]\n";
+
+  std::printf(
+      "\nexpected: sublinear speedup (single server saturates; queue wait "
+      "grows with clients) while zipf sharing keeps per-client disk reads "
+      "below N independent cold runs\n");
+
+  if (!extra.json_path.empty()) {
+    FILE* f = std::fopen(extra.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", extra.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote workload reports to %s\n", extra.json_path.c_str());
+  }
+  MaybeExportCsv(stats, opts);
+  return all_exact ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treebench::bench
+
+int main(int argc, char** argv) { return treebench::bench::Main(argc, argv); }

@@ -13,7 +13,8 @@ for b in build/bench/bench_fig06_selection build/bench/bench_fig07_sorted_index 
          build/bench/bench_fig15_summary build/bench/bench_sec41_rids_vs_handles \
          build/bench/bench_sec32_loading build/bench/bench_sec44_handle_ablation \
          build/bench/bench_optimizer_regret build/bench/bench_ablation_hybrid_hash \
-         build/bench/bench_ablation_dump_reload build/bench/bench_ablation_cache_sizes; do
+         build/bench/bench_ablation_dump_reload build/bench/bench_ablation_cache_sizes \
+         build/bench/bench_fault_campaign build/bench/bench_workload_scaleout; do
   echo "===================== $b =====================" | tee -a "$OUT"
   $b "$@" 2>&1 | tee -a "$OUT"
   echo | tee -a "$OUT"

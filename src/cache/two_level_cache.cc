@@ -9,7 +9,8 @@ TwoLevelCache::TwoLevelCache(DiskManager* disk, SimContext* sim,
     : disk_(disk),
       sim_(sim),
       config_(config),
-      client_(config.client_pages()),
+      own_client_(config.client_pages()),
+      client_(&own_client_),
       server_(config.server_pages()) {
   sim_->RegisterFixedMemory(
       static_cast<int64_t>(config.client_bytes + config.server_bytes));
@@ -35,7 +36,7 @@ Result<uint8_t*> TwoLevelCache::GetPageForWrite(uint16_t file_id,
 Result<uint8_t*> TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
                                        bool for_write) {
   uint64_t key = Key(file_id, page_id);
-  if (client_.Touch(key)) {
+  if (client_->Touch(key)) {
     sim_->ChargeClientCacheHit();
   } else {
     // Client-cache page fault: one RPC ships the page from the server. The
@@ -45,11 +46,11 @@ Result<uint8_t*> TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
     sim_->ChargeClientCacheMiss();
     TB_RETURN_IF_ERROR(RpcToServer(kPageSize));
     TB_RETURN_IF_ERROR(EnsureAtServer(key));
-    LruPageCache::Evicted ev = client_.Insert(key);
+    LruPageCache::Evicted ev = client_->Insert(key);
     if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteBackToServer(ev.key));
   }
   if (for_write) {
-    client_.MarkDirty(key);
+    client_->MarkDirty(key);
     disk_->JournalPageWrite(file_id, page_id);
   }
   return disk_->RawPage(file_id, page_id);
@@ -84,6 +85,11 @@ Status TwoLevelCache::EnsureAtServer(uint64_t key) {
     return Status::OK();
   }
   sim_->ChargeServerCacheMiss();
+  // Under a multi-client workload the server performs this disk read while
+  // holding the shared service station: later arrivals queue behind it.
+  if (sim_->station() != nullptr) {
+    sim_->station()->ExtendService(sim_->model().disk_read_page_ns);
+  }
   if (sim_->faults().ShouldFail(FaultSite::kDiskRead, sim_->elapsed_ns())) {
     ++m.disk_read_faults;
     sim_->ChargeDiskRead();
@@ -119,6 +125,10 @@ Status TwoLevelCache::WriteBackToServer(uint64_t key) {
 
 Status TwoLevelCache::WriteToDisk(uint64_t key) {
   Metrics& m = sim_->metrics();
+  // Server-side disk write: holds the shared station like a read does.
+  if (sim_->station() != nullptr) {
+    sim_->station()->ExtendService(sim_->model().disk_write_page_ns);
+  }
   if (sim_->faults().ShouldFail(FaultSite::kDiskWrite, sim_->elapsed_ns())) {
     ++m.disk_write_faults;
     sim_->ChargeDiskWrite();
@@ -142,7 +152,7 @@ Result<std::pair<uint32_t, uint8_t*>> TwoLevelCache::NewPage(
     uint16_t file_id) {
   uint32_t page_id = disk_->AllocatePage(file_id);
   uint64_t key = Key(file_id, page_id);
-  LruPageCache::Evicted ev = client_.Insert(key, /*dirty=*/true);
+  LruPageCache::Evicted ev = client_->Insert(key, /*dirty=*/true);
   if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteBackToServer(ev.key));
   TB_ASSIGN_OR_RETURN(uint8_t* raw, disk_->RawPage(file_id, page_id));
   return std::pair<uint32_t, uint8_t*>(page_id, raw);
@@ -153,7 +163,7 @@ Status TwoLevelCache::FlushAll() {
   auto note = [&first_error](const Status& s) {
     if (first_error.ok() && !s.ok()) first_error = s;
   };
-  client_.FlushDirty([&](uint64_t key) {
+  client_->FlushDirty([&](uint64_t key) {
     Status s = RpcToServer(kPageSize);
     if (!s.ok()) {
       note(s);
@@ -172,13 +182,13 @@ Status TwoLevelCache::FlushAll() {
 
 Status TwoLevelCache::Shutdown() {
   Status st = FlushAll();
-  client_.Clear();
+  client_->Clear();
   server_.Clear();
   return st;
 }
 
 void TwoLevelCache::DropAll() {
-  client_.Clear();
+  client_->Clear();
   server_.Clear();
 }
 

@@ -82,7 +82,20 @@ class TwoLevelCache {
 
   /// True if the page is resident at the client level (no cost).
   bool InClientCache(uint16_t file_id, uint32_t page_id) const {
-    return client_.Contains(Key(file_id, page_id));
+    return client_->Contains(Key(file_id, page_id));
+  }
+
+  /// Binds `cache` as the client level until rebound (nullptr restores the
+  /// built-in client cache). Returns the previously bound level. The server
+  /// level is never swapped — that is the point: the multi-client workload
+  /// scheduler (src/workload) gives every ClientSession its own client
+  /// cache while all sessions share this cache's server level and disk.
+  /// The bound cache's footprint is NOT registered against the simulated
+  /// machine's RAM (workload clients model separate client workstations).
+  LruPageCache* BindClientCache(LruPageCache* cache) {
+    LruPageCache* prev = client_;
+    client_ = cache != nullptr ? cache : &own_client_;
+    return prev;
   }
 
   /// Ships all dirty client pages to the server and all dirty server pages
@@ -125,7 +138,8 @@ class TwoLevelCache {
   DiskManager* disk_;
   SimContext* sim_;
   CacheConfig config_;
-  LruPageCache client_;
+  LruPageCache own_client_;
+  LruPageCache* client_;  // the bound client level; defaults to own_client_
   LruPageCache server_;
 };
 

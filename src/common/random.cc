@@ -1,5 +1,7 @@
 #include "src/common/random.h"
 
+#include <cmath>
+
 #include "src/common/logging.h"
 
 namespace treebench {
@@ -23,6 +25,33 @@ bool Lrand48::OneIn(double p) {
   if (p <= 0) return false;
   if (p >= 1) return true;
   return (static_cast<double>(Next()) / 2147483648.0) < p;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  TB_CHECK(n > 0);
+  // The closed-form draw below needs theta in [0, 1); theta >= 1 would want
+  // a different sampler (and the workloads only model moderate skew).
+  TB_CHECK(theta >= 0.0 && theta < 1.0);
+  zetan_ = 0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  double zeta2 = theta_ == 0.0 ? 2.0 : 1.0 + std::pow(0.5, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfSampler::Next() {
+  if (theta_ == 0.0) return rng_.Uniform(n_);
+  double u = static_cast<double>(rng_.Next()) / 2147483648.0;
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return n_ > 1 ? 1 : 0;
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
 }
 
 std::string Lrand48::NextString(size_t len) {

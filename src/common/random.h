@@ -55,6 +55,34 @@ class Lrand48 {
   uint64_t state_;
 };
 
+/// Seeded Zipf(theta) rank sampler over [0, n): P(rank = k) proportional to
+/// 1/(k+1)^theta. theta = 0 degenerates to uniform; theta in (0, 1) gives
+/// the head-heavy skew real multi-user workloads show (hot providers, hot
+/// key ranges). Uses the constant-time Gray et al. approximation (the
+/// YCSB/TPC generator): one O(n) harmonic-sum precomputation at
+/// construction, then each draw costs two pow() calls.
+///
+/// Deterministic: draws come from an internal Lrand48 stream, so the same
+/// (n, theta, seed) always yields the same rank sequence.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta, uint64_t seed);
+
+  /// Next rank in [0, n); rank 0 is the hottest.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;   // sum_{i=1..n} 1/i^theta
+  double alpha_;   // 1 / (1 - theta)
+  double eta_;
+  Lrand48 rng_;
+};
+
 }  // namespace treebench
 
 #endif  // TREEBENCH_COMMON_RANDOM_H_

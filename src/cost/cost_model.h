@@ -30,6 +30,22 @@ struct CostModel {
   double rpc_latency_ns = 300e3;     // per round trip
   double rpc_per_byte_ns = 25;       // ~40 MB/s effective page shipping
 
+  // ---- Server service station (multi-client workloads, src/workload) ----
+  // The single O2 page server handles one request at a time; each RPC holds
+  // it for `server_service_ns` of CPU/dispatch work (plus any disk I/O done
+  // on behalf of the request). Concurrent clients queue FIFO behind it and
+  // the wait is charged to the waiting client as rpc_queue_wait_ns.
+  //
+  // Must stay <= rpc_latency_ns + rpc_per_byte_ns * page size (402.4 us for
+  // the defaults): a single closed-loop client then never queues behind its
+  // own previous request, which keeps 1-client workload runs bit-identical
+  // to the plain single-client path.
+  double server_service_ns = 250e3;
+  // Admission control: at most this many requests queued + in service. An
+  // arrival finding the queue full waits (client-side) until the backlog
+  // drains below the cap before being admitted. 0 = unlimited.
+  uint32_t server_max_in_flight = 32;
+
   // ---- Handle management (Section 4.3/4.4) ----
   // Fat 60-byte handles: allocate + initialize all bookkeeping fields.
   double handle_get_ns = 110e3;

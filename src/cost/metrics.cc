@@ -6,7 +6,7 @@ namespace treebench {
 
 // Keeps the table in sync with the struct: adding a counter without listing
 // it here (and bumping this count) fails to compile.
-static_assert(sizeof(Metrics) == 31 * sizeof(uint64_t),
+static_assert(sizeof(Metrics) == 32 * sizeof(uint64_t),
               "new Metrics field? add it to MetricsFieldTable()");
 
 const std::vector<MetricsField>& MetricsFieldTable() {
@@ -42,6 +42,7 @@ const std::vector<MetricsField>& MetricsFieldTable() {
       {"corruptions_detected", &Metrics::corruptions_detected},
       {"checkpoint_replays", &Metrics::checkpoint_replays},
       {"retry_backoff_ns", &Metrics::retry_backoff_ns},
+      {"rpc_queue_wait_ns", &Metrics::rpc_queue_wait_ns},
   };
   return kFields;
 }
@@ -72,7 +73,8 @@ std::string Metrics::ToString() const {
       "cpu: attr=%llu cmp=%llu hash_ins=%llu hash_probe=%llu sorted=%llu\n"
       "results: set_appends=%llu tuples=%llu\n"
       "faults: rpc_retries=%llu rpc_failures=%llu disk_rd=%llu disk_wr=%llu "
-      "corrupt=%llu replays=%llu backoff_ns=%llu",
+      "corrupt=%llu replays=%llu backoff_ns=%llu\n"
+      "queueing: rpc_queue_wait_ns=%llu",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(disk_writes),
       static_cast<unsigned long long>(rpc_count),
@@ -100,7 +102,8 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(disk_write_faults),
       static_cast<unsigned long long>(corruptions_detected),
       static_cast<unsigned long long>(checkpoint_replays),
-      static_cast<unsigned long long>(retry_backoff_ns));
+      static_cast<unsigned long long>(retry_backoff_ns),
+      static_cast<unsigned long long>(rpc_queue_wait_ns));
   return buf;
 }
 

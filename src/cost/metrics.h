@@ -69,6 +69,10 @@ struct Metrics {
   uint64_t checkpoint_replays = 0;    // loader rollbacks to last checkpoint
   uint64_t retry_backoff_ns = 0;      // simulated time spent backing off
 
+  // Multi-client workloads (src/workload): simulated time this client spent
+  // queued behind other clients' RPCs at the shared server station.
+  uint64_t rpc_queue_wait_ns = 0;
+
   /// Client cache miss rate in percent (as the paper's CCMissrate).
   double ClientMissRatePct() const {
     uint64_t total = client_cache_hits + client_cache_misses;

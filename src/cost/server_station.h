@@ -1,0 +1,83 @@
+#ifndef TREEBENCH_COST_SERVER_STATION_H_
+#define TREEBENCH_COST_SERVER_STATION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+namespace treebench {
+
+/// Single-server FIFO service station modeling the shared O2 page server
+/// under multi-client load (src/workload). Every client RPC reserves the
+/// server for `service_ns` (extended by any disk I/O the server performs for
+/// the request); a request arriving while the server is busy waits until the
+/// earlier reservations drain. The wait is what a SimContext charges to the
+/// *client's* clock as rpc_queue_wait_ns — the service itself is already
+/// covered by the regular RPC/disk charges, which model an idle server.
+///
+/// Arrivals carry global virtual-time timestamps (every ClientSession's
+/// clock shares the t=0 origin). Because the discrete-event scheduler runs
+/// each query to completion before the next event, arrivals are not globally
+/// monotone; the station approximates FIFO by reserving the earliest slot at
+/// or after each arrival (see docs/workload_model.md). Purely deterministic:
+/// same arrival sequence, same waits.
+class ServerStation {
+ public:
+  ServerStation(double service_ns, uint32_t max_in_flight)
+      : service_ns_(service_ns), max_in_flight_(max_in_flight) {}
+
+  ServerStation(const ServerStation&) = delete;
+  ServerStation& operator=(const ServerStation&) = delete;
+
+  /// Reserves service for a request arriving at `arrival_ns`; returns the
+  /// queueing delay (0 when the server is free and the backlog is below the
+  /// admission cap).
+  double Admit(double arrival_ns) {
+    double t = arrival_ns;
+    DrainCompleted(t);
+    if (max_in_flight_ > 0 && completions_.size() >= max_in_flight_) {
+      // Queue full: admission waits until enough of the backlog has left
+      // that this request fits under the cap.
+      t = std::max(t, completions_[completions_.size() - max_in_flight_]);
+      DrainCompleted(t);
+    }
+    double start = std::max(t, free_until_);
+    free_until_ = start + service_ns_;
+    busy_ns_ += service_ns_;
+    completions_.push_back(free_until_);
+    ++admitted_;
+    return start - arrival_ns;
+  }
+
+  /// The most recently admitted request holds the server for `ns` longer —
+  /// used for disk I/O the server performs while handling an RPC.
+  void ExtendService(double ns) {
+    free_until_ += ns;
+    busy_ns_ += ns;
+    if (!completions_.empty()) completions_.back() = free_until_;
+  }
+
+  uint64_t admitted() const { return admitted_; }
+  /// Total time the server spent servicing requests (utilization numerator).
+  double busy_ns() const { return busy_ns_; }
+  double free_until_ns() const { return free_until_; }
+
+ private:
+  void DrainCompleted(double now) {
+    while (!completions_.empty() && completions_.front() <= now) {
+      completions_.pop_front();
+    }
+  }
+
+  double service_ns_;
+  uint32_t max_in_flight_;
+  double free_until_ = 0;
+  double busy_ns_ = 0;
+  uint64_t admitted_ = 0;
+  /// Completion times of admitted-but-possibly-unfinished requests, FIFO.
+  std::deque<double> completions_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_COST_SERVER_STATION_H_

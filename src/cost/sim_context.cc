@@ -5,27 +5,27 @@
 namespace treebench {
 
 void SimContext::TouchTransient() {
+  const uint64_t transient = clock_->transient_bytes;
   uint64_t free_ram = FreeRamForTransient();
-  if (transient_bytes_ <= free_ram || transient_bytes_ == 0) return;
-  double overflow_fraction =
-      static_cast<double>(transient_bytes_ - free_ram) /
-      static_cast<double>(transient_bytes_);
-  swap_debt_ += overflow_fraction;
-  while (swap_debt_ >= 1.0) {
-    swap_debt_ -= 1.0;
-    ++metrics_.swap_ios;
+  if (transient <= free_ram || transient == 0) return;
+  double overflow_fraction = static_cast<double>(transient - free_ram) /
+                             static_cast<double>(transient);
+  clock_->swap_debt += overflow_fraction;
+  while (clock_->swap_debt >= 1.0) {
+    clock_->swap_debt -= 1.0;
+    ++clock_->metrics.swap_ios;
     // A swap event evicts a dirty victim and faults the needed page in:
     // two page transfers.
-    clock_ns_ += 2 * model_.swap_io_ns;
+    clock_->clock_ns += 2 * model_.swap_io_ns;
   }
 }
 
 void SimContext::ChargeSort(uint64_t n) {
   if (n == 0) return;
-  metrics_.sorted_elements += n;
+  clock_->metrics.sorted_elements += n;
   double levels = std::max(1.0, std::log2(static_cast<double>(n)));
-  clock_ns_ += model_.sort_per_element_level_ns *
-               static_cast<double>(n) * levels;
+  clock_->clock_ns += model_.sort_per_element_level_ns *
+                      static_cast<double>(n) * levels;
   // A sort area of n Rids (8 bytes each) is transient memory; model the
   // merge passes as one touch per element when under pressure.
   uint64_t area = n * 8;

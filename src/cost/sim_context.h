@@ -6,6 +6,7 @@
 #include "src/cost/cost_model.h"
 #include "src/cost/fault_injector.h"
 #include "src/cost/metrics.h"
+#include "src/cost/server_station.h"
 
 namespace treebench {
 
@@ -16,6 +17,26 @@ enum class HandleMode {
   kFat,      // O2 as measured: 60-byte handles, allocated per object.
   kCompact,  // improvement 1: handle class hierarchy, slimmed bookkeeping.
   kBulk,     // improvement 2: arena/bulk allocation driven by the optimizer.
+};
+
+/// The time-and-counter state every charge lands on: one virtual clock, its
+/// Metrics, and the fractional swap-I/O debt of the memory model. A
+/// SimContext owns one (the default, used by all single-client code) and can
+/// temporarily bind another — that is how the multi-client workload
+/// scheduler (src/workload) gives every ClientSession its own clock and
+/// per-client hit/miss attribution while the engine keeps charging through
+/// the same SimContext pointers it always held.
+struct SimClock {
+  double clock_ns = 0;
+  Metrics metrics;
+  double swap_debt = 0;
+  /// Client-side memory of this clock's owner: transient working structures
+  /// (hash tables, sort areas, result sets) and object handles. Kept per
+  /// clock because every workload client models its own workstation — one
+  /// session's handle churn must not push another session (or the default
+  /// single-client context) into swapping.
+  uint64_t transient_bytes = 0;
+  uint64_t handle_bytes = 0;
 };
 
 /// Accumulates simulated time and event counters for one "machine".
@@ -37,8 +58,8 @@ class SimContext {
   SimContext& operator=(const SimContext&) = delete;
 
   const CostModel& model() const { return model_; }
-  Metrics& metrics() { return metrics_; }
-  const Metrics& metrics() const { return metrics_; }
+  Metrics& metrics() { return clock_->metrics; }
+  const Metrics& metrics() const { return clock_->metrics; }
 
   /// Deterministic fault source for robustness campaigns. Disarmed by
   /// default; survives ResetClock so a campaign can be armed once and then
@@ -46,17 +67,24 @@ class SimContext {
   FaultInjector& faults() { return faults_; }
   const FaultInjector& faults() const { return faults_; }
 
-  double elapsed_ns() const { return clock_ns_; }
-  double elapsed_seconds() const { return clock_ns_ / 1e9; }
+  double elapsed_ns() const { return clock_->clock_ns; }
+  double elapsed_seconds() const { return clock_->clock_ns / 1e9; }
 
-  /// Clears the clock and counters but keeps memory registrations (the
-  /// caches stay allocated across queries). Must not run inside an open
+  /// Clears the bound clock and counters but keeps memory registrations
+  /// (the caches stay allocated across queries). Must not run inside an open
   /// MetricScope (its start snapshot would outrun the zeroed counters).
-  void ResetClock() {
-    clock_ns_ = 0;
-    metrics_ = Metrics{};
-    swap_debt_ = 0;
+  void ResetClock() { *clock_ = SimClock{}; }
+
+  /// Binds `clock` as the target of every charge until rebound (nullptr
+  /// restores the context's own clock). Returns the previously bound clock
+  /// so callers can nest. The workload scheduler binds each ClientSession's
+  /// clock around that session's queries.
+  SimClock* BindClock(SimClock* clock) {
+    SimClock* prev = clock_;
+    clock_ = clock != nullptr ? clock : &own_clock_;
+    return prev;
   }
+  SimClock* bound_clock() { return clock_; }
 
   /// Observability hook: while a TraceCollector is installed, MetricScopes
   /// opened on this context record named spans of the Metrics/clock deltas
@@ -64,23 +92,37 @@ class SimContext {
   TraceCollector* trace() const { return trace_; }
   void set_trace(TraceCollector* t) { trace_ = t; }
 
+  /// Shared-server queueing hook (src/workload): while a ServerStation is
+  /// installed, every RPC reserves the station and any queueing delay is
+  /// charged to the bound clock as rpc_queue_wait_ns. Null (no contention)
+  /// by default.
+  ServerStation* station() const { return station_; }
+  void set_station(ServerStation* s) { station_ = s; }
+
   // ---- Generic charging ----
-  void Charge(double ns) { clock_ns_ += ns; }
+  void Charge(double ns) { clock_->clock_ns += ns; }
 
   // ---- I/O path ----
   void ChargeDiskRead() {
-    ++metrics_.disk_reads;
-    clock_ns_ += model_.disk_read_page_ns;
+    ++clock_->metrics.disk_reads;
+    clock_->clock_ns += model_.disk_read_page_ns;
   }
   void ChargeDiskWrite() {
-    ++metrics_.disk_writes;
-    clock_ns_ += model_.disk_write_page_ns;
+    ++clock_->metrics.disk_writes;
+    clock_->clock_ns += model_.disk_write_page_ns;
   }
   void ChargeRpc(uint64_t bytes) {
-    ++metrics_.rpc_count;
-    metrics_.rpc_bytes += bytes;
-    clock_ns_ += model_.rpc_latency_ns +
-                 model_.rpc_per_byte_ns * static_cast<double>(bytes);
+    ++clock_->metrics.rpc_count;
+    clock_->metrics.rpc_bytes += bytes;
+    if (station_ != nullptr) {
+      double wait = station_->Admit(clock_->clock_ns);
+      if (wait > 0) {
+        clock_->clock_ns += wait;
+        clock_->metrics.rpc_queue_wait_ns += static_cast<uint64_t>(wait);
+      }
+    }
+    clock_->clock_ns += model_.rpc_latency_ns +
+                        model_.rpc_per_byte_ns * static_cast<double>(bytes);
   }
 
   // ---- Cache events ----
@@ -88,50 +130,50 @@ class SimContext {
   // charged separately through ChargeRpc/ChargeDiskRead; these record the
   // hit/miss counters so an active MetricScope attributes them to the span
   // that touched the page.
-  void ChargeClientCacheHit() { ++metrics_.client_cache_hits; }
-  void ChargeClientCacheMiss() { ++metrics_.client_cache_misses; }
-  void ChargeServerCacheHit() { ++metrics_.server_cache_hits; }
-  void ChargeServerCacheMiss() { ++metrics_.server_cache_misses; }
+  void ChargeClientCacheHit() { ++clock_->metrics.client_cache_hits; }
+  void ChargeClientCacheMiss() { ++clock_->metrics.client_cache_misses; }
+  void ChargeServerCacheHit() { ++clock_->metrics.server_cache_hits; }
+  void ChargeServerCacheMiss() { ++clock_->metrics.server_cache_misses; }
 
   // ---- Handles ----
   void ChargeHandleGet() {
-    ++metrics_.handle_gets;
+    ++clock_->metrics.handle_gets;
     switch (handle_mode_) {
       case HandleMode::kFat:
-        clock_ns_ += model_.handle_get_ns;
+        clock_->clock_ns += model_.handle_get_ns;
         break;
       case HandleMode::kCompact:
-        clock_ns_ += model_.handle_get_compact_ns;
+        clock_->clock_ns += model_.handle_get_compact_ns;
         break;
       case HandleMode::kBulk:
-        clock_ns_ += model_.handle_get_bulk_ns;
+        clock_->clock_ns += model_.handle_get_bulk_ns;
         break;
     }
   }
   void ChargeHandleLookup() {
-    ++metrics_.handle_lookups;
-    clock_ns_ += model_.handle_lookup_ns;
+    ++clock_->metrics.handle_lookups;
+    clock_->clock_ns += model_.handle_lookup_ns;
   }
   void ChargeHandleUnref() {
-    ++metrics_.handle_unrefs;
+    ++clock_->metrics.handle_unrefs;
     switch (handle_mode_) {
       case HandleMode::kFat:
-        clock_ns_ += model_.handle_unref_ns;
+        clock_->clock_ns += model_.handle_unref_ns;
         break;
       case HandleMode::kCompact:
-        clock_ns_ += model_.handle_unref_compact_ns;
+        clock_->clock_ns += model_.handle_unref_compact_ns;
         break;
       case HandleMode::kBulk:
-        clock_ns_ += model_.handle_unref_bulk_ns;
+        clock_->clock_ns += model_.handle_unref_bulk_ns;
         break;
     }
   }
   void ChargeLiteralHandle() {
-    ++metrics_.literal_handles;
+    ++clock_->metrics.literal_handles;
     // The compact/bulk improvements give literals slim handles too.
-    clock_ns_ += handle_mode_ == HandleMode::kFat
-                     ? model_.literal_handle_ns
-                     : model_.literal_handle_ns / 6.0;
+    clock_->clock_ns += handle_mode_ == HandleMode::kFat
+                            ? model_.literal_handle_ns
+                            : model_.literal_handle_ns / 6.0;
   }
 
   HandleMode handle_mode() const { return handle_mode_; }
@@ -153,21 +195,21 @@ class SimContext {
 
   // ---- CPU events ----
   void ChargeAttrAccess() {
-    ++metrics_.attr_accesses;
-    clock_ns_ += model_.attr_access_ns;
+    ++clock_->metrics.attr_accesses;
+    clock_->clock_ns += model_.attr_access_ns;
   }
   void ChargeCompare() {
-    ++metrics_.comparisons;
-    clock_ns_ += model_.compare_ns;
+    ++clock_->metrics.comparisons;
+    clock_->clock_ns += model_.compare_ns;
   }
   void ChargeHashInsert() {
-    ++metrics_.hash_inserts;
-    clock_ns_ += model_.hash_insert_ns;
+    ++clock_->metrics.hash_inserts;
+    clock_->clock_ns += model_.hash_insert_ns;
     TouchTransient();
   }
   void ChargeHashProbe() {
-    ++metrics_.hash_probes;
-    clock_ns_ += model_.hash_probe_ns;
+    ++clock_->metrics.hash_probes;
+    clock_->clock_ns += model_.hash_probe_ns;
     TouchTransient();
   }
   /// Charges an n-element sort (n log n comparisons-ish) and models the
@@ -178,66 +220,74 @@ class SimContext {
   // Result construction touches the result's memory: once results (plus
   // hash tables) outgrow RAM, appends start swapping like everything else.
   void ChargeSetAppend() {
-    ++metrics_.set_appends;
-    clock_ns_ += model_.set_append_ns;
+    ++clock_->metrics.set_appends;
+    clock_->clock_ns += model_.set_append_ns;
     TouchTransient();
   }
   void ChargeTuple() {
-    ++metrics_.tuples_built;
-    clock_ns_ += model_.tuple_construct_ns + model_.bag_append_ns;
+    ++clock_->metrics.tuples_built;
+    clock_->clock_ns += model_.tuple_construct_ns + model_.bag_append_ns;
     TouchTransient();
   }
 
   // ---- Loader ----
   void ChargeObjectCreate() {
-    ++metrics_.objects_created;
-    clock_ns_ += model_.object_create_ns;
+    ++clock_->metrics.objects_created;
+    clock_->clock_ns += model_.object_create_ns;
   }
   void ChargeCommit() {
-    ++metrics_.commits;
-    clock_ns_ += model_.commit_ns;
+    ++clock_->metrics.commits;
+    clock_->clock_ns += model_.commit_ns;
   }
   void ChargeLogBytes(uint64_t bytes) {
-    clock_ns_ += model_.log_write_per_byte_ns * static_cast<double>(bytes);
+    clock_->clock_ns += model_.log_write_per_byte_ns *
+                        static_cast<double>(bytes);
   }
   void ChargeIndexInsertCpu() {
-    ++metrics_.index_inserts;
-    clock_ns_ += model_.index_insert_cpu_ns;
+    ++clock_->metrics.index_inserts;
+    clock_->clock_ns += model_.index_insert_cpu_ns;
   }
   void ChargeRelocation() {
-    ++metrics_.relocations;
-    clock_ns_ += model_.relocation_cpu_ns;
+    ++clock_->metrics.relocations;
+    clock_->clock_ns += model_.relocation_cpu_ns;
   }
 
   // ---- Memory model ----
-  /// Registers a long-lived consumer (page caches). May be negative.
+  /// Registers a long-lived machine-level consumer (the page caches). May
+  /// be negative. Deliberately NOT per-clock: every simulated workstation
+  /// has the same fixed layout (its client cache; on the server, the server
+  /// cache), so one machine-level figure describes them all.
   void RegisterFixedMemory(int64_t delta) {
     fixed_bytes_ = static_cast<uint64_t>(
         static_cast<int64_t>(fixed_bytes_) + delta);
   }
-  /// Registers transient working memory (hash tables, sort areas).
-  void AllocTransient(uint64_t bytes) { transient_bytes_ += bytes; }
+  /// Registers transient working memory (hash tables, sort areas) on the
+  /// bound clock's workstation.
+  void AllocTransient(uint64_t bytes) { clock_->transient_bytes += bytes; }
   void FreeTransient(uint64_t bytes) {
-    transient_bytes_ = transient_bytes_ > bytes ? transient_bytes_ - bytes : 0;
+    clock_->transient_bytes =
+        clock_->transient_bytes > bytes ? clock_->transient_bytes - bytes : 0;
   }
   void AddHandleMemory(int64_t delta) {
-    handle_bytes_ = static_cast<uint64_t>(
-        static_cast<int64_t>(handle_bytes_) + delta);
+    clock_->handle_bytes = static_cast<uint64_t>(
+        static_cast<int64_t>(clock_->handle_bytes) + delta);
   }
 
   uint64_t fixed_bytes() const { return fixed_bytes_; }
-  uint64_t transient_bytes() const { return transient_bytes_; }
-  uint64_t handle_bytes() const { return handle_bytes_; }
+  uint64_t transient_bytes() const { return clock_->transient_bytes; }
+  uint64_t handle_bytes() const { return clock_->handle_bytes; }
 
-  /// Bytes of physical memory still free for transient structures.
+  /// Bytes of the bound workstation's physical memory still free for
+  /// transient structures.
   uint64_t FreeRamForTransient() const {
-    uint64_t used = model_.reserved_bytes + fixed_bytes_ + handle_bytes_;
+    uint64_t used =
+        model_.reserved_bytes + fixed_bytes_ + clock_->handle_bytes;
     return used >= model_.ram_bytes ? 0 : model_.ram_bytes - used;
   }
 
   /// True when transient structures no longer fit in RAM.
   bool UnderMemoryPressure() const {
-    return transient_bytes_ > FreeRamForTransient();
+    return clock_->transient_bytes > FreeRamForTransient();
   }
 
   /// Models one random touch of transient memory: if the structure exceeds
@@ -248,17 +298,16 @@ class SimContext {
 
  private:
   CostModel model_;
-  Metrics metrics_;
   FaultInjector faults_;
   TraceCollector* trace_ = nullptr;
-  double clock_ns_ = 0;
+  ServerStation* station_ = nullptr;
+
+  SimClock own_clock_;
+  SimClock* clock_ = &own_clock_;
 
   HandleMode handle_mode_ = HandleMode::kFat;
 
   uint64_t fixed_bytes_ = 0;
-  uint64_t transient_bytes_ = 0;
-  uint64_t handle_bytes_ = 0;
-  double swap_debt_ = 0;
 };
 
 }  // namespace treebench

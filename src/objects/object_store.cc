@@ -127,11 +127,11 @@ Result<Rid> ObjectStore::ResolveForward(const Rid& rid) {
 
 Result<ObjectHandle*> ObjectStore::Get(const Rid& rid) {
   uint64_t key = rid.Packed();
-  auto alias_it = alias_.find(key);
-  if (alias_it != alias_.end()) key = alias_it->second;
+  auto alias_it = ht_->alias.find(key);
+  if (alias_it != ht_->alias.end()) key = alias_it->second;
 
-  auto it = handles_.find(key);
-  if (it != handles_.end()) {
+  auto it = ht_->handles.find(key);
+  if (it != ht_->handles.end()) {
     // Already resident: cheap re-reference (no page access needed — the
     // handle caches the object's location and bookkeeping).
     sim_->ChargeHandleLookup();
@@ -146,9 +146,9 @@ Result<ObjectHandle*> ObjectStore::Get(const Rid& rid) {
   TB_ASSIGN_OR_RETURN(rec, ReadRecord(rid, &canonical));
   uint64_t canon_key = canonical.Packed();
   if (canon_key != rid.Packed()) {
-    alias_[rid.Packed()] = canon_key;
-    auto canon_it = handles_.find(canon_key);
-    if (canon_it != handles_.end()) {
+    ht_->alias[rid.Packed()] = canon_key;
+    auto canon_it = ht_->handles.find(canon_key);
+    if (canon_it != ht_->handles.end()) {
       sim_->ChargeHandleLookup();
       ++canon_it->second->refcount;
       return canon_it->second.get();
@@ -162,7 +162,7 @@ Result<ObjectHandle*> ObjectStore::Get(const Rid& rid) {
   handle->class_id = ObjectView(rec, nullptr, string_mode_).class_id();
   handle->refcount = 1;
   ObjectHandle* ptr = handle.get();
-  handles_.emplace(canon_key, std::move(handle));
+  ht_->handles.emplace(canon_key, std::move(handle));
   MaybeCollectZombies();
   return ptr;
 }
@@ -172,20 +172,20 @@ void ObjectStore::Unref(ObjectHandle* handle) {
   sim_->ChargeHandleUnref();
   if (--handle->refcount == 0) {
     // Delayed destruction: park on the zombie list.
-    zombies_.push_back(handle->rid.Packed());
+    ht_->zombies.push_back(handle->rid.Packed());
   }
 }
 
 void ObjectStore::MaybeCollectZombies() {
   uint64_t bytes = sim_->HandleBytes();
-  if (handles_.size() * bytes <= handle_arena_bytes_) return;
+  if (ht_->handles.size() * bytes <= handle_arena_bytes_) return;
   size_t target = handle_arena_bytes_ / bytes / 2;
-  while (!zombies_.empty() && handles_.size() > target) {
-    uint64_t key = zombies_.front();
-    zombies_.pop_front();
-    auto it = handles_.find(key);
-    if (it != handles_.end() && it->second->refcount == 0) {
-      handles_.erase(it);
+  while (!ht_->zombies.empty() && ht_->handles.size() > target) {
+    uint64_t key = ht_->zombies.front();
+    ht_->zombies.pop_front();
+    auto it = ht_->handles.find(key);
+    if (it != ht_->handles.end() && it->second->refcount == 0) {
+      ht_->handles.erase(it);
       sim_->AddHandleMemory(-static_cast<int64_t>(bytes));
     }
   }
@@ -193,23 +193,23 @@ void ObjectStore::MaybeCollectZombies() {
 
 void ObjectStore::ReleaseZombies() {
   uint64_t bytes = sim_->HandleBytes();
-  while (!zombies_.empty()) {
-    uint64_t key = zombies_.front();
-    zombies_.pop_front();
-    auto it = handles_.find(key);
-    if (it != handles_.end() && it->second->refcount == 0) {
-      handles_.erase(it);
+  while (!ht_->zombies.empty()) {
+    uint64_t key = ht_->zombies.front();
+    ht_->zombies.pop_front();
+    auto it = ht_->handles.find(key);
+    if (it != ht_->handles.end() && it->second->refcount == 0) {
+      ht_->handles.erase(it);
       sim_->AddHandleMemory(-static_cast<int64_t>(bytes));
     }
   }
 }
 
 void ObjectStore::DropAllHandles() {
-  sim_->AddHandleMemory(-static_cast<int64_t>(handles_.size() *
+  sim_->AddHandleMemory(-static_cast<int64_t>(ht_->handles.size() *
                                               sim_->HandleBytes()));
-  handles_.clear();
-  zombies_.clear();
-  alias_.clear();
+  ht_->handles.clear();
+  ht_->zombies.clear();
+  ht_->alias.clear();
 }
 
 namespace {
@@ -433,7 +433,7 @@ Result<Rid> ObjectStore::AddIndexRef(const Rid& rid, uint32_t index_id) {
   uint16_t class_id = old_view.class_id();
   std::vector<uint8_t> stub = object_layout::EncodeForward(class_id, new_rid);
   TB_RETURN_IF_ERROR(home->Update(canonical, stub));
-  alias_[canonical.Packed()] = new_rid.Packed();
+  ht_->alias[canonical.Packed()] = new_rid.Packed();
   return new_rid;
 }
 

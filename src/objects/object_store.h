@@ -32,6 +32,17 @@ struct ObjectHandle {
   uint32_t refcount = 0;
 };
 
+/// One client process's handle space: resident handles keyed by canonical
+/// packed rid, forwarding aliases, and the delayed-destruction zombie list.
+/// The ObjectStore owns a default table; the multi-client workload scheduler
+/// (src/workload) binds a per-ClientSession table so sessions do not see
+/// each other's resident handles.
+struct HandleTable {
+  std::unordered_map<uint64_t, std::unique_ptr<ObjectHandle>> handles;
+  std::unordered_map<uint64_t, uint64_t> alias;
+  std::deque<uint64_t> zombies;
+};
+
 /// Placement directives for object creation.
 struct CreateOptions {
   /// File receiving the object record (chosen by the clustering strategy).
@@ -125,7 +136,16 @@ class ObjectStore {
   Result<std::vector<uint32_t>> GetIndexIds(const Rid& rid);
 
   // ---- Handle table introspection ----
-  size_t resident_handles() const { return handles_.size(); }
+  size_t resident_handles() const { return ht_->handles.size(); }
+
+  /// Binds `table` as the active handle space until rebound (nullptr
+  /// restores the built-in table). Returns the previously bound table.
+  /// Callers must not hold ObjectHandle pointers across a rebind.
+  HandleTable* BindHandleTable(HandleTable* table) {
+    HandleTable* prev = ht_;
+    ht_ = table != nullptr ? table : &own_handles_;
+    return prev;
+  }
   /// Frees all zombie handles immediately (e.g. at transaction end).
   void ReleaseZombies();
 
@@ -163,11 +183,9 @@ class ObjectStore {
   std::unordered_map<uint16_t, std::unique_ptr<RecordFile>> files_;
   uint16_t default_overflow_file_ = 0xFFFF;
 
-  // Handle table: canonical packed rid -> handle. Aliases map a forwarded
-  // (old) rid to its canonical key.
-  std::unordered_map<uint64_t, std::unique_ptr<ObjectHandle>> handles_;
-  std::unordered_map<uint64_t, uint64_t> alias_;
-  std::deque<uint64_t> zombies_;
+  // Active handle space (default: own_handles_). See HandleTable.
+  HandleTable own_handles_;
+  HandleTable* ht_ = &own_handles_;
   bool has_relocations_ = false;
 };
 

@@ -25,7 +25,8 @@ std::string StatRecord::CsvHeader() {
          "sel_providers_pct,elapsed_seconds,result_count,cc_page_faults,"
          "rpcs_number,rpcs_total_bytes,d2sc_read_pages,sc2cc_read_pages,"
          "cc_miss_rate_pct,sc_miss_rate_pct,swap_ios,server_cache_bytes,"
-         "client_cache_bytes";
+         "client_cache_bytes,num_clients,throughput_qps,latency_p50_s,"
+         "latency_p95_s,latency_p99_s";
 }
 
 std::string StatRecord::ToCsvRow() const {
@@ -33,7 +34,7 @@ std::string StatRecord::ToCsvRow() const {
   std::snprintf(
       buf, sizeof(buf),
       "%d,%s,%s,%s,\"%s\",%d,%.3f,%.3f,%.2f,%llu,%llu,%llu,%llu,%llu,%llu,"
-      "%.2f,%.2f,%llu,%llu,%llu",
+      "%.2f,%.2f,%llu,%llu,%llu,%u,%.3f,%.4f,%.4f,%.4f",
       numtest, database.c_str(), cluster.c_str(), algo.c_str(),
       query_text.c_str(), cold ? 1 : 0, selectivity_patients_pct,
       selectivity_providers_pct, elapsed_seconds,
@@ -45,7 +46,8 @@ std::string StatRecord::ToCsvRow() const {
       static_cast<unsigned long long>(sc2cc_read_pages), cc_miss_rate_pct,
       sc_miss_rate_pct, static_cast<unsigned long long>(swap_ios),
       static_cast<unsigned long long>(server_cache_bytes),
-      static_cast<unsigned long long>(client_cache_bytes));
+      static_cast<unsigned long long>(client_cache_bytes), num_clients,
+      throughput_qps, latency_p50_s, latency_p95_s, latency_p99_s);
   return buf;
 }
 

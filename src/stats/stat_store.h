@@ -47,6 +47,14 @@ struct StatRecord {
   uint64_t result_count = 0;
   uint64_t swap_ios = 0;
 
+  // Multi-client workload measurements (src/workload). Single-query records
+  // keep the defaults: one client, no throughput/percentile data.
+  uint32_t num_clients = 1;
+  double throughput_qps = 0;    // completed queries per simulated second
+  double latency_p50_s = 0;     // per-query latency percentiles, seconds
+  double latency_p95_s = 0;
+  double latency_p99_s = 0;
+
   /// Fills the measurement fields from a run's Metrics.
   void FillFrom(const Metrics& m, double seconds);
 

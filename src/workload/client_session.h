@@ -1,0 +1,85 @@
+#ifndef TREEBENCH_WORKLOAD_CLIENT_SESSION_H_
+#define TREEBENCH_WORKLOAD_CLIENT_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/benchdb/derby.h"
+#include "src/cache/lru_page_cache.h"
+#include "src/common/random.h"
+#include "src/cost/sim_context.h"
+#include "src/objects/object_store.h"
+#include "src/workload/latency_histogram.h"
+#include "src/workload/workload_spec.h"
+
+namespace treebench {
+
+/// What one client submits next: the OQL text plus whether it is the tree
+/// query (drives forced-plan selection).
+struct GeneratedQuery {
+  std::string oql;
+  bool is_tree = false;
+};
+
+/// One closed-loop client of a multi-client workload: its own virtual clock
+/// and Metrics (a SimClock the scheduler binds on the shared SimContext),
+/// its own client-level page cache and handle space (bound on the shared
+/// TwoLevelCache/ObjectStore), its own deterministic RNG streams, and its
+/// measured-phase accumulators. The server level of the cache, the disk,
+/// the catalog and the indexes stay shared — that is the client/server
+/// story the workload exists to measure.
+class ClientSession {
+ public:
+  ClientSession(uint32_t id, const WorkloadSpec& spec, const DerbyDb& derby);
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  uint32_t id() const { return id_; }
+
+  /// Generates this client's next query deterministically from its streams.
+  GeneratedQuery NextQuery();
+
+  /// Samples this client's next think time (ns >= 0).
+  double NextThinkNs();
+
+  /// The client's virtual time (ns). All clients share the t=0 origin, so
+  /// these values are directly comparable — and directly usable as global
+  /// arrival timestamps by the ServerStation.
+  double now_ns() const { return clock.clock_ns; }
+
+  // Bound by the scheduler around this session's turns.
+  SimClock clock;
+  LruPageCache client_cache;
+  HandleTable handles;
+
+  // Measured-phase bookkeeping (owned by the scheduler).
+  uint32_t queries_issued = 0;    // warmup + measured, issue count
+  uint64_t measured_queries = 0;  // completed, measured phase only
+  uint64_t failed_queries = 0;
+  bool measuring = false;
+  double measure_start_ns = 0;
+  double last_completion_ns = 0;
+  /// Sum of the per-query Metrics deltas of the measured execution regions
+  /// only — preparation, cold restarts and think time between queries are
+  /// excluded, exactly like the single-client path excludes them.
+  Metrics measured_metrics;
+  LatencyHistogram latencies;
+  std::vector<double> completion_seconds;
+
+ private:
+  uint32_t id_;
+  const WorkloadSpec& spec_;
+  const DerbyDb& derby_;
+  Lrand48 rng_;        // mix choice + think jitter
+  ZipfSampler zipf_;   // selection window choice
+  /// Number of selection windows the mrn domain is carved into (the Zipf
+  /// sampler ranges over these).
+  uint64_t num_windows_;
+  int64_t window_width_;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_WORKLOAD_CLIENT_SESSION_H_

@@ -1,0 +1,78 @@
+#include "src/workload/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treebench {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(double ns) {
+  if (ns < 1.0) return 0;
+  // index = floor(log2(ns) * kSubBuckets), computed via frexp so the octave
+  // part is exact; only the sub-bucket needs a comparison ladder.
+  int exp = 0;
+  double mantissa = std::frexp(ns, &exp);  // ns = mantissa * 2^exp, m in [0.5,1)
+  int octave = exp - 1;                    // floor(log2(ns))
+  static const double kEdges[kSubBuckets] = {
+      0.5,                        // 2^0 within the octave (mantissa scale)
+      0.5 * 1.189207115002721,    // 2^(1/4)
+      0.5 * 1.4142135623730951,   // 2^(1/2)
+      0.5 * 1.681792830507429,    // 2^(3/4)
+  };
+  int sub = 0;
+  for (int i = kSubBuckets - 1; i > 0; --i) {
+    if (mantissa >= kEdges[i]) {
+      sub = i;
+      break;
+    }
+  }
+  int index = octave * kSubBuckets + sub;
+  return std::clamp(index, 0, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketMidNs(int index) {
+  // Geometric midpoint of [2^(i/4), 2^((i+1)/4)).
+  return std::exp2((static_cast<double>(index) + 0.5) /
+                   static_cast<double>(kSubBuckets));
+}
+
+void LatencyHistogram::Record(double ns) {
+  if (ns < 0) ns = 0;
+  ++buckets_[static_cast<size_t>(BucketIndex(ns))];
+  if (count_ == 0 || ns < min_ns_) min_ns_ = ns;
+  if (count_ == 0 || ns > max_ns_) max_ns_ = ns;
+  sum_ns_ += ns;
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
+    if (count_ == 0 || other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  }
+  sum_ns_ += other.sum_ns_;
+  count_ += other.count_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based, nearest-rank definition.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp to the observed extremes so tiny histograms do not report a
+      // bucket midpoint outside [min, max].
+      return std::clamp(BucketMidNs(static_cast<int>(i)), min_ns_, max_ns_);
+    }
+  }
+  return max_ns_;
+}
+
+}  // namespace treebench

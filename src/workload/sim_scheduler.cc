@@ -1,0 +1,266 @@
+#include "src/workload/sim_scheduler.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/cost/server_station.h"
+#include "src/query/binder.h"
+#include "src/query/executor.h"
+#include "src/query/oql/parser.h"
+#include "src/query/optimizer.h"
+#include "src/workload/client_session.h"
+
+namespace treebench {
+
+namespace {
+
+/// Binds one session's clock, client cache and handle table onto the shared
+/// engine for the duration of a scope; restores the previous bindings on
+/// every exit path. Engine code keeps charging through the same
+/// SimContext/TwoLevelCache/ObjectStore pointers it always held — only the
+/// state behind them changes.
+class SessionBinding {
+ public:
+  SessionBinding(Database* db, ClientSession* s)
+      : db_(db),
+        prev_clock_(db->sim().BindClock(&s->clock)),
+        prev_cache_(db->cache().BindClientCache(&s->client_cache)),
+        prev_ht_(db->store().BindHandleTable(&s->handles)) {}
+
+  ~SessionBinding() {
+    db_->store().BindHandleTable(prev_ht_);
+    db_->cache().BindClientCache(prev_cache_);
+    db_->sim().BindClock(prev_clock_);
+  }
+
+  SessionBinding(const SessionBinding&) = delete;
+  SessionBinding& operator=(const SessionBinding&) = delete;
+
+ private:
+  Database* db_;
+  SimClock* prev_clock_;
+  LruPageCache* prev_cache_;
+  HandleTable* prev_ht_;
+};
+
+Status ValidateSpec(const WorkloadSpec& spec) {
+  if (spec.num_clients == 0) {
+    return Status::InvalidArgument("workload: num_clients must be >= 1");
+  }
+  if (spec.queries_per_client == 0) {
+    return Status::InvalidArgument("workload: queries_per_client must be >= 1");
+  }
+  if (spec.zipf_theta < 0 || spec.zipf_theta >= 1) {
+    return Status::InvalidArgument("workload: zipf_theta must be in [0, 1)");
+  }
+  if (spec.tree_query_fraction < 0 || spec.tree_query_fraction > 1) {
+    return Status::InvalidArgument(
+        "workload: tree_query_fraction must be in [0, 1]");
+  }
+  if (spec.selection_pct <= 0 || spec.selection_pct > 100) {
+    return Status::InvalidArgument(
+        "workload: selection_pct must be in (0, 100]");
+  }
+  return Status::OK();
+}
+
+struct PreparedQuery {
+  BoundQuery bound = BoundSelection{};
+  PlanChoice plan;
+};
+
+/// Parses, binds and plans one generated query on the currently bound
+/// session. Failures here are spec bugs, so they surface as hard errors
+/// (execution failures from injected faults are handled by the caller).
+/// Mirrors ExecuteOql's ordering: preparation happens BEFORE the measured
+/// region (and before any cold restart), so its page touches do not land in
+/// the measured counters — that is what keeps a 1-client workload
+/// counter-identical to the plain single-client path.
+Result<PreparedQuery> Prepare(Database* db, const WorkloadSpec& spec,
+                              const GeneratedQuery& gq) {
+  PreparedQuery prep;
+  oql::Query ast;
+  TB_ASSIGN_OR_RETURN(ast, oql::Parse(gq.oql));
+  TB_ASSIGN_OR_RETURN(prep.bound, Bind(db, ast));
+  if (spec.force_plan) {
+    prep.plan.is_tree = gq.is_tree;
+    prep.plan.selection_mode = spec.forced_selection_mode;
+    prep.plan.algo = spec.forced_algo;
+    prep.plan.rationale = "forced by WorkloadSpec";
+  } else {
+    TB_ASSIGN_OR_RETURN(prep.plan, ChoosePlan(db, prep.bound, spec.strategy));
+  }
+  return prep;
+}
+
+/// The discrete-event loop: pop the (time, client) pair with the smallest
+/// time (ties by client id — total determinism), run that client's next
+/// query atomically under its bindings, push its next event.
+Status RunEventLoop(Database* db, const WorkloadSpec& spec,
+                    const std::vector<std::unique_ptr<ClientSession>>& sessions) {
+  using Event = std::pair<double, uint32_t>;  // (virtual ns, client id)
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+  for (const auto& s : sessions) heap.emplace(0.0, s->id());
+
+  const uint32_t total_per_client =
+      spec.warmup_queries_per_client + spec.queries_per_client;
+
+  while (!heap.empty()) {
+    auto [when, id] = heap.top();
+    heap.pop();
+    ClientSession* s = sessions[id].get();
+    SessionBinding binding(db, s);
+
+    GeneratedQuery gq = s->NextQuery();
+    PreparedQuery prep;
+    TB_ASSIGN_OR_RETURN(prep, Prepare(db, spec, gq));
+
+    if (spec.cold_per_query) {
+      // The single-client paper methodology: server shutdown before every
+      // query, after preparation (exactly ExecuteOql's parse/bind/plan ->
+      // BeginMeasuredRun -> run ordering). Runs with the session bound, so
+      // it empties this session's cache and handles plus the shared server
+      // cache — and, like Database::BeginMeasuredRun, it clears the
+      // session's fractional swap debt so each query starts from the same
+      // memory-model state.
+      TB_RETURN_IF_ERROR(db->ColdRestart());
+      s->clock.swap_debt = 0;
+    }
+
+    // Measure from here: restart/flush and preparation above are setup
+    // (the paper excludes them), so the [t0, t1] interval is exactly the
+    // RunBoundPlan execution.
+    const double t0 = s->clock.clock_ns;
+    const Metrics m0 = s->clock.metrics;
+    const bool ok = RunBoundPlan(db, prep.bound, prep.plan,
+                                 /*cold=*/false)
+                        .ok();
+    const double t1 = s->clock.clock_ns;
+
+    const bool measured = s->queries_issued >= spec.warmup_queries_per_client;
+    if (measured) {
+      if (!s->measuring) {
+        s->measuring = true;
+        s->measure_start_ns = t0;
+      }
+      // Failed (fault-injected) queries keep their partial charges: the
+      // work happened, only the result never arrived.
+      s->measured_metrics += s->clock.metrics.Diff(m0);
+      if (ok) {
+        s->latencies.Record(t1 - t0);
+        ++s->measured_queries;
+      } else {
+        ++s->failed_queries;
+      }
+      s->completion_seconds.push_back(t1 / 1e9);
+      s->last_completion_ns = t1;
+    }
+    ++s->queries_issued;
+
+    if (s->queries_issued < total_per_client) {
+      s->clock.clock_ns += s->NextThinkNs();
+      heap.emplace(s->clock.clock_ns, s->id());
+    }
+  }
+  return Status::OK();
+}
+
+WorkloadReport AssembleReport(
+    const WorkloadSpec& spec,
+    const std::vector<std::unique_ptr<ClientSession>>& sessions,
+    const ServerStation& station) {
+  WorkloadReport rep;
+  rep.spec = spec;
+
+  double min_start = 0, max_end = 0;
+  bool first = true;
+  for (const auto& s : sessions) {
+    ClientReport c;
+    c.client_id = s->id();
+    c.queries = s->measured_queries;
+    c.failed_queries = s->failed_queries;
+    c.start_seconds = s->measure_start_ns / 1e9;
+    c.end_seconds = s->last_completion_ns / 1e9;
+    const double span = c.end_seconds - c.start_seconds;
+    c.qps = span > 0 ? static_cast<double>(c.queries) / span : 0;
+    c.latencies = s->latencies;
+    c.completion_seconds = std::move(s->completion_seconds);
+    c.metrics = s->measured_metrics;
+
+    rep.total_queries += c.queries;
+    rep.failed_queries += c.failed_queries;
+    rep.latencies.Merge(c.latencies);
+    rep.totals += c.metrics;
+    if (first || c.start_seconds < min_start) min_start = c.start_seconds;
+    if (first || c.end_seconds > max_end) max_end = c.end_seconds;
+    if (first || c.qps < rep.min_client_qps) rep.min_client_qps = c.qps;
+    if (first || c.qps > rep.max_client_qps) rep.max_client_qps = c.qps;
+    first = false;
+
+    rep.clients.push_back(std::move(c));
+  }
+
+  rep.span_seconds = max_end - min_start;
+  rep.throughput_qps = rep.span_seconds > 0
+                           ? static_cast<double>(rep.total_queries) /
+                                 rep.span_seconds
+                           : 0;
+  rep.fairness_ratio =
+      rep.max_client_qps > 0 ? rep.min_client_qps / rep.max_client_qps : 0;
+  rep.server_busy_seconds = station.busy_ns() / 1e9;
+  // Includes warmup-phase service in the numerator; exact when the spec has
+  // no warmup, an upper-bound approximation otherwise.
+  rep.server_utilization = rep.span_seconds > 0
+                               ? rep.server_busy_seconds / rep.span_seconds
+                               : 0;
+  return rep;
+}
+
+}  // namespace
+
+Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec) {
+  TB_RETURN_IF_ERROR(ValidateSpec(spec));
+  Database* db = derby->db.get();
+
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  sessions.reserve(spec.num_clients);
+  for (uint32_t i = 0; i < spec.num_clients; ++i) {
+    sessions.push_back(std::make_unique<ClientSession>(i, spec, *derby));
+  }
+
+  // Every client starts cold: both shared cache levels (and the engine's
+  // own default bindings) are emptied before the first event. The sessions'
+  // own caches/handle tables are born empty.
+  if (spec.cold_start || spec.cold_per_query) {
+    TB_RETURN_IF_ERROR(db->ColdRestart());
+  }
+
+  // Install the shared server station for the duration of the run. The
+  // default service time is below the minimum RPC round-trip spacing, so a
+  // single closed-loop client never queues behind itself — queueing delay
+  // appears only under real multi-client contention.
+  ServerStation station(db->sim().model().server_service_ns,
+                        db->sim().model().server_max_in_flight);
+  ServerStation* prev_station = db->sim().station();
+  db->sim().set_station(&station);
+
+  Status loop_status = RunEventLoop(db, spec, sessions);
+
+  // Teardown: drop every session's handles while its table is bound so the
+  // simulated handle memory registered against the machine is released.
+  // Session caches are simply destroyed (their unflushed pages vanish, like
+  // a client process exiting) — they were never registered against RAM.
+  for (const auto& s : sessions) {
+    SessionBinding binding(db, s.get());
+    db->store().DropAllHandles();
+  }
+  db->sim().set_station(prev_station);
+  TB_RETURN_IF_ERROR(loop_status);
+
+  return AssembleReport(spec, sessions, station);
+}
+
+}  // namespace treebench

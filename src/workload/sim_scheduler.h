@@ -1,0 +1,36 @@
+#ifndef TREEBENCH_WORKLOAD_SIM_SCHEDULER_H_
+#define TREEBENCH_WORKLOAD_SIM_SCHEDULER_H_
+
+#include "src/benchdb/derby.h"
+#include "src/common/status.h"
+#include "src/workload/workload_report.h"
+#include "src/workload/workload_spec.h"
+
+namespace treebench {
+
+/// Runs a multi-client workload over one Derby database as a discrete-event
+/// simulation in virtual time and returns the aggregated report.
+///
+/// N closed-loop ClientSessions interleave on the shared engine: the
+/// scheduler repeatedly pops the client with the smallest next-event time
+/// (ties broken by client id, so runs are fully deterministic), binds that
+/// session's clock, client cache and handle table onto the shared
+/// SimContext/TwoLevelCache/ObjectStore, executes one whole query
+/// atomically, and advances the session's clock by the query's simulated
+/// time plus a think time. Cross-client contention enters through the
+/// shared ServerStation: every RPC reserves the single server and queueing
+/// delay lands on the issuing client's clock as rpc_queue_wait_ns — while
+/// the shared server cache level gives concurrent clients their page
+/// sharing. See docs/workload_model.md for the model and its limits.
+///
+/// With num_clients == 1 the run is equivalent to the plain single-client
+/// query path: the station never delays the only client (the default
+/// CostModel keeps server_service_ns below the minimum RPC spacing), and
+/// the per-session bindings default-construct to the same state
+/// Database::BeginMeasuredRun produces. The workload tests assert this
+/// bit-for-bit on the Metrics counters.
+Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec);
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_WORKLOAD_SIM_SCHEDULER_H_

@@ -1,0 +1,116 @@
+#include "src/workload/workload_report.h"
+
+#include <cstdio>
+
+namespace treebench {
+
+namespace {
+
+void AppendKV(std::string* out, const std::string& pad, const char* key,
+              uint64_t v, bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu%s\n", key,
+                (unsigned long long)v, comma ? "," : "");
+  *out += pad + buf;
+}
+
+void AppendKV(std::string* out, const std::string& pad, const char* key,
+              double v, bool comma = true) {
+  char buf[96];
+  // %.9g: run-to-run deterministic on a given build, compact, and enough
+  // precision to round-trip the interesting magnitudes.
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.9g%s\n", key, v,
+                comma ? "," : "");
+  *out += pad + buf;
+}
+
+void AppendMetrics(std::string* out, const std::string& pad,
+                   const Metrics& m, bool comma) {
+  *out += pad + "\"metrics\": {";
+  bool first = true;
+  char buf[96];
+  for (const MetricsField& f : MetricsFieldTable()) {
+    uint64_t v = m.*(f.member);
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu", first ? "" : ", ",
+                  f.name, (unsigned long long)v);
+    *out += buf;
+    first = false;
+  }
+  *out += std::string("}") + (comma ? "," : "") + "\n";
+}
+
+void AppendLatencies(std::string* out, const std::string& pad,
+                     const LatencyHistogram& h, bool comma) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"latency_seconds\": {\"p50\": %.9g, \"p95\": %.9g, "
+                "\"p99\": %.9g, \"mean\": %.9g, \"min\": %.9g, "
+                "\"max\": %.9g}%s\n",
+                h.Quantile(0.50) / 1e9, h.Quantile(0.95) / 1e9,
+                h.Quantile(0.99) / 1e9, h.mean_ns() / 1e9, h.min_ns() / 1e9,
+                h.max_ns() / 1e9, comma ? "," : "");
+  *out += pad + buf;
+}
+
+}  // namespace
+
+std::string WorkloadReport::ToJson() const {
+  std::string out = "{\n";
+
+  out += "  \"workload\": {\n";
+  AppendKV(&out, "    ", "num_clients", uint64_t{spec.num_clients});
+  AppendKV(&out, "    ", "queries_per_client",
+           uint64_t{spec.queries_per_client});
+  AppendKV(&out, "    ", "warmup_queries_per_client",
+           uint64_t{spec.warmup_queries_per_client});
+  AppendKV(&out, "    ", "seed", spec.seed);
+  AppendKV(&out, "    ", "zipf_theta", spec.zipf_theta);
+  AppendKV(&out, "    ", "tree_query_fraction", spec.tree_query_fraction);
+  AppendKV(&out, "    ", "selection_pct", spec.selection_pct);
+  AppendKV(&out, "    ", "think_time_ns", spec.think_time_ns);
+  AppendKV(&out, "    ", "cold_start", uint64_t{spec.cold_start ? 1u : 0u});
+  AppendKV(&out, "    ", "cold_per_query",
+           uint64_t{spec.cold_per_query ? 1u : 0u}, /*comma=*/false);
+  out += "  },\n";
+
+  out += "  \"global\": {\n";
+  AppendKV(&out, "    ", "total_queries", total_queries);
+  AppendKV(&out, "    ", "failed_queries", failed_queries);
+  AppendKV(&out, "    ", "span_seconds", span_seconds);
+  AppendKV(&out, "    ", "throughput_qps", throughput_qps);
+  AppendLatencies(&out, "    ", latencies, /*comma=*/true);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\"fairness\": {\"min_qps\": %.9g, \"max_qps\": %.9g, "
+                "\"ratio\": %.9g},\n",
+                min_client_qps, max_client_qps, fairness_ratio);
+  out += std::string("    ") + buf;
+  AppendKV(&out, "    ", "server_busy_seconds", server_busy_seconds);
+  AppendKV(&out, "    ", "server_utilization", server_utilization);
+  AppendKV(&out, "    ", "rpc_queue_wait_seconds",
+           static_cast<double>(totals.rpc_queue_wait_ns) / 1e9);
+  AppendMetrics(&out, "    ", totals, /*comma=*/false);
+  out += "  },\n";
+
+  out += "  \"clients\": [\n";
+  for (size_t i = 0; i < clients.size(); ++i) {
+    const ClientReport& c = clients[i];
+    out += "    {\n";
+    AppendKV(&out, "      ", "id", uint64_t{c.client_id});
+    AppendKV(&out, "      ", "queries", c.queries);
+    AppendKV(&out, "      ", "failed_queries", c.failed_queries);
+    AppendKV(&out, "      ", "start_seconds", c.start_seconds);
+    AppendKV(&out, "      ", "end_seconds", c.end_seconds);
+    AppendKV(&out, "      ", "qps", c.qps);
+    AppendLatencies(&out, "      ", c.latencies, /*comma=*/true);
+    AppendKV(&out, "      ", "rpc_queue_wait_seconds",
+             static_cast<double>(c.metrics.rpc_queue_wait_ns) / 1e9);
+    AppendMetrics(&out, "      ", c.metrics, /*comma=*/false);
+    out += i + 1 < clients.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace treebench

@@ -1,0 +1,68 @@
+#ifndef TREEBENCH_WORKLOAD_WORKLOAD_REPORT_H_
+#define TREEBENCH_WORKLOAD_WORKLOAD_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cost/metrics.h"
+#include "src/workload/latency_histogram.h"
+#include "src/workload/workload_spec.h"
+
+namespace treebench {
+
+/// One client's measured-phase results.
+struct ClientReport {
+  uint32_t client_id = 0;
+  uint64_t queries = 0;          // completed measured queries
+  uint64_t failed_queries = 0;   // queries lost to injected faults
+  /// Virtual time of the client's measured phase: [first measured query
+  /// start, last completion], seconds.
+  double start_seconds = 0;
+  double end_seconds = 0;
+  double qps = 0;
+  LatencyHistogram latencies;
+  /// Per-query completion times (seconds, virtual), in issue order —
+  /// monotonicity of a client's timeline is a tested invariant.
+  std::vector<double> completion_seconds;
+  /// Metrics delta over the measured phase, attributed to this client only.
+  Metrics metrics;
+};
+
+/// Aggregated results of one workload run: global throughput/latency plus
+/// the per-client breakdown and full Metrics rollups.
+struct WorkloadReport {
+  WorkloadSpec spec;
+
+  uint64_t total_queries = 0;
+  uint64_t failed_queries = 0;
+  /// Global measured span: max client end - min client start, seconds.
+  double span_seconds = 0;
+  double throughput_qps = 0;
+  LatencyHistogram latencies;  // all clients' measured queries
+
+  // Fairness spread of per-client throughput. ratio = min/max in [0, 1];
+  // 1 = perfectly fair.
+  double min_client_qps = 0;
+  double max_client_qps = 0;
+  double fairness_ratio = 0;
+
+  /// Simulated seconds the shared server spent servicing requests, and that
+  /// busy time over the global span (> 1 client can saturate it).
+  double server_busy_seconds = 0;
+  double server_utilization = 0;
+
+  /// Sum of every client's measured-phase Metrics.
+  Metrics totals;
+
+  std::vector<ClientReport> clients;
+
+  /// Deterministic JSON export: fixed field order, metrics counters in
+  /// MetricsFieldTable() order with zero counters omitted, 2-space indent.
+  /// Bit-identical across runs of the same spec on the same build.
+  std::string ToJson() const;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_WORKLOAD_WORKLOAD_REPORT_H_

@@ -1,0 +1,70 @@
+#ifndef TREEBENCH_WORKLOAD_WORKLOAD_SPEC_H_
+#define TREEBENCH_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+
+#include "src/query/optimizer.h"
+#include "src/query/selection.h"
+#include "src/query/tree_query.h"
+
+namespace treebench {
+
+/// Describes one multi-client workload over a Derby database: how many
+/// closed-loop clients, how many queries each runs, the query mix, the key
+/// skew, think times, and the cold/warm phase structure. Everything is
+/// derived deterministically from `seed` (per-session streams are seeded
+/// seed + client id), so a spec fully determines the run.
+struct WorkloadSpec {
+  uint32_t num_clients = 4;
+  /// Measured queries per client (after warmup).
+  uint32_t queries_per_client = 8;
+  /// Warm-up queries per client, excluded from latencies/throughput/metrics
+  /// rollups — the workload's warm phase starts once a client finishes its
+  /// warmup.
+  uint32_t warmup_queries_per_client = 0;
+
+  /// Mean think time between queries (simulated ns) and its uniform jitter
+  /// as a fraction of the mean (0.2 = +-20%).
+  double think_time_ns = 0;
+  double think_jitter_frac = 0;
+
+  /// Zipf skew of selection key ranges: 0 = uniform over the key domain,
+  /// values toward 1 concentrate queries on the hot head ranges (which is
+  /// what makes the shared server cache pay off). Must be in [0, 1).
+  double zipf_theta = 0;
+
+  /// Probability that a query is the canonical tree query; the rest are
+  /// range selections on Patients.mrn.
+  double tree_query_fraction = 0;
+
+  /// Selectivity (percent of Patients) of each range selection; the Zipf
+  /// sampler picks WHICH window of the mrn domain is selected.
+  double selection_pct = 1.0;
+  /// Selectivities of the tree queries (paper Section 5 grid values).
+  double tree_child_sel_pct = 10;
+  double tree_parent_sel_pct = 10;
+
+  /// Plan choice: optimizer-driven (per `strategy`) unless `force_plan` is
+  /// set, in which case selections use `forced_selection_mode` and tree
+  /// queries `forced_algo`.
+  OptimizerStrategy strategy = OptimizerStrategy::kCostBased;
+  bool force_plan = false;
+  SelectionMode forced_selection_mode = SelectionMode::kIndexScan;
+  TreeJoinAlgo forced_algo = TreeJoinAlgo::kNL;
+
+  /// Cold phase structure. cold_start: both cache levels and all handles
+  /// are dropped once before the run (every client starts cold, then the
+  /// run proceeds warm — the scale-out benches' mode). cold_per_query: a
+  /// full cold restart before every query, reproducing the single-client
+  /// paper methodology exactly (used by the 1-client equivalence tests);
+  /// it also empties the shared server cache, so no cross-client page
+  /// sharing survives it.
+  bool cold_start = true;
+  bool cold_per_query = false;
+
+  uint64_t seed = 42;
+};
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_WORKLOAD_WORKLOAD_SPEC_H_

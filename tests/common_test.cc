@@ -156,6 +156,54 @@ TEST(Lrand48Test, NextStringIsLowercaseAscii) {
   }
 }
 
+TEST(ZipfSamplerTest, DeterministicForSameParameters) {
+  ZipfSampler a(1000, 0.8, 42);
+  ZipfSampler b(1000, 0.8, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfSamplerTest, SeedChangesTheSequence) {
+  ZipfSampler a(1000, 0.8, 42);
+  ZipfSampler b(1000, 0.8, 43);
+  int diffs = 0;
+  for (int i = 0; i < 100; ++i) diffs += a.Next() != b.Next();
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(ZipfSamplerTest, RanksStayInDomain) {
+  for (double theta : {0.0, 0.5, 0.99}) {
+    ZipfSampler z(37, theta, 7);
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(z.Next(), 37u) << theta;
+  }
+}
+
+TEST(ZipfSamplerTest, HeadIsHeavyUnderSkew) {
+  // With theta = 0.9 over 1000 ranks, the head must dominate: rank 0 alone
+  // draws a substantial share and the top decile the majority, while the
+  // theoretical uniform share of the top decile is only 10%.
+  ZipfSampler z(1000, 0.9, 123);
+  const int kDraws = 20000;
+  int rank0 = 0, top_decile = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t r = z.Next();
+    rank0 += r == 0;
+    top_decile += r < 100;
+  }
+  EXPECT_GT(rank0, kDraws / 20);           // > 5% on one rank out of 1000
+  EXPECT_GT(top_decile, kDraws / 2);       // majority in the top 10%
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniform) {
+  ZipfSampler z(10, 0.0, 99);
+  const int kDraws = 20000;
+  int counts[10] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[z.Next()];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 20);  // every bucket well-populated
+    EXPECT_LT(c, kDraws / 5);   // none dominates
+  }
+}
+
 TEST(ByteIoTest, RoundTrips) {
   uint8_t buf[8];
   PutU16(buf, 0xBEEF);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -92,6 +93,48 @@ TEST(StatStoreTest, CsvExportRoundTrips) {
   EXPECT_EQ(header, StatRecord::CsvHeader());
   EXPECT_NE(row1.find("NL"), std::string::npos);
   EXPECT_NE(row1.find("100.25"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StatStoreTest, WorkloadFieldsDefaultToSingleClient) {
+  StatRecord r = MakeRecord("NL", 100, 10, 10);
+  EXPECT_EQ(r.num_clients, 1u);
+  EXPECT_DOUBLE_EQ(r.throughput_qps, 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_p95_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_p99_s, 0.0);
+}
+
+TEST(StatStoreTest, WorkloadFieldsRoundTripThroughCsv) {
+  StatRecord r = MakeRecord("workload", 42.5, 2, 10);
+  r.num_clients = 16;
+  r.throughput_qps = 12.5;
+  r.latency_p50_s = 0.25;
+  r.latency_p95_s = 1.5;
+  r.latency_p99_s = 3.125;
+  StatStore store;
+  store.Add(r);
+
+  const std::string header = StatRecord::CsvHeader();
+  EXPECT_NE(header.find("num_clients"), std::string::npos);
+  EXPECT_NE(header.find("throughput_qps"), std::string::npos);
+  EXPECT_NE(header.find("latency_p50_s"), std::string::npos);
+  EXPECT_NE(header.find("latency_p95_s"), std::string::npos);
+  EXPECT_NE(header.find("latency_p99_s"), std::string::npos);
+  // Column counts must agree between header and rows.
+  auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(store.records()[0].ToCsvRow()));
+
+  std::string path = ::testing::TempDir() + "/workload_stats.csv";
+  ASSERT_TRUE(store.ExportCsv(path).ok());
+  std::ifstream in(path);
+  std::string got_header, row;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, got_header)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, row)));
+  EXPECT_EQ(got_header, header);
+  EXPECT_NE(row.find(",16,12.500,0.2500,1.5000,3.1250"), std::string::npos);
   std::remove(path.c_str());
 }
 

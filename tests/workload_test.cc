@@ -1,0 +1,204 @@
+// Tests of the multi-client workload simulator (src/workload): determinism,
+// per-client virtual-time monotonicity, exact degeneration to the
+// single-client path, and the cross-client sharing/queueing effects the
+// scale-out benches rely on.
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/benchdb/derby.h"
+#include "src/cost/metrics.h"
+#include "src/query/binder.h"
+#include "src/query/executor.h"
+#include "src/query/oql/parser.h"
+#include "src/query/optimizer.h"
+#include "src/workload/client_session.h"
+#include "src/workload/sim_scheduler.h"
+
+namespace treebench {
+namespace {
+
+std::unique_ptr<DerbyDb> BuildSmallDerby() {
+  DerbyConfig cfg;
+  cfg.providers = 2000;
+  cfg.avg_children = 1000;
+  cfg.clustering = ClusteringStrategy::kClassClustered;
+  cfg.scale = 64;  // tiny data AND a proportionally tiny machine
+  auto derby = BuildDerby(cfg);
+  EXPECT_TRUE(derby.ok()) << derby.status().ToString();
+  return std::move(derby).value();
+}
+
+WorkloadSpec MixedSpec(uint32_t clients, uint32_t queries) {
+  WorkloadSpec spec;
+  spec.num_clients = clients;
+  spec.queries_per_client = queries;
+  spec.zipf_theta = 0.8;
+  spec.tree_query_fraction = 0.25;
+  spec.selection_pct = 2;
+  spec.think_time_ns = 1e6;
+  spec.think_jitter_frac = 0.2;
+  spec.cold_start = true;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(WorkloadTest, IdenticalSeedsProduceIdenticalReports) {
+  // Two independently built databases, two runs of the same spec: every
+  // byte of the report (latencies, per-client metrics, timeline) matches.
+  auto derby_a = BuildSmallDerby();
+  auto derby_b = BuildSmallDerby();
+  WorkloadSpec spec = MixedSpec(4, 3);
+  auto a = RunWorkload(derby_a.get(), spec);
+  auto b = RunWorkload(derby_b.get(), spec);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_GT(a->total_queries, 0u);
+  EXPECT_EQ(a->ToJson(), b->ToJson());
+}
+
+TEST(WorkloadTest, DifferentSeedsDiverge) {
+  auto derby = BuildSmallDerby();
+  WorkloadSpec spec = MixedSpec(4, 3);
+  auto a = RunWorkload(derby.get(), spec);
+  spec.seed = 8;
+  auto b = RunWorkload(derby.get(), spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->ToJson(), b->ToJson());
+}
+
+TEST(WorkloadTest, PerClientVirtualTimeIsMonotone) {
+  auto derby = BuildSmallDerby();
+  auto report = RunWorkload(derby.get(), MixedSpec(8, 4));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->clients.size(), 8u);
+  for (const ClientReport& c : report->clients) {
+    ASSERT_EQ(c.completion_seconds.size(), 4u);
+    EXPECT_GE(c.completion_seconds.front(), c.start_seconds);
+    for (size_t i = 1; i < c.completion_seconds.size(); ++i) {
+      // Strictly increasing: every query takes simulated time and think
+      // times only push the clock forward.
+      EXPECT_GT(c.completion_seconds[i], c.completion_seconds[i - 1])
+          << "client " << c.client_id << " query " << i;
+    }
+    EXPECT_DOUBLE_EQ(c.end_seconds, c.completion_seconds.back());
+  }
+}
+
+// The degenerate case the whole design hinges on: one client, per-query
+// cold restarts, must reproduce the plain single-client execution path
+// (parse/bind/plan, BeginMeasuredRun, RunBoundPlan) counter-for-counter.
+TEST(WorkloadTest, OneClientReproducesSingleClientMetricsBitForBit) {
+  auto derby = BuildSmallDerby();
+  Database* db = derby->db.get();
+
+  WorkloadSpec spec;
+  spec.num_clients = 1;
+  spec.queries_per_client = 3;
+  spec.zipf_theta = 0.5;
+  spec.tree_query_fraction = 0.4;  // mix selections and tree queries
+  spec.selection_pct = 2;
+  spec.cold_per_query = true;
+  spec.seed = 11;
+
+  auto report = RunWorkload(derby.get(), spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->total_queries, 3u);
+  EXPECT_EQ(report->failed_queries, 0u);
+  EXPECT_EQ(report->totals.rpc_queue_wait_ns, 0u);
+
+  // Replay the identical query sequence through the pre-existing path.
+  ClientSession probe(0, spec, *derby);
+  Metrics reference;
+  double reference_seconds = 0;
+  for (int i = 0; i < 3; ++i) {
+    GeneratedQuery gq = probe.NextQuery();
+    auto ast = oql::Parse(gq.oql);
+    ASSERT_TRUE(ast.ok()) << gq.oql;
+    auto bound = Bind(db, *ast);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    auto plan = ChoosePlan(db, *bound, spec.strategy);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_TRUE(db->BeginMeasuredRun().ok());
+    auto run = RunBoundPlan(db, *bound, *plan, /*cold=*/false);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    reference += run->metrics;
+    reference_seconds += run->seconds;
+  }
+
+  for (const MetricsField& f : MetricsFieldTable()) {
+    EXPECT_EQ(report->totals.*(f.member), reference.*(f.member)) << f.name;
+  }
+  // Latencies come from clock deltas at large clock values; allow only
+  // float-associativity noise relative to the from-zero reference.
+  EXPECT_NEAR(report->latencies.sum_ns() / 1e9, reference_seconds,
+              1e-6 * reference_seconds + 1e-9);
+}
+
+TEST(WorkloadTest, SharedServerCacheKeepsDiskReadsSublinear) {
+  auto derby = BuildSmallDerby();
+
+  WorkloadSpec spec;
+  spec.queries_per_client = 4;
+  spec.zipf_theta = 0.9;  // hot head ranges: sharing has something to share
+  spec.tree_query_fraction = 0;
+  spec.selection_pct = 2;
+  spec.cold_start = true;
+  spec.seed = 3;
+
+  spec.num_clients = 1;
+  auto one = RunWorkload(derby.get(), spec);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+
+  spec.num_clients = 4;
+  auto four = RunWorkload(derby.get(), spec);
+  ASSERT_TRUE(four.ok()) << four.status().ToString();
+
+  // Four clients re-reading the same hot ranges through the shared server
+  // cache must not pay four times the single client's disk reads.
+  EXPECT_GT(four->totals.disk_reads, 0u);
+  EXPECT_LE(four->totals.disk_reads, 4 * one->totals.disk_reads);
+
+  // Contention exists: a single closed-loop client never queues, while
+  // concurrent clients wait behind each other at the server station.
+  EXPECT_EQ(one->totals.rpc_queue_wait_ns, 0u);
+  EXPECT_GT(four->totals.rpc_queue_wait_ns, 0u);
+  EXPECT_GT(four->server_busy_seconds, 0.0);
+
+  // Aggregate throughput cannot scale superlinearly past the single server.
+  EXPECT_LT(four->throughput_qps, 4 * one->throughput_qps);
+  EXPECT_GT(four->fairness_ratio, 0.0);
+  EXPECT_LE(four->fairness_ratio, 1.0);
+}
+
+TEST(WorkloadTest, WarmupQueriesAreExcludedFromMeasurement) {
+  auto derby = BuildSmallDerby();
+  WorkloadSpec spec = MixedSpec(2, 3);
+  spec.warmup_queries_per_client = 2;
+  auto report = RunWorkload(derby.get(), spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->total_queries, 2u * 3u);
+  for (const ClientReport& c : report->clients) {
+    EXPECT_EQ(c.queries, 3u);
+    EXPECT_EQ(c.completion_seconds.size(), 3u);
+    // The measured phase starts after two queries' worth of virtual time.
+    EXPECT_GT(c.start_seconds, 0.0);
+  }
+}
+
+TEST(WorkloadTest, RejectsInvalidSpecs) {
+  auto derby = BuildSmallDerby();
+  WorkloadSpec spec = MixedSpec(0, 3);
+  EXPECT_FALSE(RunWorkload(derby.get(), spec).ok());
+  spec = MixedSpec(2, 0);
+  EXPECT_FALSE(RunWorkload(derby.get(), spec).ok());
+  spec = MixedSpec(2, 3);
+  spec.zipf_theta = 1.0;
+  EXPECT_FALSE(RunWorkload(derby.get(), spec).ok());
+  spec = MixedSpec(2, 3);
+  spec.tree_query_fraction = 1.5;
+  EXPECT_FALSE(RunWorkload(derby.get(), spec).ok());
+}
+
+}  // namespace
+}  // namespace treebench
