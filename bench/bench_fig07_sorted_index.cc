@@ -86,6 +86,7 @@ int Main(int argc, char** argv) {
       "  (paper: ~1100)\n",
       scan_at_tenth, scan_at_90 - scan_at_tenth);
   MaybeExportCsv(stats, opts);
+  MaybeExportStatsJson(stats, opts);
   return 0;
 }
 

@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
   RunTreeQueryGrid(*derby, "fig11 class-cluster 2e3x2e6", paper, opts,
                    &stats);
   MaybeExportCsv(stats, opts);
+  MaybeExportStatsJson(stats, opts);
   return 0;
 }
 

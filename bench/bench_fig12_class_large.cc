@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
   RunTreeQueryGrid(*derby, "fig12 class-cluster 1e6x3e6", paper, opts,
                    &stats);
   MaybeExportCsv(stats, opts);
+  MaybeExportStatsJson(stats, opts);
   return 0;
 }
 

@@ -19,6 +19,7 @@ int Main(int argc, char** argv) {
   RunTreeQueryGrid(*derby, "fig13 composition 2e3x2e6", paper, opts,
                    &stats);
   MaybeExportCsv(stats, opts);
+  MaybeExportStatsJson(stats, opts);
   return 0;
 }
 

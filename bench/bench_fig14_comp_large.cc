@@ -19,6 +19,7 @@ int Main(int argc, char** argv) {
   RunTreeQueryGrid(*derby, "fig14 composition 1e6x3e6", paper, opts,
                    &stats);
   MaybeExportCsv(stats, opts);
+  MaybeExportStatsJson(stats, opts);
   return 0;
 }
 

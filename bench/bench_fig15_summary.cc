@@ -118,6 +118,7 @@ int Main(int argc, char** argv) {
               "composition"},
              rows);
   MaybeExportCsv(stats, opts);
+  MaybeExportStatsJson(stats, opts);
   return 0;
 }
 

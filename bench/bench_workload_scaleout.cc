@@ -13,19 +13,32 @@
 // than N independent cold runs would pay.
 //
 // Extra flags (parsed from raw argv, beyond the common --scale/--csv):
-//   --clients=N   cap/select the swept client counts (runs {1, N})
-//   --queries=N   measured queries per client (default 8; smoke 3)
-//   --json=PATH   deterministic JSON array of every WorkloadReport
-//   --scale=0     smoke mode: tiny database (scale 64), counts {1, 4 or
-//                 --clients}, 3 queries/client — the CI configuration.
+//   --clients=N          cap/select the swept client counts (runs {1, N})
+//   --queries=N          measured queries per client (default 8; smoke 3)
+//   --json=PATH          deterministic JSON array of every WorkloadReport
+//   --telemetry-dir=DIR  per swept run, write the virtual-time telemetry:
+//                        <cluster>_c<N>.timeseries.{csv,jsonl}, a Perfetto
+//                        trace <cluster>_c<N>.chrome.json (open it at
+//                        ui.perfetto.dev), and flamegraph folded stacks
+//                        <cluster>_c<N>.folded
+//   --summary-json=PATH  flat {"key": number} summary of every swept run —
+//                        the format bench/check_regression diffs against
+//                        bench/baselines/*.json
+//   --scale=0            smoke mode: tiny database (scale 64), counts {1, 4
+//                        or --clients}, 3 queries/client — the CI config.
+#include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bench_util.h"
 #include "src/common/string_util.h"
+#include "src/cost/trace.h"
 #include "src/query/executor.h"
 #include "src/query/oql/parser.h"
+#include "src/telemetry/regression.h"
+#include "src/telemetry/trace_export.h"
 #include "src/workload/client_session.h"
 #include "src/workload/sim_scheduler.h"
 
@@ -37,6 +50,8 @@ struct ExtraArgs {
   uint32_t clients = 0;         // --clients=N (0 = full sweep)
   uint32_t queries = 0;         // --queries=N (0 = default)
   std::string json_path;        // --json=PATH
+  std::string telemetry_dir;    // --telemetry-dir=DIR
+  std::string summary_json;     // --summary-json=PATH
 };
 
 // The common ParseArgs clamps --scale to >= 1, so smoke mode (--scale=0)
@@ -53,9 +68,24 @@ ExtraArgs ParseExtra(int argc, char** argv) {
       extra.queries = static_cast<uint32_t>(std::atol(arg + 10));
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       extra.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--telemetry-dir=", 16) == 0) {
+      extra.telemetry_dir = arg + 16;
+    } else if (std::strncmp(arg, "--summary-json=", 15) == 0) {
+      extra.summary_json = arg + 15;
     }
   }
   return extra;
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 WorkloadSpec SweepSpec(uint32_t clients, uint32_t queries) {
@@ -149,9 +179,11 @@ int Main(int argc, char** argv) {
       ClusteringStrategy::kClassClustered, ClusteringStrategy::kComposition};
 
   StatStore stats;
+  telemetry::FlatRun summary;
   std::string json = "[\n";
   bool first_json = true;
   bool all_exact = true;
+  bool telemetry_ok = true;
 
   for (ClusteringStrategy clustering : kClusterings) {
     auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
@@ -163,11 +195,72 @@ int Main(int argc, char** argv) {
     std::vector<std::vector<std::string>> rows;
     double qps1 = 0;
     for (uint32_t n : counts) {
-      auto report = RunWorkload(derby.get(), SweepSpec(n, queries));
+      const bool want_telemetry = !extra.telemetry_dir.empty();
+      WorkloadTelemetry tel;
+      // Folded stacks come from the span tree, so a trace session wraps the
+      // run when telemetry is requested (neither changes any counter).
+      std::unique_ptr<TraceSession> trace_session;
+      if (want_telemetry) {
+        trace_session =
+            std::make_unique<TraceSession>(&derby->db->sim());
+      }
+      auto report = RunWorkload(derby.get(), SweepSpec(n, queries),
+                                want_telemetry ? &tel : nullptr);
       if (!report.ok()) {
         std::fprintf(stderr, "FATAL: workload (%u clients): %s\n", n,
                      report.status().ToString().c_str());
         return 1;
+      }
+      const std::string run_label =
+          cluster_label + "_c" + std::to_string(n);
+      if (want_telemetry) {
+        const std::string base = extra.telemetry_dir + "/" + run_label;
+        telemetry_ok =
+            WriteFileOrWarn(base + ".timeseries.csv", tel.series.ToCsv()) &&
+            telemetry_ok;
+        telemetry_ok =
+            WriteFileOrWarn(base + ".timeseries.jsonl",
+                            tel.series.ToJsonl()) &&
+            telemetry_ok;
+        telemetry_ok = WriteFileOrWarn(base + ".chrome.json",
+                                       tel.ChromeTraceJson()) &&
+                       telemetry_ok;
+        std::unique_ptr<TraceNode> span_root = trace_session->Take();
+        telemetry_ok =
+            WriteFileOrWarn(base + ".folded",
+                            span_root != nullptr
+                                ? telemetry::TraceToFoldedStacks(*span_root)
+                                : std::string()) &&
+            telemetry_ok;
+        std::printf("telemetry: %s.{timeseries.csv,timeseries.jsonl,"
+                    "chrome.json,folded} (%zu samples, %zu slices)\n",
+                    base.c_str(), tel.series.num_samples(),
+                    tel.query_slices.size());
+      }
+      if (!extra.summary_json.empty()) {
+        const Metrics& t = report->totals;
+        summary.Set(run_label + "_total_queries",
+                    static_cast<double>(report->total_queries));
+        summary.Set(run_label + "_disk_reads",
+                    static_cast<double>(t.disk_reads));
+        summary.Set(run_label + "_rpc_count",
+                    static_cast<double>(t.rpc_count));
+        summary.Set(run_label + "_handle_gets",
+                    static_cast<double>(t.handle_gets));
+        summary.Set(run_label + "_client_cache_evictions",
+                    static_cast<double>(t.client_cache_evictions));
+        summary.Set(run_label + "_server_cache_evictions",
+                    static_cast<double>(t.server_cache_evictions));
+        summary.Set(run_label + "_span_seconds", report->span_seconds);
+        summary.Set(run_label + "_throughput_qps", report->throughput_qps);
+        summary.Set(run_label + "_p50_s",
+                    report->latencies.Quantile(0.50) / 1e9);
+        summary.Set(run_label + "_p95_s",
+                    report->latencies.Quantile(0.95) / 1e9);
+        summary.Set(run_label + "_p99_s",
+                    report->latencies.Quantile(0.99) / 1e9);
+        summary.Set(run_label + "_queue_wait_s",
+                    static_cast<double>(t.rpc_queue_wait_ns) / 1e9);
       }
       if (n == 1) qps1 = report->throughput_qps;
       const double speedup =
@@ -228,8 +321,16 @@ int Main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote workload reports to %s\n", extra.json_path.c_str());
   }
+  if (!extra.summary_json.empty()) {
+    if (WriteFileOrWarn(extra.summary_json, summary.ToJson())) {
+      std::printf("wrote run summary to %s\n", extra.summary_json.c_str());
+    } else {
+      telemetry_ok = false;
+    }
+  }
   MaybeExportCsv(stats, opts);
-  return all_exact ? 0 : 1;
+  MaybeExportStatsJson(stats, opts);
+  return all_exact && telemetry_ok ? 0 : 1;
 }
 
 }  // namespace

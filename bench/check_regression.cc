@@ -1,0 +1,90 @@
+// Perf-regression gate: diffs a fresh run summary against a committed
+// baseline.
+//
+//   check_regression <baseline.json> <current.json> [--tolerance=0.02]
+//
+// Both files are flat {"key": number} objects (what bench_workload_scaleout
+// --summary-json= writes; baselines live under bench/baselines/). Counter
+// keys must match exactly — the engine's event counters are integer-exact on
+// every platform. Time-like keys (suffix _ns/_s/_seconds/_qps/_pct) get a
+// relative tolerance band, because simulated times route through libm and
+// may drift in the last ulp across C libraries. Exits nonzero on any
+// regression, missing key, or new key (schema changes need a committed
+// baseline update).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/telemetry/regression.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  treebench::telemetry::RegressionOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      opts.time_tolerance = std::atof(argv[i] + 12);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: check_regression <baseline.json> <current.json> "
+                 "[--tolerance=0.02]\n");
+    return 2;
+  }
+
+  std::string baseline_text, current_text;
+  if (!ReadFile(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "cannot read %s\n", baseline_path);
+    return 2;
+  }
+  if (!ReadFile(current_path, &current_text)) {
+    std::fprintf(stderr, "cannot read %s\n", current_path);
+    return 2;
+  }
+
+  auto baseline = treebench::telemetry::ParseFlatJson(baseline_text);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s: %s\n", baseline_path,
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto current = treebench::telemetry::ParseFlatJson(current_text);
+  if (!current.ok()) {
+    std::fprintf(stderr, "%s: %s\n", current_path,
+                 current.status().ToString().c_str());
+    return 2;
+  }
+
+  treebench::telemetry::RegressionResult result =
+      treebench::telemetry::CompareRuns(*baseline, *current, opts);
+  std::printf("%s", result.report.c_str());
+  if (!result.ok) {
+    std::fprintf(stderr, "check_regression: %d of %d keys out of bounds\n",
+                 result.failures, result.keys_checked);
+    return 1;
+  }
+  return 0;
+}

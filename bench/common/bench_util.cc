@@ -18,6 +18,8 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opts.scale = static_cast<uint32_t>(std::max(1L, std::atol(arg + 8)));
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
       opts.csv_path = arg + 6;
+    } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
+      opts.stats_json_path = arg + 13;
     } else if (std::strncmp(arg, "--trace-json=", 13) == 0) {
       opts.trace_json_path = arg + 13;
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -150,6 +152,17 @@ void MaybeExportCsv(const StatStore& stats, const BenchOptions& opts) {
   } else {
     std::printf("wrote %zu stat records to %s\n", stats.size(),
                 opts.csv_path.c_str());
+  }
+}
+
+void MaybeExportStatsJson(const StatStore& stats, const BenchOptions& opts) {
+  if (opts.stats_json_path.empty()) return;
+  Status s = stats.ExportJson(opts.stats_json_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "json export failed: %s\n", s.ToString().c_str());
+  } else {
+    std::printf("wrote %zu stat records to %s\n", stats.size(),
+                opts.stats_json_path.c_str());
   }
 }
 

@@ -17,6 +17,10 @@ struct BenchOptions {
   uint32_t scale = 1;
   /// Optional CSV output path ("" = stdout tables only).
   std::string csv_path;
+  /// Optional JSON output path for the bench's StatStore records ("" = no
+  /// JSON). run_benches.sh points every bench at bench_json/<name>.json and
+  /// consolidates them into BENCH_results.json.
+  std::string stats_json_path;
   /// Optional path for the EXPLAIN ANALYZE JSON trace of the bench's runs
   /// ("" = no trace export). Benches that support it document what they
   /// write; CI uploads fig09's as an artifact.
@@ -24,9 +28,9 @@ struct BenchOptions {
   bool verbose = false;
 };
 
-/// Parses --scale=N, --csv=PATH, --trace-json=PATH, --verbose; ignores
-/// unknown flags (so google-benchmark style flags pass through if ever
-/// mixed).
+/// Parses --scale=N, --csv=PATH, --stats-json=PATH, --trace-json=PATH,
+/// --verbose; ignores unknown flags (so google-benchmark style flags pass
+/// through if ever mixed).
 BenchOptions ParseArgs(int argc, char** argv);
 
 /// Prints a ruled table: header row then rows; columns auto-sized.
@@ -62,6 +66,9 @@ void RunTreeQueryGrid(DerbyDb& derby, const std::string& db_label,
 
 /// Dumps the stat store to opts.csv_path when set.
 void MaybeExportCsv(const StatStore& stats, const BenchOptions& opts);
+
+/// Dumps the stat store as JSON to opts.stats_json_path when set.
+void MaybeExportStatsJson(const StatStore& stats, const BenchOptions& opts);
 
 }  // namespace treebench::bench
 

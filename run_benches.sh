@@ -1,11 +1,28 @@
 #!/bin/bash
-# Runs every paper-reproduction bench at paper scale (--scale=1), tee'ing
-# to bench_output.txt. The micro benches (google-benchmark, host wall
-# clock) run with a reduced repetition budget.
+# Runs every paper-reproduction bench at paper scale (--scale=1), tee'ing to
+# bench_output.txt and consolidating each bench's StatStore records into
+# BENCH_results.json ({"<bench>": [<records>...], ...}).
+#
+# Usage: run_benches.sh [OUT.txt] [bench flags...]
+#   A first argument not starting with "--" names the text output file; every
+#   remaining argument is passed to each bench (e.g. --scale=8).
+# Env: TREEBENCH_SKIP_MICRO=1 skips the google-benchmark micro bench (host
+#   wall clock, slow); CI sets it for smoke runs.
 set -u
 cd "$(dirname "$0")"
-OUT=${1:-bench_output.txt}
+
+OUT=bench_output.txt
+if [ $# -gt 0 ] && [[ "$1" != --* ]]; then
+  OUT=$1
+  shift
+fi
+JSON_DIR=bench_json
+RESULTS=BENCH_results.json
+
 : > "$OUT"
+mkdir -p "$JSON_DIR"
+rm -f "$JSON_DIR"/*.json
+
 for b in build/bench/bench_fig06_selection build/bench/bench_fig07_sorted_index \
          build/bench/bench_fig09_cost_breakdown build/bench/bench_fig10_hash_sizes \
          build/bench/bench_fig11_class_small build/bench/bench_fig12_class_large \
@@ -15,9 +32,30 @@ for b in build/bench/bench_fig06_selection build/bench/bench_fig07_sorted_index 
          build/bench/bench_optimizer_regret build/bench/bench_ablation_hybrid_hash \
          build/bench/bench_ablation_dump_reload build/bench/bench_ablation_cache_sizes \
          build/bench/bench_fault_campaign build/bench/bench_workload_scaleout; do
+  name=$(basename "$b")
   echo "===================== $b =====================" | tee -a "$OUT"
-  $b "$@" 2>&1 | tee -a "$OUT"
+  "$b" "$@" "--stats-json=$JSON_DIR/$name.json" 2>&1 | tee -a "$OUT"
   echo | tee -a "$OUT"
 done
-echo "===================== build/bench/bench_micro_engine =====================" | tee -a "$OUT"
-build/bench/bench_micro_engine --benchmark_min_time=0.1 2>&1 | tee -a "$OUT"
+
+# Consolidate the per-bench record arrays into one document. Benches without
+# a StatStore write no file and are simply absent.
+{
+  echo "{"
+  first=1
+  for f in "$JSON_DIR"/*.json; do
+    [ -e "$f" ] || continue
+    name=$(basename "$f" .json)
+    [ $first -eq 1 ] || echo ","
+    first=0
+    printf '"%s": ' "$name"
+    cat "$f"
+  done
+  echo "}"
+} > "$RESULTS"
+echo "wrote consolidated results to $RESULTS" | tee -a "$OUT"
+
+if [ "${TREEBENCH_SKIP_MICRO:-0}" != "1" ]; then
+  echo "===================== build/bench/bench_micro_engine =====================" | tee -a "$OUT"
+  build/bench/bench_micro_engine --benchmark_min_time=0.1 2>&1 | tee -a "$OUT"
+fi

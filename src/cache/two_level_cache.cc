@@ -47,6 +47,7 @@ Result<uint8_t*> TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
     TB_RETURN_IF_ERROR(RpcToServer(kPageSize));
     TB_RETURN_IF_ERROR(EnsureAtServer(key));
     LruPageCache::Evicted ev = client_->Insert(key);
+    if (ev.valid) sim_->ChargeClientCacheEviction();
     if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteBackToServer(ev.key));
   }
   if (for_write) {
@@ -106,6 +107,7 @@ Status TwoLevelCache::EnsureAtServer(uint64_t key) {
                               std::to_string(page_id) + ")");
   }
   LruPageCache::Evicted ev = server_.Insert(key);
+  if (ev.valid) sim_->ChargeServerCacheEviction();
   if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteToDisk(ev.key));
   return Status::OK();
 }
@@ -116,6 +118,7 @@ Status TwoLevelCache::WriteBackToServer(uint64_t key) {
   TB_RETURN_IF_ERROR(RpcToServer(kPageSize));
   if (!server_.Touch(key)) {
     LruPageCache::Evicted ev = server_.Insert(key, /*dirty=*/true);
+    if (ev.valid) sim_->ChargeServerCacheEviction();
     if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteToDisk(ev.key));
   } else {
     server_.MarkDirty(key);
@@ -153,6 +156,7 @@ Result<std::pair<uint32_t, uint8_t*>> TwoLevelCache::NewPage(
   uint32_t page_id = disk_->AllocatePage(file_id);
   uint64_t key = Key(file_id, page_id);
   LruPageCache::Evicted ev = client_->Insert(key, /*dirty=*/true);
+  if (ev.valid) sim_->ChargeClientCacheEviction();
   if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteBackToServer(ev.key));
   TB_ASSIGN_OR_RETURN(uint8_t* raw, disk_->RawPage(file_id, page_id));
   return std::pair<uint32_t, uint8_t*>(page_id, raw);
@@ -173,6 +177,7 @@ Status TwoLevelCache::FlushAll() {
       server_.MarkDirty(key);
     } else {
       LruPageCache::Evicted ev = server_.Insert(key, /*dirty=*/true);
+      if (ev.valid) sim_->ChargeServerCacheEviction();
       if (ev.valid && ev.dirty) note(WriteToDisk(ev.key));
     }
   });

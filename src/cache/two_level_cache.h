@@ -85,6 +85,12 @@ class TwoLevelCache {
     return client_->Contains(Key(file_id, page_id));
   }
 
+  // Occupancy gauges for the telemetry sampler (no cost, no promotion).
+  uint32_t ClientCachePages() const { return client_->size(); }
+  uint32_t ClientCacheCapacity() const { return client_->capacity(); }
+  uint32_t ServerCachePages() const { return server_.size(); }
+  uint32_t ServerCacheCapacity() const { return server_.capacity(); }
+
   /// Binds `cache` as the client level until rebound (nullptr restores the
   /// built-in client cache). Returns the previously bound level. The server
   /// level is never swapped — that is the point: the multi-client workload

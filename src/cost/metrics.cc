@@ -6,7 +6,7 @@ namespace treebench {
 
 // Keeps the table in sync with the struct: adding a counter without listing
 // it here (and bumping this count) fails to compile.
-static_assert(sizeof(Metrics) == 32 * sizeof(uint64_t),
+static_assert(sizeof(Metrics) == 34 * sizeof(uint64_t),
               "new Metrics field? add it to MetricsFieldTable()");
 
 const std::vector<MetricsField>& MetricsFieldTable() {
@@ -19,6 +19,8 @@ const std::vector<MetricsField>& MetricsFieldTable() {
       {"server_cache_misses", &Metrics::server_cache_misses},
       {"client_cache_hits", &Metrics::client_cache_hits},
       {"client_cache_misses", &Metrics::client_cache_misses},
+      {"client_cache_evictions", &Metrics::client_cache_evictions},
+      {"server_cache_evictions", &Metrics::server_cache_evictions},
       {"swap_ios", &Metrics::swap_ios},
       {"handle_gets", &Metrics::handle_gets},
       {"handle_lookups", &Metrics::handle_lookups},
@@ -67,8 +69,9 @@ std::string Metrics::ToString() const {
   std::snprintf(
       buf, sizeof(buf),
       "disk_reads=%llu disk_writes=%llu rpcs=%llu rpc_bytes=%llu\n"
-      "client_cache: hits=%llu faults=%llu miss%%=%.1f\n"
-      "server_cache: hits=%llu misses=%llu miss%%=%.1f swap_ios=%llu\n"
+      "client_cache: hits=%llu faults=%llu miss%%=%.1f evictions=%llu\n"
+      "server_cache: hits=%llu misses=%llu miss%%=%.1f evictions=%llu "
+      "swap_ios=%llu\n"
       "handles: gets=%llu lookups=%llu unrefs=%llu literals=%llu\n"
       "cpu: attr=%llu cmp=%llu hash_ins=%llu hash_probe=%llu sorted=%llu\n"
       "results: set_appends=%llu tuples=%llu\n"
@@ -82,9 +85,12 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(client_cache_hits),
       static_cast<unsigned long long>(client_cache_misses),
       ClientMissRatePct(),
+      static_cast<unsigned long long>(client_cache_evictions),
       static_cast<unsigned long long>(server_cache_hits),
       static_cast<unsigned long long>(server_cache_misses),
-      ServerMissRatePct(), static_cast<unsigned long long>(swap_ios),
+      ServerMissRatePct(),
+      static_cast<unsigned long long>(server_cache_evictions),
+      static_cast<unsigned long long>(swap_ios),
       static_cast<unsigned long long>(handle_gets),
       static_cast<unsigned long long>(handle_lookups),
       static_cast<unsigned long long>(handle_unrefs),

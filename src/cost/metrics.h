@@ -35,6 +35,10 @@ struct Metrics {
   uint64_t server_cache_misses = 0;
   uint64_t client_cache_hits = 0;
   uint64_t client_cache_misses = 0;  // CCPagefaults / SC2CCreadpages
+  /// LRU evictions at each cache level (the churn the telemetry gauges
+  /// watch; TwoLevelCache charges one per evicted entry, dirty or clean).
+  uint64_t client_cache_evictions = 0;
+  uint64_t server_cache_evictions = 0;
   uint64_t swap_ios = 0;
 
   // Object / handle events.

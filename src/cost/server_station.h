@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <utility>
+#include <vector>
 
 namespace treebench {
 
@@ -45,7 +47,12 @@ class ServerStation {
     free_until_ = start + service_ns_;
     busy_ns_ += service_ns_;
     completions_.push_back(free_until_);
+    peak_in_flight_ = std::max(
+        peak_in_flight_, static_cast<uint32_t>(completions_.size()));
     ++admitted_;
+    if (service_log_ != nullptr) {
+      service_log_->emplace_back(start, free_until_);
+    }
     return start - arrival_ns;
   }
 
@@ -55,12 +62,42 @@ class ServerStation {
     free_until_ += ns;
     busy_ns_ += ns;
     if (!completions_.empty()) completions_.back() = free_until_;
+    if (service_log_ != nullptr && !service_log_->empty()) {
+      service_log_->back().second = free_until_;
+    }
   }
 
   uint64_t admitted() const { return admitted_; }
   /// Total time the server spent servicing requests (utilization numerator).
   double busy_ns() const { return busy_ns_; }
   double free_until_ns() const { return free_until_; }
+
+  /// Peak backlog observed by any admission since the last ResetPeakMark():
+  /// the largest number of admitted-but-incomplete requests (including the
+  /// arriving one) seen at an arrival instant. This is the queueing-theory
+  /// "queue length seen by arrivals" view (PASTA), and the only
+  /// instantaneous backlog the reservation timeline can report faithfully —
+  /// by the time the event loop is back at a sampling point, later
+  /// admissions have already drained the completion deque, so probing "now"
+  /// from outside always reads 0 or 1. Windowed as a peak because the deep
+  /// backlog happens mid-query (a fresh query's first RPCs pile up behind
+  /// its neighbors), while sampling points sit at query boundaries.
+  uint32_t PeakInFlightSinceMark() const { return peak_in_flight_; }
+  /// Peak number of requests waiting ahead of an arriving one since the
+  /// last mark (0 when every arrival found the server idle).
+  uint32_t PeakQueueDepthSinceMark() const {
+    return peak_in_flight_ > 0 ? peak_in_flight_ - 1 : 0;
+  }
+  /// Starts a new observation window (the telemetry sampler calls this
+  /// right after emitting a row).
+  void ResetPeakMark() { peak_in_flight_ = 0; }
+
+  /// Telemetry hook: while set, every reservation appends its
+  /// (service start, completion) virtual-time interval — the server track
+  /// of the Perfetto export. Null (no logging) by default.
+  void set_service_log(std::vector<std::pair<double, double>>* log) {
+    service_log_ = log;
+  }
 
  private:
   void DrainCompleted(double now) {
@@ -74,8 +111,10 @@ class ServerStation {
   double free_until_ = 0;
   double busy_ns_ = 0;
   uint64_t admitted_ = 0;
+  uint32_t peak_in_flight_ = 0;
   /// Completion times of admitted-but-possibly-unfinished requests, FIFO.
   std::deque<double> completions_;
+  std::vector<std::pair<double, double>>* service_log_ = nullptr;
 };
 
 }  // namespace treebench

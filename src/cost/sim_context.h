@@ -37,6 +37,11 @@ struct SimClock {
   /// single-client context) into swapping.
   uint64_t transient_bytes = 0;
   uint64_t handle_bytes = 0;
+  /// High-water marks of the two figures above over the clock's lifetime —
+  /// gauges for the telemetry sampler (peak memory is what decides whether
+  /// a workstation ever swapped, long after the transient frees).
+  uint64_t transient_hwm_bytes = 0;
+  uint64_t handle_hwm_bytes = 0;
 };
 
 /// Accumulates simulated time and event counters for one "machine".
@@ -134,6 +139,14 @@ class SimContext {
   void ChargeClientCacheMiss() { ++clock_->metrics.client_cache_misses; }
   void ChargeServerCacheHit() { ++clock_->metrics.server_cache_hits; }
   void ChargeServerCacheMiss() { ++clock_->metrics.server_cache_misses; }
+  // Eviction counters only — the eviction's time cost is already modeled by
+  // the write-back path the cache layers take for dirty victims.
+  void ChargeClientCacheEviction() {
+    ++clock_->metrics.client_cache_evictions;
+  }
+  void ChargeServerCacheEviction() {
+    ++clock_->metrics.server_cache_evictions;
+  }
 
   // ---- Handles ----
   void ChargeHandleGet() {
@@ -263,7 +276,12 @@ class SimContext {
   }
   /// Registers transient working memory (hash tables, sort areas) on the
   /// bound clock's workstation.
-  void AllocTransient(uint64_t bytes) { clock_->transient_bytes += bytes; }
+  void AllocTransient(uint64_t bytes) {
+    clock_->transient_bytes += bytes;
+    if (clock_->transient_bytes > clock_->transient_hwm_bytes) {
+      clock_->transient_hwm_bytes = clock_->transient_bytes;
+    }
+  }
   void FreeTransient(uint64_t bytes) {
     clock_->transient_bytes =
         clock_->transient_bytes > bytes ? clock_->transient_bytes - bytes : 0;
@@ -271,6 +289,9 @@ class SimContext {
   void AddHandleMemory(int64_t delta) {
     clock_->handle_bytes = static_cast<uint64_t>(
         static_cast<int64_t>(clock_->handle_bytes) + delta);
+    if (clock_->handle_bytes > clock_->handle_hwm_bytes) {
+      clock_->handle_hwm_bytes = clock_->handle_bytes;
+    }
   }
 
   uint64_t fixed_bytes() const { return fixed_bytes_; }

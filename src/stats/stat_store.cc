@@ -98,6 +98,99 @@ Status StatStore::ExportCsv(const std::string& path) const {
   return Status::OK();
 }
 
+namespace {
+
+void AppendJsonString(std::string* out, const char* key,
+                      const std::string& value, bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\": \"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+  *out += '"';
+}
+
+void AppendJsonNumber(std::string* out, const char* key, double value,
+                      bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.9g", key, value);
+  *out += buf;
+}
+
+void AppendJsonU64(std::string* out, const char* key, uint64_t value,
+                   bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu", key,
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string StatStore::ToJson() const {
+  std::string out = "[\n";
+  bool first_rec = true;
+  for (const auto& r : records_) {
+    if (!first_rec) out += ",\n";
+    first_rec = false;
+    out += "  {";
+    bool first = true;
+    AppendJsonU64(&out, "numtest", static_cast<uint64_t>(r.numtest), &first);
+    AppendJsonString(&out, "database", r.database, &first);
+    AppendJsonString(&out, "cluster", r.cluster, &first);
+    AppendJsonString(&out, "algo", r.algo, &first);
+    AppendJsonString(&out, "query", r.query_text, &first);
+    AppendJsonU64(&out, "cold", r.cold ? 1 : 0, &first);
+    AppendJsonNumber(&out, "sel_patients_pct", r.selectivity_patients_pct,
+                     &first);
+    AppendJsonNumber(&out, "sel_providers_pct", r.selectivity_providers_pct,
+                     &first);
+    AppendJsonNumber(&out, "elapsed_seconds", r.elapsed_seconds, &first);
+    AppendJsonU64(&out, "result_count", r.result_count, &first);
+    AppendJsonU64(&out, "cc_page_faults", r.cc_page_faults, &first);
+    AppendJsonU64(&out, "rpcs_number", r.rpcs_number, &first);
+    AppendJsonU64(&out, "rpcs_total_bytes", r.rpcs_total_bytes, &first);
+    AppendJsonU64(&out, "d2sc_read_pages", r.d2sc_read_pages, &first);
+    AppendJsonU64(&out, "sc2cc_read_pages", r.sc2cc_read_pages, &first);
+    AppendJsonNumber(&out, "cc_miss_rate_pct", r.cc_miss_rate_pct, &first);
+    AppendJsonNumber(&out, "sc_miss_rate_pct", r.sc_miss_rate_pct, &first);
+    AppendJsonU64(&out, "swap_ios", r.swap_ios, &first);
+    AppendJsonU64(&out, "server_cache_bytes", r.server_cache_bytes, &first);
+    AppendJsonU64(&out, "client_cache_bytes", r.client_cache_bytes, &first);
+    AppendJsonU64(&out, "num_clients", r.num_clients, &first);
+    AppendJsonNumber(&out, "throughput_qps", r.throughput_qps, &first);
+    AppendJsonNumber(&out, "latency_p50_s", r.latency_p50_s, &first);
+    AppendJsonNumber(&out, "latency_p95_s", r.latency_p95_s, &first);
+    AppendJsonNumber(&out, "latency_p99_s", r.latency_p99_s, &first);
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Status StatStore::ExportJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return Status::OK();
+}
+
 Status StatStore::ExportGnuplot(
     const std::string& path,
     const std::function<bool(const StatRecord&)>& pred) const {

@@ -89,6 +89,11 @@ class StatStore {
   /// Writes all records as CSV.
   Status ExportCsv(const std::string& path) const;
 
+  /// All records as a deterministic JSON array (fixed field order, %.9g
+  /// numbers) — what run_benches.sh consolidates into BENCH_results.json.
+  std::string ToJson() const;
+  Status ExportJson(const std::string& path) const;
+
   /// Writes a gnuplot-ready data file: x = selectivity on patients,
   /// one column per algorithm, for records matching `pred`
   /// (the YAT-to-gnuplot conversion of the paper's acknowledgments).

@@ -1,13 +1,13 @@
-#include "src/workload/latency_histogram.h"
+#include "src/telemetry/histogram.h"
 
 #include <algorithm>
 #include <cmath>
 
-namespace treebench {
+namespace treebench::telemetry {
 
-LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
 
-int LatencyHistogram::BucketIndex(double ns) {
+int Histogram::BucketIndex(double ns) {
   if (ns < 1.0) return 0;
   // index = floor(log2(ns) * kSubBuckets), computed via frexp so the octave
   // part is exact; only the sub-bucket needs a comparison ladder.
@@ -31,13 +31,13 @@ int LatencyHistogram::BucketIndex(double ns) {
   return std::clamp(index, 0, kNumBuckets - 1);
 }
 
-double LatencyHistogram::BucketMidNs(int index) {
+double Histogram::BucketMidNs(int index) {
   // Geometric midpoint of [2^(i/4), 2^((i+1)/4)).
   return std::exp2((static_cast<double>(index) + 0.5) /
                    static_cast<double>(kSubBuckets));
 }
 
-void LatencyHistogram::Record(double ns) {
+void Histogram::Record(double ns) {
   if (ns < 0) ns = 0;
   ++buckets_[static_cast<size_t>(BucketIndex(ns))];
   if (count_ == 0 || ns < min_ns_) min_ns_ = ns;
@@ -46,7 +46,7 @@ void LatencyHistogram::Record(double ns) {
   ++count_;
 }
 
-void LatencyHistogram::Merge(const LatencyHistogram& other) {
+void Histogram::Merge(const Histogram& other) {
   for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   if (other.count_ > 0) {
     if (count_ == 0 || other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
@@ -56,7 +56,7 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   count_ += other.count_;
 }
 
-double LatencyHistogram::Quantile(double q) const {
+double Histogram::Quantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the q-th sample, 1-based, nearest-rank definition.
@@ -75,4 +75,4 @@ double LatencyHistogram::Quantile(double q) const {
   return max_ns_;
 }
 
-}  // namespace treebench
+}  // namespace treebench::telemetry

@@ -1,0 +1,180 @@
+#include "src/telemetry/regression.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace treebench::telemetry {
+
+const double* FlatRun::Find(const std::string& key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void FlatRun::Set(const std::string& key, double value) {
+  for (auto& [k, v] : entries) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  entries.emplace_back(key, value);
+}
+
+std::string FlatRun::ToJson() const {
+  std::string out = "{\n";
+  char buf[64];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.9g%s", entries[i].second,
+                  i + 1 < entries.size() ? "," : "");
+    out += "  \"" + entries[i].first + "\": " + buf + "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+void SkipWs(const std::string& s, size_t* i) {
+  while (*i < s.size() && (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\n' ||
+                           s[*i] == '\r')) {
+    ++*i;
+  }
+}
+
+}  // namespace
+
+Result<FlatRun> ParseFlatJson(const std::string& text) {
+  FlatRun run;
+  size_t i = 0;
+  SkipWs(text, &i);
+  if (i >= text.size() || text[i] != '{') {
+    return Status::InvalidArgument("flat json: expected '{'");
+  }
+  ++i;
+  SkipWs(text, &i);
+  if (i < text.size() && text[i] == '}') return run;  // empty object
+  while (true) {
+    SkipWs(text, &i);
+    if (i >= text.size() || text[i] != '"') {
+      return Status::InvalidArgument("flat json: expected '\"' to open a key");
+    }
+    ++i;
+    size_t key_start = i;
+    while (i < text.size() && text[i] != '"') ++i;
+    if (i >= text.size()) {
+      return Status::InvalidArgument("flat json: unterminated key");
+    }
+    std::string key = text.substr(key_start, i - key_start);
+    ++i;
+    SkipWs(text, &i);
+    if (i >= text.size() || text[i] != ':') {
+      return Status::InvalidArgument("flat json: expected ':' after \"" + key +
+                                     "\"");
+    }
+    ++i;
+    SkipWs(text, &i);
+    size_t num_start = i;
+    while (i < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[i])) ||
+            text[i] == '-' || text[i] == '+' || text[i] == '.' ||
+            text[i] == 'e' || text[i] == 'E')) {
+      ++i;
+    }
+    if (i == num_start) {
+      return Status::InvalidArgument(
+          "flat json: expected a number for \"" + key +
+          "\" (nested values are not allowed in run summaries)");
+    }
+    char* end = nullptr;
+    std::string num = text.substr(num_start, i - num_start);
+    double value = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("flat json: bad number '" + num +
+                                     "' for \"" + key + "\"");
+    }
+    if (run.Find(key) != nullptr) {
+      return Status::InvalidArgument("flat json: duplicate key \"" + key +
+                                     "\"");
+    }
+    run.entries.emplace_back(std::move(key), value);
+    SkipWs(text, &i);
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') return run;
+    return Status::InvalidArgument("flat json: expected ',' or '}'");
+  }
+}
+
+bool IsTimeLikeKey(const std::string& key) {
+  for (const char* suffix : {"_ns", "_s", "_seconds", "_qps", "_pct"}) {
+    size_t n = std::string(suffix).size();
+    if (key.size() >= n && key.compare(key.size() - n, n, suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RegressionResult CompareRuns(const FlatRun& baseline, const FlatRun& current,
+                             const RegressionOptions& opts) {
+  RegressionResult res;
+  char buf[256];
+  for (const auto& [key, want] : baseline.entries) {
+    const double* got = current.Find(key);
+    ++res.keys_checked;
+    if (got == nullptr) {
+      std::snprintf(buf, sizeof(buf),
+                    "MISSING  %-44s baseline=%.9g (key absent from current "
+                    "run)\n",
+                    key.c_str(), want);
+      res.report += buf;
+      ++res.failures;
+      continue;
+    }
+    if (IsTimeLikeKey(key)) {
+      const double denom = std::fabs(want) > 0 ? std::fabs(want) : 1.0;
+      const double rel = std::fabs(*got - want) / denom;
+      if (rel > opts.time_tolerance) {
+        std::snprintf(buf, sizeof(buf),
+                      "DRIFT    %-44s baseline=%.9g current=%.9g (%+.2f%%, "
+                      "band %.1f%%)\n",
+                      key.c_str(), want, *got, 100.0 * (*got - want) / denom,
+                      100.0 * opts.time_tolerance);
+        res.report += buf;
+        ++res.failures;
+      }
+    } else if (*got != want) {
+      std::snprintf(buf, sizeof(buf),
+                    "MISMATCH %-44s baseline=%.9g current=%.9g (counter must "
+                    "match exactly)\n",
+                    key.c_str(), want, *got);
+      res.report += buf;
+      ++res.failures;
+    }
+  }
+  for (const auto& [key, value] : current.entries) {
+    if (baseline.Find(key) == nullptr) {
+      std::snprintf(buf, sizeof(buf),
+                    "NEW      %-44s current=%.9g (key absent from baseline — "
+                    "recommit it)\n",
+                    key.c_str(), value);
+      res.report += buf;
+      ++res.failures;
+    }
+  }
+  res.ok = res.failures == 0;
+  if (res.ok) {
+    std::snprintf(buf, sizeof(buf), "OK: %d keys within bounds\n",
+                  res.keys_checked);
+    res.report += buf;
+  }
+  return res;
+}
+
+}  // namespace treebench::telemetry

@@ -1,0 +1,61 @@
+#ifndef TREEBENCH_TELEMETRY_REGRESSION_H_
+#define TREEBENCH_TELEMETRY_REGRESSION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace treebench::telemetry {
+
+/// A flat run summary: ordered `name -> number` pairs, the exchange format
+/// between a bench's `--summary-json=` export, the committed baselines under
+/// `bench/baselines/`, and `bench/check_regression`. Deliberately flat (one
+/// JSON object, numeric values only) so the gate needs no JSON library and
+/// the diff output stays line-per-key readable.
+struct FlatRun {
+  std::vector<std::pair<std::string, double>> entries;
+
+  const double* Find(const std::string& key) const;
+  void Set(const std::string& key, double value);
+
+  /// `{\n  "key": value,\n ...}` with %.9g values, keys in insertion order.
+  std::string ToJson() const;
+};
+
+/// Parses a flat `{"key": number, ...}` JSON object (whitespace-tolerant;
+/// nested objects/arrays/strings are rejected — baselines are flat by
+/// contract).
+Result<FlatRun> ParseFlatJson(const std::string& text);
+
+/// True for keys compared under the relative tolerance band instead of
+/// exactly: simulated times and their derivatives go through libm and may
+/// drift in the last ulp across C libraries, while event counters are
+/// integer-exact everywhere. Time-like = suffix `_ns`, `_s`, `_seconds`,
+/// `_qps`, or `_pct`.
+bool IsTimeLikeKey(const std::string& key);
+
+struct RegressionOptions {
+  /// Allowed relative deviation for time-like keys (counters are exact).
+  double time_tolerance = 0.02;
+};
+
+struct RegressionResult {
+  bool ok = true;
+  int keys_checked = 0;
+  int failures = 0;
+  /// Human-readable report: one line per failing key (or a pass summary).
+  std::string report;
+};
+
+/// Diffs `current` against `baseline`: counter keys must match exactly,
+/// time-like keys within the tolerance band, and the two key sets must be
+/// identical (a vanished or new key is a schema change that needs a
+/// committed baseline update, not a silent pass).
+RegressionResult CompareRuns(const FlatRun& baseline, const FlatRun& current,
+                             const RegressionOptions& opts = {});
+
+}  // namespace treebench::telemetry
+
+#endif  // TREEBENCH_TELEMETRY_REGRESSION_H_

@@ -1,0 +1,110 @@
+#ifndef TREEBENCH_TELEMETRY_TIME_SERIES_H_
+#define TREEBENCH_TELEMETRY_TIME_SERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace treebench::telemetry {
+
+/// Samples a set of named probes on a fixed virtual-time cadence and stores
+/// the resulting rows for deterministic JSONL/CSV export.
+///
+/// Two probe kinds:
+///  - **rates**: the probe reads a cumulative counter (a `Metrics` field, or
+///    a sum of them across workload clients); each sample reports the
+///    counter's delta since the previous sample divided by the elapsed
+///    virtual seconds — "disk reads per simulated second", not a lifetime
+///    total.
+///  - **gauges**: the probe reads an instantaneous level (cache occupancy,
+///    queue depth, resident handles, memory high-water) reported verbatim.
+///
+/// The recorder has no clock of its own: a driver calls `Tick(now_ns)` at
+/// points where sampling is safe (the workload scheduler ticks after every
+/// completed query event; single-client benches tick manually between
+/// queries). A sample is taken on the first tick at or after each cadence
+/// boundary, stamped with the tick's virtual time — so the cadence is a
+/// *floor* on sample spacing, and rate denominators use the actual
+/// inter-sample interval. Because virtual time is deterministic, the whole
+/// series is bit-identical across same-seed runs.
+///
+/// Sampling only reads; it never charges the SimContext, so enabling
+/// telemetry cannot change any counter or simulated time.
+class TimeSeriesRecorder {
+ public:
+  /// `interval_ns`: minimum virtual time between samples.
+  explicit TimeSeriesRecorder(double interval_ns = 1e6)
+      : interval_ns_(interval_ns) {}
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  /// Resets the cadence. Only valid before the first Tick.
+  void set_interval_ns(double ns) { interval_ns_ = ns; }
+  double interval_ns() const { return interval_ns_; }
+
+  /// Registers a rate column over a cumulative counter. Registration order
+  /// fixes the column order of the export.
+  void AddRate(std::string name, std::function<uint64_t()> counter);
+  /// Registers a gauge column.
+  void AddGauge(std::string name, std::function<double()> probe);
+
+  /// Offers a sample point at virtual time `now_ns`; samples if the cadence
+  /// boundary has been reached. Non-monotone ticks (a client finishing a
+  /// long query after a later-starting neighbor already ticked) are clamped
+  /// forward to the latest time seen. Returns true when a sample was taken,
+  /// so drivers can reset windowed probes (e.g. a peak-since-last-sample
+  /// gauge) exactly once per emitted row.
+  bool Tick(double now_ns);
+
+  /// Forces a final sample at `now_ns` (if it is past the last sample) so a
+  /// run's end state is always captured even when the cadence boundary was
+  /// not reached. Returns true when a sample was taken.
+  bool Finish(double now_ns);
+
+  /// Drops the probe callbacks (samples are retained). Called by drivers
+  /// whose probe targets die before the recorder does.
+  void DropProbes();
+
+  size_t num_samples() const { return times_ns_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  /// Value of `column` in sample `row` (rates in events/simulated-second).
+  double Value(size_t row, size_t column) const {
+    return rows_[row][column];
+  }
+  double SampleTimeNs(size_t row) const { return times_ns_[row]; }
+
+  /// CSV: header `t_seconds,<col>,...` then one row per sample; %.9g
+  /// formatting, bit-identical across same-seed runs on one build.
+  std::string ToCsv() const;
+  /// JSONL: one JSON object per line, `{"t_seconds": ..., "<col>": ...}`,
+  /// fields in column order.
+  std::string ToJsonl() const;
+
+ private:
+  void Sample(double now_ns);
+
+  /// One column in registration order; exactly one of rate/gauge is set.
+  struct Column {
+    std::string name;
+    std::function<uint64_t()> rate;  // cumulative counter probe
+    uint64_t last_rate_value = 0;
+    std::function<double()> gauge;   // instantaneous probe
+  };
+
+  double interval_ns_;
+  double next_due_ns_ = 0;
+  double last_tick_ns_ = 0;
+  double last_sample_ns_ = 0;
+
+  std::vector<Column> probes_;
+  std::vector<std::string> columns_;  // names, mirrors probes_ order
+  std::vector<double> times_ns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace treebench::telemetry
+
+#endif  // TREEBENCH_TELEMETRY_TIME_SERIES_H_

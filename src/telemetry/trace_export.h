@@ -1,0 +1,73 @@
+#ifndef TREEBENCH_TELEMETRY_TRACE_EXPORT_H_
+#define TREEBENCH_TELEMETRY_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treebench {
+struct TraceNode;
+}  // namespace treebench
+
+namespace treebench::telemetry {
+
+/// One horizontal bar on a named track of a Chrome/Perfetto trace: a query
+/// executing on a client's timeline, or the server station servicing a
+/// request.
+struct TraceSlice {
+  uint32_t track = 0;  // tid in the exported trace
+  std::string name;
+  double start_ns = 0;
+  double dur_ns = 0;
+};
+
+/// Accumulates Trace Event Format events ("chrome://tracing JSON", the
+/// format ui.perfetto.dev opens directly) and serializes them
+/// deterministically: events in insertion order, fixed field order, fixed
+/// numeric formatting. Timestamps are virtual nanoseconds converted to the
+/// format's microseconds.
+///
+/// Only the stable subset of the format is emitted: metadata events (`M`)
+/// for process/thread names, complete events (`X`) for slices, counter
+/// events (`C`) for time-series tracks.
+class ChromeTraceBuilder {
+ public:
+  ChromeTraceBuilder() = default;
+  ChromeTraceBuilder(const ChromeTraceBuilder&) = delete;
+  ChromeTraceBuilder& operator=(const ChromeTraceBuilder&) = delete;
+
+  void SetProcessName(const std::string& name);
+  void SetThreadName(uint32_t tid, const std::string& name);
+  void AddSlice(uint32_t tid, const std::string& name, double start_ns,
+                double dur_ns);
+  void AddCounter(const std::string& name, double ts_ns, double value);
+
+  /// Lays a span tree out as nested slices on `tid` starting at `base_ns`.
+  /// TraceNodes carry durations but no start offsets, so children are
+  /// placed sequentially from the parent's start (their inclusive times sum
+  /// to at most the parent's, so nesting is always valid); the parent's
+  /// self-time trails at the end. An approximation of the true interleaving,
+  /// exact for the engine's phase-sequential operators.
+  void AddTraceTree(uint32_t tid, const TraceNode& root, double base_ns);
+
+  /// The finished `{"traceEvents": [...], ...}` document.
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::string> events_;  // serialized one-line JSON objects
+};
+
+/// Convenience: one whole EXPLAIN ANALYZE span tree as a single-track
+/// Perfetto trace starting at t=0.
+std::string TraceToChromeJson(const TraceNode& root);
+
+/// Flamegraph folded-stack export of a span tree: one line per node,
+/// `root;child;grandchild <weight>`, weighted by the node's *self* time in
+/// integer nanoseconds (flamegraph.pl / speedscope / inferno all consume
+/// this). Zero-weight stacks are kept so the tree shape survives even for
+/// pure-aggregation nodes.
+std::string TraceToFoldedStacks(const TraceNode& root);
+
+}  // namespace treebench::telemetry
+
+#endif  // TREEBENCH_TELEMETRY_TRACE_EXPORT_H_

@@ -1,51 +1,17 @@
 #ifndef TREEBENCH_WORKLOAD_LATENCY_HISTOGRAM_H_
 #define TREEBENCH_WORKLOAD_LATENCY_HISTOGRAM_H_
 
-#include <cstdint>
-#include <vector>
+#include "src/telemetry/histogram.h"
 
 namespace treebench {
 
-/// Log-bucketed latency histogram over simulated nanoseconds: four
-/// geometric sub-buckets per power of two (boundaries grow by 2^(1/4), a
-/// ~19% relative error bound per bucket), which comfortably covers the
-/// microsecond-to-hours span workload queries produce without storing raw
-/// samples. Percentiles are read from the bucket CDF and reported as the
-/// geometric midpoint of the containing bucket. Fully deterministic.
-class LatencyHistogram {
- public:
-  LatencyHistogram();
-
-  void Record(double ns);
-  /// Adds every bucket count (and min/max/sum) of `other` into this
-  /// histogram — used to roll per-client histograms into the global one.
-  void Merge(const LatencyHistogram& other);
-
-  uint64_t count() const { return count_; }
-  double sum_ns() const { return sum_ns_; }
-  double min_ns() const { return count_ == 0 ? 0 : min_ns_; }
-  double max_ns() const { return count_ == 0 ? 0 : max_ns_; }
-  double mean_ns() const {
-    return count_ == 0 ? 0 : sum_ns_ / static_cast<double>(count_);
-  }
-
-  /// Latency at quantile q in [0, 1] (0.5 = p50). Returns 0 when empty.
-  double Quantile(double q) const;
-
- private:
-  static constexpr int kSubBuckets = 4;      // per power of two
-  static constexpr int kMaxOctave = 64;      // covers < 2^64 ns (~584 years)
-  static constexpr int kNumBuckets = kSubBuckets * kMaxOctave + 1;
-
-  static int BucketIndex(double ns);
-  static double BucketMidNs(int index);
-
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  double sum_ns_ = 0;
-  double min_ns_ = 0;
-  double max_ns_ = 0;
-};
+/// The workload layer's latency histogram IS the shared telemetry histogram:
+/// one log-bucketing scheme (4 geometric sub-buckets per power of two) for
+/// WorkloadReport percentiles and the time-series sampler's running
+/// percentile gauges, so the two can never disagree on bucket boundaries.
+/// tests/telemetry_test.cc pins the bucketing bit-for-bit against a frozen
+/// reference implementation.
+using LatencyHistogram = telemetry::Histogram;
 
 }  // namespace treebench
 

@@ -72,6 +72,87 @@ struct PreparedQuery {
   PlanChoice plan;
 };
 
+/// Telemetry state threaded through the event loop. `probe_now` is the
+/// latest virtual time offered to the sampler — the forward-clamped max of
+/// query completions, matching the recorder's own clamping of non-monotone
+/// completion times.
+struct TelemetryHooks {
+  WorkloadTelemetry* t = nullptr;
+  double probe_now = 0;
+};
+
+/// Registers every probe column on the recorder. All lambdas only read
+/// session / cache / station state; none touches the SimContext.
+void InstallProbes(WorkloadTelemetry* t, Database* db,
+                   const std::vector<std::unique_ptr<ClientSession>>& sessions,
+                   const ServerStation& station, TelemetryHooks* hooks) {
+  t->series.set_interval_ns(t->sample_interval_ns);
+  auto sum_counter = [&sessions](uint64_t Metrics::* field) {
+    uint64_t total = 0;
+    for (const auto& s : sessions) total += s->clock.metrics.*field;
+    return total;
+  };
+
+  t->series.AddRate("disk_reads_per_s",
+                    [sum_counter] { return sum_counter(&Metrics::disk_reads); });
+  t->series.AddRate("rpcs_per_s",
+                    [sum_counter] { return sum_counter(&Metrics::rpc_count); });
+  t->series.AddRate("handle_gets_per_s", [sum_counter] {
+    return sum_counter(&Metrics::handle_gets);
+  });
+
+  t->series.AddGauge("client_cache_pages", [&sessions] {
+    uint64_t pages = 0;
+    for (const auto& s : sessions) pages += s->client_cache.size();
+    return static_cast<double>(pages);
+  });
+  t->series.AddGauge("server_cache_pages", [db] {
+    return static_cast<double>(db->cache().ServerCachePages());
+  });
+  t->series.AddGauge("client_cache_evictions", [sum_counter] {
+    return static_cast<double>(sum_counter(&Metrics::client_cache_evictions));
+  });
+  t->series.AddGauge("server_cache_evictions", [sum_counter] {
+    return static_cast<double>(sum_counter(&Metrics::server_cache_evictions));
+  });
+  // Backlog as observed by admissions within the sampling window (the PASTA
+  // arrival view — see PeakInFlightSinceMark): the reservation timeline
+  // drains as the event loop advances, so arrival-observed peaks are the
+  // faithful contention gauge, not a probe at the sample timestamp. The
+  // event loop resets the window whenever the recorder emits a row.
+  t->series.AddGauge("server_in_flight", [&station] {
+    return static_cast<double>(station.PeakInFlightSinceMark());
+  });
+  t->series.AddGauge("server_queue_depth", [&station] {
+    return static_cast<double>(station.PeakQueueDepthSinceMark());
+  });
+  t->series.AddGauge("resident_handles", [&sessions] {
+    uint64_t n = 0;
+    for (const auto& s : sessions) n += s->handles.handles.size();
+    return static_cast<double>(n);
+  });
+  t->series.AddGauge("transient_hwm_bytes", [&sessions] {
+    uint64_t hwm = 0;
+    for (const auto& s : sessions) {
+      hwm = std::max(hwm, s->clock.transient_hwm_bytes);
+    }
+    return static_cast<double>(hwm);
+  });
+  t->series.AddGauge("handle_hwm_bytes", [&sessions] {
+    uint64_t hwm = 0;
+    for (const auto& s : sessions) {
+      hwm = std::max(hwm, s->clock.handle_hwm_bytes);
+    }
+    return static_cast<double>(hwm);
+  });
+  t->series.AddGauge("latency_p50_s",
+                     [t] { return t->running_latencies.Quantile(0.50) / 1e9; });
+  t->series.AddGauge("latency_p95_s",
+                     [t] { return t->running_latencies.Quantile(0.95) / 1e9; });
+  t->series.AddGauge("latency_p99_s",
+                     [t] { return t->running_latencies.Quantile(0.99) / 1e9; });
+}
+
 /// Parses, binds and plans one generated query on the currently bound
 /// session. Failures here are spec bugs, so they surface as hard errors
 /// (execution failures from injected faults are handled by the caller).
@@ -100,7 +181,8 @@ Result<PreparedQuery> Prepare(Database* db, const WorkloadSpec& spec,
 /// time (ties by client id — total determinism), run that client's next
 /// query atomically under its bindings, push its next event.
 Status RunEventLoop(Database* db, const WorkloadSpec& spec,
-                    const std::vector<std::unique_ptr<ClientSession>>& sessions) {
+                    const std::vector<std::unique_ptr<ClientSession>>& sessions,
+                    TelemetryHooks* hooks) {
   using Event = std::pair<double, uint32_t>;  // (virtual ns, client id)
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
   for (const auto& s : sessions) heap.emplace(0.0, s->id());
@@ -139,6 +221,22 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
                                  /*cold=*/false)
                         .ok();
     const double t1 = s->clock.clock_ns;
+
+    if (hooks->t != nullptr) {
+      // Record the slice / latency / sample BEFORE the report bookkeeping so
+      // the running histogram matches the report's at every completion.
+      hooks->probe_now = std::max(hooks->probe_now, t1);
+      hooks->t->query_slices.push_back({/*track=*/id + 1,
+                                        gq.is_tree ? "tree" : "selection", t0,
+                                        t1 - t0});
+      const bool will_measure =
+          s->queries_issued >= spec.warmup_queries_per_client;
+      if (will_measure && ok) hooks->t->running_latencies.Record(t1 - t0);
+      if (hooks->t->series.Tick(t1) && db->sim().station() != nullptr) {
+        // A row was emitted: open a fresh peak-backlog window.
+        db->sim().station()->ResetPeakMark();
+      }
+    }
 
     const bool measured = s->queries_issued >= spec.warmup_queries_per_client;
     if (measured) {
@@ -221,7 +319,31 @@ WorkloadReport AssembleReport(
 
 }  // namespace
 
-Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec) {
+std::string WorkloadTelemetry::ChromeTraceJson() const {
+  telemetry::ChromeTraceBuilder b;
+  b.SetProcessName("treebench workload");
+  for (uint32_t i = 0; i < num_clients; ++i) {
+    b.SetThreadName(i + 1, "client " + std::to_string(i));
+  }
+  b.SetThreadName(num_clients + 1, "server");
+  for (const telemetry::TraceSlice& s : query_slices) {
+    b.AddSlice(s.track, s.name, s.start_ns, s.dur_ns);
+  }
+  for (const auto& [start, end] : server_service) {
+    b.AddSlice(num_clients + 1, "service", start, end - start);
+  }
+  // Counter tracks: rows outer so events are (nearly) time-sorted.
+  for (size_t r = 0; r < series.num_samples(); ++r) {
+    for (size_t c = 0; c < series.num_columns(); ++c) {
+      b.AddCounter(series.columns()[c], series.SampleTimeNs(r),
+                   series.Value(r, c));
+    }
+  }
+  return b.ToJson();
+}
+
+Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
+                                   WorkloadTelemetry* telemetry) {
   TB_RETURN_IF_ERROR(ValidateSpec(spec));
   Database* db = derby->db.get();
 
@@ -247,7 +369,22 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec) {
   ServerStation* prev_station = db->sim().station();
   db->sim().set_station(&station);
 
-  Status loop_status = RunEventLoop(db, spec, sessions);
+  TelemetryHooks hooks{telemetry};
+  if (telemetry != nullptr) {
+    telemetry->num_clients = spec.num_clients;
+    station.set_service_log(&telemetry->server_service);
+    InstallProbes(telemetry, db, sessions, station, &hooks);
+  }
+
+  Status loop_status = RunEventLoop(db, spec, sessions, &hooks);
+
+  if (telemetry != nullptr) {
+    // Final sample at the last completion, then detach the probes — they
+    // capture sessions/station, which die with this scope.
+    telemetry->series.Finish(hooks.probe_now);
+    telemetry->series.DropProbes();
+    station.set_service_log(nullptr);
+  }
 
   // Teardown: drop every session's handles while its table is bound so the
   // simulated handle memory registered against the machine is released.

@@ -1,12 +1,57 @@
 #ifndef TREEBENCH_WORKLOAD_SIM_SCHEDULER_H_
 #define TREEBENCH_WORKLOAD_SIM_SCHEDULER_H_
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "src/benchdb/derby.h"
 #include "src/common/status.h"
+#include "src/telemetry/histogram.h"
+#include "src/telemetry/time_series.h"
+#include "src/telemetry/trace_export.h"
 #include "src/workload/workload_report.h"
 #include "src/workload/workload_spec.h"
 
 namespace treebench {
+
+/// Opt-in observability for a workload run. Pass one to RunWorkload and it
+/// comes back filled with a virtual-time time series, per-query slices and
+/// the server station's service intervals. Everything here only *reads* the
+/// simulation — enabling telemetry changes no counter, no simulated time
+/// and no report field (tests/workload_test.cc asserts the report is
+/// identical with and without).
+struct WorkloadTelemetry {
+  /// Minimum virtual time between time-series samples (set before the run).
+  double sample_interval_ns = 1e6;
+
+  /// Sampled on the event-loop's query completions: counter rates
+  /// (disk_reads/rpcs/handle_gets per simulated second, summed over all
+  /// clients) and gauges (cache occupancy + cumulative evictions at both
+  /// levels, server in-flight/queue depth, resident handles, client memory
+  /// high-water marks, running latency percentiles).
+  telemetry::TimeSeriesRecorder series;
+
+  /// One slice per executed query (warmup included): track = client id + 1,
+  /// name "tree"/"selection", [t0, t1) of the measured execution region.
+  std::vector<telemetry::TraceSlice> query_slices;
+
+  /// The server station's (service start, completion) intervals — the
+  /// server track of the Perfetto export.
+  std::vector<std::pair<double, double>> server_service;
+
+  /// Running histogram of measured-query latencies; feeds the percentile
+  /// gauges. Shares bucketing with WorkloadReport::latencies, so the final
+  /// percentiles agree bit-for-bit.
+  telemetry::Histogram running_latencies;
+
+  /// Filled by RunWorkload (used by ChromeTraceJson for track naming).
+  uint32_t num_clients = 0;
+
+  /// Perfetto/chrome://tracing JSON: one track per client, one for the
+  /// server station, plus one counter track per time-series column.
+  std::string ChromeTraceJson() const;
+};
 
 /// Runs a multi-client workload over one Derby database as a discrete-event
 /// simulation in virtual time and returns the aggregated report.
@@ -29,7 +74,12 @@ namespace treebench {
 /// the per-session bindings default-construct to the same state
 /// Database::BeginMeasuredRun produces. The workload tests assert this
 /// bit-for-bit on the Metrics counters.
-Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec);
+///
+/// `telemetry`, when non-null, is populated as the run progresses (see
+/// WorkloadTelemetry); null runs are byte-identical to the pre-telemetry
+/// scheduler.
+Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
+                                   WorkloadTelemetry* telemetry = nullptr);
 
 }  // namespace treebench
 

@@ -1,0 +1,347 @@
+// Unit tests for src/telemetry: the shared log-bucket histogram (pinned
+// bit-for-bit against a frozen reference implementation), the virtual-time
+// TimeSeriesRecorder, and the flat-JSON perf-regression gate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/histogram.h"
+#include "src/telemetry/regression.h"
+#include "src/telemetry/time_series.h"
+
+namespace treebench::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram: frozen reference.
+//
+// This is a verbatim copy of the log-bucket percentile implementation the
+// workload layer shipped before it was hoisted into src/telemetry. It is
+// deliberately NOT shared code: if anyone changes the shared Histogram's
+// bucket boundaries, midpoints or rank rule, the bit-identity assertions
+// below fail — p50/p95/p99 in reports and committed baselines would silently
+// shift otherwise.
+
+class FrozenReferenceHistogram {
+ public:
+  FrozenReferenceHistogram() : buckets_(kNumBuckets, 0) {}
+
+  void Record(double ns) {
+    if (ns < 0) ns = 0;
+    ++buckets_[static_cast<size_t>(BucketIndex(ns))];
+    if (count_ == 0 || ns < min_ns_) min_ns_ = ns;
+    if (count_ == 0 || ns > max_ns_) max_ns_ = ns;
+    sum_ns_ += ns;
+    ++count_;
+  }
+
+  double Quantile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t rank =
+        static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        return std::clamp(BucketMidNs(static_cast<int>(i)), min_ns_, max_ns_);
+      }
+    }
+    return max_ns_;
+  }
+
+ private:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kMaxOctave = 64;
+  static constexpr int kNumBuckets = kSubBuckets * kMaxOctave + 1;
+
+  static int BucketIndex(double ns) {
+    if (ns < 1.0) return 0;
+    int exp = 0;
+    double mantissa = std::frexp(ns, &exp);
+    int octave = exp - 1;
+    static const double kEdges[kSubBuckets] = {
+        0.5,
+        0.5 * 1.189207115002721,
+        0.5 * 1.4142135623730951,
+        0.5 * 1.681792830507429,
+    };
+    int sub = 0;
+    for (int i = kSubBuckets - 1; i > 0; --i) {
+      if (mantissa >= kEdges[i]) {
+        sub = i;
+        break;
+      }
+    }
+    return std::clamp(octave * kSubBuckets + sub, 0, kNumBuckets - 1);
+  }
+
+  static double BucketMidNs(int index) {
+    return std::exp2((static_cast<double>(index) + 0.5) /
+                     static_cast<double>(kSubBuckets));
+  }
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ns_ = 0;
+  double min_ns_ = 0;
+  double max_ns_ = 0;
+};
+
+/// Deterministic latency-like sample stream spanning ~9 decades.
+std::vector<double> ReferenceSamples() {
+  std::vector<double> out;
+  uint64_t state = 0x2545F4914F6CDD1Dull;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    // Map to [0, 1) then stretch exponentially into [1e2, 1e11) ns.
+    const double u = static_cast<double>(state >> 11) / 9007199254740992.0;
+    out.push_back(1e2 * std::pow(10.0, 9.0 * u));
+  }
+  // Edge shapes: zero, negative (clamped), sub-ns, huge.
+  out.push_back(0.0);
+  out.push_back(-5.0);
+  out.push_back(0.25);
+  out.push_back(3.9e17);
+  return out;
+}
+
+TEST(HistogramTest, BitIdenticalToFrozenReference) {
+  Histogram h;
+  FrozenReferenceHistogram ref;
+  for (double ns : ReferenceSamples()) {
+    h.Record(ns);
+    ref.Record(ns);
+  }
+  // Exact double equality on purpose: shared bucketing must never move.
+  for (double q : {0.0, 0.01, 0.10, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), ref.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Histogram combined, a, b;
+  const std::vector<double> samples = ReferenceSamples();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    combined.Record(samples[i]);
+    (i % 2 == 0 ? a : b).Record(samples[i]);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min_ns(), combined.min_ns());
+  EXPECT_EQ(a.max_ns(), combined.max_ns());
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(a.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, EmptyAndClampBehavior) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(1000.0);
+  // One sample: every quantile is the sample itself (midpoint clamped to
+  // [min, max] = [1000, 1000]).
+  EXPECT_EQ(h.Quantile(0.0), 1000.0);
+  EXPECT_EQ(h.Quantile(0.5), 1000.0);
+  EXPECT_EQ(h.Quantile(1.0), 1000.0);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesRecorder.
+
+TEST(TimeSeriesTest, CadenceIsAFloorOnSampleSpacing) {
+  TimeSeriesRecorder rec(/*interval_ns=*/100.0);
+  uint64_t counter = 0;
+  rec.AddRate("events_per_s", [&counter] { return counter; });
+
+  rec.Tick(0);  // first tick samples immediately (t=0 baseline row)
+  counter = 10;
+  rec.Tick(50);   // inside the interval: no sample
+  rec.Tick(99);   // still inside: no sample
+  counter = 30;
+  rec.Tick(130);  // past the boundary: samples at 130
+  counter = 50;
+  rec.Tick(170);  // inside again
+  rec.Tick(260);  // samples at 260
+
+  ASSERT_EQ(rec.num_samples(), 3u);
+  EXPECT_EQ(rec.SampleTimeNs(0), 0.0);
+  EXPECT_EQ(rec.SampleTimeNs(1), 130.0);
+  EXPECT_EQ(rec.SampleTimeNs(2), 260.0);
+  // Rates use the ACTUAL inter-sample dt, not the nominal interval:
+  // 30 events over 130 ns, then 20 events over 130 ns.
+  EXPECT_DOUBLE_EQ(rec.Value(1, 0), 30.0 / (130.0 / 1e9));
+  EXPECT_DOUBLE_EQ(rec.Value(2, 0), 20.0 / (130.0 / 1e9));
+}
+
+TEST(TimeSeriesTest, NonMonotoneTicksAreClampedForward) {
+  TimeSeriesRecorder rec(/*interval_ns=*/100.0);
+  double level = 1;
+  rec.AddGauge("level", [&level] { return level; });
+  rec.Tick(0);
+  level = 2;
+  rec.Tick(250);  // samples at 250
+  level = 3;
+  rec.Tick(180);  // out-of-order completion: clamped to 250, inside interval
+  rec.Tick(300);  // not past 250+100 yet? 300 < 350: no sample
+  rec.Tick(360);  // samples at 360
+  ASSERT_EQ(rec.num_samples(), 3u);
+  EXPECT_EQ(rec.SampleTimeNs(1), 250.0);
+  EXPECT_EQ(rec.SampleTimeNs(2), 360.0);
+  // Sample times never decrease.
+  for (size_t i = 1; i < rec.num_samples(); ++i) {
+    EXPECT_GT(rec.SampleTimeNs(i), rec.SampleTimeNs(i - 1));
+  }
+}
+
+TEST(TimeSeriesTest, FinishForcesAFinalSample) {
+  TimeSeriesRecorder rec(/*interval_ns=*/1000.0);
+  double level = 7;
+  rec.AddGauge("level", [&level] { return level; });
+  rec.Tick(0);
+  level = 9;
+  rec.Tick(10);  // inside the interval — would be lost without Finish
+  rec.Finish(10);
+  ASSERT_EQ(rec.num_samples(), 2u);
+  EXPECT_EQ(rec.SampleTimeNs(1), 10.0);
+  EXPECT_EQ(rec.Value(1, 0), 9.0);
+  // A second Finish at the same time is a no-op.
+  rec.Finish(10);
+  EXPECT_EQ(rec.num_samples(), 2u);
+}
+
+TEST(TimeSeriesTest, ColumnsKeepRegistrationOrderAndExportDeterministically) {
+  auto run = [] {
+    TimeSeriesRecorder rec(/*interval_ns=*/50.0);
+    uint64_t reads = 0;
+    double depth = 0;
+    rec.AddRate("reads_per_s", [&reads] { return reads; });
+    rec.AddGauge("queue_depth", [&depth] { return depth; });
+    rec.Tick(0);
+    reads = 4;
+    depth = 2;
+    rec.Tick(60);
+    reads = 10;
+    depth = 1;
+    rec.Tick(120);
+    rec.Finish(150);
+    rec.DropProbes();
+    return rec.ToCsv() + "\n---\n" + rec.ToJsonl();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);  // bit-identical across identical virtual-time runs
+  EXPECT_NE(a.find("t_seconds,reads_per_s,queue_depth"), std::string::npos);
+  EXPECT_NE(a.find("\"t_seconds\": "), std::string::npos);
+  EXPECT_NE(a.find("\"queue_depth\": "), std::string::npos);
+}
+
+TEST(TimeSeriesTest, DroppedProbesKeepColumnAlignment) {
+  TimeSeriesRecorder rec(/*interval_ns=*/10.0);
+  double level = 5;
+  rec.AddGauge("level", [&level] { return level; });
+  rec.Tick(0);
+  rec.DropProbes();
+  rec.Tick(100);  // probe gone: records 0.0, row shape unchanged
+  ASSERT_EQ(rec.num_samples(), 2u);
+  EXPECT_EQ(rec.Value(0, 0), 5.0);
+  EXPECT_EQ(rec.Value(1, 0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Flat-JSON parsing and the regression gate.
+
+TEST(RegressionTest, ParsesFlatJsonRoundTrip) {
+  FlatRun run;
+  run.Set("class_c4_disk_reads", 1234);
+  run.Set("class_c4_span_seconds", 1.5);
+  run.Set("class_c4_throughput_qps", 2.66666667);
+  auto parsed = ParseFlatJson(run.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->entries.size(), 3u);
+  EXPECT_EQ(parsed->entries[0].first, "class_c4_disk_reads");
+  EXPECT_EQ(*parsed->Find("class_c4_disk_reads"), 1234.0);
+  EXPECT_NEAR(*parsed->Find("class_c4_span_seconds"), 1.5, 1e-12);
+}
+
+TEST(RegressionTest, RejectsMalformedSummaries) {
+  EXPECT_FALSE(ParseFlatJson("").ok());
+  EXPECT_FALSE(ParseFlatJson("[1, 2]").ok());
+  EXPECT_FALSE(ParseFlatJson("{\"a\": \"str\"}").ok());       // non-numeric
+  EXPECT_FALSE(ParseFlatJson("{\"a\": {\"b\": 1}}").ok());    // nested
+  EXPECT_FALSE(ParseFlatJson("{\"a\": 1, \"a\": 2}").ok());   // duplicate
+  EXPECT_TRUE(ParseFlatJson("{}").ok());
+  EXPECT_TRUE(ParseFlatJson(" { \"k\" : -1.5e3 } ").ok());
+}
+
+TEST(RegressionTest, TimeLikeKeySuffixes) {
+  EXPECT_TRUE(IsTimeLikeKey("span_seconds"));
+  EXPECT_TRUE(IsTimeLikeKey("p99_s"));
+  EXPECT_TRUE(IsTimeLikeKey("retry_backoff_ns"));
+  EXPECT_TRUE(IsTimeLikeKey("throughput_qps"));
+  EXPECT_TRUE(IsTimeLikeKey("cc_miss_rate_pct"));
+  EXPECT_FALSE(IsTimeLikeKey("disk_reads"));
+  EXPECT_FALSE(IsTimeLikeKey("total_queries"));
+  EXPECT_FALSE(IsTimeLikeKey("rpc_count"));
+}
+
+FlatRun GateBaseline() {
+  FlatRun b;
+  b.Set("class_c4_disk_reads", 1000);
+  b.Set("class_c4_span_seconds", 2.0);
+  return b;
+}
+
+TEST(RegressionTest, IdenticalRunsPass) {
+  RegressionResult r = CompareRuns(GateBaseline(), GateBaseline());
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_NE(r.report.find("OK: 2 keys within bounds"), std::string::npos);
+}
+
+TEST(RegressionTest, CounterDriftOfOneFails) {
+  FlatRun current = GateBaseline();
+  current.Set("class_c4_disk_reads", 1001);  // counters are exact
+  RegressionResult r = CompareRuns(GateBaseline(), current);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failures, 1);
+  EXPECT_NE(r.report.find("MISMATCH"), std::string::npos);
+}
+
+TEST(RegressionTest, TimeBandToleratesSmallDriftOnly) {
+  FlatRun current = GateBaseline();
+  current.Set("class_c4_span_seconds", 2.03);  // +1.5% < 2% band
+  EXPECT_TRUE(CompareRuns(GateBaseline(), current).ok);
+  current.Set("class_c4_span_seconds", 2.1);   // +5% > 2% band
+  RegressionResult r = CompareRuns(GateBaseline(), current);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.report.find("DRIFT"), std::string::npos);
+  // A wider explicit band accepts it.
+  RegressionOptions loose;
+  loose.time_tolerance = 0.10;
+  EXPECT_TRUE(CompareRuns(GateBaseline(), current, loose).ok);
+}
+
+TEST(RegressionTest, KeySetChangesFailBothWays) {
+  FlatRun current = GateBaseline();
+  current.Set("class_c4_rpc_count", 50);  // new key
+  RegressionResult r = CompareRuns(GateBaseline(), current);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.report.find("NEW"), std::string::npos);
+
+  FlatRun missing;
+  missing.Set("class_c4_disk_reads", 1000);  // span_seconds vanished
+  r = CompareRuns(GateBaseline(), missing);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.report.find("MISSING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treebench::telemetry

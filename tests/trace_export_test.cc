@@ -1,0 +1,203 @@
+// Tests for the trace export paths: RenderTraceTree (the EXPLAIN ANALYZE
+// one-line-per-span rendering), TraceToChromeJson (Perfetto /
+// chrome://tracing JSON, golden-file pinned) and TraceToFoldedStacks
+// (flamegraph folded stacks).
+//
+// The golden (tests/golden/chrome_trace.json) is generated from a hand-built
+// span tree with exact binary-representable durations, so the bytes are
+// platform-independent (no libm in the path). To regenerate after an
+// intentional format change:
+//
+//   ./build/tests/trace_export_test --update-golden
+//
+// then review the diff and commit it. (Own main() for the flag, like
+// explain_trace_test.)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/cost/trace.h"
+#include "src/telemetry/trace_export.h"
+
+namespace treebench {
+
+bool g_update_golden = false;
+
+namespace {
+
+/// A small operator tree with exactly representable times:
+///   tree_query (4.096 us, 10 rows)
+///     outer_scan (1.024 us, 32 rows)
+///       page_reads (0.512 us)
+///     probe (2.048 us, 10 rows)
+/// Self times: page_reads 512, outer_scan 512, probe 2048, root 1024 ns.
+std::unique_ptr<TraceNode> BuildTree() {
+  auto root = std::make_unique<TraceNode>();
+  root->name = "tree_query";
+  root->seconds = 4096e-9;
+  root->rows = 10;
+  root->metrics.disk_reads = 7;
+  root->metrics.rpc_count = 9;
+  root->metrics.comparisons = 40;
+
+  auto outer = std::make_unique<TraceNode>();
+  outer->name = "outer_scan";
+  outer->seconds = 1024e-9;
+  outer->rows = 32;
+  outer->metrics.disk_reads = 7;
+  outer->metrics.rpc_count = 7;
+
+  auto reads = std::make_unique<TraceNode>();
+  reads->name = "page_reads";
+  reads->seconds = 512e-9;
+  reads->metrics.disk_reads = 7;
+  outer->children.push_back(std::move(reads));
+
+  auto probe = std::make_unique<TraceNode>();
+  probe->name = "probe";
+  probe->seconds = 2048e-9;
+  probe->rows = 10;
+  probe->metrics.comparisons = 40;
+
+  root->children.push_back(std::move(outer));
+  root->children.push_back(std::move(probe));
+  return root;
+}
+
+std::string GoldenPath() {
+  return std::string(TREEBENCH_SOURCE_DIR) + "/tests/golden/chrome_trace.json";
+}
+
+// ---------------------------------------------------------------------------
+// RenderTraceTree.
+
+TEST(RenderTraceTreeTest, OneLinePerSpanWithIndentation) {
+  auto root = BuildTree();
+  const std::string text = RenderTraceTree(*root);
+  // Four spans, four lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // Root at column 0, children indented two spaces per level.
+  EXPECT_EQ(text.rfind("tree_query", 0), 0u);
+  EXPECT_NE(text.find("\n  outer_scan"), std::string::npos);
+  EXPECT_NE(text.find("\n    page_reads"), std::string::npos);
+  EXPECT_NE(text.find("\n  probe"), std::string::npos);
+}
+
+TEST(RenderTraceTreeTest, ShowsRowsTimeAndHeadlineCounters) {
+  auto root = BuildTree();
+  const std::string text = RenderTraceTree(*root);
+  EXPECT_NE(text.find("rows=10"), std::string::npos);
+  EXPECT_NE(text.find("rows=32"), std::string::npos);
+  EXPECT_NE(text.find("0.000s"), std::string::npos);  // %.3f of 4.096 us
+  EXPECT_NE(text.find("disk_reads=7"), std::string::npos);
+  EXPECT_NE(text.find("comparisons=40"), std::string::npos);
+  // Zero counters stay out of the line.
+  EXPECT_EQ(text.find("disk_writes"), std::string::npos);
+}
+
+TEST(RenderTraceTreeTest, DeterministicAcrossCalls) {
+  auto root = BuildTree();
+  EXPECT_EQ(RenderTraceTree(*root), RenderTraceTree(*root));
+}
+
+// ---------------------------------------------------------------------------
+// TraceToChromeJson.
+
+TEST(ChromeTraceTest, MatchesGoldenJson) {
+  auto root = BuildTree();
+  const std::string json = telemetry::TraceToChromeJson(*root);
+
+  if (g_update_golden) {
+    std::ofstream out(GoldenPath(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << json;
+    out.close();
+    GTEST_SKIP() << "golden updated: " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good()) << "missing golden " << GoldenPath()
+                         << " — run with --update-golden to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(json, buf.str())
+      << "chrome trace format changed; if intentional, rerun with "
+         "--update-golden and commit the diff";
+}
+
+TEST(ChromeTraceTest, EmitsMetadataSlicesAndValidShape) {
+  auto root = BuildTree();
+  const std::string json = telemetry::TraceToChromeJson(*root);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete events
+  // Children laid out sequentially from the parent's start: outer_scan at
+  // ts=0 for 1.024 us, probe follows at ts=1.024.
+  EXPECT_NE(json.find("\"name\":\"outer_scan\",\"ts\":0.000,\"dur\":1.024"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"probe\",\"ts\":1.024,\"dur\":2.048"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, BuilderCounterAndEscaping) {
+  telemetry::ChromeTraceBuilder b;
+  b.SetProcessName("with \"quotes\" and \\slash");
+  b.AddCounter("queue_depth", /*ts_ns=*/2500, /*value=*/3);
+  const std::string json = b.ToJson();
+  EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slash"), std::string::npos);
+  EXPECT_NE(json.find(
+                "{\"ph\":\"C\",\"pid\":1,\"name\":\"queue_depth\",\"ts\":2.500,"
+                "\"args\":{\"value\":3}}"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TraceToFoldedStacks.
+
+TEST(FoldedStacksTest, SelfTimeWeightedStacks) {
+  auto root = BuildTree();
+  const std::string folded = telemetry::TraceToFoldedStacks(*root);
+  // Exact self times in integer ns: root 4096-1024-2048=1024,
+  // outer_scan 1024-512=512, page_reads 512, probe 2048.
+  EXPECT_EQ(folded,
+            "tree_query 1024\n"
+            "tree_query;outer_scan 512\n"
+            "tree_query;outer_scan;page_reads 512\n"
+            "tree_query;probe 2048\n");
+}
+
+TEST(FoldedStacksTest, ZeroSelfTimeKeptAndNegativeClamped) {
+  auto root = std::make_unique<TraceNode>();
+  root->name = "wrapper";
+  root->seconds = 100e-9;
+  auto child = std::make_unique<TraceNode>();
+  child->name = "inner";
+  // Child reports slightly MORE than the parent (rounding pathology):
+  // parent self-time clamps to 0 instead of going negative.
+  child->seconds = 101e-9;
+  root->children.push_back(std::move(child));
+  const std::string folded = telemetry::TraceToFoldedStacks(*root);
+  EXPECT_EQ(folded,
+            "wrapper 0\n"
+            "wrapper;inner 101\n");
+}
+
+}  // namespace
+}  // namespace treebench
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      treebench::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -186,6 +186,106 @@ TEST(WorkloadTest, WarmupQueriesAreExcludedFromMeasurement) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry: observation must not perturb the simulation, and everything it
+// captures must be deterministic.
+
+TEST(WorkloadTest, TelemetryDoesNotChangeTheReport) {
+  auto derby_a = BuildSmallDerby();
+  auto derby_b = BuildSmallDerby();
+  WorkloadSpec spec = MixedSpec(4, 3);
+  auto plain = RunWorkload(derby_a.get(), spec);
+  WorkloadTelemetry tel;
+  auto observed = RunWorkload(derby_b.get(), spec, &tel);
+  ASSERT_TRUE(plain.ok() && observed.ok());
+  // Byte-identical report: the sampler only reads, never charges.
+  EXPECT_EQ(plain->ToJson(), observed->ToJson());
+}
+
+TEST(WorkloadTest, TelemetryCapturesTheRunsShape) {
+  auto derby = BuildSmallDerby();
+  WorkloadSpec spec = MixedSpec(6, 4);
+  spec.think_time_ns = 0;  // closed loop: maximum station contention
+  WorkloadTelemetry tel;
+  tel.sample_interval_ns = 1e5;  // dense sampling for the assertions below
+  auto report = RunWorkload(derby.get(), spec, &tel);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // One slice per executed query, on a client track.
+  EXPECT_EQ(tel.query_slices.size(), 6u * 4u);
+  for (const auto& s : tel.query_slices) {
+    EXPECT_GE(s.track, 1u);
+    EXPECT_LE(s.track, 6u);
+    EXPECT_GT(s.dur_ns, 0.0);
+    EXPECT_TRUE(s.name == "tree" || s.name == "selection");
+  }
+  // The station logged its service intervals.
+  EXPECT_FALSE(tel.server_service.empty());
+  for (const auto& [start, end] : tel.server_service) {
+    EXPECT_GT(end, start);
+  }
+
+  ASSERT_GE(tel.series.num_samples(), 2u);
+  const auto& cols = tel.series.columns();
+  auto col = [&cols](const std::string& name) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == name) return i;
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return size_t{0};
+  };
+
+  // Cache occupancy: nonzero by the end, bounded by capacity, and the
+  // cumulative eviction gauges never decrease.
+  const size_t client_pages = col("client_cache_pages");
+  const size_t evict = col("client_cache_evictions");
+  const size_t last = tel.series.num_samples() - 1;
+  EXPECT_GT(tel.series.Value(last, client_pages), 0.0);
+  const double capacity =
+      6.0 * derby->db->cache().config().client_pages();
+  for (size_t r = 0; r <= last; ++r) {
+    EXPECT_LE(tel.series.Value(r, client_pages), capacity);
+  }
+  for (size_t r = 1; r <= last; ++r) {
+    EXPECT_GE(tel.series.Value(r, evict), tel.series.Value(r - 1, evict));
+  }
+  // The eviction gauge covers whole client clocks (preparation included),
+  // so it can only be at or above the report's measured-region counter.
+  EXPECT_GE(tel.series.Value(last, col("server_cache_evictions")),
+            static_cast<double>(report->totals.server_cache_evictions));
+
+  // Under closed-loop contention the station's in-flight gauge saw > 1
+  // request at some instant (queue depth > 0).
+  double max_in_flight = 0;
+  const size_t in_flight = col("server_in_flight");
+  for (size_t r = 0; r <= last; ++r) {
+    max_in_flight = std::max(max_in_flight, tel.series.Value(r, in_flight));
+  }
+  EXPECT_GT(max_in_flight, 1.0);
+
+  // Running percentile gauges end at the report's percentiles, bit-for-bit
+  // (same shared Histogram, same samples).
+  EXPECT_EQ(tel.series.Value(last, col("latency_p50_s")),
+            report->latencies.Quantile(0.50) / 1e9);
+  EXPECT_EQ(tel.series.Value(last, col("latency_p99_s")),
+            report->latencies.Quantile(0.99) / 1e9);
+  EXPECT_EQ(tel.running_latencies.Quantile(0.95),
+            report->latencies.Quantile(0.95));
+}
+
+TEST(WorkloadTest, TelemetryArtifactsAreBitIdenticalAcrossSameSeedRuns) {
+  auto run_once = [] {
+    auto derby = BuildSmallDerby();
+    WorkloadSpec spec = MixedSpec(4, 3);
+    WorkloadTelemetry tel;
+    auto report = RunWorkload(derby.get(), spec, &tel);
+    EXPECT_TRUE(report.ok());
+    return tel.series.ToCsv() + "\n===\n" + tel.series.ToJsonl() +
+           "\n===\n" + tel.ChromeTraceJson();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
 TEST(WorkloadTest, RejectsInvalidSpecs) {
   auto derby = BuildSmallDerby();
   WorkloadSpec spec = MixedSpec(0, 3);
