@@ -1,27 +1,34 @@
 #!/bin/bash
-# Runs every paper-reproduction bench at paper scale (--scale=1), tee'ing to
-# bench_output.txt and consolidating each bench's StatStore records into
-# BENCH_results.json ({"<bench>": [<records>...], ...}).
+# Runs every paper-reproduction bench at paper scale (--scale=1). All
+# artifacts land under bench_json/: the tee'd text log
+# (bench_json/bench_output.txt), one StatStore JSON per bench, and the
+# consolidated bench_json/BENCH_results.json
+# ({"<bench>": [<records>...], ...}).
 #
 # Usage: run_benches.sh [OUT.txt] [bench flags...]
-#   A first argument not starting with "--" names the text output file; every
-#   remaining argument is passed to each bench (e.g. --scale=8).
+#   A first argument not starting with "--" names the text output file
+#   (relative paths land inside bench_json/); every remaining argument is
+#   passed to each bench (e.g. --scale=8).
 # Env: TREEBENCH_SKIP_MICRO=1 skips the google-benchmark micro bench (host
 #   wall clock, slow); CI sets it for smoke runs.
 set -u
 cd "$(dirname "$0")"
 
-OUT=bench_output.txt
-if [ $# -gt 0 ] && [[ "$1" != --* ]]; then
-  OUT=$1
-  shift
-fi
 JSON_DIR=bench_json
-RESULTS=BENCH_results.json
-
-: > "$OUT"
 mkdir -p "$JSON_DIR"
 rm -f "$JSON_DIR"/*.json
+
+OUT=$JSON_DIR/bench_output.txt
+if [ $# -gt 0 ] && [[ "$1" != --* ]]; then
+  case "$1" in
+    /*) OUT=$1 ;;
+    *) OUT=$JSON_DIR/$1 ;;
+  esac
+  shift
+fi
+RESULTS=$JSON_DIR/BENCH_results.json
+
+: > "$OUT"
 
 for b in build/bench/bench_fig06_selection build/bench/bench_fig07_sorted_index \
          build/bench/bench_fig09_cost_breakdown build/bench/bench_fig10_hash_sizes \
@@ -31,7 +38,8 @@ for b in build/bench/bench_fig06_selection build/bench/bench_fig07_sorted_index 
          build/bench/bench_sec32_loading build/bench/bench_sec44_handle_ablation \
          build/bench/bench_optimizer_regret build/bench/bench_ablation_hybrid_hash \
          build/bench/bench_ablation_dump_reload build/bench/bench_ablation_cache_sizes \
-         build/bench/bench_fault_campaign build/bench/bench_workload_scaleout; do
+         build/bench/bench_fault_campaign build/bench/bench_workload_scaleout \
+         build/bench/bench_batch_ablation; do
   name=$(basename "$b")
   echo "===================== $b =====================" | tee -a "$OUT"
   "$b" "$@" "--stats-json=$JSON_DIR/$name.json" 2>&1 | tee -a "$OUT"
@@ -45,6 +53,7 @@ done
   first=1
   for f in "$JSON_DIR"/*.json; do
     [ -e "$f" ] || continue
+    [ "$f" = "$RESULTS" ] && continue  # the consolidated output itself
     name=$(basename "$f" .json)
     [ $first -eq 1 ] || echo ","
     first=0

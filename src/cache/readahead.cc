@@ -1,0 +1,59 @@
+#include "src/cache/readahead.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace treebench {
+
+std::vector<PageRun> DetectRuns(std::span<const uint64_t> keys) {
+  std::vector<PageRun> runs;
+  size_t i = 0;
+  while (i < keys.size()) {
+    size_t j = i + 1;
+    while (j < keys.size() && keys[j] == keys[j - 1] + 1) ++j;
+    runs.push_back(PageRun{i, j - i});
+    i = j;
+  }
+  return runs;
+}
+
+std::vector<uint64_t> DedupFirstTouch(std::span<const uint64_t> keys) {
+  std::vector<uint64_t> out;
+  out.reserve(keys.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(keys.size());
+  for (uint64_t key : keys) {
+    if (seen.insert(key).second) out.push_back(key);
+  }
+  return out;
+}
+
+std::vector<std::vector<uint64_t>> PlanFetchBatches(
+    std::span<const uint64_t> first_touch_keys, BatchPolicy policy,
+    uint32_t max_batch_pages) {
+  const size_t cap = max_batch_pages == 0 ? 1 : max_batch_pages;
+  std::vector<std::vector<uint64_t>> batches;
+  if (first_touch_keys.empty()) return batches;
+
+  if (policy == BatchPolicy::kSequentialRuns) {
+    for (const PageRun& run : DetectRuns(first_touch_keys)) {
+      for (size_t off = 0; off < run.length; off += cap) {
+        size_t n = std::min(cap, run.length - off);
+        batches.emplace_back(
+            first_touch_keys.begin() + run.offset + off,
+            first_touch_keys.begin() + run.offset + off + n);
+      }
+    }
+    return batches;
+  }
+
+  for (size_t off = 0; off < first_touch_keys.size(); off += cap) {
+    size_t n = std::min(cap, first_touch_keys.size() - off);
+    batches.emplace_back(first_touch_keys.begin() + off,
+                         first_touch_keys.begin() + off + n);
+    std::sort(batches.back().begin(), batches.back().end());
+  }
+  return batches;
+}
+
+}  // namespace treebench

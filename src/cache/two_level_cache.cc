@@ -1,6 +1,7 @@
 #include "src/cache/two_level_cache.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace treebench {
 
@@ -38,6 +39,11 @@ Result<uint8_t*> TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
   uint64_t key = Key(file_id, page_id);
   if (client_->Touch(key)) {
     sim_->ChargeClientCacheHit();
+    // First demand access to a page FetchPages brought in: the readahead
+    // paid off. Later accesses are ordinary cache hits.
+    if (!prefetched_.empty() && prefetched_.erase(key) != 0) {
+      sim_->ChargeReadaheadHit();
+    }
   } else {
     // Client-cache page fault: one RPC ships the page from the server. The
     // request travels first (a lost RPC costs no server work), then the
@@ -47,7 +53,10 @@ Result<uint8_t*> TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
     TB_RETURN_IF_ERROR(RpcToServer(kPageSize));
     TB_RETURN_IF_ERROR(EnsureAtServer(key));
     LruPageCache::Evicted ev = client_->Insert(key);
-    if (ev.valid) sim_->ChargeClientCacheEviction();
+    if (ev.valid) {
+      sim_->ChargeClientCacheEviction();
+      NotePrefetchEviction(ev.key);
+    }
     if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteBackToServer(ev.key));
   }
   if (for_write) {
@@ -156,10 +165,72 @@ Result<std::pair<uint32_t, uint8_t*>> TwoLevelCache::NewPage(
   uint32_t page_id = disk_->AllocatePage(file_id);
   uint64_t key = Key(file_id, page_id);
   LruPageCache::Evicted ev = client_->Insert(key, /*dirty=*/true);
-  if (ev.valid) sim_->ChargeClientCacheEviction();
+  if (ev.valid) {
+    sim_->ChargeClientCacheEviction();
+    NotePrefetchEviction(ev.key);
+  }
   if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteBackToServer(ev.key));
   TB_ASSIGN_OR_RETURN(uint8_t* raw, disk_->RawPage(file_id, page_id));
   return std::pair<uint32_t, uint8_t*>(page_id, raw);
+}
+
+Status TwoLevelCache::FetchPages(std::span<const uint64_t> keys) {
+  // Pages already resident need no fetch; Contains is a costless peek (no
+  // LRU promotion), so the later demand access still pays its normal hit.
+  std::vector<uint64_t> pending;
+  pending.reserve(keys.size());
+  {
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(keys.size());
+    for (uint64_t key : keys) {
+      if (client_->Contains(key)) continue;
+      if (seen.insert(key).second) pending.push_back(key);
+    }
+  }
+  if (pending.empty()) return Status::OK();
+
+  const RetryPolicy& rp = config_.retry;
+  Metrics& m = sim_->metrics();
+  double backoff = rp.initial_backoff_ns;
+  for (uint32_t attempt = 0; attempt < rp.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      double wait = std::min(backoff, rp.max_backoff_ns);
+      sim_->Charge(wait);
+      m.retry_backoff_ns += static_cast<uint64_t>(wait);
+      backoff *= rp.backoff_multiplier;
+    }
+    // Every page of the group request draws its own transient-fault
+    // outcome — the same per-site sequence a loop of single fetches would
+    // consume — but the wire is charged once for the whole request.
+    std::vector<uint64_t> shipped;
+    std::vector<uint64_t> failed;
+    shipped.reserve(pending.size());
+    for (uint64_t key : pending) {
+      if (sim_->faults().ShouldFail(FaultSite::kRpc, sim_->elapsed_ns())) {
+        failed.push_back(key);
+      } else {
+        shipped.push_back(key);
+      }
+    }
+    sim_->ChargeRpcBatch(pending.size(),
+                         pending.size() * static_cast<uint64_t>(kPageSize));
+    for (uint64_t key : shipped) {
+      sim_->ChargeClientCacheMiss();
+      TB_RETURN_IF_ERROR(EnsureAtServer(key));
+      LruPageCache::Evicted ev = client_->Insert(key);
+      if (ev.valid) {
+        sim_->ChargeClientCacheEviction();
+        NotePrefetchEviction(ev.key);
+      }
+      if (ev.valid && ev.dirty) TB_RETURN_IF_ERROR(WriteBackToServer(ev.key));
+      prefetched_.insert(key);
+    }
+    if (failed.empty()) return Status::OK();
+    if (attempt + 1 < rp.max_attempts) m.rpc_retries += failed.size();
+    pending = std::move(failed);
+  }
+  m.rpc_failures += pending.size();
+  return Status::Unavailable("group rpc to server failed after retries");
 }
 
 Status TwoLevelCache::FlushAll() {
@@ -187,12 +258,14 @@ Status TwoLevelCache::FlushAll() {
 
 Status TwoLevelCache::Shutdown() {
   Status st = FlushAll();
+  DrainPrefetchedAsWasted();
   client_->Clear();
   server_.Clear();
   return st;
 }
 
 void TwoLevelCache::DropAll() {
+  DrainPrefetchedAsWasted();
   client_->Clear();
   server_.Clear();
 }

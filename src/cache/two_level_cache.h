@@ -2,6 +2,8 @@
 #define TREEBENCH_CACHE_TWO_LEVEL_CACHE_H_
 
 #include <cstdint>
+#include <span>
+#include <unordered_set>
 #include <utility>
 
 #include "src/cache/lru_page_cache.h"
@@ -67,6 +69,14 @@ class TwoLevelCache {
   const CacheConfig& config() const { return config_; }
   DiskManager* disk() { return disk_; }
   const DiskManager* disk() const { return disk_; }
+  SimContext* sim() { return sim_; }
+
+  /// The page-key encoding used by FetchPages: consecutive key values are
+  /// physically consecutive pages of one file, so the readahead planner
+  /// (src/cache/readahead.h) can detect sequential runs on raw keys.
+  static uint64_t PageKey(uint16_t file_id, uint32_t page_id) {
+    return (static_cast<uint64_t>(file_id) << 32) | page_id;
+  }
 
   /// Read access to a page; charges whatever faults the access incurs and
   /// returns a pointer to the page bytes.
@@ -79,6 +89,19 @@ class TwoLevelCache {
   /// Allocates a fresh page in `file_id`; it is born resident and dirty in
   /// the client cache (no read I/O).
   Result<std::pair<uint32_t, uint8_t*>> NewPage(uint16_t file_id);
+
+  /// Vectored fetch (docs/fetch_batching.md): brings every non-resident
+  /// page of `keys` (PageKey values; duplicates and resident pages are
+  /// skipped) to the client level in ONE group RPC — one rpc_latency
+  /// charge, one server-station admission, per-byte shipping for the whole
+  /// batch. The server still materializes each page individually (per-page
+  /// server hit/miss, disk-read faults, checksum verification, station
+  /// service extension), and the RetryPolicy applies per page: every page
+  /// of a group request draws its own FaultSite::kRpc outcome, failed
+  /// pages are re-requested together after backoff, and exhaustion counts
+  /// one rpc_failure per abandoned page. Callers are expected to keep each
+  /// batch within CostModel::max_fetch_batch_pages.
+  Status FetchPages(std::span<const uint64_t> keys);
 
   /// True if the page is resident at the client level (no cost).
   bool InClientCache(uint16_t file_id, uint32_t page_id) const {
@@ -101,6 +124,9 @@ class TwoLevelCache {
   LruPageCache* BindClientCache(LruPageCache* cache) {
     LruPageCache* prev = client_;
     client_ = cache != nullptr ? cache : &own_client_;
+    // Readahead state belongs to the client level it was fetched into; a
+    // rebind is a session switch, not an eviction, so no waste is charged.
+    prefetched_.clear();
     return prev;
   }
 
@@ -120,7 +146,23 @@ class TwoLevelCache {
 
  private:
   static uint64_t Key(uint16_t file_id, uint32_t page_id) {
-    return (static_cast<uint64_t>(file_id) << 32) | page_id;
+    return PageKey(file_id, page_id);
+  }
+
+  /// Readahead accounting: a prefetched page leaving the client level (or
+  /// the whole level being dropped) before any demand access is wasted
+  /// readahead; a demand access consumes its pending-prefetch mark as a
+  /// readahead hit (see Ensure).
+  void NotePrefetchEviction(uint64_t key) {
+    if (!prefetched_.empty() && prefetched_.erase(key) != 0) {
+      sim_->ChargeReadaheadWasted();
+    }
+  }
+  void DrainPrefetchedAsWasted() {
+    for (size_t i = prefetched_.size(); i > 0; --i) {
+      sim_->ChargeReadaheadWasted();
+    }
+    prefetched_.clear();
   }
 
   /// Ensures residency at the client level, charging faults; returns page
@@ -147,6 +189,11 @@ class TwoLevelCache {
   LruPageCache own_client_;
   LruPageCache* client_;  // the bound client level; defaults to own_client_
   LruPageCache server_;
+  /// Pages brought in by FetchPages and not yet demanded. Tracks the
+  /// *current* client level only; rebinding clears it without charges
+  /// (sessions do not inherit each other's readahead state). Always empty
+  /// while batching is disabled, so the happy path stays untouched.
+  std::unordered_set<uint64_t> prefetched_;
 };
 
 }  // namespace treebench

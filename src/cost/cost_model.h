@@ -30,6 +30,15 @@ struct CostModel {
   double rpc_latency_ns = 300e3;     // per round trip
   double rpc_per_byte_ns = 25;       // ~40 MB/s effective page shipping
 
+  // ---- Vectored fetch (group RPC + readahead, docs/fetch_batching.md) ----
+  // Upper bound on pages shipped per group RPC. 1 disables the vectored
+  // fetch subsystem entirely: every engine path is bit-for-bit identical to
+  // the classic one-RPC-per-page protocol (and the batching counters stay
+  // zero). Values > 1 let scans and navigations fetch up to this many pages
+  // in one round trip: one rpc_latency_ns charge plus per-byte shipping for
+  // the whole batch.
+  uint32_t max_fetch_batch_pages = 1;
+
   // ---- Server service station (multi-client workloads, src/workload) ----
   // The single O2 page server handles one request at a time; each RPC holds
   // it for `server_service_ns` of CPU/dispatch work (plus any disk I/O done
@@ -61,6 +70,11 @@ struct CostModel {
   // amortized per object.
   double handle_get_bulk_ns = 8e3;
   double handle_unref_bulk_ns = 2e3;
+  // One arena grab covering a whole batch of handle materializations on the
+  // vectored fetch path (docs/fetch_batching.md): the batch pays this once,
+  // then handle_get_bulk_ns per handle, regardless of the handle mode —
+  // batching is what makes the arena allocation possible.
+  double handle_batch_grab_ns = 30e3;
   // Extra handle charged when a string/literal attribute is materialized as
   // its own record (Section 4.4: literals get full handles too).
   double literal_handle_ns = 60e3;

@@ -6,7 +6,7 @@ namespace treebench {
 
 // Keeps the table in sync with the struct: adding a counter without listing
 // it here (and bumping this count) fails to compile.
-static_assert(sizeof(Metrics) == 34 * sizeof(uint64_t),
+static_assert(sizeof(Metrics) == 38 * sizeof(uint64_t),
               "new Metrics field? add it to MetricsFieldTable()");
 
 const std::vector<MetricsField>& MetricsFieldTable() {
@@ -45,6 +45,10 @@ const std::vector<MetricsField>& MetricsFieldTable() {
       {"checkpoint_replays", &Metrics::checkpoint_replays},
       {"retry_backoff_ns", &Metrics::retry_backoff_ns},
       {"rpc_queue_wait_ns", &Metrics::rpc_queue_wait_ns},
+      {"batched_rpcs", &Metrics::batched_rpcs},
+      {"pages_per_batch", &Metrics::pages_per_batch},
+      {"readahead_hits", &Metrics::readahead_hits},
+      {"readahead_wasted", &Metrics::readahead_wasted},
   };
   return kFields;
 }
@@ -77,7 +81,8 @@ std::string Metrics::ToString() const {
       "results: set_appends=%llu tuples=%llu\n"
       "faults: rpc_retries=%llu rpc_failures=%llu disk_rd=%llu disk_wr=%llu "
       "corrupt=%llu replays=%llu backoff_ns=%llu\n"
-      "queueing: rpc_queue_wait_ns=%llu",
+      "queueing: rpc_queue_wait_ns=%llu\n"
+      "batching: group_rpcs=%llu pages=%llu ra_hits=%llu ra_wasted=%llu",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(disk_writes),
       static_cast<unsigned long long>(rpc_count),
@@ -109,7 +114,11 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(corruptions_detected),
       static_cast<unsigned long long>(checkpoint_replays),
       static_cast<unsigned long long>(retry_backoff_ns),
-      static_cast<unsigned long long>(rpc_queue_wait_ns));
+      static_cast<unsigned long long>(rpc_queue_wait_ns),
+      static_cast<unsigned long long>(batched_rpcs),
+      static_cast<unsigned long long>(pages_per_batch),
+      static_cast<unsigned long long>(readahead_hits),
+      static_cast<unsigned long long>(readahead_wasted));
   return buf;
 }
 

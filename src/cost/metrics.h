@@ -77,6 +77,17 @@ struct Metrics {
   // queued behind other clients' RPCs at the shared server station.
   uint64_t rpc_queue_wait_ns = 0;
 
+  // Vectored fetch / readahead (docs/fetch_batching.md). All four stay zero
+  // when CostModel::max_fetch_batch_pages == 1 (batching disabled).
+  uint64_t batched_rpcs = 0;      // group RPCs issued (each counts once in
+                                  // rpc_count too)
+  uint64_t pages_per_batch = 0;   // pages shipped via group RPCs, cumulative
+                                  // (divide by batched_rpcs for the average)
+  uint64_t readahead_hits = 0;    // prefetched pages later hit by a demand
+                                  // access
+  uint64_t readahead_wasted = 0;  // prefetched pages evicted or dropped
+                                  // before any demand access
+
   /// Client cache miss rate in percent (as the paper's CCMissrate).
   double ClientMissRatePct() const {
     uint64_t total = client_cache_hits + client_cache_misses;

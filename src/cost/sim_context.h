@@ -63,6 +63,12 @@ class SimContext {
   SimContext& operator=(const SimContext&) = delete;
 
   const CostModel& model() const { return model_; }
+  /// Runtime knob for the vectored fetch subsystem (docs/fetch_batching.md).
+  /// 1 disables batching; the workload scheduler and benches flip it per
+  /// run. Clamped to >= 1 so a zero can never divide the batch planner.
+  void set_max_fetch_batch_pages(uint32_t pages) {
+    model_.max_fetch_batch_pages = pages == 0 ? 1 : pages;
+  }
   Metrics& metrics() { return clock_->metrics; }
   const Metrics& metrics() const { return clock_->metrics; }
 
@@ -129,6 +135,25 @@ class SimContext {
     clock_->clock_ns += model_.rpc_latency_ns +
                         model_.rpc_per_byte_ns * static_cast<double>(bytes);
   }
+  /// One *group* RPC shipping `pages` pages (`bytes` total) in a single
+  /// round trip: one latency charge, one station admission, per-byte
+  /// shipping for the whole batch. Counts once in rpc_count — a group RPC
+  /// is still one wire message — plus the batching counters.
+  void ChargeRpcBatch(uint64_t pages, uint64_t bytes) {
+    ++clock_->metrics.rpc_count;
+    ++clock_->metrics.batched_rpcs;
+    clock_->metrics.pages_per_batch += pages;
+    clock_->metrics.rpc_bytes += bytes;
+    if (station_ != nullptr) {
+      double wait = station_->Admit(clock_->clock_ns);
+      if (wait > 0) {
+        clock_->clock_ns += wait;
+        clock_->metrics.rpc_queue_wait_ns += static_cast<uint64_t>(wait);
+      }
+    }
+    clock_->clock_ns += model_.rpc_latency_ns +
+                        model_.rpc_per_byte_ns * static_cast<double>(bytes);
+  }
 
   // ---- Cache events ----
   // Charged by the cache layers (src/cache). Time for the miss paths is
@@ -147,6 +172,10 @@ class SimContext {
   void ChargeServerCacheEviction() {
     ++clock_->metrics.server_cache_evictions;
   }
+  // Readahead bookkeeping (counters only — the prefetch itself was already
+  // charged as a group RPC; a hit or a waste adds no simulated time).
+  void ChargeReadaheadHit() { ++clock_->metrics.readahead_hits; }
+  void ChargeReadaheadWasted() { ++clock_->metrics.readahead_wasted; }
 
   // ---- Handles ----
   void ChargeHandleGet() {
@@ -162,6 +191,22 @@ class SimContext {
         clock_->clock_ns += model_.handle_get_bulk_ns;
         break;
     }
+  }
+  /// Bulk materialization of `n` fresh handles in one arena grab (the
+  /// vectored fetch path, docs/fetch_batching.md): the batch pays
+  /// handle_batch_grab_ns once, then the bulk per-handle cost — regardless
+  /// of the handle mode, since batching is what enables arena allocation.
+  void ChargeHandleGetBatch(uint64_t n) {
+    if (n == 0) return;
+    clock_->metrics.handle_gets += n;
+    clock_->clock_ns += model_.handle_batch_grab_ns +
+                        model_.handle_get_bulk_ns * static_cast<double>(n);
+  }
+  void ChargeHandleUnrefBatch(uint64_t n) {
+    if (n == 0) return;
+    clock_->metrics.handle_unrefs += n;
+    clock_->clock_ns +=
+        model_.handle_unref_bulk_ns * static_cast<double>(n);
   }
   void ChargeHandleLookup() {
     ++clock_->metrics.handle_lookups;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -95,6 +96,20 @@ class ObjectStore {
   Result<ObjectHandle*> Get(const Rid& rid);
   /// Releases one reference; destruction is delayed (zombie list).
   void Unref(ObjectHandle* handle);
+
+  /// Bulk variant of Get for the vectored-fetch scan paths
+  /// (docs/fetch_batching.md): materializes (or re-references) every rid,
+  /// in order. Re-references charge the usual per-handle lookup; fresh
+  /// materializations are charged as ONE grouped allocation — a fixed
+  /// batch-grab setup plus the bulk per-handle rate — with handle_gets
+  /// still counting each handle. Zombie collection runs once per batch.
+  /// On mid-batch failure every handle granted so far is released and the
+  /// error is returned.
+  Result<std::vector<ObjectHandle*>> GetBatch(std::span<const Rid> rids);
+
+  /// Releases one reference on each handle, charged at the grouped bulk
+  /// rate (handle_unrefs still counts each).
+  void UnrefBatch(std::span<ObjectHandle* const> handles);
 
   Result<int32_t> GetInt32(ObjectHandle* h, size_t attr);
   Result<char> GetChar(ObjectHandle* h, size_t attr);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/cost/trace.h"
+#include "src/query/vectored_fetch.h"
 
 namespace treebench {
 
@@ -21,10 +22,9 @@ Status ForEachSelected(Database* db, const std::string& collection,
     MetricScope scope(&sim, "scan(" + collection + ")");
     PersistentCollection* col = nullptr;
     TB_ASSIGN_OR_RETURN(col, db->GetCollection(collection));
-    auto it = col->Scan();
-    for (; it.Valid(); it.Next()) {
+    auto body = [&](const Rid& rid) -> Status {
       ObjectHandle* h = nullptr;
-      TB_ASSIGN_OR_RETURN(h, store.Get(it.rid()));
+      TB_ASSIGN_OR_RETURN(h, store.Get(rid));
       int32_t v = 0;
       TB_ASSIGN_OR_RETURN(v, store.GetInt32(h, key_attr));
       sim.ChargeCompare();
@@ -32,8 +32,23 @@ Status ForEachSelected(Database* db, const std::string& collection,
       store.Unref(h);
       if (selected) {
         scope.AddRows(1);
-        TB_RETURN_IF_ERROR(fn(it.rid()));
+        return fn(rid);
       }
+      return Status::OK();
+    };
+    if (BatchedFetchEnabled(db)) {
+      // Vectored variant: enumerate members first, then deliver through
+      // the group-RPC window. Same accesses, grouped wire trips.
+      std::vector<Rid> members;
+      auto it = col->Scan();
+      for (; it.Valid(); it.Next()) members.push_back(it.rid());
+      TB_RETURN_IF_ERROR(it.status());
+      return DeliverRidsBatched(db, members,
+                                CollectionBatchPolicy(db, collection), body);
+    }
+    auto it = col->Scan();
+    for (; it.Valid(); it.Next()) {
+      TB_RETURN_IF_ERROR(body(it.rid()));
     }
     return it.status();
   }
@@ -43,6 +58,19 @@ Status ForEachSelected(Database* db, const std::string& collection,
   if (!sorted_fetch) {
     // Key-order index scan; fn runs per qualifying rid inside the span.
     MetricScope scope(&sim, "index_scan(" + collection + ")");
+    if (BatchedFetchEnabled(db)) {
+      std::vector<Rid> rids;
+      auto it = idx->tree->Scan(lo, hi);
+      for (; it.Valid(); it.Next()) rids.push_back(it.rid());
+      TB_RETURN_IF_ERROR(it.status());
+      scope.AddRows(rids.size());
+      // A clustered index yields rids in physical order — runs pay off; an
+      // unclustered one scatters them, so sort inside each batch instead.
+      return DeliverRidsBatched(db, rids,
+                                idx->clustered ? BatchPolicy::kSequentialRuns
+                                               : BatchPolicy::kRidSorted,
+                                fn);
+    }
     auto it = idx->tree->Scan(lo, hi);
     for (; it.Valid(); it.Next()) {
       scope.AddRows(1);
@@ -74,6 +102,12 @@ Status ForEachSelected(Database* db, const std::string& collection,
   }
   MetricScope scope(&sim, "fetch_sorted(" + collection + ")");
   scope.AddRows(rids.size());
+  if (BatchedFetchEnabled(db)) {
+    // Already rid-sorted, but the pages are still scattered: kRidSorted
+    // groups a full window per RPC where run detection would degrade to
+    // singleton requests.
+    return DeliverRidsBatched(db, rids, BatchPolicy::kRidSorted, fn);
+  }
   for (const Rid& rid : rids) {
     TB_RETURN_IF_ERROR(fn(rid));
   }

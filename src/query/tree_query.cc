@@ -5,6 +5,7 @@
 
 #include "src/cost/trace.h"
 #include "src/query/index_fetch.h"
+#include "src/query/vectored_fetch.h"
 
 namespace treebench {
 
@@ -68,7 +69,7 @@ Status RunNL(Database* db, const TreeQuerySpec& spec,
         TB_ASSIGN_OR_RETURN(pname, store.GetString(ph, spec.parent_proj_attr));
         std::vector<Rid> kids;
         TB_ASSIGN_OR_RETURN(kids, store.GetRefSet(ph, spec.parent_set_attr));
-        for (const Rid& kid : kids) {
+        auto kid_body = [&](const Rid& kid) -> Status {
           ObjectHandle* ch = nullptr;
           TB_ASSIGN_OR_RETURN(ch, store.Get(kid));
           int32_t v = 0;
@@ -83,6 +84,13 @@ Status RunNL(Database* db, const TreeQuerySpec& spec,
             result->AddTuple(prid.Packed(), ch->rid.Packed());
           }
           store.Unref(ch);
+          return Status::OK();
+        };
+        if (BatchedFetchEnabled(db) && kids.size() > 1) {
+          TB_RETURN_IF_ERROR(
+              DeliverRidsBatched(db, kids, RefSetBatchPolicy(db), kid_body));
+        } else {
+          for (const Rid& kid : kids) TB_RETURN_IF_ERROR(kid_body(kid));
         }
         store.Unref(ph);
         return Status::OK();

@@ -1,0 +1,51 @@
+#ifndef TREEBENCH_QUERY_VECTORED_FETCH_H_
+#define TREEBENCH_QUERY_VECTORED_FETCH_H_
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "src/cache/readahead.h"
+#include "src/catalog/database.h"
+#include "src/common/status.h"
+#include "src/storage/rid.h"
+
+namespace treebench {
+
+/// True when the database's cost model allows group RPCs
+/// (CostModel::max_fetch_batch_pages > 1). At the default of 1 every scan
+/// path below degenerates to the plain per-object loop, bit-for-bit.
+inline bool BatchedFetchEnabled(Database* db) {
+  return db->sim().model().max_fetch_batch_pages > 1;
+}
+
+/// Picks the readahead shape for a full collection scan: clustered
+/// collections (scan order == physical order) get sequential-run
+/// detection; collections whose scan order is scattered — or that have
+/// relocation-scrambled layouts per their statistics — get rid-sorted
+/// batches. Without statistics the layout is assumed clustered (the
+/// loader's default), matching the optimizer's own assumption.
+BatchPolicy CollectionBatchPolicy(Database* db, const std::string& collection);
+
+/// Picks the readahead shape for fetching a parent's set<ref> members:
+/// composition-clustered and association-ordered databases store children
+/// physically in parent order (sequential runs); the rest scatter them
+/// (rid-sorted).
+BatchPolicy RefSetBatchPolicy(Database* db);
+
+/// The batched delivery loop shared by the scan/fetch paths
+/// (docs/fetch_batching.md): slides a window over `rids`, plans group RPCs
+/// for the window's first-touch pages under `policy`, fetches them via
+/// TwoLevelCache::FetchPages, bulk-materializes the window's handles, and
+/// invokes `fn` on every rid IN THE INPUT ORDER — batching changes how
+/// pages travel, never what the caller observes. The window is capped at
+/// min(max_fetch_batch_pages, half the client cache) distinct pages so
+/// prefetched pages cannot self-evict before delivery. Delivery errors
+/// release the window's handles and propagate.
+Status DeliverRidsBatched(Database* db, std::span<const Rid> rids,
+                          BatchPolicy policy,
+                          const std::function<Status(const Rid&)>& fn);
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_QUERY_VECTORED_FETCH_H_

@@ -100,6 +100,15 @@ void InstallProbes(WorkloadTelemetry* t, Database* db,
   t->series.AddRate("handle_gets_per_s", [sum_counter] {
     return sum_counter(&Metrics::handle_gets);
   });
+  t->series.AddRate("batched_rpcs_per_s", [sum_counter] {
+    return sum_counter(&Metrics::batched_rpcs);
+  });
+  t->series.AddGauge("readahead_hits", [sum_counter] {
+    return static_cast<double>(sum_counter(&Metrics::readahead_hits));
+  });
+  t->series.AddGauge("readahead_wasted", [sum_counter] {
+    return static_cast<double>(sum_counter(&Metrics::readahead_wasted));
+  });
 
   t->series.AddGauge("client_cache_pages", [&sessions] {
     uint64_t pages = 0;
@@ -360,6 +369,11 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
     TB_RETURN_IF_ERROR(db->ColdRestart());
   }
 
+  // Install the run's vectored-fetch batch size; restored on every exit
+  // path below so benches sweeping the knob do not leak it across runs.
+  const uint32_t prev_batch = db->sim().model().max_fetch_batch_pages;
+  db->sim().set_max_fetch_batch_pages(spec.max_fetch_batch_pages);
+
   // Install the shared server station for the duration of the run. The
   // default service time is below the minimum RPC round-trip spacing, so a
   // single closed-loop client never queues behind itself — queueing delay
@@ -395,6 +409,7 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
     db->store().DropAllHandles();
   }
   db->sim().set_station(prev_station);
+  db->sim().set_max_fetch_batch_pages(prev_batch);
   TB_RETURN_IF_ERROR(loop_status);
 
   return AssembleReport(spec, sessions, station);

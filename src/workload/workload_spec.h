@@ -62,6 +62,11 @@ struct WorkloadSpec {
   bool cold_start = true;
   bool cold_per_query = false;
 
+  /// Vectored-fetch batch size installed for the run's duration
+  /// (CostModel::max_fetch_batch_pages; docs/fetch_batching.md). 1 = plain
+  /// page-at-a-time RPCs, the pre-batching behavior.
+  uint32_t max_fetch_batch_pages = 1;
+
   uint64_t seed = 42;
 };
 

@@ -3,8 +3,9 @@
 // produce the same result *set* — not merely the same count. The capture
 // hook (TreeQuerySpec::capture_tuples) records the canonical
 // (parent rid, child rid) pair per emitted tuple; sorted, the vectors must
-// be identical across algorithms, under every clustering strategy and for
-// the plan either optimizer strategy picks.
+// be identical across algorithms, under every clustering strategy, with
+// vectored fetch off AND on (docs/fetch_batching.md), and for the plan
+// either optimizer strategy picks.
 
 #include <gtest/gtest.h>
 
@@ -12,6 +13,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -69,11 +71,22 @@ std::vector<TuplePair> RunSorted(Database* db, TreeQuerySpec spec,
   return tuples;
 }
 
+// Parameter: (clustering, vectored-fetch batch size). Batch 1 is the plain
+// page-at-a-time engine; batch 16 routes every scan/fetch path through the
+// group-RPC window, which must not change any result set.
 class AlgorithmEquivalenceTest
-    : public ::testing::TestWithParam<ClusteringStrategy> {};
+    : public ::testing::TestWithParam<std::tuple<ClusteringStrategy,
+                                                 uint32_t>> {
+ protected:
+  std::unique_ptr<DerbyDb> ParamDerby() {
+    auto derby = SmallDerby(std::get<0>(GetParam()));
+    derby->db->sim().set_max_fetch_batch_pages(std::get<1>(GetParam()));
+    return derby;
+  }
+};
 
 TEST_P(AlgorithmEquivalenceTest, AllAlgorithmsProduceTheSameResultSet) {
-  auto derby = SmallDerby(GetParam());
+  auto derby = ParamDerby();
   Database* db = derby->db.get();
   TreeQuerySpec spec = DerbyTreeQuery(*derby, kChildSelPct, kParentSelPct);
 
@@ -88,7 +101,7 @@ TEST_P(AlgorithmEquivalenceTest, AllAlgorithmsProduceTheSameResultSet) {
 }
 
 TEST_P(AlgorithmEquivalenceTest, BothOptimizerStrategiesAgree) {
-  auto derby = SmallDerby(GetParam());
+  auto derby = ParamDerby();
   Database* db = derby->db.get();
   TreeQuerySpec spec = DerbyTreeQuery(*derby, kChildSelPct, kParentSelPct);
   std::vector<TuplePair> baseline = RunSorted(db, spec, TreeJoinAlgo::kNL);
@@ -114,11 +127,14 @@ TEST_P(AlgorithmEquivalenceTest, BothOptimizerStrategiesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(
     Clusterings, AlgorithmEquivalenceTest,
-    ::testing::Values(ClusteringStrategy::kClassClustered,
-                      ClusteringStrategy::kRandomized,
-                      ClusteringStrategy::kComposition),
+    ::testing::Combine(
+        ::testing::Values(ClusteringStrategy::kClassClustered,
+                          ClusteringStrategy::kRandomized,
+                          ClusteringStrategy::kComposition),
+        ::testing::Values(1u, 16u)),
     [](const auto& info) {
-      return std::string(ClusteringName(info.param));
+      return std::string(ClusteringName(std::get<0>(info.param))) + "_b" +
+             std::to_string(std::get<1>(info.param));
     });
 
 // The logical database content is identical for every clustering (same

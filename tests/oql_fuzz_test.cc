@@ -1,0 +1,137 @@
+// Randomized fuzz-smoke for the OQL front end: seeded mutations of the
+// parser-test corpus are thrown at oql::Parse, which must return either a
+// query or an error status — never crash, hang, or trip a sanitizer. The
+// mutation stream is SplitMix64-seeded, so every run (and every CI shard)
+// fuzzes the same deterministic population; there is no time- or
+// environment-dependent randomness. Runs under `ctest -L fuzz`, which the
+// CI sanitizer job executes with ASan/UBSan active — that is where the
+// "never crash" property has teeth.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/query/oql/parser.h"
+
+namespace treebench {
+namespace {
+
+// The corpus the mutator starts from: every production of the grammar,
+// plus a few already-malformed inputs so mutation also explores the
+// neighborhood of error paths.
+const std::vector<std::string>& Corpus() {
+  static const std::vector<std::string> kCorpus = {
+      "select pa.age from pa in Patients where pa.num > 500",
+      "select tuple(n: p.name, a: pa.age) "
+      "from p in Providers, pa in p.clients "
+      "where pa.mrn < 200000 and p.upin < 200",
+      "select p.age from p in Patients where 10 < p.age",
+      "select p.age from p in Patients",
+      "select p.x from p in X where p.x > -5",
+      "select tuple(a: p.x) from p in X where p.x >= 1 and p.y <= 2",
+      "select a.b from a in X where a.b = 7",
+      // Malformed seeds.
+      "select from x in Y",
+      "select a.b",
+      "select a.b from a in X where a.b <",
+      "select tuple(a p.x) from p in X",
+  };
+  return kCorpus;
+}
+
+// SplitMix64: the repo's standard seedable stream (FaultInjector uses the
+// same constants), identical on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+// Applies one random edit. The byte palette leans on characters the
+// tokenizer cares about (operators, separators, digits) so mutants reach
+// past the lexer instead of dying on the first illegal byte.
+std::string Mutate(std::string s, Rng& rng) {
+  static const char kBytes[] = "abzPX09 .,:()<>=-+*#\t\"'_";
+  const uint64_t op = rng.Below(6);
+  switch (op) {
+    case 0:  // flip one byte
+      if (!s.empty()) s[rng.Below(s.size())] = kBytes[rng.Below(24)];
+      break;
+    case 1:  // delete one byte
+      if (!s.empty()) s.erase(rng.Below(s.size()), 1);
+      break;
+    case 2:  // insert one byte
+      s.insert(rng.Below(s.size() + 1), 1, kBytes[rng.Below(24)]);
+      break;
+    case 3: {  // duplicate a slice somewhere else
+      if (s.empty()) break;
+      const uint64_t from = rng.Below(s.size());
+      const uint64_t len = 1 + rng.Below(std::min<uint64_t>(8, s.size() - from));
+      s.insert(rng.Below(s.size() + 1), s.substr(from, len));
+      break;
+    }
+    case 4:  // truncate
+      s.resize(rng.Below(s.size() + 1));
+      break;
+    default: {  // splice in a keyword, often where it does not belong
+      static const char* kTokens[] = {"select", "from", "in", "where", "and",
+                                      "tuple", "<=", ">=", "=", "9999999999"};
+      s.insert(rng.Below(s.size() + 1), kTokens[rng.Below(10)]);
+      break;
+    }
+  }
+  return s;
+}
+
+TEST(OqlFuzzTest, CorpusSeedsStillBehaveAsExpected) {
+  // Guard against corpus rot: the first seven seeds are valid queries, the
+  // rest are deliberately malformed.
+  for (size_t i = 0; i < Corpus().size(); ++i) {
+    Result<oql::Query> got = oql::Parse(Corpus()[i]);
+    EXPECT_EQ(got.ok(), i < 7) << "corpus[" << i << "]: " << Corpus()[i];
+  }
+}
+
+TEST(OqlFuzzTest, MutatedQueriesParseOrErrorButNeverCrash) {
+  uint64_t parsed = 0, rejected = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ull);
+    for (const std::string& base : Corpus()) {
+      std::string s = base;
+      // Walk away from the seed: 1-2 edits per step, re-parsing after
+      // each, so both near-valid and badly-damaged inputs get hit.
+      for (int step = 0; step < 32; ++step) {
+        // Half the steps restart from the seed, keeping the population
+        // near the valid grammar instead of decaying into pure noise.
+        if (rng.Below(2) == 0) s = base;
+        const uint64_t edits = 1 + rng.Below(2);
+        for (uint64_t e = 0; e < edits; ++e) s = Mutate(std::move(s), rng);
+        if (s.size() > 4096) s.resize(4096);  // keep mutants bounded
+        Result<oql::Query> got = oql::Parse(s);
+        // The only contract: a Result, cleanly ok or cleanly an error.
+        if (got.ok()) {
+          ++parsed;
+        } else {
+          ++rejected;
+          EXPECT_FALSE(got.status().ToString().empty());
+        }
+      }
+    }
+  }
+  // The fuzzer explored both sides of the parser.
+  EXPECT_GT(parsed, 50u);
+  EXPECT_GT(rejected, 500u);
+}
+
+}  // namespace
+}  // namespace treebench
