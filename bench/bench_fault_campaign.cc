@@ -4,6 +4,10 @@
 // backoff path, time spent backing off, re-reads, and hard failures. A
 // second table measures the checkpointed-recovery loader: an uninterrupted
 // bulk load vs one killed by RPC bursts and replayed from its checkpoints.
+//
+// Every campaign run lands in a StatStore record, so --csv/--stats-json
+// export works and run_benches.sh consolidates this bench into
+// bench_json/BENCH_results.json like every other sweep.
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -60,7 +64,7 @@ CampaignRow RunCampaign(DerbyDb& derby, const std::string& label,
   return row;
 }
 
-void QueryCampaigns(const BenchOptions& opts) {
+void QueryCampaigns(const BenchOptions& opts, StatStore* stats) {
   DerbyConfig cfg;
   cfg.providers = 2000;
   cfg.avg_children = 1000;
@@ -90,6 +94,19 @@ void QueryCampaigns(const BenchOptions& opts) {
   const CampaignRow& base = results.front();
   std::vector<std::vector<std::string>> rows;
   for (const CampaignRow& r : results) {
+    StatRecord rec;
+    rec.database = "derby-2e3x1e3";
+    rec.cluster = "class";
+    rec.algo = "fault_campaign";
+    rec.query_text = "NL 90/10 under " + r.label +
+                     " (outcome: " + r.outcome + ")";
+    rec.selectivity_patients_pct = 90;
+    rec.selectivity_providers_pct = 10;
+    rec.result_count = r.injected;
+    rec.server_cache_bytes = derby->db->cache().config().server_bytes;
+    rec.client_cache_bytes = derby->db->cache().config().client_bytes;
+    rec.FillFrom(r.metrics, r.seconds);
+    stats->Add(rec);
     rows.push_back({r.label, r.outcome,
                     FormatSeconds(r.seconds * opts.scale),
                     base.seconds > 0 ? Ratio(r.seconds, base.seconds) : "-",
@@ -115,7 +132,7 @@ void QueryCampaigns(const BenchOptions& opts) {
       "(seeded injector).\n");
 }
 
-void LoaderCampaign(const BenchOptions& opts) {
+void LoaderCampaign(const BenchOptions& opts, StatStore* stats) {
   // Keep enough objects (and a small enough client cache) that the load
   // itself generates steady RPC traffic for the bursts to land in.
   const int kObjects =
@@ -199,6 +216,23 @@ void LoaderCampaign(const BenchOptions& opts) {
   check(loader.Commit());
   double faulty_seconds = faulty.sim().elapsed_seconds() - f0;
 
+  auto record_load = [&](const std::string& label, Database& db,
+                         double seconds, uint64_t replayed) {
+    StatRecord rec;
+    rec.database = "loader-" + std::to_string(kObjects) + "obj";
+    rec.cluster = "class";
+    rec.algo = "loader_recovery";
+    rec.query_text = label;
+    rec.result_count = replayed;
+    rec.server_cache_bytes = db.cache().config().server_bytes;
+    rec.client_cache_bytes = db.cache().config().client_bytes;
+    rec.FillFrom(db.sim().metrics(), seconds);
+    stats->Add(rec);
+  };
+  record_load("uninterrupted bulk load", clean, clean_seconds, 0);
+  record_load("3 RPC bursts, checkpoint replay", faulty, faulty_seconds,
+              replayed_objects);
+
   PrintTable(
       "checkpointed bulk load: uninterrupted vs killed-and-replayed (" +
           WithThousands(kObjects) + " objects, commit every " +
@@ -221,9 +255,12 @@ void LoaderCampaign(const BenchOptions& opts) {
 
 int Main(int argc, char** argv) {
   BenchOptions opts = ParseArgs(argc, argv);
-  QueryCampaigns(opts);
+  StatStore stats;
+  QueryCampaigns(opts, &stats);
   std::printf("\n");
-  LoaderCampaign(opts);
+  LoaderCampaign(opts, &stats);
+  MaybeExportCsv(stats, opts);
+  MaybeExportStatsJson(stats, opts);
   return 0;
 }
 

@@ -1,0 +1,361 @@
+// Sharded page-service scale-out: partitions the Derby page service across
+// N simulated page servers (src/catalog/placement.h) and sweeps servers x
+// clients on the class-clustered organization, reporting throughput, tail
+// latency, per-shard queueing and load balance. Before the sweep it proves
+// the subsystem's identity gate: a num_servers=1, replication=off run must
+// reproduce the inherited single-server engine byte-for-byte (hard check —
+// the bench fails otherwise).
+//
+// A second phase runs the failover campaign: with primary/backup
+// replication on, a scheduled kServerCrash kills shard 0 mid-workload; the
+// run must complete every query with zero client-visible failures, record
+// at least one failover, and produce bit-identical artifacts across two
+// independent runs (all hard checks). A no-replication contrast run shows
+// what the crash window costs without a backup.
+//
+// Expected shape: adding servers relieves the station bottleneck (queue
+// wait falls, throughput rises toward the think-time bound) at the price of
+// losing cross-client locality of the single shared server cache; hash
+// placement keeps per-shard admissions within a tight band.
+//
+// Extra flags (parsed from raw argv, beyond the common --scale/--csv):
+//   --servers=N          sweep server counts {1, N} instead of the default
+//   --clients=N          client count of every swept run (default 8)
+//   --queries=N          measured queries per client (default 6; smoke 3)
+//   --json=PATH          deterministic JSON array of every WorkloadReport
+//   --summary-json=PATH  flat {"key": number} summary of every run — the
+//                        format bench/check_regression diffs against
+//                        bench/baselines/shard_scaleout_smoke.json
+//   --scale=0            smoke mode: tiny database (scale 64), servers
+//                        {1, 2, 4}, 3 queries/client — the CI config.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/telemetry/regression.h"
+#include "src/workload/sim_scheduler.h"
+
+namespace treebench::bench {
+namespace {
+
+struct ExtraArgs {
+  bool smoke = false;        // --scale=0
+  uint32_t servers = 0;      // --servers=N (0 = default sweep)
+  uint32_t clients = 0;      // --clients=N (0 = default)
+  uint32_t queries = 0;      // --queries=N (0 = default)
+  std::string json_path;     // --json=PATH
+  std::string summary_json;  // --summary-json=PATH
+};
+
+// The common ParseArgs clamps --scale to >= 1, so smoke mode (--scale=0)
+// must be detected from raw argv.
+ExtraArgs ParseExtra(int argc, char** argv) {
+  ExtraArgs extra;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--scale=0") == 0) {
+      extra.smoke = true;
+    } else if (std::strncmp(arg, "--servers=", 10) == 0) {
+      extra.servers = static_cast<uint32_t>(std::atol(arg + 10));
+    } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+      extra.clients = static_cast<uint32_t>(std::atol(arg + 10));
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      extra.queries = static_cast<uint32_t>(std::atol(arg + 10));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      extra.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--summary-json=", 15) == 0) {
+      extra.summary_json = arg + 15;
+    }
+  }
+  return extra;
+}
+
+WorkloadSpec BaseSpec(uint32_t clients, uint32_t queries) {
+  WorkloadSpec spec;
+  spec.num_clients = clients;
+  spec.queries_per_client = queries;
+  spec.zipf_theta = 0.6;
+  spec.tree_query_fraction = 0.2;
+  spec.selection_pct = 2;
+  spec.think_time_ns = 0;  // closed loop, maximum station contention
+  spec.cold_start = true;
+  spec.seed = 42;
+  return spec;
+}
+
+/// The identity gate: an explicit num_servers=1, replication=off spec must
+/// reproduce the inherited default placement byte-for-byte (report JSON
+/// compares every counter of every client). Hard check.
+bool CheckSingleServerIdentity(DerbyDb& derby, uint32_t clients,
+                               uint32_t queries) {
+  WorkloadSpec inherit = BaseSpec(clients, queries);
+  auto a = RunWorkload(&derby, inherit);
+
+  WorkloadSpec explicit_one = BaseSpec(clients, queries);
+  explicit_one.num_servers = 1;
+  explicit_one.replication = false;
+  auto b = RunWorkload(&derby, explicit_one);
+
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "FATAL: identity gate run failed: %s / %s\n",
+                 a.status().ToString().c_str(),
+                 b.status().ToString().c_str());
+    return false;
+  }
+  const bool exact = a->ToJson() == b->ToJson();
+  std::printf("single-server identity gate: %s\n", exact ? "PASS" : "FAIL");
+  if (!exact) {
+    std::fprintf(stderr,
+                 "num_servers=1 replication=off diverged from the inherited "
+                 "single-server engine\n");
+  }
+  return exact;
+}
+
+void RecordRun(StatStore* stats, telemetry::FlatRun* summary,
+               const std::string& run_label, const WorkloadReport& report,
+               DerbyDb& derby) {
+  StatRecord rec;
+  rec.database = "derby-2e3x1e3";
+  rec.cluster = "class";
+  rec.algo = "shard_scaleout";
+  rec.query_text = run_label;
+  rec.num_clients = report.spec.num_clients;
+  rec.throughput_qps = report.throughput_qps;
+  rec.latency_p50_s = report.latencies.Quantile(0.50) / 1e9;
+  rec.latency_p95_s = report.latencies.Quantile(0.95) / 1e9;
+  rec.latency_p99_s = report.latencies.Quantile(0.99) / 1e9;
+  rec.result_count = report.total_queries;
+  rec.server_cache_bytes = derby.db->cache().config().server_bytes;
+  rec.client_cache_bytes = derby.db->cache().config().client_bytes;
+  rec.FillFrom(report.totals, report.span_seconds);
+  stats->Add(rec);
+
+  if (summary == nullptr) return;
+  const Metrics& t = report.totals;
+  summary->Set(run_label + "_total_queries",
+               static_cast<double>(report.total_queries));
+  summary->Set(run_label + "_failed_queries",
+               static_cast<double>(report.failed_queries));
+  summary->Set(run_label + "_disk_reads", static_cast<double>(t.disk_reads));
+  summary->Set(run_label + "_rpc_count", static_cast<double>(t.rpc_count));
+  summary->Set(run_label + "_span_seconds", report.span_seconds);
+  summary->Set(run_label + "_throughput_qps", report.throughput_qps);
+  summary->Set(run_label + "_p95_s",
+               report.latencies.Quantile(0.95) / 1e9);
+  summary->Set(run_label + "_queue_wait_s",
+               static_cast<double>(t.rpc_queue_wait_ns) / 1e9);
+  summary->Set(run_label + "_server_crashes",
+               static_cast<double>(t.server_crashes));
+  summary->Set(run_label + "_failovers", static_cast<double>(t.failovers));
+  summary->Set(run_label + "_degraded_reads",
+               static_cast<double>(t.degraded_reads));
+  summary->Set(run_label + "_replica_writes",
+               static_cast<double>(t.replica_writes));
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  ExtraArgs extra = ParseExtra(argc, argv);
+  if (extra.smoke) opts.scale = 64;
+  const uint32_t queries = extra.queries > 0 ? extra.queries
+                           : extra.smoke    ? 3
+                                            : 6;
+  const uint32_t clients = extra.clients > 0 ? extra.clients : 8;
+
+  std::vector<uint32_t> server_counts;
+  if (extra.servers > 0) {
+    server_counts = {1, extra.servers};
+  } else if (extra.smoke) {
+    server_counts = {1, 2, 4};
+  } else {
+    server_counts = {1, 2, 4, 8};
+  }
+
+  auto derby = BuildDerbyOrDie(2000, 1000,
+                               ClusteringStrategy::kClassClustered, opts);
+
+  StatStore stats;
+  telemetry::FlatRun summary;
+  telemetry::FlatRun* sump = extra.summary_json.empty() ? nullptr : &summary;
+  std::string json = "[\n";
+  bool first_json = true;
+  bool ok = CheckSingleServerIdentity(*derby, clients, queries);
+
+  // ---- Phase 1: servers x clients scale-out ----
+  std::vector<std::vector<std::string>> rows;
+  double qps1 = 0;
+  for (uint32_t servers : server_counts) {
+    WorkloadSpec spec = BaseSpec(clients, queries);
+    spec.num_servers = servers;
+    auto report = RunWorkload(derby.get(), spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "FATAL: workload (%u servers): %s\n", servers,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (servers == 1) qps1 = report->throughput_qps;
+
+    // Load balance across the fleet: busiest / least-busy shard by
+    // admitted RPCs (1.0 = perfectly even; meaningless for one server).
+    uint64_t min_admitted = ~0ull, max_admitted = 0;
+    for (const ShardReport& sh : report->shards) {
+      min_admitted = std::min(min_admitted, sh.admitted);
+      max_admitted = std::max(max_admitted, sh.admitted);
+    }
+    const double imbalance =
+        min_admitted > 0 ? static_cast<double>(max_admitted) /
+                               static_cast<double>(min_admitted)
+                         : 0;
+
+    rows.push_back(
+        {WithThousands(servers), WithThousands(clients),
+         FormatSeconds(report->throughput_qps, 3),
+         FormatSeconds(qps1 > 0 ? report->throughput_qps / qps1 : 0, 2),
+         FormatSeconds(report->latencies.Quantile(0.95) / 1e9),
+         FormatSeconds(
+             static_cast<double>(report->totals.rpc_queue_wait_ns) / 1e9),
+         FormatSeconds(report->server_utilization, 3),
+         FormatSeconds(imbalance, 2),
+         WithThousands(report->totals.disk_reads)});
+
+    const std::string run_label = "s" + std::to_string(servers) + "_c" +
+                                  std::to_string(clients);
+    RecordRun(&stats, sump, run_label, *report, *derby);
+    if (!first_json) json += ",\n";
+    json += report->ToJson();
+    first_json = false;
+  }
+  PrintTable("class — shard scale-out (simulated, " +
+                 std::to_string(queries) + " queries/client, " +
+                 std::to_string(clients) + " clients)",
+             {"servers", "clients", "qps", "speedup", "p95(s)",
+              "queue wait(s)", "fleet util", "imbalance", "disk reads"},
+             rows);
+
+  // ---- Phase 2: fault-injected failover campaign ----
+  // A scheduled crash kills shard 0 mid-run. With replication the run must
+  // complete every query (hard check); without, the crash window is
+  // client-visible.
+  auto failover_spec = [&](uint32_t servers, bool replication) {
+    WorkloadSpec spec = BaseSpec(clients, queries);
+    spec.num_servers = servers;
+    spec.replication = replication;
+    spec.crashes.push_back({/*shard=*/0, /*at_ns=*/1e6});
+    return spec;
+  };
+
+  auto replicated = RunWorkload(derby.get(), failover_spec(3, true));
+  auto unprotected = RunWorkload(derby.get(), failover_spec(2, false));
+  if (!replicated.ok() || !unprotected.ok()) {
+    std::fprintf(stderr, "FATAL: failover campaign: %s / %s\n",
+                 replicated.status().ToString().c_str(),
+                 unprotected.status().ToString().c_str());
+    return 1;
+  }
+  if (replicated->failed_queries != 0 || replicated->totals.failovers < 1 ||
+      replicated->totals.server_crashes != 1) {
+    std::fprintf(stderr,
+                 "FATAL: replicated failover run: %llu failed queries, "
+                 "%llu failovers, %llu crashes (want 0 / >=1 / 1)\n",
+                 (unsigned long long)replicated->failed_queries,
+                 (unsigned long long)replicated->totals.failovers,
+                 (unsigned long long)replicated->totals.server_crashes);
+    ok = false;
+  }
+
+  // Determinism gate: the identical campaign on an independently built
+  // database must produce bit-identical artifacts.
+  {
+    auto derby_repeat = BuildDerbyOrDie(
+        2000, 1000, ClusteringStrategy::kClassClustered, opts);
+    auto derby_first = BuildDerbyOrDie(
+        2000, 1000, ClusteringStrategy::kClassClustered, opts);
+    auto run_a = RunWorkload(derby_first.get(), failover_spec(3, true));
+    auto run_b = RunWorkload(derby_repeat.get(), failover_spec(3, true));
+    const bool identical = run_a.ok() && run_b.ok() &&
+                           run_a->ToJson() == run_b->ToJson();
+    std::printf("failover determinism gate: %s\n",
+                identical ? "PASS" : "FAIL");
+    ok = ok && identical;
+  }
+
+  auto blackholed = [](const WorkloadReport& r) {
+    for (const FaultSiteReport& f : r.fault_sites) {
+      if (std::strcmp(f.site, "server_blackhole") == 0) return f.injected;
+    }
+    return uint64_t{0};
+  };
+  PrintTable(
+      "shard-0 crash at t=1ms, recovery " +
+          FormatSeconds(
+              derby->db->sim().model().server_recovery_ns / 1e9) +
+          "s (simulated)",
+      {"config", "failed", "crashes", "failovers", "degraded reads",
+       "blackholed", "qps"},
+      {{"3 servers, replicated",
+        WithThousands(replicated->failed_queries),
+        WithThousands(replicated->totals.server_crashes),
+        WithThousands(replicated->totals.failovers),
+        WithThousands(replicated->totals.degraded_reads),
+        WithThousands(blackholed(*replicated)),
+        FormatSeconds(replicated->throughput_qps, 3)},
+       {"2 servers, no replication",
+        WithThousands(unprotected->failed_queries),
+        WithThousands(unprotected->totals.server_crashes),
+        WithThousands(unprotected->totals.failovers),
+        WithThousands(unprotected->totals.degraded_reads),
+        WithThousands(blackholed(*unprotected)),
+        FormatSeconds(unprotected->throughput_qps, 3)}});
+
+  RecordRun(&stats, sump, "failover_replicated", *replicated, *derby);
+  RecordRun(&stats, sump, "failover_unprotected", *unprotected, *derby);
+  for (auto* rep : {&replicated, &unprotected}) {
+    if (!first_json) json += ",\n";
+    json += (*rep)->ToJson();
+    first_json = false;
+  }
+  json += "]\n";
+
+  std::printf(
+      "\nexpected: more servers shrink queue wait toward zero (throughput "
+      "saturates at the client think bound); replication turns a crashed "
+      "primary into degraded backup reads with ZERO failed queries, while "
+      "the unprotected configuration fails every query that hits the dead "
+      "shard's recovery window\n");
+
+  if (!extra.json_path.empty()) {
+    FILE* f = std::fopen(extra.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", extra.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote workload reports to %s\n", extra.json_path.c_str());
+  }
+  if (!extra.summary_json.empty()) {
+    FILE* f = std::fopen(extra.summary_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", extra.summary_json.c_str());
+      return 1;
+    }
+    const std::string s = summary.ToJson();
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fclose(f);
+    std::printf("wrote run summary to %s\n", extra.summary_json.c_str());
+  }
+  MaybeExportCsv(stats, opts);
+  MaybeExportStatsJson(stats, opts);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treebench::bench
+
+int main(int argc, char** argv) { return treebench::bench::Main(argc, argv); }

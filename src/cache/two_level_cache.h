@@ -2,11 +2,14 @@
 #define TREEBENCH_CACHE_TWO_LEVEL_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "src/cache/lru_page_cache.h"
+#include "src/catalog/placement.h"
 #include "src/common/status.h"
 #include "src/cost/sim_context.h"
 #include "src/storage/disk_manager.h"
@@ -26,7 +29,10 @@ struct RetryPolicy {
 };
 
 /// Cache sizes of the paper's configuration (Section 2): 4 MB server cache,
-/// 32 MB client cache, client and server on the same machine.
+/// 32 MB client cache, client and server on the same machine. Under a
+/// sharded placement every simulated page server gets its own
+/// `server_bytes` cache partition (each shard models a separate server
+/// machine), so fleet cache capacity scales with the server count.
 struct CacheConfig {
   uint64_t client_bytes = 32ull << 20;
   uint64_t server_bytes = 4ull << 20;
@@ -49,6 +55,17 @@ struct CacheConfig {
 /// counters) are charged to the SimContext; both cache footprints are
 /// registered against the simulated machine's RAM.
 ///
+/// The server level is a *sharded page service* (docs/replication_model.md):
+/// a catalog-driven PlacementMap routes every page key to one of N simulated
+/// page servers, each owning its own cache partition, service station (when
+/// a StationRegistry is installed) and fault domain. With primary/backup
+/// replication on, page writes are shipped to the primary AND its ring
+/// neighbor (both charged); reads go primary-first and fail over to the
+/// backup — with a charged detection + reconnect penalty, once per client
+/// per crash — while the primary sits inside a FaultSite::kServerCrash
+/// recovery window. The default placement (one server, no replication) is
+/// bit-for-bit the classic single-server engine.
+///
 /// This is also the engine's fault boundary (see docs/fault_model.md):
 ///  - every client->server RPC runs under the RetryPolicy and can fail
 ///    transiently (FaultSite::kRpc);
@@ -56,11 +73,15 @@ struct CacheConfig {
 ///    (FaultSite::kDiskRead) or detect corruption (kCorruption);
 ///  - every server-level disk write stamps the checksum and can fail
 ///    (FaultSite::kDiskWrite) or corrupt the page (kPageWriteCorruption);
+///  - every routed access polls FaultSite::kServerCrash for its shard;
+///    a crashed shard blackholes RPCs (kServerBlackhole) until it rejoins
+///    cold-cached after CostModel::server_recovery_ns;
 ///  - the first write access to a page inside an open undo epoch journals
 ///    its pre-image for rollback.
 class TwoLevelCache {
  public:
-  TwoLevelCache(DiskManager* disk, SimContext* sim, CacheConfig config);
+  TwoLevelCache(DiskManager* disk, SimContext* sim, CacheConfig config,
+                PlacementOptions placement = PlacementOptions{});
   ~TwoLevelCache();
 
   TwoLevelCache(const TwoLevelCache&) = delete;
@@ -92,9 +113,10 @@ class TwoLevelCache {
 
   /// Vectored fetch (docs/fetch_batching.md): brings every non-resident
   /// page of `keys` (PageKey values; duplicates and resident pages are
-  /// skipped) to the client level in ONE group RPC — one rpc_latency
-  /// charge, one server-station admission, per-byte shipping for the whole
-  /// batch. The server still materializes each page individually (per-page
+  /// skipped) to the client level in ONE group RPC per owning shard — one
+  /// rpc_latency charge, one station admission and per-byte shipping per
+  /// shard-group (a single-server placement keeps the whole batch in one
+  /// group). The server still materializes each page individually (per-page
   /// server hit/miss, disk-read faults, checksum verification, station
   /// service extension), and the RetryPolicy applies per page: every page
   /// of a group request draws its own FaultSite::kRpc outcome, failed
@@ -109,10 +131,34 @@ class TwoLevelCache {
   }
 
   // Occupancy gauges for the telemetry sampler (no cost, no promotion).
+  // Server figures are fleet-wide sums across shard partitions.
   uint32_t ClientCachePages() const { return client_->size(); }
   uint32_t ClientCacheCapacity() const { return client_->capacity(); }
-  uint32_t ServerCachePages() const { return server_.size(); }
-  uint32_t ServerCacheCapacity() const { return server_.capacity(); }
+  uint32_t ServerCachePages() const;
+  uint32_t ServerCacheCapacity() const;
+
+  // ---- Sharded page service (docs/replication_model.md) ----
+  const PlacementMap& placement() const { return placement_; }
+  uint32_t NumShards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  uint32_t ShardCachePages(uint32_t shard) const {
+    return shards_[shard]->cache.size();
+  }
+  /// Crashes this shard has suffered so far (FaultSite::kServerCrash).
+  uint64_t ShardCrashEpoch(uint32_t shard) const {
+    return shards_[shard]->crash_epoch;
+  }
+  /// True while the shard sits inside its latest crash's recovery window,
+  /// as seen by the currently bound clock.
+  bool ShardIsDown(uint32_t shard) const { return ShardDown(shard); }
+
+  /// Repartitions the server level: validates `opts`, flushes every dirty
+  /// page through the OLD placement, then rebuilds the shard partitions
+  /// (each cold) under the new one. A no-op — zero charges, partitions kept
+  /// warm — when `opts` equals the current placement, which is what keeps
+  /// default-configured runs bit-identical to the classic engine.
+  Status Reconfigure(const PlacementOptions& opts);
 
   /// Binds `cache` as the client level until rebound (nullptr restores the
   /// built-in client cache). Returns the previously bound level. The server
@@ -145,6 +191,25 @@ class TwoLevelCache {
   void DropAll();
 
  private:
+  /// One simulated page server: its cache partition plus its crash state.
+  /// The partition gets the full configured server cache (each shard models
+  /// a separate server machine). Crash windows are half-open virtual-time
+  /// intervals [crashed_at, crashed_until) evaluated against the observing
+  /// client's clock — consistent with how the per-client clocks share one
+  /// origin everywhere else (docs/workload_model.md).
+  struct ServerShard {
+    explicit ServerShard(uint32_t pages) : cache(pages) {}
+    LruPageCache cache;
+    double crashed_at = 0;
+    double crashed_until = 0;
+    uint64_t crash_epoch = 0;
+  };
+
+  /// Re-routing budget for reads whose serving replica died between routing
+  /// and send (another client's poll can fire the crash): each round costs
+  /// the failed RPC attempts, so this bounds work, not correctness.
+  static constexpr uint32_t kMaxRerouteRounds = 4;
+
   static uint64_t Key(uint16_t file_id, uint32_t page_id) {
     return PageKey(file_id, page_id);
   }
@@ -169,26 +234,76 @@ class TwoLevelCache {
   /// bytes.
   Result<uint8_t*> Ensure(uint16_t file_id, uint32_t page_id, bool for_write);
 
-  /// One client->server RPC of `bytes`, under the retry policy.
-  Status RpcToServer(uint64_t bytes);
+  /// True while `shard` is inside its crash window at the bound clock's
+  /// current time.
+  bool ShardDown(uint32_t shard) const {
+    const ServerShard& s = *shards_[shard];
+    if (s.crash_epoch == 0) return false;
+    double now = sim_->elapsed_ns();
+    return now >= s.crashed_at && now < s.crashed_until;
+  }
 
-  /// Brings a page into the server cache (disk read if absent); handles
-  /// server-level eviction write-back.
-  Status EnsureAtServer(uint64_t key);
+  /// Draws FaultSite::kServerCrash for `shard` (no-op while the injector is
+  /// disarmed or the shard is already down); on a hit the shard enters its
+  /// recovery window and its partition is dropped cold.
+  void PollCrash(uint32_t shard);
 
-  /// Ships an evicted dirty client page down to the server level.
+  /// Charges the once-per-(client, crash) failover penalty for a dead
+  /// primary: the timed-out request that discovered the crash, detection,
+  /// and the reconnect to the backup.
+  void NoteFailover(uint32_t primary);
+
+  /// Picks the shard that will serve a read of `key`: the primary, or —
+  /// replication on, primary down — its backup (counting a degraded read
+  /// and, first time per crash, the failover penalty). Polls crash faults
+  /// for every shard it considers. May return a dead shard (no live
+  /// replica); the RPC to it then blackholes and surfaces kUnavailable.
+  uint32_t RouteRead(uint64_t key);
+
+  /// One client->server RPC of `bytes` to `shard`, under the retry policy.
+  /// Attempts made while the shard is inside a crash window are blackholed:
+  /// wire time is spent, no station admission happens, and the attempt
+  /// counts as a retry (FaultSite::kServerBlackhole in the fault ledger).
+  Status RpcToServer(uint64_t bytes, uint32_t shard);
+
+  /// Brings a page into `shard`'s cache partition (disk read if absent);
+  /// handles server-level eviction write-back.
+  Status EnsureAtServer(uint64_t key, uint32_t shard);
+
+  /// Ships one dirty page down to `shard`'s partition (RPC + dirty insert).
+  Status ShipWriteTo(uint64_t key, uint32_t shard);
+
+  /// Ships an evicted dirty client page down to the server level: to the
+  /// page's primary shard, plus — replication on — its backup (the
+  /// replica_writes counter). A dead replica is skipped; both replicas dead
+  /// (or the primary dead with replication off) surfaces kUnavailable
+  /// through the blackholed RPC path.
   Status WriteBackToServer(uint64_t key);
 
-  /// Writes one server-level page to disk: stamps the checksum, charges the
-  /// write, and applies injected write faults / silent corruption.
-  Status WriteToDisk(uint64_t key);
+  /// Writes one page of `shard`'s partition to disk: stamps the checksum,
+  /// charges the write, and applies injected write faults / corruption.
+  Status WriteToDisk(uint64_t key, uint32_t shard);
+
+  /// The per-shard leg of FetchPages: one group RPC (+ retries) for the
+  /// keys of one shard. If the shard dies mid-loop and `allow_reroute` is
+  /// set, the not-yet-shipped keys are handed back via `reroute` for the
+  /// caller to route again (toward the backup) instead of burning attempts
+  /// against a blackhole.
+  Status FetchShardBatch(uint32_t shard, std::vector<uint64_t> pending,
+                         bool allow_reroute,
+                         std::vector<uint64_t>* reroute);
+
+  void RebuildShards(uint32_t num_servers);
 
   DiskManager* disk_;
   SimContext* sim_;
   CacheConfig config_;
   LruPageCache own_client_;
   LruPageCache* client_;  // the bound client level; defaults to own_client_
-  LruPageCache server_;
+  PlacementMap placement_;
+  /// The page-server fleet; shards_[i] is shard i's partition + crash
+  /// state. Always at least one shard (the classic single server).
+  std::vector<std::unique_ptr<ServerShard>> shards_;
   /// Pages brought in by FetchPages and not yet demanded. Tracks the
   /// *current* client level only; rebinding clears it without charges
   /// (sessions do not inherit each other's readahead state). Always empty

@@ -25,7 +25,7 @@ std::string_view ClusteringName(ClusteringStrategy c) {
 Database::Database(DatabaseOptions opts)
     : opts_(opts),
       sim_(opts.cost),
-      cache_(&disk_, &sim_, opts.cache),
+      cache_(&disk_, &sim_, opts.cache, opts.placement),
       store_(&schema_, &cache_, &sim_, opts.strings, opts.fill_factor) {
   sim_.set_handle_mode(opts.handles);
 }

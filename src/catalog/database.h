@@ -81,6 +81,9 @@ struct DatabaseOptions {
   HandleMode handles = HandleMode::kFat;
   /// Page fill factor for object files (O2 leaves growth slack).
   double fill_factor = 0.9;
+  /// Sharded page service configuration (docs/replication_model.md). The
+  /// default — one server, no replication — is the classic engine.
+  PlacementOptions placement;
 };
 
 /// One O2-like database: simulated disk + two-level cache + schema + object
@@ -94,6 +97,13 @@ class Database {
 
   SimContext& sim() { return sim_; }
   TwoLevelCache& cache() { return cache_; }
+  /// Current page -> shard placement of the page service.
+  const PlacementMap& placement() const { return cache_.placement(); }
+  /// Repartitions the page service (validates, flushes through the old
+  /// placement, rebuilds cold shards). No-op for the current placement.
+  Status ConfigureShards(const PlacementOptions& opts) {
+    return cache_.Reconfigure(opts);
+  }
   DiskManager& disk() { return disk_; }
   Schema& schema() { return schema_; }
   ObjectStore& store() { return store_; }

@@ -55,6 +55,18 @@ struct CostModel {
   // drains below the cap before being admitted. 0 = unlimited.
   uint32_t server_max_in_flight = 32;
 
+  // ---- Sharded page service + replication (docs/replication_model.md) ----
+  // A server taken down by FaultSite::kServerCrash rejoins — with an empty
+  // (cold) server cache partition — this much simulated time after the
+  // crash. RPCs routed to it inside the window are blackholed.
+  double server_recovery_ns = 2e9;  // 2 s
+  // Time a client burns discovering that its primary is dead (the
+  // blackholed request's timeout), charged once per client per crash on the
+  // first request into the window.
+  double failover_detect_ns = 50e6;  // 50 ms
+  // Session re-establishment against the backup replica after detection.
+  double failover_reconnect_ns = 5e6;  // 5 ms
+
   // ---- Handle management (Section 4.3/4.4) ----
   // Fat 60-byte handles: allocate + initialize all bookkeeping fields.
   double handle_get_ns = 110e3;

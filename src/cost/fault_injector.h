@@ -13,22 +13,50 @@ enum class FaultSite : uint8_t {
   kDiskRead,             // server-side disk read fails
   kDiskWrite,            // server-side disk write fails
   kPageWriteCorruption,  // a page is silently corrupted as it hits disk
+  kServerCrash,          // a page-server process dies and rejoins cold after
+                         // CostModel::server_recovery_ns (target = shard id)
+  kServerBlackhole,      // an RPC swallowed by a crashed server's window —
+                         // recorded (never drawn) so campaigns can count the
+                         // messages a dead server ate
 };
 
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 6;
+
+/// Stable site name for reports/telemetry ("rpc", "disk_read", ...).
+inline const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kRpc:
+      return "rpc";
+    case FaultSite::kDiskRead:
+      return "disk_read";
+    case FaultSite::kDiskWrite:
+      return "disk_write";
+    case FaultSite::kPageWriteCorruption:
+      return "page_write_corruption";
+    case FaultSite::kServerCrash:
+      return "server_crash";
+    case FaultSite::kServerBlackhole:
+      return "server_blackhole";
+  }
+  return "?";
+}
 
 /// A precisely targeted fault: fires at the site's `at_op`-th operation
 /// (counted from arming, 0-based) for `count` consecutive operations, but
 /// never before simulated time `after_ns`. `at_op == kAnyOp` makes the
 /// trigger purely time-based: the first `count` operations at the site after
-/// `after_ns` fail.
+/// `after_ns` fail. `target` scopes the fault to one fault domain (a page
+/// server shard for kServerCrash); kAnyTarget matches every domain, which is
+/// also what untargeted ShouldFail calls probe with.
 struct ScheduledFault {
   static constexpr uint64_t kAnyOp = ~0ull;
+  static constexpr uint32_t kAnyTarget = ~0u;
 
   FaultSite site = FaultSite::kRpc;
   uint64_t at_op = kAnyOp;
   double after_ns = 0.0;
   uint32_t count = 1;
+  uint32_t target = kAnyTarget;
 };
 
 /// Deterministic fault source owned by SimContext. Faults come from two
@@ -71,12 +99,24 @@ class FaultInjector {
   /// Returns true if the operation about to execute at `site` must fail.
   /// Always advances the site's op counter.
   bool ShouldFail(FaultSite site, double now_ns) {
+    return ShouldFail(site, now_ns, ScheduledFault::kAnyTarget);
+  }
+
+  /// As ShouldFail, scoped to one fault domain: schedule entries with a
+  /// specific `target` fire only when probed with that target (entries with
+  /// kAnyTarget always match). The sharded page service probes kServerCrash
+  /// with the shard id it is about to serve from.
+  bool ShouldFail(FaultSite site, double now_ns, uint32_t target) {
     if (!armed_) return false;
     int idx = Index(site);
     uint64_t op = ops_[idx]++;
     bool fail = false;
     for (Entry& e : schedule_) {
       if (e.fault.site != site || e.remaining == 0) continue;
+      if (e.fault.target != ScheduledFault::kAnyTarget &&
+          target != ScheduledFault::kAnyTarget && e.fault.target != target) {
+        continue;
+      }
       if (now_ns < e.fault.after_ns) continue;
       if (e.fault.at_op != ScheduledFault::kAnyOp &&
           (op < e.fault.at_op || op >= e.fault.at_op + e.fault.count)) {
@@ -91,6 +131,18 @@ class FaultInjector {
     }
     if (fail) ++injected_[idx];
     return fail;
+  }
+
+  /// Records a fault whose outcome was forced by simulation state rather
+  /// than drawn here — e.g. an RPC blackholed because its server is inside a
+  /// crash window (FaultSite::kServerBlackhole). Advances the site's op
+  /// counter and counts the injection so campaigns see it in the same
+  /// ops/injected ledger as drawn faults.
+  void NoteForced(FaultSite site) {
+    if (!armed_) return;
+    int idx = Index(site);
+    ++ops_[idx];
+    ++injected_[idx];
   }
 
   uint64_t ops(FaultSite site) const { return ops_[Index(site)]; }

@@ -6,7 +6,7 @@ namespace treebench {
 
 // Keeps the table in sync with the struct: adding a counter without listing
 // it here (and bumping this count) fails to compile.
-static_assert(sizeof(Metrics) == 38 * sizeof(uint64_t),
+static_assert(sizeof(Metrics) == 43 * sizeof(uint64_t),
               "new Metrics field? add it to MetricsFieldTable()");
 
 const std::vector<MetricsField>& MetricsFieldTable() {
@@ -49,6 +49,11 @@ const std::vector<MetricsField>& MetricsFieldTable() {
       {"pages_per_batch", &Metrics::pages_per_batch},
       {"readahead_hits", &Metrics::readahead_hits},
       {"readahead_wasted", &Metrics::readahead_wasted},
+      {"server_crashes", &Metrics::server_crashes},
+      {"failovers", &Metrics::failovers},
+      {"degraded_reads", &Metrics::degraded_reads},
+      {"replica_writes", &Metrics::replica_writes},
+      {"failover_wait_ns", &Metrics::failover_wait_ns},
   };
   return kFields;
 }
@@ -82,7 +87,9 @@ std::string Metrics::ToString() const {
       "faults: rpc_retries=%llu rpc_failures=%llu disk_rd=%llu disk_wr=%llu "
       "corrupt=%llu replays=%llu backoff_ns=%llu\n"
       "queueing: rpc_queue_wait_ns=%llu\n"
-      "batching: group_rpcs=%llu pages=%llu ra_hits=%llu ra_wasted=%llu",
+      "batching: group_rpcs=%llu pages=%llu ra_hits=%llu ra_wasted=%llu\n"
+      "shards: crashes=%llu failovers=%llu degraded_reads=%llu "
+      "replica_writes=%llu failover_wait_ns=%llu",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(disk_writes),
       static_cast<unsigned long long>(rpc_count),
@@ -118,7 +125,12 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(batched_rpcs),
       static_cast<unsigned long long>(pages_per_batch),
       static_cast<unsigned long long>(readahead_hits),
-      static_cast<unsigned long long>(readahead_wasted));
+      static_cast<unsigned long long>(readahead_wasted),
+      static_cast<unsigned long long>(server_crashes),
+      static_cast<unsigned long long>(failovers),
+      static_cast<unsigned long long>(degraded_reads),
+      static_cast<unsigned long long>(replica_writes),
+      static_cast<unsigned long long>(failover_wait_ns));
   return buf;
 }
 

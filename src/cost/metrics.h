@@ -88,6 +88,19 @@ struct Metrics {
   uint64_t readahead_wasted = 0;  // prefetched pages evicted or dropped
                                   // before any demand access
 
+  // Sharded page service + primary/backup replication
+  // (docs/replication_model.md). All five stay zero in the classic
+  // single-server, replication-off configuration.
+  uint64_t server_crashes = 0;    // kServerCrash faults that took a shard down
+  uint64_t failovers = 0;         // clients that detected a dead primary and
+                                  // reconnected to its backup
+  uint64_t degraded_reads = 0;    // reads served by a backup replica while
+                                  // the primary was down
+  uint64_t replica_writes = 0;    // extra page writes shipped to backup
+                                  // replicas (each also counts one rpc)
+  uint64_t failover_wait_ns = 0;  // simulated time spent detecting dead
+                                  // primaries + reconnecting to backups
+
   /// Client cache miss rate in percent (as the paper's CCMissrate).
   double ClientMissRatePct() const {
     uint64_t total = client_cache_hits + client_cache_misses;

@@ -46,6 +46,7 @@ class ServerStation {
     double start = std::max(t, free_until_);
     free_until_ = start + service_ns_;
     busy_ns_ += service_ns_;
+    queue_wait_ns_ += start - arrival_ns;
     completions_.push_back(free_until_);
     peak_in_flight_ = std::max(
         peak_in_flight_, static_cast<uint32_t>(completions_.size()));
@@ -70,6 +71,10 @@ class ServerStation {
   uint64_t admitted() const { return admitted_; }
   /// Total time the server spent servicing requests (utilization numerator).
   double busy_ns() const { return busy_ns_; }
+  /// Total queueing delay handed back to arrivals over the station's
+  /// lifetime — the per-shard view of the rpc_queue_wait_ns the clients were
+  /// charged (src/workload reports it per shard).
+  double queue_wait_ns() const { return queue_wait_ns_; }
   double free_until_ns() const { return free_until_; }
 
   /// Peak backlog observed by any admission since the last ResetPeakMark():
@@ -110,6 +115,7 @@ class ServerStation {
   uint32_t max_in_flight_;
   double free_until_ = 0;
   double busy_ns_ = 0;
+  double queue_wait_ns_ = 0;
   uint64_t admitted_ = 0;
   uint32_t peak_in_flight_ = 0;
   /// Completion times of admitted-but-possibly-unfinished requests, FIFO.

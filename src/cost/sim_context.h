@@ -2,11 +2,13 @@
 #define TREEBENCH_COST_SIM_CONTEXT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/cost/cost_model.h"
 #include "src/cost/fault_injector.h"
 #include "src/cost/metrics.h"
 #include "src/cost/server_station.h"
+#include "src/cost/station_registry.h"
 
 namespace treebench {
 
@@ -42,6 +44,13 @@ struct SimClock {
   /// a workstation ever swapped, long after the transient frees).
   uint64_t transient_hwm_bytes = 0;
   uint64_t handle_hwm_bytes = 0;
+  /// Failover memory of this clock's owner (sharded page service,
+  /// docs/replication_model.md): per shard, the crash epoch this client has
+  /// already detected and failed over from. Sized lazily by the cache on
+  /// first failover; empty in the classic single-server configuration. The
+  /// detect+reconnect penalty is charged once per (client, crash), then the
+  /// client talks straight to the backup until the primary's epoch moves on.
+  std::vector<uint64_t> failover_seen;
 };
 
 /// Accumulates simulated time and event counters for one "machine".
@@ -103,12 +112,29 @@ class SimContext {
   TraceCollector* trace() const { return trace_; }
   void set_trace(TraceCollector* t) { trace_ = t; }
 
-  /// Shared-server queueing hook (src/workload): while a ServerStation is
-  /// installed, every RPC reserves the station and any queueing delay is
-  /// charged to the bound clock as rpc_queue_wait_ns. Null (no contention)
-  /// by default.
-  ServerStation* station() const { return station_; }
-  void set_station(ServerStation* s) { station_ = s; }
+  /// Shared-server queueing hook (src/workload): while a StationRegistry is
+  /// installed, every RPC reserves the active shard's station and any
+  /// queueing delay is charged to the bound clock as rpc_queue_wait_ns. Null
+  /// (no contention) by default. The cache layer selects the shard a request
+  /// is about to hit via set_active_shard; single-server code never touches
+  /// it, so everything admits to Station(0) exactly as the old single
+  /// ServerStation did.
+  StationRegistry* stations() const { return stations_; }
+  void set_stations(StationRegistry* r) {
+    stations_ = r;
+    active_shard_ = 0;
+  }
+  uint32_t active_shard() const { return active_shard_; }
+  void set_active_shard(uint32_t shard) {
+    active_shard_ = stations_ != nullptr && shard < stations_->size()
+                        ? shard
+                        : 0;
+  }
+  /// The station the next RPC will admit to (null when no registry is
+  /// installed).
+  ServerStation* station() const {
+    return stations_ != nullptr ? &stations_->Station(active_shard_) : nullptr;
+  }
 
   // ---- Generic charging ----
   void Charge(double ns) { clock_->clock_ns += ns; }
@@ -125,13 +151,24 @@ class SimContext {
   void ChargeRpc(uint64_t bytes) {
     ++clock_->metrics.rpc_count;
     clock_->metrics.rpc_bytes += bytes;
-    if (station_ != nullptr) {
-      double wait = station_->Admit(clock_->clock_ns);
+    if (ServerStation* s = station(); s != nullptr) {
+      double wait = s->Admit(clock_->clock_ns);
       if (wait > 0) {
         clock_->clock_ns += wait;
         clock_->metrics.rpc_queue_wait_ns += static_cast<uint64_t>(wait);
       }
     }
+    clock_->clock_ns += model_.rpc_latency_ns +
+                        model_.rpc_per_byte_ns * static_cast<double>(bytes);
+  }
+  /// An RPC swallowed by a crashed server (docs/replication_model.md): the
+  /// request goes out on the wire — latency + shipping are spent — but the
+  /// dead server never admits it to a service station, so no queue wait and
+  /// no busy time accrue anywhere. The caller decides what the lost message
+  /// costs beyond the wire (timeout, retry, failover).
+  void ChargeRpcLost(uint64_t bytes) {
+    ++clock_->metrics.rpc_count;
+    clock_->metrics.rpc_bytes += bytes;
     clock_->clock_ns += model_.rpc_latency_ns +
                         model_.rpc_per_byte_ns * static_cast<double>(bytes);
   }
@@ -144,8 +181,8 @@ class SimContext {
     ++clock_->metrics.batched_rpcs;
     clock_->metrics.pages_per_batch += pages;
     clock_->metrics.rpc_bytes += bytes;
-    if (station_ != nullptr) {
-      double wait = station_->Admit(clock_->clock_ns);
+    if (ServerStation* s = station(); s != nullptr) {
+      double wait = s->Admit(clock_->clock_ns);
       if (wait > 0) {
         clock_->clock_ns += wait;
         clock_->metrics.rpc_queue_wait_ns += static_cast<uint64_t>(wait);
@@ -366,7 +403,8 @@ class SimContext {
   CostModel model_;
   FaultInjector faults_;
   TraceCollector* trace_ = nullptr;
-  ServerStation* station_ = nullptr;
+  StationRegistry* stations_ = nullptr;
+  uint32_t active_shard_ = 0;
 
   SimClock own_clock_;
   SimClock* clock_ = &own_clock_;

@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/cost/fault_injector.h"
 #include "src/cost/server_station.h"
+#include "src/cost/station_registry.h"
 #include "src/query/binder.h"
 #include "src/query/executor.h"
 #include "src/query/oql/parser.h"
@@ -64,6 +66,23 @@ Status ValidateSpec(const WorkloadSpec& spec) {
     return Status::InvalidArgument(
         "workload: selection_pct must be in (0, 100]");
   }
+  if (spec.num_servers > 0) {
+    PlacementOptions po;
+    po.num_servers = spec.num_servers;
+    po.replication = spec.replication;
+    po.policy = spec.placement_policy;
+    po.range_block_pages = spec.range_block_pages;
+    TB_RETURN_IF_ERROR(PlacementMap::Validate(po));
+  } else if (spec.replication) {
+    return Status::InvalidArgument(
+        "workload: replication requires num_servers >= 2 in the spec "
+        "(num_servers = 0 inherits the database's placement untouched)");
+  }
+  for (const ServerCrashSpec& c : spec.crashes) {
+    if (c.at_ns < 0) {
+      return Status::InvalidArgument("workload: crash at_ns must be >= 0");
+    }
+  }
   return Status::OK();
 }
 
@@ -85,7 +104,7 @@ struct TelemetryHooks {
 /// session / cache / station state; none touches the SimContext.
 void InstallProbes(WorkloadTelemetry* t, Database* db,
                    const std::vector<std::unique_ptr<ClientSession>>& sessions,
-                   const ServerStation& station, TelemetryHooks* hooks) {
+                   const StationRegistry& stations, TelemetryHooks* hooks) {
   t->series.set_interval_ns(t->sample_interval_ns);
   auto sum_counter = [&sessions](uint64_t Metrics::* field) {
     uint64_t total = 0;
@@ -129,12 +148,42 @@ void InstallProbes(WorkloadTelemetry* t, Database* db,
   // drains as the event loop advances, so arrival-observed peaks are the
   // faithful contention gauge, not a probe at the sample timestamp. The
   // event loop resets the window whenever the recorder emits a row.
-  t->series.AddGauge("server_in_flight", [&station] {
-    return static_cast<double>(station.PeakInFlightSinceMark());
+  t->series.AddGauge("server_in_flight", [&stations] {
+    return static_cast<double>(stations.PeakInFlightAcrossShards());
   });
-  t->series.AddGauge("server_queue_depth", [&station] {
-    return static_cast<double>(station.PeakQueueDepthSinceMark());
+  t->series.AddGauge("server_queue_depth", [&stations] {
+    return static_cast<double>(stations.PeakQueueDepthAcrossShards());
   });
+  // Per-shard decomposition + fault-campaign probes, only under a sharded
+  // placement so classic runs keep their exact column set.
+  if (stations.size() > 1) {
+    for (uint32_t i = 0; i < stations.size(); ++i) {
+      const ServerStation* st = &stations.Station(i);
+      std::string prefix = "shard" + std::to_string(i) + "_";
+      t->series.AddGauge(prefix + "in_flight", [st] {
+        return static_cast<double>(st->PeakInFlightSinceMark());
+      });
+      t->series.AddGauge(prefix + "queue_wait_s",
+                         [st] { return st->queue_wait_ns() / 1e9; });
+      t->series.AddGauge(prefix + "busy_s",
+                         [st] { return st->busy_ns() / 1e9; });
+    }
+    const SimContext* sim = &db->sim();
+    t->series.AddGauge("server_crashes", [sim] {
+      return static_cast<double>(
+          sim->faults().injected(FaultSite::kServerCrash));
+    });
+    t->series.AddGauge("blackholed_rpcs", [sim] {
+      return static_cast<double>(
+          sim->faults().injected(FaultSite::kServerBlackhole));
+    });
+    t->series.AddGauge("failovers", [sum_counter] {
+      return static_cast<double>(sum_counter(&Metrics::failovers));
+    });
+    t->series.AddGauge("degraded_reads", [sum_counter] {
+      return static_cast<double>(sum_counter(&Metrics::degraded_reads));
+    });
+  }
   t->series.AddGauge("resident_handles", [&sessions] {
     uint64_t n = 0;
     for (const auto& s : sessions) n += s->handles.handles.size();
@@ -163,8 +212,10 @@ void InstallProbes(WorkloadTelemetry* t, Database* db,
 }
 
 /// Parses, binds and plans one generated query on the currently bound
-/// session. Failures here are spec bugs, so they surface as hard errors
-/// (execution failures from injected faults are handled by the caller).
+/// session. With the injector disarmed, failures here are spec bugs and
+/// surface as hard errors; under an armed fault campaign the caller counts
+/// them as client-visible query failures (binding reads catalog pages, so a
+/// crashed page server without a replica can kill preparation too).
 /// Mirrors ExecuteOql's ordering: preparation happens BEFORE the measured
 /// region (and before any cold restart), so its page touches do not land in
 /// the measured counters — that is what keeps a 1-client workload
@@ -206,10 +257,18 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
     SessionBinding binding(db, s);
 
     GeneratedQuery gq = s->NextQuery();
+    const double prep_start_ns = s->clock.clock_ns;
+    const Metrics prep_start_metrics = s->clock.metrics;
+    auto prepared = Prepare(db, spec, gq);
+    if (!prepared.ok() && !db->sim().faults().armed()) {
+      // Not a fault campaign: a preparation failure is a spec/engine bug.
+      return prepared.status();
+    }
+    bool prep_ok = prepared.ok();
     PreparedQuery prep;
-    TB_ASSIGN_OR_RETURN(prep, Prepare(db, spec, gq));
+    if (prep_ok) prep = std::move(prepared).value();
 
-    if (spec.cold_per_query) {
+    if (prep_ok && spec.cold_per_query) {
       // The single-client paper methodology: server shutdown before every
       // query, after preparation (exactly ExecuteOql's parse/bind/plan ->
       // BeginMeasuredRun -> run ordering). Runs with the session bound, so
@@ -223,12 +282,14 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
 
     // Measure from here: restart/flush and preparation above are setup
     // (the paper excludes them), so the [t0, t1] interval is exactly the
-    // RunBoundPlan execution.
-    const double t0 = s->clock.clock_ns;
-    const Metrics m0 = s->clock.metrics;
-    const bool ok = RunBoundPlan(db, prep.bound, prep.plan,
-                                 /*cold=*/false)
-                        .ok();
+    // RunBoundPlan execution. A query whose PREPARATION died on an injected
+    // fault instead takes the prepare work as its failed interval: the
+    // charges happened, the result never arrived.
+    const double t0 = prep_ok ? s->clock.clock_ns : prep_start_ns;
+    const Metrics m0 = prep_ok ? s->clock.metrics : prep_start_metrics;
+    const bool ok = prep_ok && RunBoundPlan(db, prep.bound, prep.plan,
+                                            /*cold=*/false)
+                                   .ok();
     const double t1 = s->clock.clock_ns;
 
     if (hooks->t != nullptr) {
@@ -241,9 +302,10 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
       const bool will_measure =
           s->queries_issued >= spec.warmup_queries_per_client;
       if (will_measure && ok) hooks->t->running_latencies.Record(t1 - t0);
-      if (hooks->t->series.Tick(t1) && db->sim().station() != nullptr) {
-        // A row was emitted: open a fresh peak-backlog window.
-        db->sim().station()->ResetPeakMark();
+      if (hooks->t->series.Tick(t1) && db->sim().stations() != nullptr) {
+        // A row was emitted: open a fresh peak-backlog window on every
+        // shard.
+        db->sim().stations()->ResetPeakMarks();
       }
     }
 
@@ -278,7 +340,7 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
 WorkloadReport AssembleReport(
     const WorkloadSpec& spec,
     const std::vector<std::unique_ptr<ClientSession>>& sessions,
-    const ServerStation& station) {
+    const StationRegistry& stations, Database* db) {
   WorkloadReport rep;
   rep.spec = spec;
 
@@ -317,12 +379,35 @@ WorkloadReport AssembleReport(
                            : 0;
   rep.fairness_ratio =
       rep.max_client_qps > 0 ? rep.min_client_qps / rep.max_client_qps : 0;
-  rep.server_busy_seconds = station.busy_ns() / 1e9;
+  rep.server_busy_seconds = stations.TotalBusyNs() / 1e9;
   // Includes warmup-phase service in the numerator; exact when the spec has
   // no warmup, an upper-bound approximation otherwise.
   rep.server_utilization = rep.span_seconds > 0
                                ? rep.server_busy_seconds / rep.span_seconds
                                : 0;
+
+  // Per-shard breakdown: monotone station counters + cache crash epochs
+  // only, so telemetry (which resets peak windows) cannot perturb it.
+  for (uint32_t i = 0; i < stations.size(); ++i) {
+    const ServerStation& st = stations.Station(i);
+    ShardReport sh;
+    sh.shard = i;
+    sh.admitted = st.admitted();
+    sh.busy_seconds = st.busy_ns() / 1e9;
+    sh.queue_wait_seconds = st.queue_wait_ns() / 1e9;
+    sh.crashes = i < db->cache().NumShards() ? db->cache().ShardCrashEpoch(i)
+                                             : 0;
+    rep.shards.push_back(sh);
+  }
+
+  // Fault ledger (cumulative since the injector was last armed; all-zero —
+  // and omitted from the JSON — for disarmed runs).
+  const FaultInjector& faults = db->sim().faults();
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    FaultSite site = static_cast<FaultSite>(i);
+    rep.fault_sites.push_back(
+        {FaultSiteName(site), faults.ops(site), faults.injected(site)});
+  }
   return rep;
 }
 
@@ -334,12 +419,20 @@ std::string WorkloadTelemetry::ChromeTraceJson() const {
   for (uint32_t i = 0; i < num_clients; ++i) {
     b.SetThreadName(i + 1, "client " + std::to_string(i));
   }
-  b.SetThreadName(num_clients + 1, "server");
+  // One server track per shard; the classic single server keeps its plain
+  // "server" name.
+  for (uint32_t sh = 0; sh < num_shards; ++sh) {
+    b.SetThreadName(num_clients + 1 + sh,
+                    num_shards == 1 ? std::string("server")
+                                    : "server " + std::to_string(sh));
+  }
   for (const telemetry::TraceSlice& s : query_slices) {
     b.AddSlice(s.track, s.name, s.start_ns, s.dur_ns);
   }
-  for (const auto& [start, end] : server_service) {
-    b.AddSlice(num_clients + 1, "service", start, end - start);
+  for (uint32_t sh = 0; sh < server_service.size(); ++sh) {
+    for (const auto& [start, end] : server_service[sh]) {
+      b.AddSlice(num_clients + 1 + sh, "service", start, end - start);
+    }
   }
   // Counter tracks: rows outer so events are (nearly) time-sorted.
   for (size_t r = 0; r < series.num_samples(); ++r) {
@@ -362,11 +455,57 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
     sessions.push_back(std::make_unique<ClientSession>(i, spec, *derby));
   }
 
+  // Install the run's placement (docs/replication_model.md). num_servers ==
+  // 0 inherits the database's current shard configuration untouched — zero
+  // reconfiguration charges — which is what keeps default-spec runs
+  // bit-identical to the classic engine. An explicit placement is restored
+  // on every exit path below.
+  const PlacementOptions prev_placement = db->placement().options();
+  const bool reconfigured = spec.num_servers > 0;
+  if (reconfigured) {
+    PlacementOptions po;
+    po.num_servers = spec.num_servers;
+    po.replication = spec.replication;
+    po.policy = spec.placement_policy;
+    po.range_block_pages = spec.range_block_pages;
+    TB_RETURN_IF_ERROR(db->ConfigureShards(po));
+  }
+  auto restore_placement = [&]() -> Status {
+    return reconfigured ? db->ConfigureShards(prev_placement) : Status::OK();
+  };
+  for (const ServerCrashSpec& c : spec.crashes) {
+    if (c.shard >= db->cache().NumShards()) {
+      TB_RETURN_IF_ERROR(restore_placement());
+      return Status::InvalidArgument(
+          "workload: crash shard out of range for the run's placement");
+    }
+  }
+
   // Every client starts cold: both shared cache levels (and the engine's
   // own default bindings) are emptied before the first event. The sessions'
   // own caches/handle tables are born empty.
   if (spec.cold_start || spec.cold_per_query) {
-    TB_RETURN_IF_ERROR(db->ColdRestart());
+    Status st = db->ColdRestart();
+    if (!st.ok()) {
+      (void)restore_placement();
+      return st;
+    }
+  }
+
+  // Arm the crash schedule AFTER the cold restart: scheduled crashes
+  // trigger against the observing client's clock, and the restart's flush
+  // runs on the database's own (much further advanced) clock — arming
+  // earlier would let it consume the schedule prematurely.
+  const bool armed_here =
+      !spec.crashes.empty() && !db->sim().faults().armed();
+  if (armed_here) db->sim().faults().Arm(spec.seed ^ 0x5ca1ab1ec0ffeeull);
+  for (const ServerCrashSpec& c : spec.crashes) {
+    ScheduledFault f;
+    f.site = FaultSite::kServerCrash;
+    f.after_ns = c.at_ns;
+    f.target = c.shard;
+    f.count = 1;
+    db->sim().faults().Schedule(f);
   }
 
   // Install the run's vectored-fetch batch size; restored on every exit
@@ -374,31 +513,44 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
   const uint32_t prev_batch = db->sim().model().max_fetch_batch_pages;
   db->sim().set_max_fetch_batch_pages(spec.max_fetch_batch_pages);
 
-  // Install the shared server station for the duration of the run. The
-  // default service time is below the minimum RPC round-trip spacing, so a
-  // single closed-loop client never queues behind itself — queueing delay
-  // appears only under real multi-client contention.
-  ServerStation station(db->sim().model().server_service_ns,
-                        db->sim().model().server_max_in_flight);
-  ServerStation* prev_station = db->sim().station();
-  db->sim().set_station(&station);
+  // Install the page-server fleet's service stations — one per shard — for
+  // the duration of the run. The default service time is below the minimum
+  // RPC round-trip spacing, so a single closed-loop client never queues
+  // behind itself — queueing delay appears only under real multi-client
+  // contention (and only per shard: shards queue independently).
+  StationRegistry stations(db->cache().NumShards(),
+                           db->sim().model().server_service_ns,
+                           db->sim().model().server_max_in_flight);
+  StationRegistry* prev_stations = db->sim().stations();
+  db->sim().set_stations(&stations);
 
   TelemetryHooks hooks{telemetry};
   if (telemetry != nullptr) {
     telemetry->num_clients = spec.num_clients;
-    station.set_service_log(&telemetry->server_service);
-    InstallProbes(telemetry, db, sessions, station, &hooks);
+    telemetry->num_shards = stations.size();
+    telemetry->server_service.resize(stations.size());
+    for (uint32_t i = 0; i < stations.size(); ++i) {
+      stations.Station(i).set_service_log(&telemetry->server_service[i]);
+    }
+    InstallProbes(telemetry, db, sessions, stations, &hooks);
   }
 
   Status loop_status = RunEventLoop(db, spec, sessions, &hooks);
 
   if (telemetry != nullptr) {
     // Final sample at the last completion, then detach the probes — they
-    // capture sessions/station, which die with this scope.
+    // capture sessions/stations, which die with this scope.
     telemetry->series.Finish(hooks.probe_now);
     telemetry->series.DropProbes();
-    station.set_service_log(nullptr);
+    for (uint32_t i = 0; i < stations.size(); ++i) {
+      stations.Station(i).set_service_log(nullptr);
+    }
   }
+
+  // The report reads the fault ledger before the injector is disarmed or
+  // the placement restored (the restore's flush must not pollute the run's
+  // shard counters).
+  WorkloadReport report = AssembleReport(spec, sessions, stations, db);
 
   // Teardown: drop every session's handles while its table is bound so the
   // simulated handle memory registered against the machine is released.
@@ -408,11 +560,14 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
     SessionBinding binding(db, s.get());
     db->store().DropAllHandles();
   }
-  db->sim().set_station(prev_station);
+  db->sim().set_stations(prev_stations);
   db->sim().set_max_fetch_batch_pages(prev_batch);
+  if (armed_here) db->sim().faults().Disarm();
+  Status restore_status = restore_placement();
   TB_RETURN_IF_ERROR(loop_status);
+  TB_RETURN_IF_ERROR(restore_status);
 
-  return AssembleReport(spec, sessions, station);
+  return report;
 }
 
 }  // namespace treebench

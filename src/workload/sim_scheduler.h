@@ -36,9 +36,10 @@ struct WorkloadTelemetry {
   /// name "tree"/"selection", [t0, t1) of the measured execution region.
   std::vector<telemetry::TraceSlice> query_slices;
 
-  /// The server station's (service start, completion) intervals — the
-  /// server track of the Perfetto export.
-  std::vector<std::pair<double, double>> server_service;
+  /// Per-shard (service start, completion) intervals of the page-server
+  /// fleet's stations — one Perfetto track per shard (a single inner vector
+  /// for the classic one-server configuration).
+  std::vector<std::vector<std::pair<double, double>>> server_service;
 
   /// Running histogram of measured-query latencies; feeds the percentile
   /// gauges. Shares bucketing with WorkloadReport::latencies, so the final
@@ -47,6 +48,7 @@ struct WorkloadTelemetry {
 
   /// Filled by RunWorkload (used by ChromeTraceJson for track naming).
   uint32_t num_clients = 0;
+  uint32_t num_shards = 1;
 
   /// Perfetto/chrome://tracing JSON: one track per client, one for the
   /// server station, plus one counter track per time-series column.

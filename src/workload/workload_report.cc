@@ -71,7 +71,12 @@ std::string WorkloadReport::ToJson() const {
   AppendKV(&out, "    ", "think_time_ns", spec.think_time_ns);
   AppendKV(&out, "    ", "cold_start", uint64_t{spec.cold_start ? 1u : 0u});
   AppendKV(&out, "    ", "cold_per_query",
-           uint64_t{spec.cold_per_query ? 1u : 0u}, /*comma=*/false);
+           uint64_t{spec.cold_per_query ? 1u : 0u});
+  // Effective shard count of the run (resolved from the database when the
+  // spec inherited), not the raw spec knob.
+  AppendKV(&out, "    ", "num_servers", uint64_t{shards.size()});
+  AppendKV(&out, "    ", "replication",
+           uint64_t{spec.replication ? 1u : 0u}, /*comma=*/false);
   out += "  },\n";
 
   out += "  \"global\": {\n";
@@ -92,6 +97,40 @@ std::string WorkloadReport::ToJson() const {
            static_cast<double>(totals.rpc_queue_wait_ns) / 1e9);
   AppendMetrics(&out, "    ", totals, /*comma=*/false);
   out += "  },\n";
+
+  out += "  \"shards\": [\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardReport& sh = shards[i];
+    char row[224];
+    std::snprintf(row, sizeof(row),
+                  "    {\"shard\": %u, \"admitted\": %llu, "
+                  "\"busy_seconds\": %.9g, \"queue_wait_seconds\": %.9g, "
+                  "\"crashes\": %llu}%s\n",
+                  sh.shard, (unsigned long long)sh.admitted, sh.busy_seconds,
+                  sh.queue_wait_seconds, (unsigned long long)sh.crashes,
+                  i + 1 < shards.size() ? "," : "");
+    out += row;
+  }
+  out += "  ],\n";
+
+  // Fault-injection ledger: present only when at least one site was probed
+  // (an armed injector), so classic disarmed runs keep their exact shape.
+  uint64_t fault_ops = 0;
+  for (const FaultSiteReport& f : fault_sites) fault_ops += f.ops;
+  if (fault_ops > 0) {
+    out += "  \"fault_injection\": {\n";
+    for (size_t i = 0; i < fault_sites.size(); ++i) {
+      const FaultSiteReport& f = fault_sites[i];
+      char row[160];
+      std::snprintf(row, sizeof(row),
+                    "    \"%s\": {\"ops\": %llu, \"injected\": %llu}%s\n",
+                    f.site, (unsigned long long)f.ops,
+                    (unsigned long long)f.injected,
+                    i + 1 < fault_sites.size() ? "," : "");
+      out += row;
+    }
+    out += "  },\n";
+  }
 
   out += "  \"clients\": [\n";
   for (size_t i = 0; i < clients.size(); ++i) {

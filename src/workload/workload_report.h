@@ -29,6 +29,31 @@ struct ClientReport {
   Metrics metrics;
 };
 
+/// One page-server shard's run totals (docs/replication_model.md). Built
+/// from monotone station/cache counters only — never from telemetry peak
+/// windows — so the report is identical with and without telemetry.
+struct ShardReport {
+  uint32_t shard = 0;
+  /// RPCs this shard's station admitted (whole run, warmup included).
+  uint64_t admitted = 0;
+  /// Simulated seconds the shard's server spent servicing requests.
+  double busy_seconds = 0;
+  /// Total queueing delay the shard's arrivals were charged, seconds — the
+  /// per-shard decomposition of the clients' rpc_queue_wait_ns.
+  double queue_wait_seconds = 0;
+  /// FaultSite::kServerCrash events this shard suffered during the run.
+  uint64_t crashes = 0;
+};
+
+/// One FaultSite's injection ledger (satellite view of
+/// FaultInjector::ops/injected): how often the site was probed and how
+/// often it fired.
+struct FaultSiteReport {
+  const char* site = "";
+  uint64_t ops = 0;
+  uint64_t injected = 0;
+};
+
 /// Aggregated results of one workload run: global throughput/latency plus
 /// the per-client breakdown and full Metrics rollups.
 struct WorkloadReport {
@@ -47,8 +72,9 @@ struct WorkloadReport {
   double max_client_qps = 0;
   double fairness_ratio = 0;
 
-  /// Simulated seconds the shared server spent servicing requests, and that
-  /// busy time over the global span (> 1 client can saturate it).
+  /// Simulated seconds the page-server fleet spent servicing requests
+  /// (summed across shards), and that busy time over the global span (> 1
+  /// client — or > 1 shard — can push utilization past 1).
   double server_busy_seconds = 0;
   double server_utilization = 0;
 
@@ -56,6 +82,15 @@ struct WorkloadReport {
   Metrics totals;
 
   std::vector<ClientReport> clients;
+
+  /// Per-shard breakdown of the page service (one entry per shard; a single
+  /// entry for the classic configuration).
+  std::vector<ShardReport> shards;
+
+  /// The run's fault-injection ledger, one entry per FaultSite in site
+  /// order. All-zero (and omitted from the JSON) when no site was probed —
+  /// i.e. whenever the injector was disarmed for the whole run.
+  std::vector<FaultSiteReport> fault_sites;
 
   /// Deterministic JSON export: fixed field order, metrics counters in
   /// MetricsFieldTable() order with zero counters omitted, 2-space indent.

@@ -2,12 +2,22 @@
 #define TREEBENCH_WORKLOAD_WORKLOAD_SPEC_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "src/catalog/placement.h"
 #include "src/query/optimizer.h"
 #include "src/query/selection.h"
 #include "src/query/tree_query.h"
 
 namespace treebench {
+
+/// One scheduled page-server crash (docs/replication_model.md): shard
+/// `shard` dies at the first routed access at or after virtual time `at_ns`
+/// and rejoins cold-cached after CostModel::server_recovery_ns.
+struct ServerCrashSpec {
+  uint32_t shard = 0;
+  double at_ns = 0;
+};
 
 /// Describes one multi-client workload over a Derby database: how many
 /// closed-loop clients, how many queries each runs, the query mix, the key
@@ -66,6 +76,25 @@ struct WorkloadSpec {
   /// (CostModel::max_fetch_batch_pages; docs/fetch_batching.md). 1 = plain
   /// page-at-a-time RPCs, the pre-batching behavior.
   uint32_t max_fetch_batch_pages = 1;
+
+  /// ---- Sharded page service (docs/replication_model.md) ----
+  /// Page servers for the run. 0 = inherit the database's current shard
+  /// configuration untouched (zero reconfiguration charges); >= 1 installs
+  /// that placement for the run and restores the previous one afterwards.
+  /// num_servers = 1 with replication off is the classic single-server
+  /// engine, bit-for-bit.
+  uint32_t num_servers = 0;
+  /// Primary/backup replication (needs num_servers >= 2): writes ship to
+  /// both replicas, reads fail over to the backup when the primary is down.
+  bool replication = false;
+  PlacementPolicy placement_policy = PlacementPolicy::kHash;
+  /// Stripe width of PlacementPolicy::kRange.
+  uint32_t range_block_pages = 64;
+  /// Scheduled crashes, applied through the run's FaultInjector. If the
+  /// injector is not already armed, RunWorkload arms it from `seed` for the
+  /// run's duration (and disarms it after); an injector armed by the caller
+  /// keeps its state and just gains these schedule entries.
+  std::vector<ServerCrashSpec> crashes;
 
   uint64_t seed = 42;
 };

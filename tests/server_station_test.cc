@@ -1,0 +1,125 @@
+// Direct unit tests of the ServerStation reservation timeline
+// (src/cost/server_station.h): admission-cap boundaries, service extension
+// against a full queue, peak-mark observation windows, and queue-wait
+// accounting. Everything here was previously exercised only indirectly
+// through whole workload runs.
+#include "src/cost/server_station.h"
+
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace treebench {
+namespace {
+
+constexpr double kService = 100.0;
+
+TEST(ServerStationTest, IdleServerAdmitsWithoutWait) {
+  ServerStation st(kService, /*max_in_flight=*/4);
+  EXPECT_DOUBLE_EQ(st.Admit(0.0), 0.0);
+  EXPECT_EQ(st.admitted(), 1u);
+  EXPECT_DOUBLE_EQ(st.busy_ns(), kService);
+  EXPECT_DOUBLE_EQ(st.queue_wait_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(st.free_until_ns(), kService);
+}
+
+TEST(ServerStationTest, SimultaneousArrivalsQueueFifo) {
+  ServerStation st(kService, /*max_in_flight=*/0);
+  EXPECT_DOUBLE_EQ(st.Admit(0.0), 0.0);
+  // Second arrival at the same instant starts when the first completes.
+  EXPECT_DOUBLE_EQ(st.Admit(0.0), kService);
+  EXPECT_DOUBLE_EQ(st.Admit(0.0), 2 * kService);
+  EXPECT_DOUBLE_EQ(st.queue_wait_ns(), 3 * kService);
+}
+
+TEST(ServerStationTest, ArrivalAfterDrainSeesIdleServer) {
+  ServerStation st(kService, /*max_in_flight=*/2);
+  st.Admit(0.0);
+  st.Admit(0.0);
+  // Arrives after both reservations completed: no wait, no backlog.
+  EXPECT_DOUBLE_EQ(st.Admit(2 * kService + 1), 0.0);
+  EXPECT_EQ(st.PeakInFlightSinceMark(), 2u);  // the t=0 burst, not the tail
+}
+
+// The cap boundary: with max_in_flight = 2, the second simultaneous arrival
+// reaches the cap exactly (plain FIFO wait, no admission hold), and only the
+// THIRD is held back by admission control until the oldest reservation
+// completes.
+TEST(ServerStationTest, AdmissionCapReachedExactlyThenExceeded) {
+  ServerStation st(kService, /*max_in_flight=*/2);
+  EXPECT_DOUBLE_EQ(st.Admit(0.0), 0.0);       // in service
+  EXPECT_DOUBLE_EQ(st.Admit(0.0), kService);  // queued; backlog == cap
+  // Queue full: admission first waits for the oldest completion (t = 100),
+  // then the reservation itself queues behind the second (starts at 200).
+  EXPECT_DOUBLE_EQ(st.Admit(0.0), 2 * kService);
+  // The cap keeps the arrival-observed backlog at 2 even for the burst.
+  EXPECT_EQ(st.PeakInFlightSinceMark(), 2u);
+  EXPECT_EQ(st.admitted(), 3u);
+}
+
+TEST(ServerStationTest, UncappedBurstTracksFullBacklog) {
+  ServerStation st(kService, /*max_in_flight=*/0);
+  for (int i = 0; i < 5; ++i) st.Admit(0.0);
+  EXPECT_EQ(st.PeakInFlightSinceMark(), 5u);
+  EXPECT_EQ(st.PeakQueueDepthSinceMark(), 4u);
+}
+
+// ExtendService lengthens the most recent reservation (server-side disk
+// I/O); an arrival blocked by a full queue must wait for the EXTENDED
+// completion time.
+TEST(ServerStationTest, ExtendServiceDelaysCapBlockedAdmission) {
+  ServerStation st(kService, /*max_in_flight=*/1);
+  EXPECT_DOUBLE_EQ(st.Admit(0.0), 0.0);
+  st.ExtendService(50.0);  // completion moves 100 -> 150
+  EXPECT_DOUBLE_EQ(st.busy_ns(), kService + 50.0);
+  // Queue of 1 is full: admission waits for the extended completion.
+  EXPECT_DOUBLE_EQ(st.Admit(0.0), kService + 50.0);
+  EXPECT_DOUBLE_EQ(st.free_until_ns(), 2 * kService + 50.0);
+}
+
+TEST(ServerStationTest, ExtendServiceShowsUpInServiceLog) {
+  std::vector<std::pair<double, double>> log;
+  ServerStation st(kService, /*max_in_flight=*/0);
+  st.set_service_log(&log);
+  st.Admit(0.0);
+  st.ExtendService(25.0);
+  st.Admit(0.0);
+  st.set_service_log(nullptr);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0].first, 0.0);
+  EXPECT_DOUBLE_EQ(log[0].second, kService + 25.0);  // extended in place
+  EXPECT_DOUBLE_EQ(log[1].first, kService + 25.0);
+}
+
+// ResetPeakMark opens a fresh observation window: the peak is per-window,
+// not per-lifetime (the telemetry sampler resets after every emitted row).
+TEST(ServerStationTest, ResetPeakMarkOpensFreshWindow) {
+  ServerStation st(kService, /*max_in_flight=*/0);
+  for (int i = 0; i < 3; ++i) st.Admit(0.0);
+  EXPECT_EQ(st.PeakInFlightSinceMark(), 3u);
+
+  st.ResetPeakMark();
+  EXPECT_EQ(st.PeakInFlightSinceMark(), 0u);
+  EXPECT_EQ(st.PeakQueueDepthSinceMark(), 0u);
+
+  // A single arrival long after the burst drained: the new window observes
+  // only it, while lifetime counters keep accumulating.
+  EXPECT_DOUBLE_EQ(st.Admit(10 * kService), 0.0);
+  EXPECT_EQ(st.PeakInFlightSinceMark(), 1u);
+  EXPECT_EQ(st.admitted(), 4u);
+}
+
+TEST(ServerStationTest, QueueWaitAccumulatesReturnedWaits) {
+  ServerStation st(kService, /*max_in_flight=*/2);
+  double total = 0;
+  for (int i = 0; i < 6; ++i) total += st.Admit(0.0);
+  EXPECT_GT(total, 0.0);
+  EXPECT_DOUBLE_EQ(st.queue_wait_ns(), total);
+  // Busy time is pure service (no ExtendService here), independent of
+  // queueing.
+  EXPECT_DOUBLE_EQ(st.busy_ns(), 6 * kService);
+}
+
+}  // namespace
+}  // namespace treebench

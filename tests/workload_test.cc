@@ -219,9 +219,11 @@ TEST(WorkloadTest, TelemetryCapturesTheRunsShape) {
     EXPECT_GT(s.dur_ns, 0.0);
     EXPECT_TRUE(s.name == "tree" || s.name == "selection");
   }
-  // The station logged its service intervals.
-  EXPECT_FALSE(tel.server_service.empty());
-  for (const auto& [start, end] : tel.server_service) {
+  // The station logged its service intervals (one track per shard; the
+  // classic single-server run has exactly one).
+  ASSERT_EQ(tel.server_service.size(), 1u);
+  EXPECT_FALSE(tel.server_service[0].empty());
+  for (const auto& [start, end] : tel.server_service[0]) {
     EXPECT_GT(end, start);
   }
 
