@@ -1,0 +1,278 @@
+// Update-transaction mix: sweeps WorkloadSpec::update_ratio over the Derby
+// database for the class- and composition-clustered organizations and 1..N
+// clients, reporting throughput, latency, lock waiting, undo/redo volume
+// and write amplification (docs/transaction_model.md).
+//
+// Before each sweep it enforces the HARD update_ratio=0 bit-identity gate:
+// the ratio-0 workload report must be byte-for-byte identical with and
+// without an (idle) TxnManager installed as the cache's page-lock hook. A
+// single differing byte — one counter, one latency digit — fails the bench.
+//
+// Expected shape: throughput degrades as update_ratio grows (updates pay
+// extent/index scans plus logging), lock_wait_ns appears only with >= 2
+// clients, and undo_bytes stays proportional to the distinct pages each
+// transaction dirties while redo_bytes tracks the update count.
+//
+// Extra flags (beyond the common --scale/--csv/--stats-json):
+//   --clients=N          sweep {1, N} instead of the default counts
+//   --queries=N          measured queries per client (default 8; smoke 3)
+//   --summary-json=PATH  flat {"key": number} summary of every swept run —
+//                        the format bench/check_regression diffs against
+//                        bench/baselines/update_mix_smoke.json
+//   --scale=0            smoke mode: tiny database (scale 64), 3
+//                        queries/client — the CI config.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/telemetry/regression.h"
+#include "src/txn/txn_manager.h"
+#include "src/workload/sim_scheduler.h"
+
+namespace treebench::bench {
+namespace {
+
+struct ExtraArgs {
+  bool smoke = false;        // --scale=0
+  uint32_t clients = 0;      // --clients=N (0 = default counts)
+  uint32_t queries = 0;      // --queries=N (0 = default)
+  std::string summary_json;  // --summary-json=PATH
+};
+
+ExtraArgs ParseExtra(int argc, char** argv) {
+  ExtraArgs extra;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--scale=0") == 0) {
+      extra.smoke = true;
+    } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+      extra.clients = static_cast<uint32_t>(std::atol(arg + 10));
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      extra.queries = static_cast<uint32_t>(std::atol(arg + 10));
+    } else if (std::strncmp(arg, "--summary-json=", 15) == 0) {
+      extra.summary_json = arg + 15;
+    }
+  }
+  return extra;
+}
+
+WorkloadSpec MixSpec(uint32_t clients, uint32_t queries, double ratio) {
+  WorkloadSpec spec;
+  spec.num_clients = clients;
+  spec.queries_per_client = queries;
+  spec.zipf_theta = 0.6;  // readers and writers collide on the hot windows
+  spec.tree_query_fraction = 0.2;
+  spec.update_ratio = ratio;
+  spec.selection_pct = 2;
+  spec.tree_child_sel_pct = 10;
+  spec.tree_parent_sel_pct = 10;
+  spec.think_time_ns = 0;
+  spec.cold_start = true;
+  spec.seed = 42;
+  return spec;
+}
+
+/// The hard gate: a ratio-0 workload must produce a byte-identical report
+/// whether or not an idle TxnManager sits in the page-access path. Builds
+/// its own fresh databases so committed updates from earlier sweep runs
+/// cannot leak in.
+bool CheckRatioZeroBitIdentity(ClusteringStrategy clustering,
+                               const BenchOptions& opts, uint32_t clients,
+                               uint32_t queries) {
+  WorkloadSpec spec = MixSpec(clients, queries, /*ratio=*/0);
+
+  auto plain_db = BuildDerbyOrDie(2000, 1000, clustering, opts);
+  auto plain = RunWorkload(plain_db.get(), spec);
+  if (!plain.ok()) {
+    std::fprintf(stderr, "FATAL: ratio-0 run: %s\n",
+                 plain.status().ToString().c_str());
+    return false;
+  }
+
+  auto hooked_db = BuildDerbyOrDie(2000, 1000, clustering, opts);
+  TxnManager idle(hooked_db->db.get());
+  idle.Install();
+  auto hooked = RunWorkload(hooked_db.get(), spec);
+  idle.Uninstall();
+  if (!hooked.ok()) {
+    std::fprintf(stderr, "FATAL: hooked ratio-0 run: %s\n",
+                 hooked.status().ToString().c_str());
+    return false;
+  }
+
+  const std::string a = plain->ToJson();
+  const std::string b = hooked->ToJson();
+  const bool identical = a == b;
+  std::printf("ratio-0 bit-identity gate (%s, %u clients): %s\n",
+              std::string(ClusteringName(clustering)).c_str(), clients,
+              identical ? "PASS" : "FAIL");
+  if (!identical) {
+    size_t i = 0;
+    while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+    std::fprintf(stderr, "reports diverge at byte %zu:\n  plain:  %.60s\n"
+                         "  hooked: %.60s\n",
+                 i, a.c_str() + (i < a.size() ? i : a.size()),
+                 b.c_str() + (i < b.size() ? i : b.size()));
+  }
+  return identical;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  ExtraArgs extra = ParseExtra(argc, argv);
+  if (extra.smoke) opts.scale = 64;
+  const uint32_t queries = extra.queries > 0 ? extra.queries
+                           : extra.smoke    ? 3
+                                            : 8;
+
+  std::vector<uint32_t> counts;
+  if (extra.clients > 0) {
+    counts = {1, extra.clients};
+  } else if (extra.smoke) {
+    counts = {1, 4};
+  } else {
+    counts = {1, 4, 16};
+  }
+  const double kRatios[] = {0, 0.25, 0.5};
+
+  const ClusteringStrategy kClusterings[] = {
+      ClusteringStrategy::kClassClustered, ClusteringStrategy::kComposition};
+
+  StatStore stats;
+  telemetry::FlatRun summary;
+  bool gates_pass = true;
+
+  for (ClusteringStrategy clustering : kClusterings) {
+    const std::string cluster_label =
+        std::string(ClusteringName(clustering));
+    gates_pass = CheckRatioZeroBitIdentity(clustering, opts, counts.back(),
+                                           queries) &&
+                 gates_pass;
+
+    // One database per clustering for the sweep itself: committed updates
+    // rewrite Patients.random_integer in place (no index covers it), so
+    // later runs see different values but identical physical structure.
+    auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
+
+    std::vector<std::vector<std::string>> rows;
+    for (double ratio : kRatios) {
+      for (uint32_t n : counts) {
+        auto report = RunWorkload(derby.get(), MixSpec(n, queries, ratio));
+        if (!report.ok()) {
+          std::fprintf(stderr, "FATAL: workload (ratio %.2f, %u clients): %s\n",
+                       ratio, n, report.status().ToString().c_str());
+          return 1;
+        }
+        const Metrics& t = report->totals;
+        const std::string run_label =
+            cluster_label + "_r" + std::to_string(int(ratio * 100)) + "_c" +
+            std::to_string(n);
+
+        if (!extra.summary_json.empty()) {
+          summary.Set(run_label + "_total_queries",
+                      static_cast<double>(report->total_queries));
+          summary.Set(run_label + "_failed_queries",
+                      static_cast<double>(report->failed_queries));
+          summary.Set(run_label + "_disk_reads",
+                      static_cast<double>(t.disk_reads));
+          summary.Set(run_label + "_disk_writes",
+                      static_cast<double>(t.disk_writes));
+          summary.Set(run_label + "_rpc_count",
+                      static_cast<double>(t.rpc_count));
+          summary.Set(run_label + "_txn_commits",
+                      static_cast<double>(t.txn_commits));
+          summary.Set(run_label + "_txn_aborts",
+                      static_cast<double>(t.txn_aborts));
+          summary.Set(run_label + "_deadlocks",
+                      static_cast<double>(t.deadlocks));
+          summary.Set(run_label + "_lock_waits",
+                      static_cast<double>(t.lock_waits));
+          summary.Set(run_label + "_logical_updates",
+                      static_cast<double>(t.logical_updates));
+          summary.Set(run_label + "_undo_bytes",
+                      static_cast<double>(t.undo_bytes));
+          summary.Set(run_label + "_redo_bytes",
+                      static_cast<double>(t.redo_bytes));
+          summary.Set(run_label + "_dirty_writebacks",
+                      static_cast<double>(t.dirty_page_writebacks));
+          summary.Set(run_label + "_throughput_qps", report->throughput_qps);
+          summary.Set(run_label + "_p50_s",
+                      report->latencies.Quantile(0.50) / 1e9);
+          summary.Set(run_label + "_p95_s",
+                      report->latencies.Quantile(0.95) / 1e9);
+          summary.Set(run_label + "_lock_wait_s",
+                      static_cast<double>(t.lock_wait_ns) / 1e9);
+        }
+
+        // Write amplification: pages shipped back to the server per logical
+        // attribute update (0 when the run had no updates).
+        const double wamp =
+            t.logical_updates > 0
+                ? static_cast<double>(t.dirty_page_writebacks) /
+                      static_cast<double>(t.logical_updates)
+                : 0;
+        rows.push_back(
+            {FormatSeconds(ratio, 2), WithThousands(n),
+             FormatSeconds(report->throughput_qps, 3),
+             FormatSeconds(report->latencies.Quantile(0.50) / 1e9),
+             FormatSeconds(report->latencies.Quantile(0.95) / 1e9),
+             WithThousands(t.txn_commits), WithThousands(t.txn_aborts),
+             FormatSeconds(static_cast<double>(t.lock_wait_ns) / 1e9),
+             WithThousands(t.undo_bytes), WithThousands(t.redo_bytes),
+             FormatSeconds(wamp, 2)});
+
+        StatRecord rec;
+        rec.database = "derby-2e3x1e3";
+        rec.cluster = cluster_label;
+        rec.algo = "update_mix";
+        rec.query_text =
+            "mixed selection/tree/update workload (zipf 0.6, ratio " +
+            std::to_string(ratio) + ")";
+        rec.num_clients = n;
+        rec.throughput_qps = report->throughput_qps;
+        rec.latency_p50_s = report->latencies.Quantile(0.50) / 1e9;
+        rec.latency_p95_s = report->latencies.Quantile(0.95) / 1e9;
+        rec.latency_p99_s = report->latencies.Quantile(0.99) / 1e9;
+        rec.result_count = report->total_queries;
+        rec.server_cache_bytes = derby->db->cache().config().server_bytes;
+        rec.client_cache_bytes = derby->db->cache().config().client_bytes;
+        rec.FillFrom(report->totals, report->span_seconds);
+        stats.Add(rec);
+      }
+    }
+    PrintTable(cluster_label + " — update mix (simulated, " +
+                   std::to_string(queries) + " queries/client)",
+               {"ratio", "clients", "qps", "p50(s)", "p95(s)", "commits",
+                "aborts", "lock wait(s)", "undo B", "redo B", "w-amp"},
+               rows);
+  }
+
+  std::printf(
+      "\nexpected: throughput falls as update_ratio grows; lock waiting "
+      "appears only with >= 2 clients; undo tracks dirtied pages, redo "
+      "tracks update count\n");
+
+  if (!extra.summary_json.empty()) {
+    FILE* f = std::fopen(extra.summary_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", extra.summary_json.c_str());
+      return 1;
+    }
+    const std::string json = summary.ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote run summary to %s\n", extra.summary_json.c_str());
+  }
+  MaybeExportCsv(stats, opts);
+  MaybeExportStatsJson(stats, opts);
+  return gates_pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treebench::bench
+
+int main(int argc, char** argv) { return treebench::bench::Main(argc, argv); }

@@ -54,6 +54,14 @@ class LruPageCache {
     return it != map_.end() && it->second.dirty;
   }
 
+  /// Clears the dirty bit of a resident page; returns whether it was dirty.
+  bool ClearDirty(uint64_t key) {
+    auto it = map_.find(key);
+    if (it == map_.end() || !it->second.dirty) return false;
+    it->second.dirty = false;
+    return true;
+  }
+
   /// Removes `key` if resident; returns whether it was dirty.
   bool Erase(uint64_t key);
 

@@ -141,6 +141,11 @@ uint32_t TwoLevelCache::RouteRead(uint64_t key) {
 Result<uint8_t*> TwoLevelCache::Ensure(uint16_t file_id, uint32_t page_id,
                                        bool for_write) {
   uint64_t key = Key(file_id, page_id);
+  // The lock precedes the access: a transaction blocked (or killed as a
+  // deadlock victim) on the page lock never touches the cache levels.
+  if (lock_hook_ != nullptr) {
+    TB_RETURN_IF_ERROR(lock_hook_->OnPageAccess(key, for_write));
+  }
   if (client_->Touch(key)) {
     sim_->ChargeClientCacheHit();
     // First demand access to a page FetchPages brought in: the readahead
@@ -262,6 +267,9 @@ Status TwoLevelCache::ShipWriteTo(uint64_t key, uint32_t shard) {
 }
 
 Status TwoLevelCache::WriteBackToServer(uint64_t key) {
+  // Every dirty client page shipped down — eviction victim or flush — is
+  // one unit of page-level write amplification.
+  sim_->ChargeDirtyWriteback();
   if (placement_.single_server() && !sim_->faults().armed()) {
     return ShipWriteTo(key, 0);
   }
@@ -445,6 +453,22 @@ Status TwoLevelCache::FetchPages(std::span<const uint64_t> keys) {
   return Status::OK();
 }
 
+void TwoLevelCache::DiscardKeys(std::span<const uint64_t> keys) {
+  for (uint64_t key : keys) {
+    NotePrefetchEviction(key);
+    client_->Erase(key);
+    for (auto& s : shards_) s->cache.Erase(key);
+  }
+}
+
+Status TwoLevelCache::FlushKeys(std::span<const uint64_t> keys) {
+  for (uint64_t key : keys) {
+    if (!client_->ClearDirty(key)) continue;
+    TB_RETURN_IF_ERROR(WriteBackToServer(key));
+  }
+  return Status::OK();
+}
+
 Status TwoLevelCache::FlushAll() {
   Status first_error = Status::OK();
   auto note = [&first_error](const Status& s) {
@@ -470,6 +494,19 @@ Status TwoLevelCache::Shutdown() {
 
 void TwoLevelCache::DropAll() {
   DrainPrefetchedAsWasted();
+  // Dropping a cache level forgets dirty flags, but the page bytes
+  // themselves were already applied in place (the store keeps a single
+  // copy of truth) — so the stored images must be left coherent with
+  // their checksum trailers or the next fill reports phantom corruption.
+  // Like the crash path above, the restamp is free: a cold restart is a
+  // modeling construct, not a measured I/O sequence.
+  auto restamp = [&](uint64_t key) {
+    Result<uint8_t*> raw = disk_->RawPage(static_cast<uint16_t>(key >> 32),
+                                          static_cast<uint32_t>(key));
+    if (raw.ok()) StampPageChecksum(*raw);
+  };
+  client_->FlushDirty(restamp);
+  for (auto& s : shards_) s->cache.FlushDirty(restamp);
   client_->Clear();
   for (auto& s : shards_) s->cache.Clear();
 }

@@ -28,6 +28,19 @@ struct RetryPolicy {
   double max_backoff_ns = 100e6;  // 100 ms
 };
 
+/// Page-level concurrency-control hook (docs/transaction_model.md). While
+/// one is bound, every client-level page access reports its key and intent
+/// before the access is served; the hook (the TxnManager) acquires the page
+/// lock for the active transaction, charging any simulated lock wait to the
+/// bound clock. A non-OK status (a deadlock victim, an aborted transaction)
+/// aborts the access. Null by default: the read-only engine never sees it,
+/// which is what keeps update_ratio == 0 runs bit-identical.
+class PageLockHook {
+ public:
+  virtual ~PageLockHook() = default;
+  virtual Status OnPageAccess(uint64_t key, bool for_write) = 0;
+};
+
 /// Cache sizes of the paper's configuration (Section 2): 4 MB server cache,
 /// 32 MB client cache, client and server on the same machine. Under a
 /// sharded placement every simulated page server gets its own
@@ -176,6 +189,33 @@ class TwoLevelCache {
     return prev;
   }
 
+  /// Binds the page-level locking hook (nullptr unbinds). Returns the
+  /// previously bound hook so callers can nest, mirroring BindClientCache.
+  PageLockHook* BindLockHook(PageLockHook* hook) {
+    PageLockHook* prev = lock_hook_;
+    lock_hook_ = hook;
+    return prev;
+  }
+  PageLockHook* lock_hook() const { return lock_hook_; }
+
+  /// Drops `keys` from the client level and every shard partition without
+  /// flushing — the physical-rollback path of a transaction abort discards
+  /// the cached copies of the pages whose disk images were just restored or
+  /// truncated (docs/transaction_model.md). No eviction counters are
+  /// charged; still-pending prefetches among the keys count as wasted
+  /// readahead, as on any other non-demand departure.
+  void DiscardKeys(std::span<const uint64_t> keys);
+
+  /// Ships the subset of `keys` that is dirty at the client level down to
+  /// the server (one write-back RPC each, charged to the calling clock) and
+  /// clears their client dirty bits. The commit path of an update
+  /// transaction uses this to publish its written pages before releasing
+  /// the page locks (docs/transaction_model.md): page bytes mutate in place
+  /// in the store, so a page that stayed client-dirty past commit would be
+  /// read by other clients against a stale checksum trailer. Keys that are
+  /// clean or non-resident are skipped for free.
+  Status FlushKeys(std::span<const uint64_t> keys);
+
   /// Ships all dirty client pages to the server and all dirty server pages
   /// to disk. Under fault injection the first error is returned; dirty bits
   /// are cleared regardless (a failed flush is followed by rollback).
@@ -300,6 +340,7 @@ class TwoLevelCache {
   CacheConfig config_;
   LruPageCache own_client_;
   LruPageCache* client_;  // the bound client level; defaults to own_client_
+  PageLockHook* lock_hook_ = nullptr;
   PlacementMap placement_;
   /// The page-server fleet; shards_[i] is shard i's partition + crash
   /// state. Always at least one shard (the classic single server).

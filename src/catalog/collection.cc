@@ -33,10 +33,17 @@ Status PersistentCollection::Append(const Rid& rid) {
   uint32_t offset = static_cast<uint32_t>(count % kRidsPerPage);
   uint8_t* data;
   if (offset == 0) {
-    std::pair<uint32_t, uint8_t*> fresh{};
-    TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
-    TB_CHECK(fresh.first == page_index + 1);
-    data = fresh.second;
+    if (DataPages() > page_index) {
+      // A data page past the tail already exists (a SwapRemove shrank the
+      // count below a page boundary); reuse it instead of allocating.
+      TB_ASSIGN_OR_RETURN(data, cache_->GetPageForWrite(file_id_,
+                                                        page_index + 1));
+    } else {
+      std::pair<uint32_t, uint8_t*> fresh{};
+      TB_ASSIGN_OR_RETURN(fresh, cache_->NewPage(file_id_));
+      TB_CHECK(fresh.first == page_index + 1);
+      data = fresh.second;
+    }
     PutU16(data, 0);
   } else {
     TB_ASSIGN_OR_RETURN(data, cache_->GetPageForWrite(file_id_,
@@ -69,6 +76,26 @@ Status PersistentCollection::Set(uint64_t i, const Rid& rid) {
   TB_ASSIGN_OR_RETURN(uint8_t* data,
                       cache_->GetPageForWrite(file_id_, page_index + 1));
   rid.EncodeTo(data + 2 + offset * Rid::kEncodedSize);
+  return Status::OK();
+}
+
+Status PersistentCollection::SwapRemove(uint64_t i) {
+  uint64_t count = 0;
+  TB_ASSIGN_OR_RETURN(count, Count());
+  if (i >= count) return Status::OutOfRange("collection index");
+  if (i != count - 1) {
+    Rid last;
+    TB_ASSIGN_OR_RETURN(last, At(count - 1));
+    TB_RETURN_IF_ERROR(Set(i, last));
+  }
+  // Shrink the tail page's element count, then the collection count.
+  uint32_t tail_page = static_cast<uint32_t>((count - 1) / kRidsPerPage);
+  uint32_t tail_offset = static_cast<uint32_t>((count - 1) % kRidsPerPage);
+  uint8_t* data;
+  TB_ASSIGN_OR_RETURN(data, cache_->GetPageForWrite(file_id_, tail_page + 1));
+  PutU16(data, static_cast<uint16_t>(tail_offset));
+  TB_ASSIGN_OR_RETURN(uint8_t* meta, cache_->GetPageForWrite(file_id_, 0));
+  PutU64(meta, count - 1);
   return Status::OK();
 }
 

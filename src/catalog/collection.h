@@ -44,6 +44,12 @@ class PersistentCollection {
   /// Overwrites element `i` (used to repair extents after relocations).
   Status Set(uint64_t i, const Rid& rid);
 
+  /// Removes element `i` by moving the last element into its slot and
+  /// shrinking the count (delete support; order is not preserved). Data
+  /// pages past the new tail stay allocated and are reused by later
+  /// appends.
+  Status SwapRemove(uint64_t i);
+
   /// Sequential scan over the element Rids.
   class Iterator {
    public:

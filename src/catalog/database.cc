@@ -269,6 +269,36 @@ Status Database::UpdateIndexedInt32(const Rid& rid, size_t attr,
   return store_.SetInt32(canonical, attr, value);
 }
 
+Status Database::RemoveFromIndexes(const Rid& canonical) {
+  ObjectHandle* h = nullptr;
+  TB_ASSIGN_OR_RETURN(h, store_.Get(canonical));
+  uint16_t class_id = h->class_id;
+  std::vector<uint32_t> ids;
+  Result<std::vector<uint32_t>> ids_r = store_.GetIndexIds(canonical);
+  if (!ids_r.ok()) {
+    store_.Unref(h);
+    return ids_r.status();
+  }
+  ids = std::move(*ids_r);
+  Status st = Status::OK();
+  for (uint32_t id : ids) {
+    if (id >= indexes_.size()) continue;
+    IndexInfo* idx = indexes_[id].get();
+    if (idx->class_id != class_id) continue;
+    int32_t key = 0;
+    Result<int32_t> key_r = store_.GetInt32(h, idx->attr);
+    if (!key_r.ok()) {
+      st = key_r.status();
+      break;
+    }
+    key = *key_r;
+    st = idx->tree->Remove(key, canonical);
+    if (!st.ok()) break;
+  }
+  store_.Unref(h);
+  return st;
+}
+
 Status Database::DumpAndReload(ClusteringStrategy placement) {
   if (placement != ClusteringStrategy::kClassClustered &&
       placement != ClusteringStrategy::kComposition) {

@@ -170,6 +170,11 @@ class Database {
   /// scenario: without the header, every index would have to be scanned).
   Status UpdateIndexedInt32(const Rid& rid, size_t attr, int32_t value);
 
+  /// Removes the object's entries from every index recorded in its header
+  /// (delete path; `rid` must be canonical). Keys are read back from the
+  /// object itself, Section 4.4-style.
+  Status RemoveFromIndexes(const Rid& canonical);
+
   /// Rewrites every collection's objects compactly and rebuilds extents,
   /// references and indexes — the paper's "dump and reload the database
   /// once in a while to maintain a reasonable cluster" (Section 2). Clears

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

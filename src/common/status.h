@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kUnavailable,  // transient failure (RPC timeout, disk hiccup); retryable
+  kAborted,      // transaction killed (deadlock victim, explicit rollback)
 };
 
 /// Returns a stable human-readable name ("Ok", "NotFound", ...).
@@ -67,6 +68,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

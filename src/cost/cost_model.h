@@ -118,6 +118,19 @@ struct CostModel {
   // Relocating an object to grow its header (the first-index trap).
   double relocation_cpu_ns = 40e3;
 
+  // ---- Page-level locking + update transactions
+  //      (docs/transaction_model.md) ----
+  // Lock-table probe + grant bookkeeping, charged per page-lock
+  // acquisition (S or X).
+  double lock_acquire_ns = 4e3;
+  // Wait-for-graph cycle walk, charged on every conflicting acquisition.
+  double deadlock_check_ns = 12e3;
+  // Transaction descriptor setup + undo-epoch open.
+  double txn_begin_ns = 30e3;
+  // Rollback bookkeeping per aborted transaction; restoring the journaled
+  // page pre-images charges disk writes separately.
+  double txn_abort_ns = 5e6;
+
   // ---- Memory model of the simulated machine ----
   uint64_t ram_bytes = 128ull << 20;  // 128 MB Sparc 20
   /// twm + AFS + the O2 runtime + unmodeled buffers ("some other non

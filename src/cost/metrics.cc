@@ -6,7 +6,7 @@ namespace treebench {
 
 // Keeps the table in sync with the struct: adding a counter without listing
 // it here (and bumping this count) fails to compile.
-static_assert(sizeof(Metrics) == 43 * sizeof(uint64_t),
+static_assert(sizeof(Metrics) == 56 * sizeof(uint64_t),
               "new Metrics field? add it to MetricsFieldTable()");
 
 const std::vector<MetricsField>& MetricsFieldTable() {
@@ -54,6 +54,19 @@ const std::vector<MetricsField>& MetricsFieldTable() {
       {"degraded_reads", &Metrics::degraded_reads},
       {"replica_writes", &Metrics::replica_writes},
       {"failover_wait_ns", &Metrics::failover_wait_ns},
+      {"txn_begins", &Metrics::txn_begins},
+      {"txn_commits", &Metrics::txn_commits},
+      {"txn_aborts", &Metrics::txn_aborts},
+      {"deadlocks", &Metrics::deadlocks},
+      {"lock_acquisitions", &Metrics::lock_acquisitions},
+      {"lock_waits", &Metrics::lock_waits},
+      {"lock_wait_ns", &Metrics::lock_wait_ns},
+      {"logical_updates", &Metrics::logical_updates},
+      {"logical_inserts", &Metrics::logical_inserts},
+      {"logical_deletes", &Metrics::logical_deletes},
+      {"undo_bytes", &Metrics::undo_bytes},
+      {"redo_bytes", &Metrics::redo_bytes},
+      {"dirty_page_writebacks", &Metrics::dirty_page_writebacks},
   };
   return kFields;
 }
@@ -89,7 +102,11 @@ std::string Metrics::ToString() const {
       "queueing: rpc_queue_wait_ns=%llu\n"
       "batching: group_rpcs=%llu pages=%llu ra_hits=%llu ra_wasted=%llu\n"
       "shards: crashes=%llu failovers=%llu degraded_reads=%llu "
-      "replica_writes=%llu failover_wait_ns=%llu",
+      "replica_writes=%llu failover_wait_ns=%llu\n"
+      "txn: begins=%llu commits=%llu aborts=%llu deadlocks=%llu\n"
+      "locks: acq=%llu waits=%llu wait_ns=%llu\n"
+      "writes: upd=%llu ins=%llu del=%llu undo_b=%llu redo_b=%llu "
+      "dirty_wb=%llu",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(disk_writes),
       static_cast<unsigned long long>(rpc_count),
@@ -130,7 +147,20 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(failovers),
       static_cast<unsigned long long>(degraded_reads),
       static_cast<unsigned long long>(replica_writes),
-      static_cast<unsigned long long>(failover_wait_ns));
+      static_cast<unsigned long long>(failover_wait_ns),
+      static_cast<unsigned long long>(txn_begins),
+      static_cast<unsigned long long>(txn_commits),
+      static_cast<unsigned long long>(txn_aborts),
+      static_cast<unsigned long long>(deadlocks),
+      static_cast<unsigned long long>(lock_acquisitions),
+      static_cast<unsigned long long>(lock_waits),
+      static_cast<unsigned long long>(lock_wait_ns),
+      static_cast<unsigned long long>(logical_updates),
+      static_cast<unsigned long long>(logical_inserts),
+      static_cast<unsigned long long>(logical_deletes),
+      static_cast<unsigned long long>(undo_bytes),
+      static_cast<unsigned long long>(redo_bytes),
+      static_cast<unsigned long long>(dirty_page_writebacks));
   return buf;
 }
 

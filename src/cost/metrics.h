@@ -101,6 +101,28 @@ struct Metrics {
   uint64_t failover_wait_ns = 0;  // simulated time spent detecting dead
                                   // primaries + reconnecting to backups
 
+  // Update transactions (docs/transaction_model.md). All thirteen stay zero
+  // on read-only workloads: the transaction subsystem is never bound unless
+  // a DML statement (or an explicit TxnManager) is in play, so
+  // update_ratio == 0 runs are counter-for-counter identical to the
+  // read-only engine.
+  uint64_t txn_begins = 0;
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;            // explicit aborts + deadlock victims
+  uint64_t deadlocks = 0;             // wait-for-graph cycles detected
+  uint64_t lock_acquisitions = 0;     // page locks granted (S or X)
+  uint64_t lock_waits = 0;            // acquisitions that had to wait
+  uint64_t lock_wait_ns = 0;          // simulated time blocked on page locks
+  uint64_t logical_updates = 0;       // attribute updates applied
+  uint64_t logical_inserts = 0;       // objects inserted via DML
+  uint64_t logical_deletes = 0;       // objects deleted via DML
+  uint64_t undo_bytes = 0;            // undo-log volume (page pre-images)
+  uint64_t redo_bytes = 0;            // redo-log volume forced at commit
+  uint64_t dirty_page_writebacks = 0; // dirty client pages shipped to the
+                                      // server (evictions + flushes); divide
+                                      // by logical writes for the
+                                      // page-level write amplification
+
   /// Client cache miss rate in percent (as the paper's CCMissrate).
   double ClientMissRatePct() const {
     uint64_t total = client_cache_hits + client_cache_misses;

@@ -347,6 +347,48 @@ class SimContext {
     clock_->clock_ns += model_.relocation_cpu_ns;
   }
 
+  // ---- Update transactions + page-level locking
+  //      (docs/transaction_model.md) ----
+  void ChargeTxnBegin() {
+    ++clock_->metrics.txn_begins;
+    clock_->clock_ns += model_.txn_begin_ns;
+  }
+  /// Commit bookkeeping reuses the loader's commit charge; callers force the
+  /// redo log separately via ChargeRedoBytes.
+  void ChargeTxnCommit() {
+    ++clock_->metrics.txn_commits;
+    ++clock_->metrics.commits;
+    clock_->clock_ns += model_.commit_ns;
+  }
+  void ChargeTxnAbort() {
+    ++clock_->metrics.txn_aborts;
+    clock_->clock_ns += model_.txn_abort_ns;
+  }
+  void ChargeDeadlock() { ++clock_->metrics.deadlocks; }
+  void ChargeLockAcquire() {
+    ++clock_->metrics.lock_acquisitions;
+    clock_->clock_ns += model_.lock_acquire_ns;
+  }
+  /// A conflicting acquisition: the wait-for walk runs, then the caller
+  /// blocks for `wait_ns` of simulated time on the holder's release.
+  void ChargeLockWait(double wait_ns) {
+    ++clock_->metrics.lock_waits;
+    clock_->clock_ns += model_.deadlock_check_ns + wait_ns;
+    clock_->metrics.lock_wait_ns += static_cast<uint64_t>(wait_ns);
+  }
+  void ChargeUndoBytes(uint64_t bytes) {
+    clock_->metrics.undo_bytes += bytes;
+    ChargeLogBytes(bytes);
+  }
+  void ChargeRedoBytes(uint64_t bytes) {
+    clock_->metrics.redo_bytes += bytes;
+    ChargeLogBytes(bytes);
+  }
+  void ChargeLogicalUpdate() { ++clock_->metrics.logical_updates; }
+  void ChargeLogicalInsert() { ++clock_->metrics.logical_inserts; }
+  void ChargeLogicalDelete() { ++clock_->metrics.logical_deletes; }
+  void ChargeDirtyWriteback() { ++clock_->metrics.dirty_page_writebacks; }
+
   // ---- Memory model ----
   /// Registers a long-lived machine-level consumer (the page caches). May
   /// be negative. Deliberately NOT per-clock: every simulated workstation

@@ -31,6 +31,21 @@ RecordFile* ObjectStore::File(uint16_t file_id) {
   return it->second.get();
 }
 
+void ObjectStore::ResetFileCursors() {
+  const uint16_t live = cache_->disk()->file_count();
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first >= live) {
+      it = files_.erase(it);
+    } else {
+      it->second->ResetTailCursor();
+      ++it;
+    }
+  }
+  if (default_overflow_file_ != 0xFFFF && default_overflow_file_ >= live) {
+    default_overflow_file_ = 0xFFFF;  // recreated lazily on next demand
+  }
+}
+
 uint16_t ObjectStore::DefaultOverflowFile() {
   if (default_overflow_file_ == 0xFFFF) {
     default_overflow_file_ = cache_->disk()->CreateFile("__set_overflow");
@@ -244,6 +259,46 @@ void ObjectStore::UnrefBatch(std::span<ObjectHandle* const> handles) {
     }
   }
   sim_->ChargeHandleUnrefBatch(handles.size());
+}
+
+Status ObjectStore::DeleteRecord(const Rid& rid) {
+  // Walk the forwarding chain, deleting each stub, then the record itself.
+  Rid cur = rid;
+  bool found = false;
+  Rid canonical;
+  for (int hop = 0; hop < 8 && !found; ++hop) {
+    std::span<const uint8_t> rec;
+    TB_ASSIGN_OR_RETURN(rec, File(cur.file_id)->Read(cur));
+    if (rec.size() < object_layout::kFixedHeaderSize) {
+      return Status::Corruption("record too small for an object header");
+    }
+    bool forward = (rec[2] & object_layout::kFlagForward) != 0;
+    Rid next;
+    if (forward) {
+      next = Rid::DecodeFrom(rec.data() + object_layout::kFixedHeaderSize);
+    }
+    TB_RETURN_IF_ERROR(File(cur.file_id)->Delete(cur));
+    if (forward) {
+      cur = next;
+    } else {
+      canonical = cur;
+      found = true;
+    }
+  }
+  if (!found) return Status::Corruption("forwarding chain too long");
+
+  uint64_t key = canonical.Packed();
+  auto it = ht_->handles.find(key);
+  if (it != ht_->handles.end()) {
+    ht_->handles.erase(it);
+    sim_->AddHandleMemory(-static_cast<int64_t>(sim_->HandleBytes()));
+  }
+  // Stale zombie-deque entries for `key` are harmless: collection passes
+  // skip keys with no handle entry.
+  for (auto a = ht_->alias.begin(); a != ht_->alias.end();) {
+    a = (a->second == key) ? ht_->alias.erase(a) : std::next(a);
+  }
+  return Status::OK();
 }
 
 void ObjectStore::MaybeCollectZombies() {

@@ -129,6 +129,13 @@ class ObjectStore {
                    const std::vector<Rid>& elements,
                    uint16_t set_overflow_file = 0xFFFF);
 
+  /// Deletes the object's record, plus any forwarding stubs along the
+  /// chain, and drops its resident handle and aliases. Extent, index and
+  /// relationship cleanup is the caller's job (Database-level delete,
+  /// src/query/dml.cc). Overflow set/string records stay allocated until
+  /// the next DumpAndReload — O2 reclaims dead space on reorganization.
+  Status DeleteRecord(const Rid& rid);
+
   // ---- Index header maintenance ----
   /// Records index membership in the object header. When the header has no
   /// slot (object created unindexed), the object is *relocated*: a bigger
@@ -170,10 +177,11 @@ class ObjectStore {
 
   /// Re-derives every cached RecordFile append cursor from the disk's
   /// current page counts. Must be called after a disk rollback truncates
-  /// files, or appends would target pages past the new end of file.
-  void ResetFileCursors() {
-    for (auto& [id, file] : files_) file->ResetTailCursor();
-  }
+  /// files, or appends would target pages past the new end of file. A
+  /// rollback can also delete files born inside the aborted transaction
+  /// (e.g. a lazily created set-overflow file), so cached RecordFiles and
+  /// the overflow-file id are dropped when their id no longer resolves.
+  void ResetFileCursors();
 
  private:
   /// Reads the object record, following forwards; returns the canonical

@@ -47,7 +47,121 @@ Status NarrowRange(oql::CompareOp op, int64_t literal, int64_t* lo,
   return Status::Internal("unknown comparison");
 }
 
+/// DML conditions are bare attribute names (`mrn >= 5`); normalizes the
+/// condition list into one [lo, hi) range on a single int32 attribute.
+/// Mirrors the selection binding, minus the range variable.
+Status BindDmlRange(const ClassDef& cls,
+                    const std::vector<oql::Condition>& conditions,
+                    size_t* key_attr, int64_t* lo, int64_t* hi,
+                    bool* unbounded) {
+  if (conditions.empty()) {
+    *unbounded = true;
+    *key_attr = 0;
+    return Status::OK();
+  }
+  bool have_attr = false;
+  for (const auto& cond : conditions) {
+    if (!cond.path.attr.empty()) {
+      return Status::InvalidArgument(
+          "DML conditions use bare attribute names, got " +
+          cond.path.ToString());
+    }
+    size_t attr = 0;
+    TB_ASSIGN_OR_RETURN(attr, cls.AttrIndex(cond.path.var));
+    if (!have_attr) {
+      *key_attr = attr;
+      have_attr = true;
+    } else if (attr != *key_attr) {
+      return Status::Unimplemented(
+          "DML predicates must range over a single attribute");
+    }
+    if (cls.attr(attr).type != AttrType::kInt32) {
+      return Status::Unimplemented("only int32 predicates are supported");
+    }
+    TB_RETURN_IF_ERROR(NarrowRange(cond.op, cond.literal, lo, hi));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Result<BoundDml> BindDml(Database* db, const oql::Statement& stmt) {
+  switch (stmt.kind) {
+    case oql::StatementKind::kUpdate: {
+      const oql::UpdateStatement& u = stmt.update;
+      BoundUpdate out;
+      out.collection = u.collection;
+      TB_ASSIGN_OR_RETURN(out.class_id, CollectionClass(db, u.collection));
+      const ClassDef& cls = db->schema().GetClass(out.class_id);
+      for (const oql::SetClause& s : u.sets) {
+        size_t attr = 0;
+        TB_ASSIGN_OR_RETURN(attr, cls.AttrIndex(s.attr));
+        if (cls.attr(attr).type != AttrType::kInt32) {
+          return Status::Unimplemented(
+              "only int32 attributes are updatable: " + s.attr);
+        }
+        out.sets.emplace_back(attr, static_cast<int32_t>(s.value));
+      }
+      if (out.sets.empty()) {
+        return Status::InvalidArgument("update without set clauses");
+      }
+      TB_RETURN_IF_ERROR(BindDmlRange(cls, u.conditions, &out.key_attr,
+                                      &out.lo, &out.hi, &out.unbounded));
+      return BoundDml(std::move(out));
+    }
+    case oql::StatementKind::kInsert: {
+      const oql::InsertStatement& ins = stmt.insert;
+      BoundInsert out;
+      out.collection = ins.collection;
+      TB_ASSIGN_OR_RETURN(out.class_id, CollectionClass(db, ins.collection));
+      const ClassDef& cls = db->schema().GetClass(out.class_id);
+      out.data.reserve(cls.attr_count());
+      for (size_t a = 0; a < cls.attr_count(); ++a) {
+        switch (cls.attr(a).type) {
+          case AttrType::kInt32:
+            out.data.emplace_back(int32_t{0});
+            break;
+          case AttrType::kChar:
+            out.data.emplace_back(char{' '});
+            break;
+          case AttrType::kString:
+            out.data.emplace_back(std::string{});
+            break;
+          case AttrType::kRef:
+            out.data.emplace_back(kNilRid);
+            break;
+          case AttrType::kRefSet:
+            out.data.emplace_back(std::vector<Rid>{});
+            break;
+        }
+      }
+      for (const oql::SetClause& f : ins.fields) {
+        size_t attr = 0;
+        TB_ASSIGN_OR_RETURN(attr, cls.AttrIndex(f.attr));
+        if (cls.attr(attr).type != AttrType::kInt32) {
+          return Status::Unimplemented(
+              "insert fields must be int32 attributes: " + f.attr);
+        }
+        out.data[attr] = static_cast<int32_t>(f.value);
+      }
+      return BoundDml(std::move(out));
+    }
+    case oql::StatementKind::kDelete: {
+      const oql::DeleteStatement& d = stmt.del;
+      BoundDelete out;
+      out.collection = d.collection;
+      TB_ASSIGN_OR_RETURN(out.class_id, CollectionClass(db, d.collection));
+      const ClassDef& cls = db->schema().GetClass(out.class_id);
+      TB_RETURN_IF_ERROR(BindDmlRange(cls, d.conditions, &out.key_attr,
+                                      &out.lo, &out.hi, &out.unbounded));
+      return BoundDml(std::move(out));
+    }
+    case oql::StatementKind::kSelect:
+      return Status::InvalidArgument(
+          "BindDml called on a select statement; use Bind");
+  }
+  return Status::Internal("unknown statement kind");
+}
 
 Result<BoundQuery> Bind(Database* db, const oql::Query& query) {
   if (query.ranges.empty() || query.ranges.size() > 2) {

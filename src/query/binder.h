@@ -30,6 +30,38 @@ struct BoundTreeQuery {
 
 using BoundQuery = std::variant<BoundSelection, BoundTreeQuery>;
 
+/// A bound update: rewrite `sets` on every member with key in [lo, hi).
+struct BoundUpdate {
+  std::string collection;
+  uint16_t class_id = 0;
+  /// (attribute position, new value) pairs, all int32 attributes.
+  std::vector<std::pair<size_t, int32_t>> sets;
+  size_t key_attr = 0;
+  int64_t lo = INT64_MIN + 1;
+  int64_t hi = INT64_MAX;
+  bool unbounded = false;
+};
+
+/// A bound insert: a fully materialized ObjectData (defaults filled in for
+/// unlisted attributes) ready for ObjectStore::CreateObject.
+struct BoundInsert {
+  std::string collection;
+  uint16_t class_id = 0;
+  ObjectData data;
+};
+
+/// A bound delete: remove every member with key in [lo, hi).
+struct BoundDelete {
+  std::string collection;
+  uint16_t class_id = 0;
+  size_t key_attr = 0;
+  int64_t lo = INT64_MIN + 1;
+  int64_t hi = INT64_MAX;
+  bool unbounded = false;
+};
+
+using BoundDml = std::variant<BoundUpdate, BoundInsert, BoundDelete>;
+
 /// Resolves an OQL AST against the catalog: collections to classes,
 /// attribute names to positions, dependent ranges to relationship
 /// attributes (using the schema's ODMG inverse declarations), and
@@ -40,6 +72,12 @@ using BoundQuery = std::variant<BoundSelection, BoundTreeQuery>;
 /// one int predicate per variable and a tuple(parent attr, child attr)
 /// projection.
 Result<BoundQuery> Bind(Database* db, const oql::Query& query);
+
+/// Resolves a DML statement (update/insert/delete) against the catalog:
+/// collection to class, bare attribute names to positions, predicates to a
+/// half-open int range on one attribute, insert fields to an ObjectData
+/// with type defaults. The statement must not be a select.
+Result<BoundDml> BindDml(Database* db, const oql::Statement& stmt);
 
 }  // namespace treebench
 

@@ -1,0 +1,47 @@
+#ifndef TREEBENCH_QUERY_DML_H_
+#define TREEBENCH_QUERY_DML_H_
+
+#include <string>
+
+#include "src/catalog/database.h"
+#include "src/common/status.h"
+#include "src/query/binder.h"
+#include "src/txn/txn_manager.h"
+
+namespace treebench {
+
+/// Outcome of one DML statement.
+struct DmlStats {
+  /// Objects satisfying the predicate (1 for inserts).
+  uint64_t matched = 0;
+  /// Objects written / inserted / deleted.
+  uint64_t affected = 0;
+  /// True when the predicate was evaluated through an index range scan.
+  bool used_index = false;
+};
+
+/// Executes a bound DML statement (docs/transaction_model.md).
+///
+/// With a TxnManager the caller must have a transaction active: every write
+/// is recorded in its undo/redo log before it is applied, and page accesses
+/// go through the manager's lock hook. With `txns == nullptr` writes apply
+/// directly — the single-threaded oracle mode the differential tests
+/// compare against (tests/txn_differential_test.cc).
+///
+/// Updates collect matching rids first, then apply — an index range scan
+/// never observes its own writes (the classic Halloween problem). Deletes
+/// detach ODMG inverse relationships, drop index entries recorded in the
+/// object header, delete the record and swap-remove the extent slot.
+/// Inserts place the record in the collection's existing file and maintain
+/// declared indexes via Database::NotifyInsert.
+Result<DmlStats> RunDml(Database* db, TxnManager* txns, const BoundDml& dml);
+
+/// Parses, binds and runs one DML statement. With a TxnManager the
+/// statement runs as its own transaction (Begin/Commit, Abort on error);
+/// without one it applies directly.
+Result<DmlStats> ExecuteDml(Database* db, TxnManager* txns,
+                            const std::string& statement);
+
+}  // namespace treebench
+
+#endif  // TREEBENCH_QUERY_DML_H_

@@ -55,6 +55,47 @@ struct Query {
   std::vector<Condition> conditions;
 };
 
+/// `attr = value` (update SET list) or `attr: value` (insert field list).
+/// DML values are integer literals — the workload's updates rewrite int32
+/// attributes (docs/transaction_model.md).
+struct SetClause {
+  std::string attr;
+  int64_t value = 0;
+};
+
+/// update <Collection> set a = v, ... [where conds]. Conditions use bare
+/// attribute names (no range variable): `where mrn >= 5 and mrn < 10`.
+struct UpdateStatement {
+  std::string collection;
+  std::vector<SetClause> sets;
+  std::vector<Condition> conditions;
+};
+
+/// insert into <Collection> (attr: v, ...). Unlisted attributes take their
+/// type's default (0 / ' ' / "" / nil / empty set).
+struct InsertStatement {
+  std::string collection;
+  std::vector<SetClause> fields;
+};
+
+/// delete from <Collection> [where conds].
+struct DeleteStatement {
+  std::string collection;
+  std::vector<Condition> conditions;
+};
+
+enum class StatementKind { kSelect, kUpdate, kInsert, kDelete };
+
+/// One OQL statement: a query or one of the three DML forms. Only the
+/// member matching `kind` is meaningful.
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  Query select;
+  UpdateStatement update;
+  InsertStatement insert;
+  DeleteStatement del;
+};
+
 }  // namespace treebench::oql
 
 #endif  // TREEBENCH_QUERY_OQL_AST_H_

@@ -42,6 +42,11 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       else if (lower == "in") kind = TokenKind::kIn;
       else if (lower == "and") kind = TokenKind::kAnd;
       else if (lower == "tuple") kind = TokenKind::kTuple;
+      else if (lower == "update") kind = TokenKind::kUpdate;
+      else if (lower == "set") kind = TokenKind::kSet;
+      else if (lower == "insert") kind = TokenKind::kInsert;
+      else if (lower == "into") kind = TokenKind::kInto;
+      else if (lower == "delete") kind = TokenKind::kDelete;
       out.push_back(Token{kind, word, 0, start});
       i = j;
       continue;

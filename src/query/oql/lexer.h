@@ -20,6 +20,11 @@ enum class TokenKind {
   kIn,
   kAnd,
   kTuple,
+  kUpdate,
+  kSet,
+  kInsert,
+  kInto,
+  kDelete,
   kComma,
   kDot,
   kColon,

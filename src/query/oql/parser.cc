@@ -39,12 +39,39 @@ class Parser {
     TB_RETURN_IF_ERROR(ParseRanges(&q));
     if (Peek().kind == TokenKind::kWhere) {
       Advance();
-      TB_RETURN_IF_ERROR(ParseConditions(&q));
+      TB_RETURN_IF_ERROR(ParseConditions(&q.conditions));
     }
     if (Peek().kind != TokenKind::kEnd) {
       return Err("trailing input");
     }
     return q;
+  }
+
+  Result<Statement> ParseOneStatement() {
+    Statement stmt;
+    switch (Peek().kind) {
+      case TokenKind::kUpdate:
+        stmt.kind = StatementKind::kUpdate;
+        TB_RETURN_IF_ERROR(ParseUpdate(&stmt.update));
+        break;
+      case TokenKind::kInsert:
+        stmt.kind = StatementKind::kInsert;
+        TB_RETURN_IF_ERROR(ParseInsert(&stmt.insert));
+        break;
+      case TokenKind::kDelete:
+        stmt.kind = StatementKind::kDelete;
+        TB_RETURN_IF_ERROR(ParseDelete(&stmt.del));
+        break;
+      default: {
+        stmt.kind = StatementKind::kSelect;
+        TB_ASSIGN_OR_RETURN(stmt.select, ParseQuery());
+        return stmt;  // ParseQuery consumes kEnd itself
+      }
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("trailing input");
+    }
+    return stmt;
   }
 
  private:
@@ -131,7 +158,76 @@ class Parser {
     }
   }
 
-  Status ParseConditions(Query* q) {
+  /// update <Collection> set <attr> = <int> (',' <attr> = <int>)*
+  /// [where conds]
+  Status ParseUpdate(UpdateStatement* u) {
+    TB_RETURN_IF_ERROR(Expect(TokenKind::kUpdate));
+    if (Peek().kind != TokenKind::kIdent) return Err("expected collection");
+    u->collection = Advance().text;
+    TB_RETURN_IF_ERROR(Expect(TokenKind::kSet));
+    while (true) {
+      SetClause clause;
+      if (Peek().kind != TokenKind::kIdent) return Err("expected attribute");
+      clause.attr = Advance().text;
+      TB_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      if (Peek().kind != TokenKind::kInt) {
+        return Err("expected integer literal");
+      }
+      clause.value = Advance().value;
+      u->sets.push_back(std::move(clause));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Peek().kind == TokenKind::kWhere) {
+      Advance();
+      TB_RETURN_IF_ERROR(ParseConditions(&u->conditions));
+    }
+    return Status::OK();
+  }
+
+  /// insert into <Collection> '(' <attr> ':' <int> (',' ...)* ')'
+  Status ParseInsert(InsertStatement* ins) {
+    TB_RETURN_IF_ERROR(Expect(TokenKind::kInsert));
+    TB_RETURN_IF_ERROR(Expect(TokenKind::kInto));
+    if (Peek().kind != TokenKind::kIdent) return Err("expected collection");
+    ins->collection = Advance().text;
+    TB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    while (true) {
+      SetClause field;
+      if (Peek().kind != TokenKind::kIdent) return Err("expected attribute");
+      field.attr = Advance().text;
+      TB_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+      if (Peek().kind != TokenKind::kInt) {
+        return Err("expected integer literal");
+      }
+      field.value = Advance().value;
+      ins->fields.push_back(std::move(field));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Expect(TokenKind::kRParen);
+  }
+
+  /// delete from <Collection> [where conds]
+  Status ParseDelete(DeleteStatement* d) {
+    TB_RETURN_IF_ERROR(Expect(TokenKind::kDelete));
+    TB_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+    if (Peek().kind != TokenKind::kIdent) return Err("expected collection");
+    d->collection = Advance().text;
+    if (Peek().kind == TokenKind::kWhere) {
+      Advance();
+      TB_RETURN_IF_ERROR(ParseConditions(&d->conditions));
+    }
+    return Status::OK();
+  }
+
+  Status ParseConditions(std::vector<Condition>* out) {
     while (true) {
       Condition cond;
       if (Peek().kind == TokenKind::kInt) {
@@ -166,7 +262,7 @@ class Parser {
         }
         cond.literal = Advance().value;
       }
-      q->conditions.push_back(cond);
+      out->push_back(cond);
       if (Peek().kind == TokenKind::kAnd) {
         Advance();
         continue;
@@ -208,6 +304,13 @@ Result<Query> Parse(const std::string& input) {
   TB_ASSIGN_OR_RETURN(tokens, Tokenize(input));
   Parser parser(std::move(tokens));
   return parser.ParseQuery();
+}
+
+Result<Statement> ParseStatement(const std::string& input) {
+  std::vector<Token> tokens;
+  TB_ASSIGN_OR_RETURN(tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseOneStatement();
 }
 
 }  // namespace treebench::oql

@@ -27,6 +27,25 @@ namespace treebench::oql {
 ///   op         := '<' | '<=' | '>' | '>=' | '='
 Result<Query> Parse(const std::string& input);
 
+/// Parses one statement: a query, or one of the DML forms
+/// (docs/transaction_model.md):
+///
+///   update Patients set random_integer = 7 where mrn >= 10 and mrn < 20
+///   insert into Patients (mrn: 500, age: 41, num: 12345)
+///   delete from Patients where mrn = 500
+///
+/// Grammar:
+///   statement := query | update | insert | delete
+///   update    := UPDATE ident SET set (',' set)* [WHERE conds]
+///   set       := ident '=' int
+///   insert    := INSERT INTO ident '(' field (',' field)* ')'
+///   field     := ident ':' int
+///   delete    := DELETE FROM ident [WHERE conds]
+///
+/// DML conditions use bare attribute names (`where mrn >= 5`), not range
+/// variables.
+Result<Statement> ParseStatement(const std::string& input);
+
 }  // namespace treebench::oql
 
 #endif  // TREEBENCH_QUERY_OQL_PARSER_H_

@@ -1,5 +1,6 @@
 #include "src/storage/disk_manager.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -101,27 +102,50 @@ void DiskManager::JournalPageWrite(uint16_t file_id, uint32_t page_id) {
   undo_images_.emplace(key, std::move(img));
 }
 
+bool DiskManager::WouldJournal(uint16_t file_id, uint32_t page_id) const {
+  if (!undo_open_) return false;
+  if (file_id >= undo_base_pages_.size()) return false;
+  if (page_id >= undo_base_pages_[file_id]) return false;
+  return undo_images_.count(PageKey(file_id, page_id)) == 0;
+}
+
 void DiskManager::CommitUndoEpoch() {
   undo_open_ = false;
   undo_images_.clear();
   undo_base_pages_.clear();
 }
 
-void DiskManager::RollbackUndoEpoch() {
+std::vector<uint64_t> DiskManager::RollbackUndoEpoch() {
   TB_CHECK(undo_open_);
+  std::vector<uint64_t> affected;
+  affected.reserve(undo_images_.size());
   for (auto& [key, img] : undo_images_) {
     uint16_t file_id = static_cast<uint16_t>(key >> 32);
     uint32_t page_id = static_cast<uint32_t>(key);
     std::memcpy(files_[file_id].pages[page_id].get(), img.get(), kPageSize);
+    affected.push_back(key);
   }
   for (size_t i = 0; i < files_.size(); ++i) {
     uint32_t base =
         i < undo_base_pages_.size() ? undo_base_pages_[i] : 0;
+    for (size_t p = base; p < files_[i].pages.size(); ++p) {
+      affected.push_back(PageKey(static_cast<uint16_t>(i),
+                                 static_cast<uint32_t>(p)));
+    }
     if (files_[i].pages.size() > base) files_[i].pages.resize(base);
+  }
+  // Files born inside the epoch disappear entirely — an aborted insert must
+  // not leave an empty zombie file behind, or the rolled-back image would
+  // differ from the pre-transaction one. Their page keys were pushed above
+  // (base == 0), so the caller still discards any cached copies.
+  if (files_.size() > undo_base_pages_.size()) {
+    files_.resize(undo_base_pages_.size());
   }
   undo_open_ = false;
   undo_images_.clear();
   undo_base_pages_.clear();
+  std::sort(affected.begin(), affected.end());
+  return affected;
 }
 
 }  // namespace treebench

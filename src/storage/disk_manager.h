@@ -71,13 +71,24 @@ class DiskManager {
   /// after epoch begin need no pre-image (rollback truncates them away).
   void JournalPageWrite(uint16_t file_id, uint32_t page_id);
 
+  /// True if a write to this page would capture a fresh pre-image now: an
+  /// epoch is open, the page existed at epoch begin, and no pre-image is
+  /// held yet. The TxnManager uses this to charge undo-log volume exactly
+  /// when the journal grows (docs/transaction_model.md).
+  bool WouldJournal(uint16_t file_id, uint32_t page_id) const;
+
+  /// Pre-images currently held by the open epoch.
+  size_t UndoImageCount() const { return undo_images_.size(); }
+
   /// Declares the epoch's work durable; pre-images are discarded.
   void CommitUndoEpoch();
 
   /// Restores all journaled pre-images and truncates every file to its page
   /// count at epoch begin (files created after begin shrink to zero pages
-  /// but keep their ids). Closes the epoch.
-  void RollbackUndoEpoch();
+  /// but keep their ids). Closes the epoch. Returns every affected page key
+  /// ((file_id << 32) | page_id, sorted) — restored pre-images plus
+  /// truncated pages — so the caller can discard stale cached copies.
+  std::vector<uint64_t> RollbackUndoEpoch();
 
  private:
   struct FileInfo {

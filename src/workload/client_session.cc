@@ -41,10 +41,29 @@ ClientSession::ClientSession(uint32_t id, const WorkloadSpec& spec,
 
 GeneratedQuery ClientSession::NextQuery() {
   GeneratedQuery q;
+  char buf[256];
+  // The update draw is guarded so a ratio-0 spec consumes ZERO rng
+  // positions here — that is what keeps read-only workloads bit-identical
+  // to the pre-transaction engine (tests/workload_test.cc asserts it).
+  if (spec_.update_ratio > 0 && rng_.OneIn(spec_.update_ratio)) {
+    q.is_update = true;
+    // Updates target the same Zipf-chosen mrn windows the selections read,
+    // so readers and writers collide on the hot head ranges.
+    uint64_t window = zipf_.Next();
+    int64_t lo = static_cast<int64_t>(window) * window_width_;
+    int64_t hi = std::min<int64_t>(
+        lo + window_width_, static_cast<int64_t>(derby_.meta.num_patients));
+    int32_t value = static_cast<int32_t>(rng_.Next() % 1000000);
+    std::snprintf(buf, sizeof(buf),
+                  "update Patients set random_integer = %lld "
+                  "where mrn >= %lld and mrn < %lld",
+                  (long long)value, (long long)lo, (long long)hi);
+    q.oql = buf;
+    return q;
+  }
   // The mix draw happens unconditionally so the selection parameters that
   // follow consume a stable position in the stream.
   q.is_tree = rng_.OneIn(spec_.tree_query_fraction);
-  char buf[256];
   if (q.is_tree) {
     std::snprintf(buf, sizeof(buf),
                   "select tuple(n: p.name, a: pa.age) "

@@ -16,10 +16,12 @@
 namespace treebench {
 
 /// What one client submits next: the OQL text plus whether it is the tree
-/// query (drives forced-plan selection).
+/// query (drives forced-plan selection) or an update statement (routed
+/// through the transaction path).
 struct GeneratedQuery {
   std::string oql;
   bool is_tree = false;
+  bool is_update = false;
 };
 
 /// One closed-loop client of a multi-client workload: its own virtual clock

@@ -10,6 +10,7 @@
 #include "src/cost/server_station.h"
 #include "src/cost/station_registry.h"
 #include "src/query/binder.h"
+#include "src/query/dml.h"
 #include "src/query/executor.h"
 #include "src/query/oql/parser.h"
 #include "src/query/optimizer.h"
@@ -62,6 +63,10 @@ Status ValidateSpec(const WorkloadSpec& spec) {
     return Status::InvalidArgument(
         "workload: tree_query_fraction must be in [0, 1]");
   }
+  if (spec.update_ratio < 0 || spec.update_ratio > 1) {
+    return Status::InvalidArgument(
+        "workload: update_ratio must be in [0, 1]");
+  }
   if (spec.selection_pct <= 0 || spec.selection_pct > 100) {
     return Status::InvalidArgument(
         "workload: selection_pct must be in (0, 100]");
@@ -89,6 +94,9 @@ Status ValidateSpec(const WorkloadSpec& spec) {
 struct PreparedQuery {
   BoundQuery bound = BoundSelection{};
   PlanChoice plan;
+  /// Set for update statements: they carry a BoundDml instead of a plan.
+  bool is_dml = false;
+  BoundDml dml = BoundUpdate{};
 };
 
 /// Telemetry state threaded through the event loop. `probe_now` is the
@@ -103,8 +111,9 @@ struct TelemetryHooks {
 /// Registers every probe column on the recorder. All lambdas only read
 /// session / cache / station state; none touches the SimContext.
 void InstallProbes(WorkloadTelemetry* t, Database* db,
+                   const WorkloadSpec& spec,
                    const std::vector<std::unique_ptr<ClientSession>>& sessions,
-                   const StationRegistry& stations, TelemetryHooks* hooks) {
+                   const StationRegistry& stations) {
   t->series.set_interval_ns(t->sample_interval_ns);
   auto sum_counter = [&sessions](uint64_t Metrics::* field) {
     uint64_t total = 0;
@@ -184,6 +193,32 @@ void InstallProbes(WorkloadTelemetry* t, Database* db,
       return static_cast<double>(sum_counter(&Metrics::degraded_reads));
     });
   }
+  // Transaction probes, only for update-mix specs so read-only runs keep
+  // their exact column set (the update_ratio=0 bit-identity gate).
+  if (spec.update_ratio > 0) {
+    t->series.AddGauge("txn_commits", [sum_counter] {
+      return static_cast<double>(sum_counter(&Metrics::txn_commits));
+    });
+    t->series.AddGauge("txn_aborts", [sum_counter] {
+      return static_cast<double>(sum_counter(&Metrics::txn_aborts));
+    });
+    t->series.AddGauge("deadlocks", [sum_counter] {
+      return static_cast<double>(sum_counter(&Metrics::deadlocks));
+    });
+    t->series.AddGauge("lock_wait_s", [sum_counter] {
+      return sum_counter(&Metrics::lock_wait_ns) / 1e9;
+    });
+    t->series.AddGauge("undo_bytes", [sum_counter] {
+      return static_cast<double>(sum_counter(&Metrics::undo_bytes));
+    });
+    t->series.AddGauge("redo_bytes", [sum_counter] {
+      return static_cast<double>(sum_counter(&Metrics::redo_bytes));
+    });
+    t->series.AddGauge("dirty_writebacks", [sum_counter] {
+      return static_cast<double>(
+          sum_counter(&Metrics::dirty_page_writebacks));
+    });
+  }
   t->series.AddGauge("resident_handles", [&sessions] {
     uint64_t n = 0;
     for (const auto& s : sessions) n += s->handles.handles.size();
@@ -223,6 +258,13 @@ void InstallProbes(WorkloadTelemetry* t, Database* db,
 Result<PreparedQuery> Prepare(Database* db, const WorkloadSpec& spec,
                               const GeneratedQuery& gq) {
   PreparedQuery prep;
+  if (gq.is_update) {
+    prep.is_dml = true;
+    oql::Statement stmt;
+    TB_ASSIGN_OR_RETURN(stmt, oql::ParseStatement(gq.oql));
+    TB_ASSIGN_OR_RETURN(prep.dml, BindDml(db, stmt));
+    return prep;
+  }
   oql::Query ast;
   TB_ASSIGN_OR_RETURN(ast, oql::Parse(gq.oql));
   TB_ASSIGN_OR_RETURN(prep.bound, Bind(db, ast));
@@ -240,9 +282,33 @@ Result<PreparedQuery> Prepare(Database* db, const WorkloadSpec& spec,
 /// The discrete-event loop: pop the (time, client) pair with the smallest
 /// time (ties by client id — total determinism), run that client's next
 /// query atomically under its bindings, push its next event.
+/// Runs one prepared update statement as its own transaction on the bound
+/// session: Begin (client-attributed), the DML body under the lock hook,
+/// Commit — or Abort (rollback through the undo log) when the body fails.
+/// Returns whether the statement committed; Begin/Abort machinery failures
+/// are engine bugs and surface as hard errors through *hard_error.
+bool RunUpdateTxn(Database* db, TxnManager* txns, const PreparedQuery& prep,
+                  uint32_t client_id, Status* hard_error) {
+  Result<Transaction*> txn = txns->Begin(client_id);
+  if (!txn.ok()) {
+    *hard_error = txn.status();
+    return false;
+  }
+  Result<DmlStats> ran = RunDml(db, txns, prep.dml);
+  if (ran.ok()) {
+    Status commit = txns->Commit(*txn);
+    if (commit.ok()) return true;
+    *hard_error = commit;
+    return false;
+  }
+  Status abort = txns->Abort(*txn);
+  if (!abort.ok()) *hard_error = abort;
+  return false;
+}
+
 Status RunEventLoop(Database* db, const WorkloadSpec& spec,
                     const std::vector<std::unique_ptr<ClientSession>>& sessions,
-                    TelemetryHooks* hooks) {
+                    TxnManager* txns, TelemetryHooks* hooks) {
   using Event = std::pair<double, uint32_t>;  // (virtual ns, client id)
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
   for (const auto& s : sessions) heap.emplace(0.0, s->id());
@@ -287,18 +353,24 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
     // charges happened, the result never arrived.
     const double t0 = prep_ok ? s->clock.clock_ns : prep_start_ns;
     const Metrics m0 = prep_ok ? s->clock.metrics : prep_start_metrics;
-    const bool ok = prep_ok && RunBoundPlan(db, prep.bound, prep.plan,
-                                            /*cold=*/false)
-                                   .ok();
+    bool ok = false;
+    if (prep_ok && prep.is_dml) {
+      Status hard_error = Status::OK();
+      ok = RunUpdateTxn(db, txns, prep, id, &hard_error);
+      if (!hard_error.ok()) return hard_error;
+    } else if (prep_ok) {
+      ok = RunBoundPlan(db, prep.bound, prep.plan, /*cold=*/false).ok();
+    }
     const double t1 = s->clock.clock_ns;
 
     if (hooks->t != nullptr) {
       // Record the slice / latency / sample BEFORE the report bookkeeping so
       // the running histogram matches the report's at every completion.
       hooks->probe_now = std::max(hooks->probe_now, t1);
-      hooks->t->query_slices.push_back({/*track=*/id + 1,
-                                        gq.is_tree ? "tree" : "selection", t0,
-                                        t1 - t0});
+      hooks->t->query_slices.push_back(
+          {/*track=*/id + 1,
+           gq.is_update ? "update" : (gq.is_tree ? "tree" : "selection"), t0,
+           t1 - t0});
       const bool will_measure =
           s->queries_issued >= spec.warmup_queries_per_client;
       if (will_measure && ok) hooks->t->running_latencies.Record(t1 - t0);
@@ -532,10 +604,21 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
     for (uint32_t i = 0; i < stations.size(); ++i) {
       stations.Station(i).set_service_log(&telemetry->server_service[i]);
     }
-    InstallProbes(telemetry, db, sessions, stations, &hooks);
+    InstallProbes(telemetry, db, spec, sessions, stations);
   }
 
-  Status loop_status = RunEventLoop(db, spec, sessions, &hooks);
+  // Transaction machinery exists for the run ONLY when the mix has updates:
+  // a ratio-0 spec binds no lock hook and allocates no manager, so the
+  // read-only engine runs the exact code path it always did.
+  std::unique_ptr<TxnManager> txns;
+  if (spec.update_ratio > 0) {
+    txns = std::make_unique<TxnManager>(db);
+    txns->Install();
+  }
+
+  Status loop_status = RunEventLoop(db, spec, sessions, txns.get(), &hooks);
+
+  if (txns != nullptr) txns->Uninstall();
 
   if (telemetry != nullptr) {
     // Final sample at the last completion, then detach the probes — they

@@ -67,6 +67,11 @@ std::string WorkloadReport::ToJson() const {
   AppendKV(&out, "    ", "seed", spec.seed);
   AppendKV(&out, "    ", "zipf_theta", spec.zipf_theta);
   AppendKV(&out, "    ", "tree_query_fraction", spec.tree_query_fraction);
+  // Emitted only for update-mix specs so read-only reports keep their exact
+  // byte shape (the update_ratio=0 bit-identity gate).
+  if (spec.update_ratio > 0) {
+    AppendKV(&out, "    ", "update_ratio", spec.update_ratio);
+  }
   AppendKV(&out, "    ", "selection_pct", spec.selection_pct);
   AppendKV(&out, "    ", "think_time_ns", spec.think_time_ns);
   AppendKV(&out, "    ", "cold_start", uint64_t{spec.cold_start ? 1u : 0u});

@@ -47,6 +47,15 @@ struct WorkloadSpec {
   /// range selections on Patients.mrn.
   double tree_query_fraction = 0;
 
+  /// Probability that a client's next statement is an update transaction
+  /// (`update Patients set random_integer = ... where mrn in [window)`)
+  /// instead of a query (docs/transaction_model.md). 0 — the default —
+  /// installs no transaction machinery at all and the run is bit-identical
+  /// to the read-only engine, counter for counter; > 0 wraps each update
+  /// in its own page-locked, undo/redo-logged transaction. The update draw
+  /// happens before the tree draw and consumes NO rng positions at ratio 0.
+  double update_ratio = 0;
+
   /// Selectivity (percent of Patients) of each range selection; the Zipf
   /// sampler picks WHICH window of the mrn domain is selected.
   double selection_pct = 1.0;

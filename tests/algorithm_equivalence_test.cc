@@ -19,9 +19,11 @@
 
 #include "src/benchdb/derby.h"
 #include "src/cost/trace.h"
+#include "src/query/dml.h"
 #include "src/query/executor.h"
 #include "src/query/explain.h"
 #include "src/query/tree_query.h"
+#include "src/txn/txn_manager.h"
 
 namespace treebench {
 namespace {
@@ -122,6 +124,46 @@ TEST_P(AlgorithmEquivalenceTest, BothOptimizerStrategiesAgree) {
     // Whatever plan the strategy picked, rerunning that algorithm with
     // capture must reproduce the baseline set.
     EXPECT_EQ(RunSorted(db, spec, ea.plan.algo), baseline);
+  }
+}
+
+// The equivalence property must survive committed update transactions: after
+// DML moves a window of patients below the child cutoff through the full
+// transactional path (locking, undo/redo logging, write-back commit —
+// docs/transaction_model.md), every algorithm must agree on the NEW result
+// set, which must differ from the pre-update baseline.
+TEST_P(AlgorithmEquivalenceTest, AllAlgorithmsAgreeAfterCommittedUpdates) {
+  auto derby = ParamDerby();
+  Database* db = derby->db.get();
+  TreeQuerySpec spec = DerbyTreeQuery(*derby, kChildSelPct, kParentSelPct);
+
+  std::vector<TuplePair> before = RunSorted(db, spec, TreeJoinAlgo::kNL);
+  ASSERT_GT(before.size(), 0u);
+
+  // Pull patients from just above the child cutoff to mrn 0: they newly
+  // satisfy `pa.mrn < child_hi`, so the join result grows.
+  const int64_t window =
+      std::max<int64_t>(8, static_cast<int64_t>(derby->meta.num_patients) / 10);
+  TxnManager txns(db);
+  txns.Install();
+  char stmt[160];
+  std::snprintf(stmt, sizeof(stmt),
+                "update Patients set mrn = 0 "
+                "where mrn >= %" PRId64 " and mrn < %" PRId64,
+                spec.child_hi, spec.child_hi + window);
+  Result<DmlStats> moved = ExecuteDml(db, &txns, stmt);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  ASSERT_GT(moved->affected, 0u);
+  txns.Uninstall();
+
+  std::vector<TuplePair> after = RunSorted(db, spec, TreeJoinAlgo::kNL);
+  EXPECT_GT(after.size(), before.size());
+  EXPECT_NE(after, before);
+  for (TreeJoinAlgo algo : kAlgos) {
+    if (algo == TreeJoinAlgo::kNL) continue;
+    std::vector<TuplePair> got = RunSorted(db, spec, algo);
+    EXPECT_EQ(got, after) << AlgoName(algo)
+                          << " result set differs after updates";
   }
 }
 

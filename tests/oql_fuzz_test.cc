@@ -31,14 +31,29 @@ const std::vector<std::string>& Corpus() {
       "select p.x from p in X where p.x > -5",
       "select tuple(a: p.x) from p in X where p.x >= 1 and p.y <= 2",
       "select a.b from a in X where a.b = 7",
+      // DML productions (docs/transaction_model.md).
+      "update Patients set random_integer = 7 where mrn >= 10 and mrn < 20",
+      "update X set a = 1, b = -2",
+      "insert into Patients (mrn: 500, age: 41, num: 12345)",
+      "delete from Patients where mrn = 500",
+      "delete from X",
       // Malformed seeds.
       "select from x in Y",
       "select a.b",
       "select a.b from a in X where a.b <",
       "select tuple(a p.x) from p in X",
+      "update Patients set where mrn = 1",
+      "insert into Patients (mrn 500)",
+      "delete Patients where mrn = 500",
   };
   return kCorpus;
 }
+
+// Number of leading well-formed corpus entries; the tail is deliberately
+// malformed. ParseStatement accepts exactly the first kValidSeeds,
+// oql::Parse only the leading SELECT queries.
+constexpr size_t kValidSeeds = 12;
+constexpr size_t kValidQuerySeeds = 7;
 
 // SplitMix64: the repo's standard seedable stream (FaultInjector uses the
 // same constants), identical on every platform.
@@ -84,9 +99,11 @@ std::string Mutate(std::string s, Rng& rng) {
       s.resize(rng.Below(s.size() + 1));
       break;
     default: {  // splice in a keyword, often where it does not belong
-      static const char* kTokens[] = {"select", "from", "in", "where", "and",
-                                      "tuple", "<=", ">=", "=", "9999999999"};
-      s.insert(rng.Below(s.size() + 1), kTokens[rng.Below(10)]);
+      static const char* kTokens[] = {"select", "from",   "in",    "where",
+                                      "and",    "tuple",  "<=",    ">=",
+                                      "=",      "9999999999",      "update",
+                                      "set",    "insert", "into",  "delete"};
+      s.insert(rng.Below(s.size() + 1), kTokens[rng.Below(15)]);
       break;
     }
   }
@@ -94,16 +111,21 @@ std::string Mutate(std::string s, Rng& rng) {
 }
 
 TEST(OqlFuzzTest, CorpusSeedsStillBehaveAsExpected) {
-  // Guard against corpus rot: the first seven seeds are valid queries, the
-  // rest are deliberately malformed.
+  // Guard against corpus rot: ParseStatement accepts every well-formed seed
+  // (queries AND DML), oql::Parse only the leading SELECT queries; the tail
+  // is deliberately malformed for both entry points.
   for (size_t i = 0; i < Corpus().size(); ++i) {
+    Result<oql::Statement> stmt = oql::ParseStatement(Corpus()[i]);
+    EXPECT_EQ(stmt.ok(), i < kValidSeeds)
+        << "corpus[" << i << "]: " << Corpus()[i];
     Result<oql::Query> got = oql::Parse(Corpus()[i]);
-    EXPECT_EQ(got.ok(), i < 7) << "corpus[" << i << "]: " << Corpus()[i];
+    EXPECT_EQ(got.ok(), i < kValidQuerySeeds)
+        << "corpus[" << i << "]: " << Corpus()[i];
   }
 }
 
 TEST(OqlFuzzTest, MutatedQueriesParseOrErrorButNeverCrash) {
-  uint64_t parsed = 0, rejected = 0;
+  uint64_t parsed = 0, rejected = 0, statements = 0;
   for (uint64_t seed = 1; seed <= 8; ++seed) {
     Rng rng(seed * 0x9e3779b97f4a7c15ull);
     for (const std::string& base : Corpus()) {
@@ -117,20 +139,35 @@ TEST(OqlFuzzTest, MutatedQueriesParseOrErrorButNeverCrash) {
         const uint64_t edits = 1 + rng.Below(2);
         for (uint64_t e = 0; e < edits; ++e) s = Mutate(std::move(s), rng);
         if (s.size() > 4096) s.resize(4096);  // keep mutants bounded
+        // Both entry points face every mutant. The only contract: a
+        // Result, cleanly ok or cleanly an error.
         Result<oql::Query> got = oql::Parse(s);
-        // The only contract: a Result, cleanly ok or cleanly an error.
         if (got.ok()) {
           ++parsed;
         } else {
           ++rejected;
           EXPECT_FALSE(got.status().ToString().empty());
         }
+        Result<oql::Statement> stmt = oql::ParseStatement(s);
+        if (stmt.ok()) {
+          ++statements;
+        } else {
+          EXPECT_FALSE(stmt.status().ToString().empty());
+        }
+        // Everything oql::Parse accepts, ParseStatement must accept too
+        // (it subsumes the query grammar).
+        if (got.ok()) {
+          EXPECT_TRUE(stmt.ok()) << s;
+        }
       }
     }
   }
-  // The fuzzer explored both sides of the parser.
+  // The fuzzer explored both sides of the parser, and the statement
+  // grammar's DML half survived mutation at least as often as the query
+  // half (its seeds are a third of the corpus).
   EXPECT_GT(parsed, 50u);
   EXPECT_GT(rejected, 500u);
+  EXPECT_GT(statements, parsed);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "src/query/executor.h"
 #include "src/query/oql/parser.h"
 #include "src/query/optimizer.h"
+#include "src/txn/txn_manager.h"
 #include "src/workload/client_session.h"
 #include "src/workload/sim_scheduler.h"
 
@@ -288,6 +289,72 @@ TEST(WorkloadTest, TelemetryArtifactsAreBitIdenticalAcrossSameSeedRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+// The transaction subsystem must be invisible when no updates run: an
+// update_ratio=0 report is byte-for-byte identical whether or not an idle
+// TxnManager sits in the page-access path, and a report from an
+// update-free run has the exact pre-feature byte shape (no update_ratio
+// key, no txn counter block). bench_update_mix enforces the same gate on
+// every CI run; this is the unit-level version.
+TEST(WorkloadTest, RatioZeroIsBitIdenticalWithIdleTxnManagerInstalled) {
+  auto derby_a = BuildSmallDerby();
+  auto derby_b = BuildSmallDerby();
+  WorkloadSpec spec = MixedSpec(4, 3);
+
+  auto plain = RunWorkload(derby_a.get(), spec);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  TxnManager idle(derby_b->db.get());
+  idle.Install();
+  auto hooked = RunWorkload(derby_b.get(), spec);
+  idle.Uninstall();
+  ASSERT_TRUE(hooked.ok()) << hooked.status().ToString();
+
+  EXPECT_EQ(plain->ToJson(), hooked->ToJson());
+  EXPECT_EQ(plain->ToJson().find("update_ratio"), std::string::npos);
+  EXPECT_EQ(plain->ToJson().find("txn_commits"), std::string::npos);
+  EXPECT_EQ(plain->totals.txn_begins, 0u);
+  EXPECT_EQ(plain->totals.lock_acquisitions, 0u);
+}
+
+TEST(WorkloadTest, UpdateMixRunsTransactionsDeterministically) {
+  WorkloadSpec spec = MixedSpec(4, 4);
+  spec.update_ratio = 0.5;
+
+  auto derby_a = BuildSmallDerby();
+  WorkloadTelemetry tel;
+  auto report = RunWorkload(derby_a.get(), spec, &tel);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The mix actually ran update transactions, and every one committed
+  // (the scheduler serializes transactions, so none can conflict).
+  const Metrics& t = report->totals;
+  EXPECT_GT(t.txn_commits, 0u);
+  EXPECT_EQ(t.txn_begins, t.txn_commits);
+  EXPECT_EQ(t.txn_aborts, 0u);
+  EXPECT_GT(t.logical_updates, 0u);
+  EXPECT_GT(t.lock_acquisitions, 0u);
+  EXPECT_GT(t.undo_bytes, 0u);
+  EXPECT_GT(t.redo_bytes, 0u);
+  EXPECT_GT(t.dirty_page_writebacks, 0u);
+  // The report exposes the mix it ran.
+  EXPECT_NE(report->ToJson().find("update_ratio"), std::string::npos);
+
+  // Updates appear as their own telemetry slice kind alongside reads.
+  bool saw_update = false, saw_read = false;
+  for (const auto& s : tel.query_slices) {
+    if (s.name == "update") saw_update = true;
+    if (s.name == "tree" || s.name == "selection") saw_read = true;
+  }
+  EXPECT_TRUE(saw_update);
+  EXPECT_TRUE(saw_read);
+
+  // Same seed, fresh database: the mixed run is exactly reproducible.
+  auto derby_b = BuildSmallDerby();
+  auto again = RunWorkload(derby_b.get(), spec);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(report->ToJson(), again->ToJson());
+}
+
 TEST(WorkloadTest, RejectsInvalidSpecs) {
   auto derby = BuildSmallDerby();
   WorkloadSpec spec = MixedSpec(0, 3);
@@ -299,6 +366,12 @@ TEST(WorkloadTest, RejectsInvalidSpecs) {
   EXPECT_FALSE(RunWorkload(derby.get(), spec).ok());
   spec = MixedSpec(2, 3);
   spec.tree_query_fraction = 1.5;
+  EXPECT_FALSE(RunWorkload(derby.get(), spec).ok());
+  spec = MixedSpec(2, 3);
+  spec.update_ratio = 1.5;
+  EXPECT_FALSE(RunWorkload(derby.get(), spec).ok());
+  spec = MixedSpec(2, 3);
+  spec.update_ratio = -0.1;
   EXPECT_FALSE(RunWorkload(derby.get(), spec).ok());
 }
 
