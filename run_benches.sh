@@ -40,7 +40,7 @@ for b in build/bench/bench_fig06_selection build/bench/bench_fig07_sorted_index 
          build/bench/bench_ablation_dump_reload build/bench/bench_ablation_cache_sizes \
          build/bench/bench_fault_campaign build/bench/bench_workload_scaleout \
          build/bench/bench_batch_ablation build/bench/bench_shard_scaleout \
-         build/bench/bench_update_mix; do
+         build/bench/bench_update_mix build/bench/bench_reclustering; do
   name=$(basename "$b")
   echo "===================== $b =====================" | tee -a "$OUT"
   "$b" "$@" "--stats-json=$JSON_DIR/$name.json" 2>&1 | tee -a "$OUT"

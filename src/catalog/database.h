@@ -121,6 +121,14 @@ class Database {
   // ---- Named collections (roots) ----
   Result<PersistentCollection*> CreateCollection(const std::string& name);
   Result<PersistentCollection*> GetCollection(const std::string& name);
+  /// Every named collection, in name order (stable): what the recluster
+  /// subsystem walks for its extent repairs.
+  std::vector<PersistentCollection*> AllCollections() {
+    std::vector<PersistentCollection*> out;
+    out.reserve(collections_.size());
+    for (auto& [name, col] : collections_) out.push_back(col.get());
+    return out;
+  }
 
   // ---- Indexes ----
   /// Creates an index over `collection` on int attribute `attr_name` of

@@ -6,7 +6,7 @@ namespace treebench {
 
 // Keeps the table in sync with the struct: adding a counter without listing
 // it here (and bumping this count) fails to compile.
-static_assert(sizeof(Metrics) == 56 * sizeof(uint64_t),
+static_assert(sizeof(Metrics) == 61 * sizeof(uint64_t),
               "new Metrics field? add it to MetricsFieldTable()");
 
 const std::vector<MetricsField>& MetricsFieldTable() {
@@ -67,6 +67,11 @@ const std::vector<MetricsField>& MetricsFieldTable() {
       {"undo_bytes", &Metrics::undo_bytes},
       {"redo_bytes", &Metrics::redo_bytes},
       {"dirty_page_writebacks", &Metrics::dirty_page_writebacks},
+      {"heat_samples", &Metrics::heat_samples},
+      {"pages_migrated", &Metrics::pages_migrated},
+      {"objects_migrated", &Metrics::objects_migrated},
+      {"migration_aborts", &Metrics::migration_aborts},
+      {"recluster_io_ns", &Metrics::recluster_io_ns},
   };
   return kFields;
 }
@@ -106,7 +111,9 @@ std::string Metrics::ToString() const {
       "txn: begins=%llu commits=%llu aborts=%llu deadlocks=%llu\n"
       "locks: acq=%llu waits=%llu wait_ns=%llu\n"
       "writes: upd=%llu ins=%llu del=%llu undo_b=%llu redo_b=%llu "
-      "dirty_wb=%llu",
+      "dirty_wb=%llu\n"
+      "recluster: heat_samples=%llu pages_migrated=%llu "
+      "objects_migrated=%llu aborts=%llu io_ns=%llu",
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(disk_writes),
       static_cast<unsigned long long>(rpc_count),
@@ -160,7 +167,12 @@ std::string Metrics::ToString() const {
       static_cast<unsigned long long>(logical_deletes),
       static_cast<unsigned long long>(undo_bytes),
       static_cast<unsigned long long>(redo_bytes),
-      static_cast<unsigned long long>(dirty_page_writebacks));
+      static_cast<unsigned long long>(dirty_page_writebacks),
+      static_cast<unsigned long long>(heat_samples),
+      static_cast<unsigned long long>(pages_migrated),
+      static_cast<unsigned long long>(objects_migrated),
+      static_cast<unsigned long long>(migration_aborts),
+      static_cast<unsigned long long>(recluster_io_ns));
   return buf;
 }
 

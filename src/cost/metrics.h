@@ -123,6 +123,21 @@ struct Metrics {
                                       // by logical writes for the
                                       // page-level write amplification
 
+  // Online adaptive reclustering (docs/clustering_model.md). All five stay
+  // zero unless a HeatTracker/Reorganizer is enabled: the recluster
+  // subsystem is never bound on WorkloadSpec::recluster == false runs, so
+  // those remain counter-for-counter identical to the static-placement
+  // engine.
+  uint64_t heat_samples = 0;       // object accesses / traversal edges the
+                                   // heat tracker recorded (and charged)
+  uint64_t pages_migrated = 0;     // distinct source pages whose objects a
+                                   // migration round moved
+  uint64_t objects_migrated = 0;   // objects rewritten into co-located pages
+  uint64_t migration_aborts = 0;   // migration rounds rolled back (fault or
+                                   // lock conflict mid-round)
+  uint64_t recluster_io_ns = 0;    // simulated time the background
+                                   // reorganizer spent on its rounds
+
   /// Client cache miss rate in percent (as the paper's CCMissrate).
   double ClientMissRatePct() const {
     uint64_t total = client_cache_hits + client_cache_misses;

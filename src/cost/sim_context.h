@@ -389,6 +389,23 @@ class SimContext {
   void ChargeLogicalDelete() { ++clock_->metrics.logical_deletes; }
   void ChargeDirtyWriteback() { ++clock_->metrics.dirty_page_writebacks; }
 
+  // ---- Online adaptive reclustering (docs/clustering_model.md) ----
+  void ChargeHeatSample() {
+    ++clock_->metrics.heat_samples;
+    clock_->clock_ns += model_.heat_sample_ns;
+  }
+  void ChargePageMigrated() {
+    ++clock_->metrics.pages_migrated;
+    clock_->clock_ns += model_.migrate_page_ns;
+  }
+  void ChargeObjectMigrated() { ++clock_->metrics.objects_migrated; }
+  void ChargeMigrationAbort() { ++clock_->metrics.migration_aborts; }
+  /// Wall time one reorganizer round consumed (counter only — the round's
+  /// component costs were already charged through the normal I/O paths).
+  void AddReclusterIoNs(uint64_t ns) {
+    clock_->metrics.recluster_io_ns += ns;
+  }
+
   // ---- Memory model ----
   /// Registers a long-lived machine-level consumer (the page caches). May
   /// be negative. Deliberately NOT per-clock: every simulated workstation

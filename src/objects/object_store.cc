@@ -151,6 +151,7 @@ Result<ObjectHandle*> ObjectStore::Get(const Rid& rid) {
     // handle caches the object's location and bookkeeping).
     sim_->ChargeHandleLookup();
     ++it->second->refcount;
+    if (observer_ != nullptr) observer_->OnObjectAccess(it->second->rid);
     return it->second.get();
   }
 
@@ -159,6 +160,7 @@ Result<ObjectHandle*> ObjectStore::Get(const Rid& rid) {
   Rid canonical;
   std::span<const uint8_t> rec;
   TB_ASSIGN_OR_RETURN(rec, ReadRecord(rid, &canonical));
+  if (observer_ != nullptr) observer_->OnObjectAccess(canonical);
   uint64_t canon_key = canonical.Packed();
   if (canon_key != rid.Packed()) {
     ht_->alias[rid.Packed()] = canon_key;
@@ -197,6 +199,7 @@ Result<std::vector<ObjectHandle*>> ObjectStore::GetBatch(
     if (it != ht_->handles.end()) {
       sim_->ChargeHandleLookup();
       ++it->second->refcount;
+      if (observer_ != nullptr) observer_->OnObjectAccess(it->second->rid);
       out.push_back(it->second.get());
       continue;
     }
@@ -207,6 +210,7 @@ Result<std::vector<ObjectHandle*>> ObjectStore::GetBatch(
       err = rec_or.status();
       break;
     }
+    if (observer_ != nullptr) observer_->OnObjectAccess(canonical);
     std::span<const uint8_t> rec = *rec_or;
     uint64_t canon_key = canonical.Packed();
     if (canon_key != rid.Packed()) {

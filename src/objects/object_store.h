@@ -44,6 +44,22 @@ struct HandleTable {
   std::deque<uint64_t> zombies;
 };
 
+/// Observation hook on the object-access path (docs/clustering_model.md).
+/// The recluster HeatTracker implements it to learn per-page access heat
+/// and parent→child traversal edges. Null (off) by default, so the engine
+/// pays one pointer test per handle grant on recluster-off runs and stays
+/// bit-identical to the unhooked engine.
+class ObjectAccessObserver {
+ public:
+  virtual ~ObjectAccessObserver() = default;
+  /// One handle grant (Get/GetBatch re-reference or materialization),
+  /// reported with the object's canonical rid.
+  virtual void OnObjectAccess(const Rid& canonical) = 0;
+  /// One parent→child composition hop, reported by the query layer
+  /// (src/query/tree_query.cc) with both canonical rids.
+  virtual void OnTraversal(const Rid& parent, const Rid& child) = 0;
+};
+
 /// Placement directives for object creation.
 struct CreateOptions {
   /// File receiving the object record (chosen by the clustering strategy).
@@ -168,6 +184,15 @@ class ObjectStore {
     ht_ = table != nullptr ? table : &own_handles_;
     return prev;
   }
+  /// Binds `obs` as the access observer until rebound (nullptr unhooks).
+  /// Returns the previously bound observer so callers can nest.
+  ObjectAccessObserver* BindAccessObserver(ObjectAccessObserver* obs) {
+    ObjectAccessObserver* prev = observer_;
+    observer_ = obs;
+    return prev;
+  }
+  ObjectAccessObserver* access_observer() const { return observer_; }
+
   /// Frees all zombie handles immediately (e.g. at transaction end).
   void ReleaseZombies();
 
@@ -209,6 +234,7 @@ class ObjectStore {
   // Active handle space (default: own_handles_). See HandleTable.
   HandleTable own_handles_;
   HandleTable* ht_ = &own_handles_;
+  ObjectAccessObserver* observer_ = nullptr;
   bool has_relocations_ = false;
 };
 

@@ -72,6 +72,10 @@ Status RunNL(Database* db, const TreeQuerySpec& spec,
         auto kid_body = [&](const Rid& kid) -> Status {
           ObjectHandle* ch = nullptr;
           TB_ASSIGN_OR_RETURN(ch, store.Get(kid));
+          if (ObjectAccessObserver* obs = store.access_observer();
+              obs != nullptr) {
+            obs->OnTraversal(ph->rid, ch->rid);
+          }
           int32_t v = 0;
           TB_ASSIGN_OR_RETURN(v, store.GetInt32(ch, spec.child_key_attr));
           sim.ChargeCompare();
@@ -117,6 +121,10 @@ Status RunNOJOIN(Database* db, const TreeQuerySpec& spec,
         }
         ObjectHandle* ph = nullptr;
         TB_ASSIGN_OR_RETURN(ph, store.Get(pref));
+        if (ObjectAccessObserver* obs = store.access_observer();
+            obs != nullptr) {
+          obs->OnTraversal(ph->rid, ch->rid);
+        }
         int32_t upin = 0;
         TB_ASSIGN_OR_RETURN(upin, store.GetInt32(ph, spec.parent_key_attr));
         sim.ChargeCompare();

@@ -44,6 +44,12 @@ struct Rid {
     return (static_cast<uint64_t>(file_id) << 48) |
            (static_cast<uint64_t>(page_id) << 16) | slot;
   }
+  /// Inverse of Packed().
+  static constexpr Rid FromPacked(uint64_t packed) {
+    return Rid(static_cast<uint16_t>(packed >> 48),
+               static_cast<uint32_t>((packed >> 16) & 0xFFFFFFFFull),
+               static_cast<uint16_t>(packed & 0xFFFF));
+  }
 
   std::string ToString() const;
 };

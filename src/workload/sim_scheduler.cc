@@ -14,6 +14,8 @@
 #include "src/query/executor.h"
 #include "src/query/oql/parser.h"
 #include "src/query/optimizer.h"
+#include "src/recluster/heat_tracker.h"
+#include "src/recluster/reorganizer.h"
 #include "src/workload/client_session.h"
 
 namespace treebench {
@@ -28,10 +30,16 @@ namespace {
 class SessionBinding {
  public:
   SessionBinding(Database* db, ClientSession* s)
+      : SessionBinding(db, &s->clock, &s->client_cache, &s->handles) {}
+
+  /// Raw-triple form for non-session clients of the engine — the background
+  /// Reorganizer owns the same (clock, cache, handles) triple.
+  SessionBinding(Database* db, SimClock* clock, LruPageCache* cache,
+                 HandleTable* handles)
       : db_(db),
-        prev_clock_(db->sim().BindClock(&s->clock)),
-        prev_cache_(db->cache().BindClientCache(&s->client_cache)),
-        prev_ht_(db->store().BindHandleTable(&s->handles)) {}
+        prev_clock_(db->sim().BindClock(clock)),
+        prev_cache_(db->cache().BindClientCache(cache)),
+        prev_ht_(db->store().BindHandleTable(handles)) {}
 
   ~SessionBinding() {
     db_->store().BindHandleTable(prev_ht_);
@@ -88,6 +96,12 @@ Status ValidateSpec(const WorkloadSpec& spec) {
       return Status::InvalidArgument("workload: crash at_ns must be >= 0");
     }
   }
+  if (spec.recluster_interval_ns < 0 || spec.recluster_min_heat < 0 ||
+      spec.recluster_min_span < 0) {
+    return Status::InvalidArgument(
+        "workload: recluster overrides must be >= 0 (0 keeps the CostModel "
+        "default)");
+  }
   return Status::OK();
 }
 
@@ -113,7 +127,8 @@ struct TelemetryHooks {
 void InstallProbes(WorkloadTelemetry* t, Database* db,
                    const WorkloadSpec& spec,
                    const std::vector<std::unique_ptr<ClientSession>>& sessions,
-                   const StationRegistry& stations) {
+                   const StationRegistry& stations, const HeatTracker* heat,
+                   const Reorganizer* reorg) {
   t->series.set_interval_ns(t->sample_interval_ns);
   auto sum_counter = [&sessions](uint64_t Metrics::* field) {
     uint64_t total = 0;
@@ -219,6 +234,36 @@ void InstallProbes(WorkloadTelemetry* t, Database* db,
           sum_counter(&Metrics::dirty_page_writebacks));
     });
   }
+  // Reclustering probes, only when the run has a reorganizer — another
+  // column-set gate (the recluster=false bit-identity invariant).
+  if (spec.recluster && heat != nullptr && reorg != nullptr) {
+    // The headline gauge: mean distinct pages per composition traversal.
+    // Falls toward the group size / page capacity ratio as migration
+    // co-locates the hot paths.
+    t->series.AddGauge("clustering_quality",
+                       [heat] { return heat->MeanSpan(); });
+    t->series.AddGauge("heat_samples", [sum_counter] {
+      return static_cast<double>(sum_counter(&Metrics::heat_samples));
+    });
+    t->series.AddGauge("pages_migrated", [reorg] {
+      return static_cast<double>(reorg->clock.metrics.pages_migrated);
+    });
+    t->series.AddGauge("objects_migrated", [reorg] {
+      return static_cast<double>(reorg->clock.metrics.objects_migrated);
+    });
+    t->series.AddGauge("migration_aborts", [reorg] {
+      return static_cast<double>(reorg->clock.metrics.migration_aborts);
+    });
+    // Per-shard clustering quality under a sharded placement: one Perfetto
+    // counter track per shard, attributed by the parent page's primary.
+    if (stations.size() > 1) {
+      for (uint32_t i = 0; i < stations.size(); ++i) {
+        t->series.AddGauge(
+            "shard" + std::to_string(i) + "_clustering_quality",
+            [heat, i] { return heat->MeanSpanForShard(i); });
+      }
+    }
+  }
   t->series.AddGauge("resident_handles", [&sessions] {
     uint64_t n = 0;
     for (const auto& s : sessions) n += s->handles.handles.size();
@@ -308,7 +353,8 @@ bool RunUpdateTxn(Database* db, TxnManager* txns, const PreparedQuery& prep,
 
 Status RunEventLoop(Database* db, const WorkloadSpec& spec,
                     const std::vector<std::unique_ptr<ClientSession>>& sessions,
-                    TxnManager* txns, TelemetryHooks* hooks) {
+                    TxnManager* txns, Reorganizer* reorg,
+                    double reorg_interval_ns, TelemetryHooks* hooks) {
   using Event = std::pair<double, uint32_t>;  // (virtual ns, client id)
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
   for (const auto& s : sessions) heap.emplace(0.0, s->id());
@@ -316,9 +362,46 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
   const uint32_t total_per_client =
       spec.warmup_queries_per_client + spec.queries_per_client;
 
+  // The background reorganizer is one more closed-loop event source, with
+  // an id past every client (ties resolve clients-first, deterministically).
+  // Its first wake-up is one interval in — clients get to build heat first.
+  const uint32_t reorg_id = static_cast<uint32_t>(sessions.size());
+  if (reorg != nullptr) heap.emplace(reorg_interval_ns, reorg_id);
+
+  auto any_client_live = [&] {
+    for (const auto& s : sessions) {
+      if (s->queries_issued < total_per_client) return true;
+    }
+    return false;
+  };
+
   while (!heap.empty()) {
     auto [when, id] = heap.top();
     heap.pop();
+
+    if (reorg != nullptr && id == reorg_id) {
+      // Background maintenance round: runs on the reorganizer's own clock /
+      // cache / handle table, contends on the shared stations like any
+      // client, and re-arms only while foreground work remains (the run
+      // ends at the last client completion, as it always did).
+      reorg->clock.clock_ns = std::max(reorg->clock.clock_ns, when);
+      const double t0 = reorg->clock.clock_ns;
+      {
+        SessionBinding binding(db, &reorg->clock, &reorg->client_cache,
+                               &reorg->handles);
+        TB_RETURN_IF_ERROR(reorg->RunRound());
+      }
+      if (hooks->t != nullptr) {
+        hooks->t->query_slices.push_back(
+            {/*track=*/hooks->t->num_clients + 1 + hooks->t->num_shards,
+             "recluster", t0, reorg->clock.clock_ns - t0});
+      }
+      if (any_client_live()) {
+        heap.emplace(reorg->clock.clock_ns + reorg_interval_ns, reorg_id);
+      }
+      continue;
+    }
+
     ClientSession* s = sessions[id].get();
     SessionBinding binding(db, s);
 
@@ -412,9 +495,17 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
 WorkloadReport AssembleReport(
     const WorkloadSpec& spec,
     const std::vector<std::unique_ptr<ClientSession>>& sessions,
-    const StationRegistry& stations, Database* db) {
+    const StationRegistry& stations, Database* db, const HeatTracker* heat,
+    const Reorganizer* reorg) {
   WorkloadReport rep;
   rep.spec = spec;
+
+  if (reorg != nullptr && heat != nullptr) {
+    rep.has_recluster = true;
+    rep.recluster = reorg->clock.metrics;
+    rep.recluster_rounds = reorg->rounds();
+    rep.clustering_quality = heat->MeanSpan();
+  }
 
   double min_start = 0, max_end = 0;
   bool first = true;
@@ -497,6 +588,9 @@ std::string WorkloadTelemetry::ChromeTraceJson() const {
     b.SetThreadName(num_clients + 1 + sh,
                     num_shards == 1 ? std::string("server")
                                     : "server " + std::to_string(sh));
+  }
+  if (has_reorganizer) {
+    b.SetThreadName(num_clients + 1 + num_shards, "reorganizer");
   }
   for (const telemetry::TraceSlice& s : query_slices) {
     b.AddSlice(s.track, s.name, s.start_ns, s.dur_ns);
@@ -596,28 +690,61 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
   StationRegistry* prev_stations = db->sim().stations();
   db->sim().set_stations(&stations);
 
-  TelemetryHooks hooks{telemetry};
-  if (telemetry != nullptr) {
-    telemetry->num_clients = spec.num_clients;
-    telemetry->num_shards = stations.size();
-    telemetry->server_service.resize(stations.size());
-    for (uint32_t i = 0; i < stations.size(); ++i) {
-      stations.Station(i).set_service_log(&telemetry->server_service[i]);
-    }
-    InstallProbes(telemetry, db, spec, sessions, stations);
-  }
-
-  // Transaction machinery exists for the run ONLY when the mix has updates:
-  // a ratio-0 spec binds no lock hook and allocates no manager, so the
-  // read-only engine runs the exact code path it always did.
+  // Transaction machinery exists for the run ONLY when something writes:
+  // an update mix, or the background reorganizer (whose migrations are
+  // journal-backed transactions). A read-only recluster-off spec binds no
+  // lock hook and allocates no manager, so the read-only engine runs the
+  // exact code path it always did.
   std::unique_ptr<TxnManager> txns;
-  if (spec.update_ratio > 0) {
+  if (spec.update_ratio > 0 || spec.recluster) {
     txns = std::make_unique<TxnManager>(db);
     txns->Install();
   }
 
-  Status loop_status = RunEventLoop(db, spec, sessions, txns.get(), &hooks);
+  // Online adaptive reclustering (docs/clustering_model.md): the heat
+  // tracker hooks the object-access path, the reorganizer becomes one more
+  // event source in the loop. recluster=false binds NOTHING — the observer
+  // pointer stays wherever the caller left it (normally null), which is the
+  // engine's bit-identity guarantee.
+  std::unique_ptr<HeatTracker> heat;
+  std::unique_ptr<Reorganizer> reorg;
+  ObjectAccessObserver* prev_observer = nullptr;
+  double reorg_interval_ns = 0;
+  if (spec.recluster) {
+    heat = std::make_unique<HeatTracker>(&db->sim());
+    if (stations.size() > 1) {
+      const PlacementMap* pm = &db->placement();
+      heat->SetShardResolver(stations.size(), [pm](uint64_t page_key) {
+        return pm->PrimaryShard(page_key);
+      });
+    }
+    prev_observer = db->store().BindAccessObserver(heat.get());
+    reorg = std::make_unique<Reorganizer>(db, txns.get(), heat.get(),
+                                          /*client_id=*/spec.num_clients);
+    reorg->set_page_budget(spec.recluster_page_budget);
+    reorg->set_thresholds(spec.recluster_min_heat, spec.recluster_min_span);
+    reorg_interval_ns = spec.recluster_interval_ns > 0
+                            ? spec.recluster_interval_ns
+                            : db->sim().model().recluster_interval_ns;
+  }
 
+  TelemetryHooks hooks{telemetry};
+  if (telemetry != nullptr) {
+    telemetry->num_clients = spec.num_clients;
+    telemetry->num_shards = stations.size();
+    telemetry->has_reorganizer = reorg != nullptr;
+    telemetry->server_service.resize(stations.size());
+    for (uint32_t i = 0; i < stations.size(); ++i) {
+      stations.Station(i).set_service_log(&telemetry->server_service[i]);
+    }
+    InstallProbes(telemetry, db, spec, sessions, stations, heat.get(),
+                  reorg.get());
+  }
+
+  Status loop_status = RunEventLoop(db, spec, sessions, txns.get(),
+                                    reorg.get(), reorg_interval_ns, &hooks);
+
+  if (spec.recluster) db->store().BindAccessObserver(prev_observer);
   if (txns != nullptr) txns->Uninstall();
 
   if (telemetry != nullptr) {
@@ -633,7 +760,8 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
   // The report reads the fault ledger before the injector is disarmed or
   // the placement restored (the restore's flush must not pollute the run's
   // shard counters).
-  WorkloadReport report = AssembleReport(spec, sessions, stations, db);
+  WorkloadReport report =
+      AssembleReport(spec, sessions, stations, db, heat.get(), reorg.get());
 
   // Teardown: drop every session's handles while its table is bound so the
   // simulated handle memory registered against the machine is released.
@@ -641,6 +769,11 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
   // a client process exiting) — they were never registered against RAM.
   for (const auto& s : sessions) {
     SessionBinding binding(db, s.get());
+    db->store().DropAllHandles();
+  }
+  if (reorg != nullptr) {
+    SessionBinding binding(db, &reorg->clock, &reorg->client_cache,
+                           &reorg->handles);
     db->store().DropAllHandles();
   }
   db->sim().set_stations(prev_stations);

@@ -49,6 +49,9 @@ struct WorkloadTelemetry {
   /// Filled by RunWorkload (used by ChromeTraceJson for track naming).
   uint32_t num_clients = 0;
   uint32_t num_shards = 1;
+  /// True when the run had a background reorganizer: it gets its own trace
+  /// track (after the server tracks) carrying one slice per round.
+  bool has_reorganizer = false;
 
   /// Perfetto/chrome://tracing JSON: one track per client, one for the
   /// server station, plus one counter track per time-series column.

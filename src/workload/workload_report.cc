@@ -72,6 +72,10 @@ std::string WorkloadReport::ToJson() const {
   if (spec.update_ratio > 0) {
     AppendKV(&out, "    ", "update_ratio", spec.update_ratio);
   }
+  // Same shape-preserving rule for the reclustering knob.
+  if (spec.recluster) {
+    AppendKV(&out, "    ", "recluster", uint64_t{1});
+  }
   AppendKV(&out, "    ", "selection_pct", spec.selection_pct);
   AppendKV(&out, "    ", "think_time_ns", spec.think_time_ns);
   AppendKV(&out, "    ", "cold_start", uint64_t{spec.cold_start ? 1u : 0u});
@@ -102,6 +106,17 @@ std::string WorkloadReport::ToJson() const {
            static_cast<double>(totals.rpc_queue_wait_ns) / 1e9);
   AppendMetrics(&out, "    ", totals, /*comma=*/false);
   out += "  },\n";
+
+  // Reclustering section: present only when the reorganizer ran, so
+  // recluster-off reports keep their exact byte shape (the hard gate in
+  // tests/recluster_test.cc).
+  if (has_recluster) {
+    out += "  \"recluster\": {\n";
+    AppendKV(&out, "    ", "rounds", recluster_rounds);
+    AppendKV(&out, "    ", "clustering_quality", clustering_quality);
+    AppendMetrics(&out, "    ", recluster, /*comma=*/false);
+    out += "  },\n";
+  }
 
   out += "  \"shards\": [\n";
   for (size_t i = 0; i < shards.size(); ++i) {

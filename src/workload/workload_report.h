@@ -81,6 +81,19 @@ struct WorkloadReport {
   /// Sum of every client's measured-phase Metrics.
   Metrics totals;
 
+  /// Online adaptive reclustering (docs/clustering_model.md). Present only
+  /// when the spec enabled the reorganizer; a recluster=false run leaves
+  /// all of this at its defaults and the JSON keeps its classic shape.
+  bool has_recluster = false;
+  /// The background reorganizer's own clock metrics (migration reads and
+  /// writes, pages/objects moved, aborts) — deliberately NOT folded into
+  /// `totals`, which stays a clients-only rollup.
+  Metrics recluster;
+  uint64_t recluster_rounds = 0;
+  /// Mean distinct pages touched per composition traversal over the run —
+  /// the clustering-quality gauge's final value (lower = better clustered).
+  double clustering_quality = 0;
+
   std::vector<ClientReport> clients;
 
   /// Per-shard breakdown of the page service (one entry per shard; a single

@@ -86,6 +86,20 @@ struct WorkloadSpec {
   /// page-at-a-time RPCs, the pre-batching behavior.
   uint32_t max_fetch_batch_pages = 1;
 
+  /// ---- Online adaptive reclustering (docs/clustering_model.md) ----
+  /// false — the default — binds no HeatTracker, spawns no Reorganizer and
+  /// installs no transaction machinery for it: the run is bit-identical to
+  /// the static-placement engine, counter for counter. true installs the
+  /// heat tracker on the object-access path and wakes a background
+  /// reorganizer every recluster_interval_ns of virtual time; migrated
+  /// placement persists in the database after the run.
+  bool recluster = false;
+  /// Overrides of the CostModel's recluster knobs; 0 keeps each default.
+  double recluster_interval_ns = 0;
+  uint32_t recluster_page_budget = 0;
+  double recluster_min_heat = 0;
+  double recluster_min_span = 0;
+
   /// ---- Sharded page service (docs/replication_model.md) ----
   /// Page servers for the run. 0 = inherit the database's current shard
   /// configuration untouched (zero reconfiguration charges); >= 1 installs
