@@ -5,10 +5,20 @@
 // second table measures the checkpointed-recovery loader: an uninterrupted
 // bulk load vs one killed by RPC bursts and replayed from its checkpoints.
 //
+// A third phase is the SLO campaign (docs/observability.md): a multi-client
+// workload with a scheduled shard crash runs under an availability SLO with
+// multi-window burn-rate alerting. Hard gates: the alert must FIRE during
+// the outage at a bit-stable virtual timestamp (two independent same-seed
+// runs must produce byte-identical reports), CLEAR after the crashed server
+// recovers, and a fault-free contrast run must raise zero alerts.
+// --summary-json=PATH writes the campaign's flat summary — the format
+// bench/check_regression diffs against bench/baselines/slo_smoke.json.
+//
 // Every campaign run lands in a StatStore record, so --csv/--stats-json
 // export works and run_benches.sh consolidates this bench into
 // bench_json/BENCH_results.json like every other sweep.
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,6 +27,8 @@
 #include "src/common/string_util.h"
 #include "src/cost/fault_injector.h"
 #include "src/query/tree_query.h"
+#include "src/telemetry/regression.h"
+#include "src/workload/sim_scheduler.h"
 
 namespace treebench::bench {
 namespace {
@@ -253,15 +265,214 @@ void LoaderCampaign(const BenchOptions& opts, StatStore* stats) {
       "databases hold identical objects (see fault_injection_test).\n");
 }
 
+// ---- Phase 3: SLO campaign (query flight recorder + burn-rate alerts) ----
+
+/// The campaign workload: 4 clients of Zipf range selections over a 2-shard
+/// unreplicated page service, shard 0 crashing at t=1ms. Half the pages
+/// live on the dead shard, so roughly half the queries fail until the
+/// server rejoins at crash + CostModel::server_recovery_ns — a windowed
+/// error rate far above the 20% the availability objective's burn
+/// threshold tolerates (budget 0.1 x burn 2).
+WorkloadSpec SloSpec(bool with_crash) {
+  WorkloadSpec spec;
+  spec.num_clients = 4;
+  spec.queries_per_client = 60;
+  spec.zipf_theta = 0.6;
+  spec.tree_query_fraction = 0;  // selections only: short, uniform latencies
+  spec.selection_pct = 2;
+  spec.think_time_ns = 5e7;  // paces the run well past the 2s recovery
+  spec.cold_start = true;
+  spec.seed = 42;
+  spec.num_servers = 2;
+  spec.replication = false;
+  if (with_crash) spec.crashes.push_back({/*shard=*/0, /*at_ns=*/1e6});
+  spec.query_log = true;
+
+  // Availability only: simulated latencies depend on scale and saturation,
+  // so a fixed latency threshold could not keep the fault-free contrast run
+  // alert-free at every --scale (kLatency objectives are exercised by the
+  // obs unit tests and stay WorkloadSpec-configurable).
+  telemetry::SloObjective avail;
+  avail.name = "availability";
+  avail.kind = telemetry::SloKind::kAvailability;
+  avail.target = 0.9;
+  avail.long_window_ns = 1e9;
+  avail.short_window_ns = 0.25e9;
+  avail.burn_threshold = 2.0;
+  spec.slo_objectives.push_back(avail);
+  return spec;
+}
+
+bool SloCampaign(const BenchOptions& opts, StatStore* stats,
+                 telemetry::FlatRun* summary) {
+  // Independent database builds for the determinism gate: the spec (not
+  // residual cache or placement state) must fully determine the report.
+  auto derby_a = BuildDerbyOrDie(2000, 1000,
+                                 ClusteringStrategy::kClassClustered, opts);
+  auto derby_b = BuildDerbyOrDie(2000, 1000,
+                                 ClusteringStrategy::kClassClustered, opts);
+
+  auto run_a = RunWorkload(derby_a.get(), SloSpec(/*with_crash=*/true));
+  auto run_b = RunWorkload(derby_b.get(), SloSpec(/*with_crash=*/true));
+  auto clean = RunWorkload(derby_a.get(), SloSpec(/*with_crash=*/false));
+  if (!run_a.ok() || !run_b.ok() || !clean.ok()) {
+    std::fprintf(stderr, "FATAL: slo campaign: %s / %s / %s\n",
+                 run_a.status().ToString().c_str(),
+                 run_b.status().ToString().c_str(),
+                 clean.status().ToString().c_str());
+    return false;
+  }
+  bool ok = true;
+
+  // Gate 1: bit-stable alerting — two independent same-seed runs must
+  // produce byte-identical reports (alert timestamps included).
+  const bool identical = run_a->ToJson() == run_b->ToJson();
+  std::printf("slo determinism gate: %s\n", identical ? "PASS" : "FAIL");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: same-seed slo campaign runs diverged — alert "
+                 "timestamps are not bit-stable\n");
+    ok = false;
+  }
+
+  // Gate 2: the availability alert fires during the outage and clears
+  // after the crashed server rejoins.
+  const double recovery_ns =
+      1e6 + derby_a->db->sim().model().server_recovery_ns;
+  double first_fire_ns = -1, last_clear_ns = -1;
+  uint64_t avail_events = 0;
+  for (const telemetry::SloAlertEvent& e : run_a->slo_alerts) {
+    if (e.objective != "availability") continue;
+    ++avail_events;
+    if (e.fired && first_fire_ns < 0) first_fire_ns = e.t_ns;
+    if (!e.fired) last_clear_ns = e.t_ns;
+  }
+  bool avail_active_at_end = false;
+  uint64_t avail_fired = 0;
+  for (const telemetry::SloObjectiveSummary& s : run_a->slo_objectives) {
+    if (s.name != "availability") continue;
+    avail_active_at_end = s.active_at_end;
+    avail_fired = s.alerts_fired;
+  }
+  if (first_fire_ns < 0) {
+    std::fprintf(stderr,
+                 "FATAL: availability alert never fired despite the shard-0 "
+                 "outage\n");
+    ok = false;
+  } else if (first_fire_ns > recovery_ns) {
+    std::fprintf(stderr,
+                 "FATAL: availability alert fired at %.6fs, after the "
+                 "server already recovered (%.6fs)\n",
+                 first_fire_ns / 1e9, recovery_ns / 1e9);
+    ok = false;
+  }
+  if (avail_active_at_end || last_clear_ns < recovery_ns) {
+    std::fprintf(stderr,
+                 "FATAL: availability alert did not clear after recovery "
+                 "(last clear %.6fs, recovery %.6fs, active_at_end=%d)\n",
+                 last_clear_ns / 1e9, recovery_ns / 1e9,
+                 avail_active_at_end ? 1 : 0);
+    ok = false;
+  }
+
+  // Gate 3: the fault-free contrast run raises no alerts at all.
+  if (!clean->slo_alerts.empty()) {
+    std::fprintf(stderr,
+                 "FATAL: fault-free run raised %zu alert(s) — the objective "
+                 "thresholds are mis-tuned\n",
+                 clean->slo_alerts.size());
+    ok = false;
+  }
+  std::printf("slo alert gates: %s\n", ok ? "PASS" : "FAIL");
+
+  // The deterministic alert timeline, as the report JSON carries it.
+  std::vector<std::vector<std::string>> alert_rows;
+  for (const telemetry::SloAlertEvent& e : run_a->slo_alerts) {
+    alert_rows.push_back({e.objective, e.fired ? "FIRE" : "CLEAR",
+                          FormatSeconds(e.t_ns / 1e9),
+                          FormatSeconds(e.burn_long, 2),
+                          FormatSeconds(e.burn_short, 2)});
+  }
+  PrintTable("slo campaign — alert timeline (shard-0 crash at t=1ms, "
+             "recovery " + FormatSeconds(recovery_ns / 1e9) + "s)",
+             {"objective", "event", "t(s)", "burn long", "burn short"},
+             alert_rows);
+
+  // Tail attribution from the flight recorder: where do the slowest
+  // queries spend their time vs the median?
+  std::printf("\n%s\n", run_a->tail.ToString().c_str());
+
+  StatRecord rec;
+  rec.database = "derby-2e3x1e3";
+  rec.cluster = "class";
+  rec.algo = "slo_campaign";
+  rec.query_text = "zipf selections, 2 shards, shard-0 crash at 1ms";
+  rec.num_clients = run_a->spec.num_clients;
+  rec.throughput_qps = run_a->throughput_qps;
+  rec.latency_p50_s = run_a->latencies.Quantile(0.50) / 1e9;
+  rec.latency_p95_s = run_a->latencies.Quantile(0.95) / 1e9;
+  rec.latency_p99_s = run_a->latencies.Quantile(0.99) / 1e9;
+  rec.result_count = run_a->total_queries;
+  rec.server_cache_bytes = derby_a->db->cache().config().server_bytes;
+  rec.client_cache_bytes = derby_a->db->cache().config().client_bytes;
+  rec.FillFrom(run_a->totals, run_a->span_seconds);
+  stats->Add(rec);
+
+  if (summary != nullptr) {
+    summary->Set("slo_total_queries",
+                 static_cast<double>(run_a->total_queries));
+    summary->Set("slo_failed_queries",
+                 static_cast<double>(run_a->failed_queries));
+    summary->Set("slo_alert_events",
+                 static_cast<double>(run_a->slo_alerts.size()));
+    summary->Set("slo_avail_alerts_fired", static_cast<double>(avail_fired));
+    summary->Set("slo_first_fire_t_s", first_fire_ns / 1e9);
+    summary->Set("slo_last_clear_t_s", last_clear_ns / 1e9);
+    for (const telemetry::SloObjectiveSummary& s : run_a->slo_objectives) {
+      summary->Set("slo_" + s.name + "_attainment_pct", 100.0 * s.attainment);
+    }
+    summary->Set("slo_tail_gap_s",
+                 (run_a->tail.p99_ns - run_a->tail.p50_ns) / 1e9);
+    summary->Set("slo_disk_reads",
+                 static_cast<double>(run_a->totals.disk_reads));
+    summary->Set("slo_rpc_count",
+                 static_cast<double>(run_a->totals.rpc_count));
+  }
+  return ok;
+}
+
 int Main(int argc, char** argv) {
   BenchOptions opts = ParseArgs(argc, argv);
+  // The common ParseArgs has no --summary-json; parse it from raw argv
+  // (same pattern as the scale-out benches).
+  std::string summary_json;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--summary-json=", 15) == 0) {
+      summary_json = argv[i] + 15;
+    }
+  }
   StatStore stats;
   QueryCampaigns(opts, &stats);
   std::printf("\n");
   LoaderCampaign(opts, &stats);
+  std::printf("\n");
+  telemetry::FlatRun summary;
+  const bool slo_ok =
+      SloCampaign(opts, &stats, summary_json.empty() ? nullptr : &summary);
+  if (!summary_json.empty()) {
+    FILE* f = std::fopen(summary_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", summary_json.c_str());
+      return 1;
+    }
+    const std::string s = summary.ToJson();
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fclose(f);
+    std::printf("wrote slo campaign summary to %s\n", summary_json.c_str());
+  }
   MaybeExportCsv(stats, opts);
   MaybeExportStatsJson(stats, opts);
-  return 0;
+  return slo_ok ? 0 : 1;
 }
 
 }  // namespace

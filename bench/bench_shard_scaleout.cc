@@ -11,7 +11,10 @@
 // run must complete every query with zero client-visible failures, record
 // at least one failover, and produce bit-identical artifacts across two
 // independent runs (all hard checks). A no-replication contrast run shows
-// what the crash window costs without a backup.
+// what the crash window costs without a backup. Both runs carry an
+// availability SLO: replication must keep the burn-rate alerter silent
+// while the unprotected run must fire it (hard checks; see
+// docs/observability.md).
 //
 // Expected shape: adding servers relieves the station bottleneck (queue
 // wait falls, throughput rises toward the think-time bound) at the price of
@@ -242,11 +245,23 @@ int Main(int argc, char** argv) {
   // A scheduled crash kills shard 0 mid-run. With replication the run must
   // complete every query (hard check); without, the crash window is
   // client-visible.
+  // Both failover runs carry an availability SLO (docs/observability.md):
+  // replication must keep the crash invisible to the burn-rate alerter,
+  // while the unprotected run must fire. Pure observer — the objective
+  // changes no counter, only the report's "slo" section.
   auto failover_spec = [&](uint32_t servers, bool replication) {
     WorkloadSpec spec = BaseSpec(clients, queries);
     spec.num_servers = servers;
     spec.replication = replication;
     spec.crashes.push_back({/*shard=*/0, /*at_ns=*/1e6});
+    telemetry::SloObjective avail;
+    avail.name = "availability";
+    avail.kind = telemetry::SloKind::kAvailability;
+    avail.target = 0.9;
+    avail.long_window_ns = 1e9;
+    avail.short_window_ns = 0.25e9;
+    avail.burn_threshold = 2.0;
+    spec.slo_objectives.push_back(avail);
     return spec;
   };
 
@@ -268,6 +283,32 @@ int Main(int argc, char** argv) {
                  (unsigned long long)replicated->totals.server_crashes);
     ok = false;
   }
+
+  // SLO gates: replication keeps the availability alert silent; the
+  // unprotected crash window must trip the burn-rate alerter. (The clear —
+  // which needs the run to outlive the 2s recovery — is hard-gated in
+  // bench_fault_campaign's longer SLO campaign, not here.)
+  if (!replicated->slo_alerts.empty()) {
+    std::fprintf(stderr,
+                 "FATAL: replicated failover run raised %zu availability "
+                 "alert(s) — replication should have absorbed the crash\n",
+                 replicated->slo_alerts.size());
+    ok = false;
+  }
+  bool unprotected_fired = false;
+  for (const telemetry::SloAlertEvent& e : unprotected->slo_alerts) {
+    if (e.objective == "availability" && e.fired) unprotected_fired = true;
+  }
+  if (!unprotected_fired) {
+    std::fprintf(stderr,
+                 "FATAL: unprotected failover run never fired the "
+                 "availability alert despite client-visible failures\n");
+    ok = false;
+  }
+  std::printf("failover slo gates: %s\n",
+              !replicated->slo_alerts.empty() || !unprotected_fired
+                  ? "FAIL"
+                  : "PASS");
 
   // Determinism gate: the identical campaign on an independently built
   // database must produce bit-identical artifacts.

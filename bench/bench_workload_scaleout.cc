@@ -24,6 +24,12 @@
 //   --summary-json=PATH  flat {"key": number} summary of every swept run —
 //                        the format bench/check_regression diffs against
 //                        bench/baselines/*.json
+//   --query-log-dir=DIR  per swept run, enable the query flight recorder
+//                        (docs/observability.md) and write
+//                        <cluster>_c<N>.querylog.{jsonl,csv} (one record per
+//                        completed query: counter delta, causal wait
+//                        breakdown, shards touched) plus the tail-latency
+//                        attribution report <cluster>_c<N>.tail.txt
 //   --scale=0            smoke mode: tiny database (scale 64), counts {1, 4
 //                        or --clients}, 3 queries/client — the CI config.
 #include <cstdio>
@@ -52,6 +58,7 @@ struct ExtraArgs {
   std::string json_path;        // --json=PATH
   std::string telemetry_dir;    // --telemetry-dir=DIR
   std::string summary_json;     // --summary-json=PATH
+  std::string query_log_dir;    // --query-log-dir=DIR
 };
 
 // The common ParseArgs clamps --scale to >= 1, so smoke mode (--scale=0)
@@ -72,6 +79,8 @@ ExtraArgs ParseExtra(int argc, char** argv) {
       extra.telemetry_dir = arg + 16;
     } else if (std::strncmp(arg, "--summary-json=", 15) == 0) {
       extra.summary_json = arg + 15;
+    } else if (std::strncmp(arg, "--query-log-dir=", 16) == 0) {
+      extra.query_log_dir = arg + 16;
     }
   }
   return extra;
@@ -204,7 +213,12 @@ int Main(int argc, char** argv) {
         trace_session =
             std::make_unique<TraceSession>(&derby->db->sim());
       }
-      auto report = RunWorkload(derby.get(), SweepSpec(n, queries),
+      WorkloadSpec sweep_spec = SweepSpec(n, queries);
+      // The flight recorder is a pure observer: counters and latencies are
+      // identical with and without it (test-enforced), so enabling it for
+      // the artifact export does not perturb the sweep.
+      if (!extra.query_log_dir.empty()) sweep_spec.query_log = true;
+      auto report = RunWorkload(derby.get(), sweep_spec,
                                 want_telemetry ? &tel : nullptr);
       if (!report.ok()) {
         std::fprintf(stderr, "FATAL: workload (%u clients): %s\n", n,
@@ -236,6 +250,22 @@ int Main(int argc, char** argv) {
                     "chrome.json,folded} (%zu samples, %zu slices)\n",
                     base.c_str(), tel.series.num_samples(),
                     tel.query_slices.size());
+      }
+      if (!extra.query_log_dir.empty()) {
+        const std::string base = extra.query_log_dir + "/" + run_label;
+        telemetry_ok =
+            WriteFileOrWarn(base + ".querylog.jsonl",
+                            report->query_log.ToJsonl()) &&
+            telemetry_ok;
+        telemetry_ok = WriteFileOrWarn(base + ".querylog.csv",
+                                       report->query_log.ToCsv()) &&
+                       telemetry_ok;
+        telemetry_ok =
+            WriteFileOrWarn(base + ".tail.txt", report->tail.ToString()) &&
+            telemetry_ok;
+        std::printf("query log: %s.{querylog.jsonl,querylog.csv,tail.txt} "
+                    "(%zu records)\n",
+                    base.c_str(), report->query_log.records().size());
       }
       if (!extra.summary_json.empty()) {
         const Metrics& t = report->totals;

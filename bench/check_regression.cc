@@ -2,6 +2,7 @@
 // baseline.
 //
 //   check_regression <baseline.json> <current.json> [--tolerance=0.02]
+//                    [--json=DIFF.json]
 //
 // Both files are flat {"key": number} objects (what bench_workload_scaleout
 // --summary-json= writes; baselines live under bench/baselines/). Counter
@@ -35,10 +36,13 @@ bool ReadFile(const char* path, std::string* out) {
 int main(int argc, char** argv) {
   const char* baseline_path = nullptr;
   const char* current_path = nullptr;
+  const char* json_path = nullptr;
   treebench::telemetry::RegressionOptions opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
       opts.time_tolerance = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else if (baseline_path == nullptr) {
       baseline_path = argv[i];
     } else if (current_path == nullptr) {
@@ -51,7 +55,7 @@ int main(int argc, char** argv) {
   if (baseline_path == nullptr || current_path == nullptr) {
     std::fprintf(stderr,
                  "usage: check_regression <baseline.json> <current.json> "
-                 "[--tolerance=0.02]\n");
+                 "[--tolerance=0.02] [--json=DIFF.json]\n");
     return 2;
   }
 
@@ -81,6 +85,17 @@ int main(int argc, char** argv) {
   treebench::telemetry::RegressionResult result =
       treebench::telemetry::CompareRuns(*baseline, *current, opts);
   std::printf("%s", result.report.c_str());
+  if (json_path != nullptr) {
+    // Machine-readable diff for CI annotation, written pass or fail.
+    FILE* f = std::fopen(json_path, "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    const std::string diff = result.DiffJson();
+    std::fwrite(diff.data(), 1, diff.size(), f);
+    std::fclose(f);
+  }
   if (!result.ok) {
     std::fprintf(stderr, "check_regression: %d of %d keys out of bounds\n",
                  result.failures, result.keys_checked);

@@ -1,14 +1,61 @@
 #include "common/bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "src/common/string_util.h"
 #include "src/query/tree_query.h"
 
 namespace treebench::bench {
+
+namespace {
+
+// Host-side perf record, written at process exit so every bench gets it for
+// free from ParseArgs (no per-bench plumbing, and the timer covers the
+// whole run including exports).
+std::string g_perf_json_path;                        // NOLINT
+std::chrono::steady_clock::time_point g_perf_start;  // NOLINT
+
+long PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return ru.ru_maxrss / 1024;  // bytes on macOS
+#else
+  return ru.ru_maxrss;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+void WritePerfJson() {
+  if (g_perf_json_path.empty()) return;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_perf_start)
+          .count();
+  FILE* f = std::fopen(g_perf_json_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf json export failed: cannot write %s\n",
+                 g_perf_json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"wall_seconds\": %.3f,\n  \"peak_rss_kb\": %ld\n}\n",
+               wall, PeakRssKb());
+  std::fclose(f);
+}
+
+}  // namespace
 
 BenchOptions ParseArgs(int argc, char** argv) {
   BenchOptions opts;
@@ -22,9 +69,16 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opts.stats_json_path = arg + 13;
     } else if (std::strncmp(arg, "--trace-json=", 13) == 0) {
       opts.trace_json_path = arg + 13;
+    } else if (std::strncmp(arg, "--perf-json=", 12) == 0) {
+      opts.perf_json_path = arg + 12;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       opts.verbose = true;
     }
+  }
+  if (!opts.perf_json_path.empty() && g_perf_json_path.empty()) {
+    g_perf_json_path = opts.perf_json_path;
+    g_perf_start = std::chrono::steady_clock::now();
+    std::atexit(WritePerfJson);
   }
   return opts;
 }

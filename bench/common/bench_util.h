@@ -25,12 +25,20 @@ struct BenchOptions {
   /// ("" = no trace export). Benches that support it document what they
   /// write; CI uploads fig09's as an artifact.
   std::string trace_json_path;
+  /// Optional path for the bench's host-side performance record ("" = no
+  /// export): `{"wall_seconds": ..., "peak_rss_kb": ...}`, written at
+  /// process exit (atexit — no per-bench plumbing needed). run_benches.sh
+  /// points every bench at bench_json/<name>_perf.json, so the consolidated
+  /// BENCH_results.json carries the wall-clock/RSS trajectory the
+  /// parallelization work (ROADMAP item 5) needs as its baseline.
+  std::string perf_json_path;
   bool verbose = false;
 };
 
 /// Parses --scale=N, --csv=PATH, --stats-json=PATH, --trace-json=PATH,
-/// --verbose; ignores unknown flags (so google-benchmark style flags pass
-/// through if ever mixed).
+/// --perf-json=PATH, --verbose; ignores unknown flags (so google-benchmark
+/// style flags pass through if ever mixed). --perf-json also starts the
+/// wall-clock timer and registers the exit-time writer.
 BenchOptions ParseArgs(int argc, char** argv);
 
 /// Prints a ruled table: header row then rows; columns auto-sized.

@@ -1,9 +1,10 @@
 #!/bin/bash
 # Runs every paper-reproduction bench at paper scale (--scale=1). All
 # artifacts land under bench_json/: the tee'd text log
-# (bench_json/bench_output.txt), one StatStore JSON per bench, and the
-# consolidated bench_json/BENCH_results.json
-# ({"<bench>": [<records>...], ...}).
+# (bench_json/bench_output.txt), one StatStore JSON per bench, one host-perf
+# record per bench (<name>_perf.json: wall-clock seconds + peak RSS), and
+# the consolidated bench_json/BENCH_results.json
+# ({"<bench>": [<records>...], "<bench>_perf": {...}, ...}).
 #
 # Usage: run_benches.sh [OUT.txt] [bench flags...]
 #   A first argument not starting with "--" names the text output file
@@ -43,7 +44,8 @@ for b in build/bench/bench_fig06_selection build/bench/bench_fig07_sorted_index 
          build/bench/bench_update_mix build/bench/bench_reclustering; do
   name=$(basename "$b")
   echo "===================== $b =====================" | tee -a "$OUT"
-  "$b" "$@" "--stats-json=$JSON_DIR/$name.json" 2>&1 | tee -a "$OUT"
+  "$b" "$@" "--stats-json=$JSON_DIR/$name.json" \
+       "--perf-json=$JSON_DIR/${name}_perf.json" 2>&1 | tee -a "$OUT"
   echo | tee -a "$OUT"
 done
 

@@ -1,0 +1,157 @@
+#ifndef TREEBENCH_TELEMETRY_QUERY_LOG_H_
+#define TREEBENCH_TELEMETRY_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cost/metrics.h"
+
+namespace treebench::telemetry {
+
+/// The causal wait components of one query's latency, pulled out of its
+/// Metrics delta. Every component is charged into the issuing client's
+/// virtual clock by the engine, so their sum can never exceed the recorded
+/// latency (the causal accounting invariant, test-asserted in
+/// tests/workload_obs_test.cc).
+struct QueryWaitBreakdown {
+  uint64_t rpc_queue_wait_ns = 0;  // queued behind other clients' RPCs
+  uint64_t lock_wait_ns = 0;       // blocked on page locks
+  uint64_t failover_wait_ns = 0;   // dead-primary detection + reconnect
+  uint64_t retry_backoff_ns = 0;   // RPC retry backoff under faults
+
+  uint64_t TotalNs() const {
+    return rpc_queue_wait_ns + lock_wait_ns + failover_wait_ns +
+           retry_backoff_ns;
+  }
+};
+
+/// Extracts the wait components from a per-query Metrics delta.
+QueryWaitBreakdown WaitBreakdownOf(const Metrics& delta);
+
+/// One completed query in the flight recorder: who ran what, when (virtual
+/// time), with what outcome, and the full counter delta over the execution
+/// region — the record the workload scheduler emits per query event.
+struct QueryRecord {
+  uint32_t client = 0;
+  /// Per-client issue index (warmup included), 0-based.
+  uint64_t seq = 0;
+  std::string kind;  // "selection" | "tree" | "update"
+  /// Executed algorithm: AlgoName for tree queries, SelectionModeName for
+  /// selections, "txn" for DML, "unprepared" when preparation itself died.
+  std::string algo;
+  /// False during the client's warmup phase (excluded from report rollups).
+  bool measured = false;
+  bool ok = false;
+  /// Update transaction that rolled back (RunDml failed -> Abort).
+  bool aborted = false;
+  /// Aborted AND the delta saw a wait-for-graph cycle: the deadlock victim.
+  bool deadlock_victim = false;
+  double start_ns = 0;
+  double end_ns = 0;
+  /// Full Metrics delta over [start_ns, end_ns] on the issuing client.
+  Metrics delta;
+  /// Distinct page-server shards whose station admitted at least one of this
+  /// query's RPCs.
+  uint32_t shards_touched = 0;
+  /// A background reorganizer round overlapped [start_ns, end_ns] in
+  /// virtual time (set by QueryLogRecorder::Finalize, which sees the full
+  /// round list — rounds can complete after the queries they delayed).
+  bool reorg_overlap = false;
+
+  double latency_ns() const { return end_ns - start_ns; }
+  /// "ok" | "failed" | "aborted" | "deadlock".
+  const char* Outcome() const;
+  /// Latency minus the attributed waits (clamped at zero): time the query
+  /// spent doing work rather than waiting.
+  double ServiceNs() const;
+};
+
+/// Slice `args` payload for the Perfetto export: the record's outcome, wait
+/// breakdown and non-zero counter delta as one deterministic JSON object
+/// (so ui.perfetto.dev slice inspection answers "why was this one slow").
+std::string SliceArgsJson(const QueryRecord& r);
+
+/// Per-query flight recorder. The workload scheduler Add()s one record per
+/// completed query (in completion order — the event loop's deterministic
+/// order) and one interval per reorganizer round; Finalize() then computes
+/// the reorg-overlap flags. Exports are deterministic byte-for-byte across
+/// same-seed runs: fixed field order, %.9g numeric formatting, records in
+/// insertion order.
+class QueryLogRecorder {
+ public:
+  void Add(QueryRecord r) { records_.push_back(std::move(r)); }
+  void AddReorgRound(double start_ns, double end_ns) {
+    rounds_.emplace_back(start_ns, end_ns);
+  }
+
+  /// Sets reorg_overlap on every record whose [start, end) intersects a
+  /// recorded reorganizer round. Idempotent; must run before export.
+  void Finalize();
+
+  const std::vector<QueryRecord>& records() const { return records_; }
+  const std::vector<std::pair<double, double>>& reorg_rounds() const {
+    return rounds_;
+  }
+
+  /// One JSON object per line, one line per record.
+  std::string ToJsonl() const;
+  /// Header row + one row per record (flat columns; headline counters only).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<QueryRecord> records_;
+  std::vector<std::pair<double, double>> rounds_;
+};
+
+/// Tail analysis over a finalized query log: decomposes the top-K slowest
+/// queries and the p99-p50 latency gap into the causal wait components.
+/// Only measured, completed (ok) queries participate — the same population
+/// as the report's latency histogram.
+struct TailReport {
+  /// One latency component's contribution to the tail. gap_ns is the
+  /// difference between the component's mean in the tail cohort (latency >=
+  /// p99) and in the median cohort (latency <= p50); the gap_ns values sum
+  /// exactly to mean_latency(tail) - mean_latency(median) because service
+  /// time is defined as the residual.
+  struct Component {
+    std::string name;
+    double tail_mean_ns = 0;
+    double median_mean_ns = 0;
+    double gap_ns = 0;
+  };
+
+  /// One of the top-K slowest queries, decomposed.
+  struct Slow {
+    uint32_t client = 0;
+    uint64_t seq = 0;
+    std::string kind;
+    std::string algo;
+    double latency_ns = 0;
+    QueryWaitBreakdown waits;
+    double service_ns = 0;
+    uint32_t shards_touched = 0;
+    bool reorg_overlap = false;
+  };
+
+  uint64_t analyzed = 0;  // measured ok records
+  double p50_ns = 0;
+  double p99_ns = 0;
+  /// Fixed order: rpc_queue_wait, lock_wait, failover_wait, retry_backoff,
+  /// service.
+  std::vector<Component> components;
+  /// Top-K by latency, descending (ties broken by client then seq).
+  std::vector<Slow> slowest;
+
+  static TailReport Build(const QueryLogRecorder& log, size_t top_k = 5);
+
+  /// Deterministic JSON (single object, %.9g values).
+  std::string ToJson() const;
+  /// Human-readable table for bench stdout.
+  std::string ToString() const;
+};
+
+}  // namespace treebench::telemetry
+
+#endif  // TREEBENCH_TELEMETRY_QUERY_LOG_H_

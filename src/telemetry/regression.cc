@@ -134,6 +134,7 @@ RegressionResult CompareRuns(const FlatRun& baseline, const FlatRun& current,
                     "run)\n",
                     key.c_str(), want);
       res.report += buf;
+      res.findings.push_back({"missing", key, want, 0, true, false});
       ++res.failures;
       continue;
     }
@@ -147,6 +148,7 @@ RegressionResult CompareRuns(const FlatRun& baseline, const FlatRun& current,
                       key.c_str(), want, *got, 100.0 * (*got - want) / denom,
                       100.0 * opts.time_tolerance);
         res.report += buf;
+        res.findings.push_back({"drift", key, want, *got, true, true});
         ++res.failures;
       }
     } else if (*got != want) {
@@ -155,6 +157,7 @@ RegressionResult CompareRuns(const FlatRun& baseline, const FlatRun& current,
                     "match exactly)\n",
                     key.c_str(), want, *got);
       res.report += buf;
+      res.findings.push_back({"mismatch", key, want, *got, true, true});
       ++res.failures;
     }
   }
@@ -165,6 +168,7 @@ RegressionResult CompareRuns(const FlatRun& baseline, const FlatRun& current,
                     "recommit it)\n",
                     key.c_str(), value);
       res.report += buf;
+      res.findings.push_back({"new", key, 0, value, false, true});
       ++res.failures;
     }
   }
@@ -172,9 +176,44 @@ RegressionResult CompareRuns(const FlatRun& baseline, const FlatRun& current,
   if (res.ok) {
     std::snprintf(buf, sizeof(buf), "OK: %d keys within bounds\n",
                   res.keys_checked);
-    res.report += buf;
+  } else {
+    std::snprintf(buf, sizeof(buf), "FAIL: %d of %d keys out of bounds\n",
+                  res.failures, res.keys_checked);
   }
+  res.report += buf;
   return res;
+}
+
+std::string RegressionResult::DiffJson() const {
+  char buf[96];
+  std::string out = "{\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"ok\": %d,\n  \"keys_checked\": %d,\n  \"failures\": "
+                "%d,\n",
+                ok ? 1 : 0, keys_checked, failures);
+  out += buf;
+  out += "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const RegressionFinding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"kind\": \"" + f.kind + "\", \"key\": \"" + f.key + "\"";
+    if (f.has_baseline) {
+      std::snprintf(buf, sizeof(buf), ", \"baseline\": %.9g", f.baseline);
+      out += buf;
+    }
+    if (f.has_current) {
+      std::snprintf(buf, sizeof(buf), ", \"current\": %.9g", f.current);
+      out += buf;
+    }
+    if (f.has_baseline && f.has_current) {
+      std::snprintf(buf, sizeof(buf), ", \"delta\": %.9g",
+                    f.current - f.baseline);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
 }
 
 }  // namespace treebench::telemetry

@@ -41,12 +41,38 @@ struct RegressionOptions {
   double time_tolerance = 0.02;
 };
 
+/// One offending key from a baseline/current comparison.
+struct RegressionFinding {
+  /// "missing" (key absent from current), "drift" (time-like key outside
+  /// the tolerance band), "mismatch" (counter key not exactly equal), or
+  /// "new" (key absent from baseline).
+  std::string kind;
+  std::string key;
+  /// Valid unless kind == "new" / "missing" respectively.
+  double baseline = 0;
+  double current = 0;
+  bool has_baseline = true;
+  bool has_current = true;
+};
+
 struct RegressionResult {
   bool ok = true;
   int keys_checked = 0;
   int failures = 0;
-  /// Human-readable report: one line per failing key (or a pass summary).
+  /// Human-readable report: one line per failing key — EVERY offending key
+  /// is listed, the comparison never stops at the first — followed by a
+  /// summary count (pass or fail).
   std::string report;
+  /// The same findings, structured (baseline key order, then new keys) for
+  /// machine consumers.
+  std::vector<RegressionFinding> findings;
+
+  /// Deterministic JSON diff document for CI annotation:
+  /// `{"ok":…,"keys_checked":…,"failures":…,"findings":[{"kind":…,"key":…,
+  /// "baseline":…,"current":…,"delta":…},…]}`. baseline/current are omitted
+  /// for "new"/"missing" findings; delta only appears when both sides
+  /// exist.
+  std::string DiffJson() const;
 };
 
 /// Diffs `current` against `baseline`: counter keys must match exactly,

@@ -1,0 +1,125 @@
+#include "src/telemetry/slo.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace treebench::telemetry {
+
+Status ValidateSloObjectives(const std::vector<SloObjective>& objectives) {
+  for (const SloObjective& o : objectives) {
+    if (o.name.empty()) {
+      return Status::InvalidArgument("slo: objective name must be non-empty");
+    }
+    if (!(o.target > 0 && o.target < 1)) {
+      return Status::InvalidArgument("slo: target must be in (0, 1) for \"" +
+                                     o.name + "\"");
+    }
+    if (o.long_window_ns <= 0) {
+      return Status::InvalidArgument(
+          "slo: long_window_ns must be > 0 for \"" + o.name + "\"");
+    }
+    if (o.short_window_ns < 0 || o.short_window_ns > o.long_window_ns) {
+      return Status::InvalidArgument(
+          "slo: short_window_ns must be in [0, long_window_ns] for \"" +
+          o.name + "\"");
+    }
+    if (o.burn_threshold <= 0) {
+      return Status::InvalidArgument(
+          "slo: burn_threshold must be > 0 for \"" + o.name + "\"");
+    }
+    if (o.kind == SloKind::kLatency && o.latency_threshold_ns <= 0) {
+      return Status::InvalidArgument(
+          "slo: latency objectives need latency_threshold_ns > 0 for \"" +
+          o.name + "\"");
+    }
+  }
+  return Status::OK();
+}
+
+SloMonitor::SloMonitor(std::vector<SloObjective> objectives) {
+  for (SloObjective& o : objectives) {
+    max_long_window_ns_ = std::max(max_long_window_ns_, o.long_window_ns);
+    objectives_.push_back({std::move(o)});
+  }
+}
+
+void SloMonitor::OnQuery(double end_ns, double latency_ns, bool ok) {
+  const double now = std::max(end_ns, last_ns_);
+  last_ns_ = now;
+  window_.push_back({now, latency_ns, ok});
+  // Drop samples no objective's long window can still see. Samples are
+  // appended in non-decreasing time, so the prefix is the stale part.
+  const double horizon = now - max_long_window_ns_;
+  size_t keep = 0;
+  while (keep < window_.size() && window_[keep].t_ns <= horizon) ++keep;
+  if (keep > 0) window_.erase(window_.begin(), window_.begin() + keep);
+
+  for (ObjectiveState& st : objectives_) {
+    const SloObjective& o = st.obj;
+    const bool bad_now = o.kind == SloKind::kAvailability
+                             ? !ok
+                             : (!ok || latency_ns > o.latency_threshold_ns);
+    ++st.total;
+    if (bad_now) ++st.bad;
+
+    // Windowed error rates over (now - W, now]. The sample vector is tiny
+    // (bounded by the long window), so a linear scan keeps this trivially
+    // deterministic.
+    const double short_w = o.EffectiveShortWindowNs();
+    uint64_t long_total = 0, long_bad = 0, short_total = 0, short_bad = 0;
+    for (const Sample& s : window_) {
+      if (s.t_ns <= now - o.long_window_ns) continue;
+      const bool bad = o.kind == SloKind::kAvailability
+                           ? !s.ok
+                           : (!s.ok || s.latency_ns > o.latency_threshold_ns);
+      ++long_total;
+      if (bad) ++long_bad;
+      if (s.t_ns > now - short_w) {
+        ++short_total;
+        if (bad) ++short_bad;
+      }
+    }
+    const double budget = 1.0 - o.target;
+    const double burn_long =
+        long_total > 0
+            ? (static_cast<double>(long_bad) / long_total) / budget
+            : 0;
+    const double burn_short =
+        short_total > 0
+            ? (static_cast<double>(short_bad) / short_total) / budget
+            : 0;
+
+    if (!st.active && burn_long >= o.burn_threshold &&
+        burn_short >= o.burn_threshold) {
+      st.active = true;
+      ++st.fired;
+      alerts_.push_back({o.name, true, now, burn_long, burn_short});
+    } else if (st.active && burn_short < o.burn_threshold) {
+      // The short window recovering is the clear condition: once errors
+      // stop, the budget stops burning even while the long window still
+      // remembers the incident.
+      st.active = false;
+      alerts_.push_back({o.name, false, now, burn_long, burn_short});
+    }
+  }
+}
+
+std::vector<SloObjectiveSummary> SloMonitor::Summaries() const {
+  std::vector<SloObjectiveSummary> out;
+  for (const ObjectiveState& st : objectives_) {
+    SloObjectiveSummary s;
+    s.name = st.obj.name;
+    s.total = st.total;
+    s.bad = st.bad;
+    s.attainment =
+        st.total > 0
+            ? static_cast<double>(st.total - st.bad) / st.total
+            : 1.0;
+    s.alerts_fired = st.fired;
+    s.active_at_end = st.active;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace treebench::telemetry

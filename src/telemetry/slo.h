@@ -1,0 +1,109 @@
+#ifndef TREEBENCH_TELEMETRY_SLO_H_
+#define TREEBENCH_TELEMETRY_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace treebench::telemetry {
+
+/// What makes a query "good" for an objective.
+enum class SloKind {
+  /// Good = completed AND latency <= latency_threshold_ns.
+  kLatency,
+  /// Good = completed (availability: failed queries burn the budget).
+  kAvailability,
+};
+
+/// One service-level objective evaluated over the virtual-time query
+/// stream, with Google-SRE-style multi-window burn-rate alerting: the
+/// error budget is 1 - target, the burn rate over a window is the window's
+/// observed error rate divided by that budget, and an alert fires when BOTH
+/// the long and the short window burn at >= burn_threshold (the short
+/// window keeps stale errors from alerting forever, and its recovery is
+/// what clears the alert).
+struct SloObjective {
+  std::string name;
+  SloKind kind = SloKind::kAvailability;
+  double latency_threshold_ns = 0;  // kLatency only
+  /// Required good fraction, in (0, 1) — e.g. 0.99 allows 1% bad.
+  double target = 0.99;
+  double long_window_ns = 1e9;
+  /// 0 derives long_window_ns / 12 (the SRE 1h/5m ratio).
+  double short_window_ns = 0;
+  double burn_threshold = 2.0;
+
+  double EffectiveShortWindowNs() const {
+    return short_window_ns > 0 ? short_window_ns : long_window_ns / 12.0;
+  }
+};
+
+Status ValidateSloObjectives(const std::vector<SloObjective>& objectives);
+
+/// One deterministic, virtual-time-stamped alert transition.
+struct SloAlertEvent {
+  std::string objective;
+  bool fired = false;  // true = fire, false = clear
+  double t_ns = 0;     // completion tick that caused the transition
+  double burn_long = 0;
+  double burn_short = 0;
+};
+
+/// One objective's end-of-run rollup.
+struct SloObjectiveSummary {
+  std::string name;
+  uint64_t total = 0;
+  uint64_t bad = 0;
+  /// good / total (1 when no queries were observed).
+  double attainment = 1.0;
+  uint64_t alerts_fired = 0;
+  /// The alert was still firing when the run ended (never cleared).
+  bool active_at_end = false;
+};
+
+/// Evaluates a set of objectives on query-completion virtual-time ticks.
+/// Pure observer: reads the (end time, latency, ok) stream the scheduler
+/// already produces and never touches the simulation, so enabling it cannot
+/// perturb a run. All state transitions are functions of the deterministic
+/// event stream — alert timestamps are bit-stable across same-seed runs
+/// (hard-gated in bench_fault_campaign).
+class SloMonitor {
+ public:
+  explicit SloMonitor(std::vector<SloObjective> objectives);
+
+  /// One call per completed measured query, in event-loop completion order.
+  /// Ticks are forward-clamped like the time-series recorder: a completion
+  /// earlier than the previous tick evaluates at the previous tick's time.
+  void OnQuery(double end_ns, double latency_ns, bool ok);
+
+  const std::vector<SloAlertEvent>& alerts() const { return alerts_; }
+  std::vector<SloObjectiveSummary> Summaries() const;
+
+ private:
+  struct ObjectiveState {
+    SloObjective obj;
+    uint64_t total = 0;
+    uint64_t bad = 0;
+    bool active = false;
+    uint64_t fired = 0;
+  };
+  struct Sample {
+    double t_ns = 0;
+    double latency_ns = 0;
+    bool ok = false;
+  };
+
+  std::vector<ObjectiveState> objectives_;
+  /// Completion samples still inside somebody's long window (pruned as time
+  /// advances; t_ns is non-decreasing by the forward clamp).
+  std::vector<Sample> window_;
+  std::vector<SloAlertEvent> alerts_;
+  double last_ns_ = 0;
+  double max_long_window_ns_ = 0;
+};
+
+}  // namespace treebench::telemetry
+
+#endif  // TREEBENCH_TELEMETRY_SLO_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "src/cost/trace.h"
 
@@ -44,11 +45,26 @@ void ChromeTraceBuilder::SetThreadName(uint32_t tid, const std::string& name) {
 }
 
 void ChromeTraceBuilder::AddSlice(uint32_t tid, const std::string& name,
-                                  double start_ns, double dur_ns) {
-  events_.push_back("{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
-                    ",\"name\":\"" + EscapeJson(name) +
-                    "\",\"ts\":" + FormatUs(start_ns) +
-                    ",\"dur\":" + FormatUs(dur_ns) + "}");
+                                  double start_ns, double dur_ns,
+                                  const std::string& args_json) {
+  std::string ev = "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                   ",\"name\":\"" + EscapeJson(name) +
+                   "\",\"ts\":" + FormatUs(start_ns) +
+                   ",\"dur\":" + FormatUs(dur_ns);
+  if (!args_json.empty()) ev += ",\"args\":" + args_json;
+  ev += "}";
+  events_.push_back(std::move(ev));
+}
+
+void ChromeTraceBuilder::AddInstant(uint32_t tid, const std::string& name,
+                                    double ts_ns,
+                                    const std::string& args_json) {
+  std::string ev = "{\"ph\":\"i\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                   ",\"name\":\"" + EscapeJson(name) +
+                   "\",\"ts\":" + FormatUs(ts_ns) + ",\"s\":\"t\"";
+  if (!args_json.empty()) ev += ",\"args\":" + args_json;
+  ev += "}";
+  events_.push_back(std::move(ev));
 }
 
 void ChromeTraceBuilder::AddCounter(const std::string& name, double ts_ns,

@@ -19,6 +19,11 @@ struct TraceSlice {
   std::string name;
   double start_ns = 0;
   double dur_ns = 0;
+  /// Optional pre-serialized JSON object attached as the slice's `args`
+  /// (per-query counter deltas + wait breakdown from the flight recorder).
+  /// Empty — the default — emits no args key at all, so traces without it
+  /// keep their exact byte shape.
+  std::string args;
 };
 
 /// Accumulates Trace Event Format events ("chrome://tracing JSON", the
@@ -38,9 +43,16 @@ class ChromeTraceBuilder {
 
   void SetProcessName(const std::string& name);
   void SetThreadName(uint32_t tid, const std::string& name);
+  /// `args_json`, when non-empty, must be a serialized JSON object; it is
+  /// embedded verbatim as the slice's `args`. The empty default emits no
+  /// args key (byte-compatible with the pre-args format).
   void AddSlice(uint32_t tid, const std::string& name, double start_ns,
-                double dur_ns);
+                double dur_ns, const std::string& args_json = "");
   void AddCounter(const std::string& name, double ts_ns, double value);
+  /// Thread-scoped instant event (`ph:"i"`, scope `t`) — a zero-duration
+  /// marker such as an SLO alert firing or clearing.
+  void AddInstant(uint32_t tid, const std::string& name, double ts_ns,
+                  const std::string& args_json = "");
 
   /// Lays a span tree out as nested slices on `tid` starting at `base_ns`.
   /// TraceNodes carry durations but no start offsets, so children are

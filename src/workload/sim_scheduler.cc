@@ -1,6 +1,7 @@
 #include "src/workload/sim_scheduler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <queue>
 #include <utility>
@@ -16,6 +17,8 @@
 #include "src/query/optimizer.h"
 #include "src/recluster/heat_tracker.h"
 #include "src/recluster/reorganizer.h"
+#include "src/telemetry/query_log.h"
+#include "src/telemetry/slo.h"
 #include "src/workload/client_session.h"
 
 namespace treebench {
@@ -96,6 +99,7 @@ Status ValidateSpec(const WorkloadSpec& spec) {
       return Status::InvalidArgument("workload: crash at_ns must be >= 0");
     }
   }
+  TB_RETURN_IF_ERROR(telemetry::ValidateSloObjectives(spec.slo_objectives));
   if (spec.recluster_interval_ns < 0 || spec.recluster_min_heat < 0 ||
       spec.recluster_min_span < 0) {
     return Status::InvalidArgument(
@@ -120,6 +124,19 @@ struct PreparedQuery {
 struct TelemetryHooks {
   WorkloadTelemetry* t = nullptr;
   double probe_now = 0;
+
+  /// Query flight recorder + SLO engine (docs/observability.md). Null —
+  /// the default — is the pre-recorder code path: no snapshots, no record
+  /// assembly, nothing allocated. Both are pure observers of state the
+  /// loop already computes, so enabling them perturbs no counter and no
+  /// virtual timestamp (tests/workload_obs_test.cc asserts this).
+  telemetry::QueryLogRecorder* qlog = nullptr;
+  telemetry::SloMonitor* slo = nullptr;
+  /// For the recorder's shards-touched attribution: per-shard admitted()
+  /// snapshots taken around each query (the loop runs queries atomically,
+  /// so any admission delta belongs to the running query).
+  const StationRegistry* stations = nullptr;
+  std::vector<uint64_t> admitted_before;
 };
 
 /// Registers every probe column on the recorder. All lambdas only read
@@ -396,6 +413,9 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
             {/*track=*/hooks->t->num_clients + 1 + hooks->t->num_shards,
              "recluster", t0, reorg->clock.clock_ns - t0});
       }
+      if (hooks->qlog != nullptr) {
+        hooks->qlog->AddReorgRound(t0, reorg->clock.clock_ns);
+      }
       if (any_client_live()) {
         heap.emplace(reorg->clock.clock_ns + reorg_interval_ns, reorg_id);
       }
@@ -406,6 +426,17 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
     SessionBinding binding(db, s);
 
     GeneratedQuery gq = s->NextQuery();
+    // Shards-touched attribution for the flight recorder: per-shard
+    // admitted() snapshots bracketing the same region as the m0 Metrics
+    // snapshot (re-taken after preparation when it succeeds, below).
+    auto snapshot_admitted = [hooks] {
+      if (hooks->qlog == nullptr || hooks->stations == nullptr) return;
+      hooks->admitted_before.resize(hooks->stations->size());
+      for (uint32_t sh = 0; sh < hooks->stations->size(); ++sh) {
+        hooks->admitted_before[sh] = hooks->stations->Station(sh).admitted();
+      }
+    };
+    snapshot_admitted();
     const double prep_start_ns = s->clock.clock_ns;
     const Metrics prep_start_metrics = s->clock.metrics;
     auto prepared = Prepare(db, spec, gq);
@@ -436,6 +467,7 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
     // charges happened, the result never arrived.
     const double t0 = prep_ok ? s->clock.clock_ns : prep_start_ns;
     const Metrics m0 = prep_ok ? s->clock.metrics : prep_start_metrics;
+    if (prep_ok) snapshot_admitted();
     bool ok = false;
     if (prep_ok && prep.is_dml) {
       Status hard_error = Status::OK();
@@ -445,26 +477,66 @@ Status RunEventLoop(Database* db, const WorkloadSpec& spec,
       ok = RunBoundPlan(db, prep.bound, prep.plan, /*cold=*/false).ok();
     }
     const double t1 = s->clock.clock_ns;
+    const bool measured = s->queries_issued >= spec.warmup_queries_per_client;
+
+    // Assemble the flight-recorder record first: its delta also feeds the
+    // Perfetto slice args below. Everything here only READS state the loop
+    // already computed — no counter, no clock, no rng is touched.
+    telemetry::QueryRecord qrec;
+    if (hooks->qlog != nullptr) {
+      qrec.client = id;
+      qrec.seq = s->queries_issued;
+      qrec.kind = gq.is_update ? "update" : (gq.is_tree ? "tree" : "selection");
+      if (!prep_ok) {
+        qrec.algo = "unprepared";
+      } else if (prep.is_dml) {
+        qrec.algo = "txn";
+      } else if (prep.plan.is_tree) {
+        qrec.algo = std::string(AlgoName(prep.plan.algo));
+      } else {
+        qrec.algo = std::string(SelectionModeName(prep.plan.selection_mode));
+      }
+      qrec.measured = measured;
+      qrec.ok = ok;
+      qrec.aborted = prep_ok && prep.is_dml && !ok;
+      qrec.start_ns = t0;
+      qrec.end_ns = t1;
+      qrec.delta = s->clock.metrics.Diff(m0);
+      qrec.deadlock_victim = qrec.aborted && qrec.delta.deadlocks > 0;
+      if (hooks->stations != nullptr) {
+        for (uint32_t sh = 0; sh < hooks->stations->size(); ++sh) {
+          if (hooks->stations->Station(sh).admitted() >
+              hooks->admitted_before[sh]) {
+            ++qrec.shards_touched;
+          }
+        }
+      }
+    }
 
     if (hooks->t != nullptr) {
       // Record the slice / latency / sample BEFORE the report bookkeeping so
       // the running histogram matches the report's at every completion.
       hooks->probe_now = std::max(hooks->probe_now, t1);
-      hooks->t->query_slices.push_back(
-          {/*track=*/id + 1,
-           gq.is_update ? "update" : (gq.is_tree ? "tree" : "selection"), t0,
-           t1 - t0});
-      const bool will_measure =
-          s->queries_issued >= spec.warmup_queries_per_client;
-      if (will_measure && ok) hooks->t->running_latencies.Record(t1 - t0);
+      telemetry::TraceSlice slice{
+          /*track=*/id + 1,
+          gq.is_update ? "update" : (gq.is_tree ? "tree" : "selection"), t0,
+          t1 - t0};
+      if (hooks->qlog != nullptr) slice.args = telemetry::SliceArgsJson(qrec);
+      hooks->t->query_slices.push_back(std::move(slice));
+      if (measured && ok) hooks->t->running_latencies.Record(t1 - t0);
       if (hooks->t->series.Tick(t1) && db->sim().stations() != nullptr) {
         // A row was emitted: open a fresh peak-backlog window on every
         // shard.
         db->sim().stations()->ResetPeakMarks();
       }
     }
+    if (hooks->qlog != nullptr) hooks->qlog->Add(std::move(qrec));
+    // SLO objectives see every measured completion (ok or failed) at its
+    // completion tick — the same population as the report rollups.
+    if (hooks->slo != nullptr && measured) {
+      hooks->slo->OnQuery(t1, t1 - t0, ok);
+    }
 
-    const bool measured = s->queries_issued >= spec.warmup_queries_per_client;
     if (measured) {
       if (!s->measuring) {
         s->measuring = true;
@@ -592,8 +664,23 @@ std::string WorkloadTelemetry::ChromeTraceJson() const {
   if (has_reorganizer) {
     b.SetThreadName(num_clients + 1 + num_shards, "reorganizer");
   }
+  // SLO alert transitions render as instant events on their own track,
+  // placed after every other track. The track (and its name metadata)
+  // exists only when objectives actually ran, so traces without an SLO
+  // config keep their exact byte shape.
+  const uint32_t alerts_tid =
+      num_clients + 1 + num_shards + (has_reorganizer ? 1 : 0);
+  if (!slo_alerts.empty()) b.SetThreadName(alerts_tid, "alerts");
   for (const telemetry::TraceSlice& s : query_slices) {
-    b.AddSlice(s.track, s.name, s.start_ns, s.dur_ns);
+    b.AddSlice(s.track, s.name, s.start_ns, s.dur_ns, s.args);
+  }
+  for (const telemetry::SloAlertEvent& a : slo_alerts) {
+    char args[96];
+    std::snprintf(args, sizeof(args),
+                  "{\"burn_long\":%.9g,\"burn_short\":%.9g}", a.burn_long,
+                  a.burn_short);
+    b.AddInstant(alerts_tid,
+                 a.objective + (a.fired ? " FIRE" : " CLEAR"), a.t_ns, args);
   }
   for (uint32_t sh = 0; sh < server_service.size(); ++sh) {
     for (const auto& [start, end] : server_service[sh]) {
@@ -728,7 +815,20 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
                             : db->sim().model().recluster_interval_ns;
   }
 
+  // Query flight recorder + SLO engine: both flag-off by default, both pure
+  // observers. With the flags off neither is allocated and the loop takes
+  // the exact pre-recorder path (the off-mode byte-identity contract).
+  std::unique_ptr<telemetry::QueryLogRecorder> qlog;
+  if (spec.query_log) qlog = std::make_unique<telemetry::QueryLogRecorder>();
+  std::unique_ptr<telemetry::SloMonitor> slo;
+  if (!spec.slo_objectives.empty()) {
+    slo = std::make_unique<telemetry::SloMonitor>(spec.slo_objectives);
+  }
+
   TelemetryHooks hooks{telemetry};
+  hooks.qlog = qlog.get();
+  hooks.slo = slo.get();
+  hooks.stations = &stations;
   if (telemetry != nullptr) {
     telemetry->num_clients = spec.num_clients;
     telemetry->num_shards = stations.size();
@@ -762,6 +862,19 @@ Result<WorkloadReport> RunWorkload(DerbyDb* derby, const WorkloadSpec& spec,
   // shard counters).
   WorkloadReport report =
       AssembleReport(spec, sessions, stations, db, heat.get(), reorg.get());
+
+  if (qlog != nullptr) {
+    qlog->Finalize();
+    report.has_query_log = true;
+    report.tail = telemetry::TailReport::Build(*qlog, /*top_k=*/5);
+    report.query_log = std::move(*qlog);
+  }
+  if (slo != nullptr) {
+    report.has_slo = true;
+    report.slo_objectives = slo->Summaries();
+    report.slo_alerts = slo->alerts();
+    if (telemetry != nullptr) telemetry->slo_alerts = report.slo_alerts;
+  }
 
   // Teardown: drop every session's handles while its table is bound so the
   // simulated handle memory registered against the machine is released.

@@ -8,6 +8,7 @@
 #include "src/benchdb/derby.h"
 #include "src/common/status.h"
 #include "src/telemetry/histogram.h"
+#include "src/telemetry/slo.h"
 #include "src/telemetry/time_series.h"
 #include "src/telemetry/trace_export.h"
 #include "src/workload/workload_report.h"
@@ -52,6 +53,13 @@ struct WorkloadTelemetry {
   /// True when the run had a background reorganizer: it gets its own trace
   /// track (after the server tracks) carrying one slice per round.
   bool has_reorganizer = false;
+
+  /// SLO alert transitions, copied from the run's SloMonitor (empty unless
+  /// the spec configured objectives). ChromeTraceJson renders them as
+  /// instant events on a dedicated `alerts` track after every other track —
+  /// absent entirely when no objectives ran, so classic traces keep their
+  /// exact byte shape.
+  std::vector<telemetry::SloAlertEvent> slo_alerts;
 
   /// Perfetto/chrome://tracing JSON: one track per client, one for the
   /// server station, plus one counter track per time-series column.

@@ -76,6 +76,14 @@ std::string WorkloadReport::ToJson() const {
   if (spec.recluster) {
     AppendKV(&out, "    ", "recluster", uint64_t{1});
   }
+  // ... and for the flight recorder / SLO engine.
+  if (spec.query_log) {
+    AppendKV(&out, "    ", "query_log", uint64_t{1});
+  }
+  if (!spec.slo_objectives.empty()) {
+    AppendKV(&out, "    ", "slo_objectives",
+             uint64_t{spec.slo_objectives.size()});
+  }
   AppendKV(&out, "    ", "selection_pct", spec.selection_pct);
   AppendKV(&out, "    ", "think_time_ns", spec.think_time_ns);
   AppendKV(&out, "    ", "cold_start", uint64_t{spec.cold_start ? 1u : 0u});
@@ -116,6 +124,52 @@ std::string WorkloadReport::ToJson() const {
     AppendKV(&out, "    ", "clustering_quality", clustering_quality);
     AppendMetrics(&out, "    ", recluster, /*comma=*/false);
     out += "  },\n";
+  }
+
+  // Query flight recorder: a compact summary plus the tail attribution
+  // (the full per-query stream exports as JSONL/CSV via the recorder, not
+  // here). Present only when the spec enabled the recorder.
+  if (has_query_log) {
+    out += "  \"query_log\": {\n";
+    AppendKV(&out, "    ", "records", uint64_t{query_log.records().size()});
+    AppendKV(&out, "    ", "reorg_rounds",
+             uint64_t{query_log.reorg_rounds().size()});
+    out += "    \"tail\": " + tail.ToJson() + "\n";
+    out += "  },\n";
+  }
+
+  // SLO engine: per-objective attainment plus the deterministic alert
+  // timeline. Present only when the spec configured objectives.
+  if (has_slo) {
+    out += "  \"slo\": {\n    \"objectives\": [\n";
+    for (size_t i = 0; i < slo_objectives.size(); ++i) {
+      const telemetry::SloObjectiveSummary& o = slo_objectives[i];
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "      {\"name\": \"%s\", \"total\": %llu, \"bad\": "
+                    "%llu, \"attainment\": %.9g, \"alerts_fired\": %llu, "
+                    "\"active_at_end\": %u}%s\n",
+                    o.name.c_str(), (unsigned long long)o.total,
+                    (unsigned long long)o.bad, o.attainment,
+                    (unsigned long long)o.alerts_fired,
+                    o.active_at_end ? 1u : 0u,
+                    i + 1 < slo_objectives.size() ? "," : "");
+      out += row;
+    }
+    out += "    ],\n    \"alerts\": [\n";
+    for (size_t i = 0; i < slo_alerts.size(); ++i) {
+      const telemetry::SloAlertEvent& a = slo_alerts[i];
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "      {\"objective\": \"%s\", \"event\": \"%s\", "
+                    "\"t_seconds\": %.9g, \"burn_long\": %.9g, "
+                    "\"burn_short\": %.9g}%s\n",
+                    a.objective.c_str(), a.fired ? "fire" : "clear",
+                    a.t_ns / 1e9, a.burn_long, a.burn_short,
+                    i + 1 < slo_alerts.size() ? "," : "");
+      out += row;
+    }
+    out += "    ]\n  },\n";
   }
 
   out += "  \"shards\": [\n";

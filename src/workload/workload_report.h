@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/cost/metrics.h"
+#include "src/telemetry/query_log.h"
+#include "src/telemetry/slo.h"
 #include "src/workload/latency_histogram.h"
 #include "src/workload/workload_spec.h"
 
@@ -93,6 +95,22 @@ struct WorkloadReport {
   /// Mean distinct pages touched per composition traversal over the run —
   /// the clustering-quality gauge's final value (lower = better clustered).
   double clustering_quality = 0;
+
+  /// Query flight recorder (docs/observability.md). Present only when
+  /// spec.query_log was set; a disabled run leaves both at their defaults
+  /// and the JSON keeps its classic shape.
+  bool has_query_log = false;
+  /// The finalized per-query records (reorg-overlap flags computed).
+  telemetry::QueryLogRecorder query_log;
+  /// Tail attribution over the log (top-5 slowest + p99-p50 decomposition).
+  telemetry::TailReport tail;
+
+  /// SLO engine results. Present only when spec.slo_objectives was
+  /// non-empty; same shape-preserving rule.
+  bool has_slo = false;
+  std::vector<telemetry::SloObjectiveSummary> slo_objectives;
+  /// Deterministic fire/clear transitions in virtual-time order.
+  std::vector<telemetry::SloAlertEvent> slo_alerts;
 
   std::vector<ClientReport> clients;
 

@@ -8,6 +8,7 @@
 #include "src/query/optimizer.h"
 #include "src/query/selection.h"
 #include "src/query/tree_query.h"
+#include "src/telemetry/slo.h"
 
 namespace treebench {
 
@@ -99,6 +100,22 @@ struct WorkloadSpec {
   uint32_t recluster_page_budget = 0;
   double recluster_min_heat = 0;
   double recluster_min_span = 0;
+
+  /// ---- Query flight recorder + SLO engine (docs/observability.md) ----
+  /// false — the default — allocates no recorder and snapshots nothing: the
+  /// run executes the exact pre-recorder code path and every artifact keeps
+  /// its classic byte shape. true emits one QueryRecord per completed query
+  /// (counter delta, causal wait breakdown, shards touched, reorganizer
+  /// overlap) into WorkloadReport::query_log, plus per-slice `args` in the
+  /// Perfetto export when telemetry is also requested.
+  bool query_log = false;
+  /// Service-level objectives evaluated on query-completion virtual-time
+  /// ticks with multi-window burn-rate alerting. Empty — the default —
+  /// installs no monitor at all; non-empty surfaces per-objective
+  /// attainment and deterministic fire/clear alert events in the report
+  /// (and on the Perfetto `alerts` track). Pure observer either way: the
+  /// simulated run is bit-identical with and without.
+  std::vector<telemetry::SloObjective> slo_objectives;
 
   /// ---- Sharded page service (docs/replication_model.md) ----
   /// Page servers for the run. 0 = inherit the database's current shard

@@ -1,0 +1,349 @@
+// Unit tests of the observability layer's pure components
+// (docs/observability.md): the query flight recorder's record/export
+// semantics, the tail-attribution report's gap decomposition, and the SLO
+// burn-rate alert engine's deterministic fire/clear state machine. The
+// integration half (scheduler wiring, off-mode byte identity, causal
+// accounting against real runs) lives in tests/workload_obs_test.cc.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/cost/metrics.h"
+#include "src/telemetry/query_log.h"
+#include "src/telemetry/slo.h"
+
+namespace treebench::telemetry {
+namespace {
+
+QueryRecord MakeRecord(uint32_t client, uint64_t seq, double start_ns,
+                       double latency_ns, bool ok = true,
+                       bool measured = true) {
+  QueryRecord r;
+  r.client = client;
+  r.seq = seq;
+  r.kind = "selection";
+  r.algo = "index";
+  r.measured = measured;
+  r.ok = ok;
+  r.start_ns = start_ns;
+  r.end_ns = start_ns + latency_ns;
+  return r;
+}
+
+TEST(QueryLogTest, WaitBreakdownPullsTheFourWaitCounters) {
+  Metrics delta;
+  delta.rpc_queue_wait_ns = 10;
+  delta.lock_wait_ns = 20;
+  delta.failover_wait_ns = 30;
+  delta.retry_backoff_ns = 40;
+  delta.disk_reads = 99;  // not a wait component
+  QueryWaitBreakdown w = WaitBreakdownOf(delta);
+  EXPECT_EQ(w.rpc_queue_wait_ns, 10u);
+  EXPECT_EQ(w.lock_wait_ns, 20u);
+  EXPECT_EQ(w.failover_wait_ns, 30u);
+  EXPECT_EQ(w.retry_backoff_ns, 40u);
+  EXPECT_EQ(w.TotalNs(), 100u);
+}
+
+TEST(QueryLogTest, OutcomeNamesAndServiceResidual) {
+  QueryRecord r = MakeRecord(0, 0, 1000, 500);
+  EXPECT_STREQ(r.Outcome(), "ok");
+  r.ok = false;
+  EXPECT_STREQ(r.Outcome(), "failed");
+  r.aborted = true;
+  EXPECT_STREQ(r.Outcome(), "aborted");
+  r.deadlock_victim = true;
+  EXPECT_STREQ(r.Outcome(), "deadlock");
+
+  r.delta.rpc_queue_wait_ns = 120;
+  r.delta.lock_wait_ns = 80;
+  EXPECT_DOUBLE_EQ(r.ServiceNs(), 300.0);  // 500 - 200 attributed waits
+  // A breakdown exceeding the latency clamps to zero rather than going
+  // negative (can only arise from hand-built records, never the engine).
+  r.delta.rpc_queue_wait_ns = 1000;
+  EXPECT_DOUBLE_EQ(r.ServiceNs(), 0.0);
+}
+
+TEST(QueryLogTest, FinalizeMarksHalfOpenIntervalOverlaps) {
+  QueryLogRecorder log;
+  log.Add(MakeRecord(0, 0, 0, 100));     // [0, 100)
+  log.Add(MakeRecord(0, 1, 100, 100));   // [100, 200)
+  log.Add(MakeRecord(0, 2, 250, 100));   // [250, 350)
+  log.AddReorgRound(50, 100);            // overlaps only the first record
+  log.Finalize();
+  EXPECT_TRUE(log.records()[0].reorg_overlap);
+  // A round ending exactly at a query's start does not overlap it.
+  EXPECT_FALSE(log.records()[1].reorg_overlap);
+  EXPECT_FALSE(log.records()[2].reorg_overlap);
+
+  // Idempotent, and later rounds extend the marking.
+  log.AddReorgRound(340, 400);  // starts before record 2 ends
+  log.Finalize();
+  log.Finalize();
+  EXPECT_TRUE(log.records()[0].reorg_overlap);
+  EXPECT_FALSE(log.records()[1].reorg_overlap);
+  EXPECT_TRUE(log.records()[2].reorg_overlap);
+}
+
+TEST(QueryLogTest, JsonlAndCsvAreDeterministicAndLinePerRecord) {
+  auto build = []() {
+    QueryLogRecorder log;
+    QueryRecord r = MakeRecord(1, 7, 1000, 400);
+    r.delta.disk_reads = 3;
+    r.delta.rpc_queue_wait_ns = 50;
+    r.shards_touched = 2;
+    log.Add(r);
+    log.Add(MakeRecord(2, 0, 2000, 100, /*ok=*/false));
+    log.Finalize();
+    return log;
+  };
+  QueryLogRecorder a = build();
+  QueryLogRecorder b = build();
+  EXPECT_EQ(a.ToJsonl(), b.ToJsonl());
+  EXPECT_EQ(a.ToCsv(), b.ToCsv());
+
+  const std::string jsonl = a.ToJsonl();
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"rpc_queue_wait_ns\":50"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"disk_reads\":3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"outcome\":\"failed\""), std::string::npos);
+
+  // CSV: header + one row per record.
+  const std::string csv = a.ToCsv();
+  lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(csv.rfind("client,seq,kind,algo,measured,outcome", 0), 0u);
+}
+
+TEST(QueryLogTest, TailGapDecompositionSumsExactly) {
+  QueryLogRecorder log;
+  // 20 fast queries (latency 100, all service) and one slow outlier
+  // (latency 1000, 700 of it queueing) — the outlier is the p99 cohort.
+  for (uint64_t i = 0; i < 20; ++i) {
+    log.Add(MakeRecord(0, i, 1000 * static_cast<double>(i), 100));
+  }
+  QueryRecord slow = MakeRecord(1, 0, 50000, 1000);
+  slow.delta.rpc_queue_wait_ns = 700;
+  log.Add(slow);
+  // Unmeasured and failed records must not participate.
+  log.Add(MakeRecord(2, 0, 60000, 1e9, /*ok=*/false));
+  log.Add(MakeRecord(2, 1, 70000, 1e9, /*ok=*/true, /*measured=*/false));
+  log.Finalize();
+
+  TailReport tail = TailReport::Build(log, /*top_k=*/3);
+  EXPECT_EQ(tail.analyzed, 21u);
+  EXPECT_DOUBLE_EQ(tail.p50_ns, 100);
+  EXPECT_DOUBLE_EQ(tail.p99_ns, 1000);
+  ASSERT_EQ(tail.components.size(), 5u);
+  EXPECT_EQ(tail.components[0].name, "rpc_queue_wait");
+  EXPECT_EQ(tail.components[4].name, "service");
+
+  // The defining property: per-component gaps sum exactly to the
+  // tail-vs-median mean latency difference (service is the residual).
+  double gap_sum = 0;
+  for (const TailReport::Component& c : tail.components) {
+    gap_sum += c.gap_ns;
+  }
+  EXPECT_NEAR(gap_sum, 1000 - 100, 1e-9);
+  EXPECT_NEAR(tail.components[0].gap_ns, 700, 1e-9);  // queueing gap
+
+  // Top-K slowest, descending, fully attributed.
+  ASSERT_EQ(tail.slowest.size(), 3u);
+  EXPECT_EQ(tail.slowest[0].client, 1u);
+  EXPECT_DOUBLE_EQ(tail.slowest[0].latency_ns, 1000);
+  EXPECT_EQ(tail.slowest[0].waits.rpc_queue_wait_ns, 700u);
+  EXPECT_DOUBLE_EQ(tail.slowest[0].service_ns, 300);
+  EXPECT_GE(tail.slowest[1].latency_ns, tail.slowest[2].latency_ns);
+
+  // Deterministic exports.
+  EXPECT_EQ(tail.ToJson(), TailReport::Build(log, 3).ToJson());
+  EXPECT_FALSE(tail.ToString().empty());
+}
+
+TEST(QueryLogTest, TailOfEmptyLogIsEmpty) {
+  QueryLogRecorder log;
+  TailReport tail = TailReport::Build(log);
+  EXPECT_EQ(tail.analyzed, 0u);
+  EXPECT_DOUBLE_EQ(tail.p50_ns, 0);
+  EXPECT_DOUBLE_EQ(tail.p99_ns, 0);
+  EXPECT_TRUE(tail.slowest.empty());
+}
+
+SloObjective Availability(double target = 0.9, double long_ns = 1000,
+                          double short_ns = 250, double burn = 2.0) {
+  SloObjective o;
+  o.name = "availability";
+  o.kind = SloKind::kAvailability;
+  o.target = target;
+  o.long_window_ns = long_ns;
+  o.short_window_ns = short_ns;
+  o.burn_threshold = burn;
+  return o;
+}
+
+TEST(SloTest, ValidationRejectsMistunedObjectives) {
+  EXPECT_TRUE(ValidateSloObjectives({Availability()}).ok());
+
+  SloObjective o = Availability();
+  o.name = "";
+  EXPECT_FALSE(ValidateSloObjectives({o}).ok());
+
+  o = Availability(/*target=*/1.0);
+  EXPECT_FALSE(ValidateSloObjectives({o}).ok());
+  o = Availability(/*target=*/0.0);
+  EXPECT_FALSE(ValidateSloObjectives({o}).ok());
+
+  o = Availability();
+  o.long_window_ns = 0;
+  EXPECT_FALSE(ValidateSloObjectives({o}).ok());
+
+  o = Availability();
+  o.short_window_ns = 2000;  // longer than the long window
+  EXPECT_FALSE(ValidateSloObjectives({o}).ok());
+
+  o = Availability();
+  o.burn_threshold = 0;
+  EXPECT_FALSE(ValidateSloObjectives({o}).ok());
+
+  o = Availability();
+  o.kind = SloKind::kLatency;  // latency objective needs a threshold
+  EXPECT_FALSE(ValidateSloObjectives({o}).ok());
+  o.latency_threshold_ns = 100;
+  EXPECT_TRUE(ValidateSloObjectives({o}).ok());
+}
+
+TEST(SloTest, ShortWindowDefaultsToTheSreTwelfth) {
+  SloObjective o;
+  o.long_window_ns = 3600;
+  o.short_window_ns = 0;
+  EXPECT_DOUBLE_EQ(o.EffectiveShortWindowNs(), 300);
+  o.short_window_ns = 100;
+  EXPECT_DOUBLE_EQ(o.EffectiveShortWindowNs(), 100);
+}
+
+TEST(SloTest, FiresOnBurnAndClearsWhenTheShortWindowRecovers) {
+  // Budget 0.1, burn threshold 2: fire when both windows' error rate
+  // reaches 0.2; clear when the short (250ns) window's burn drops below 2.
+  SloMonitor mon({Availability()});
+  mon.OnQuery(100, 10, /*ok=*/false);  // rate 1.0 in both windows -> FIRE
+  mon.OnQuery(200, 10, true);
+  mon.OnQuery(300, 10, true);
+  mon.OnQuery(310, 10, true);
+  // Short window (70, 320]: 1 bad of 5 -> burn exactly 2.0, NOT < 2: held.
+  mon.OnQuery(320, 10, true);
+  // Short window (110, 360] no longer sees the failure -> CLEAR.
+  mon.OnQuery(360, 10, true);
+
+  ASSERT_EQ(mon.alerts().size(), 2u);
+  EXPECT_EQ(mon.alerts()[0].objective, "availability");
+  EXPECT_TRUE(mon.alerts()[0].fired);
+  EXPECT_DOUBLE_EQ(mon.alerts()[0].t_ns, 100);
+  EXPECT_GE(mon.alerts()[0].burn_long, 2.0);
+  EXPECT_GE(mon.alerts()[0].burn_short, 2.0);
+  EXPECT_FALSE(mon.alerts()[1].fired);
+  EXPECT_DOUBLE_EQ(mon.alerts()[1].t_ns, 360);
+  EXPECT_LT(mon.alerts()[1].burn_short, 2.0);
+
+  auto summaries = mon.Summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].total, 6u);
+  EXPECT_EQ(summaries[0].bad, 1u);
+  EXPECT_NEAR(summaries[0].attainment, 5.0 / 6.0, 1e-12);
+  EXPECT_EQ(summaries[0].alerts_fired, 1u);
+  EXPECT_FALSE(summaries[0].active_at_end);
+}
+
+TEST(SloTest, IdenticalStreamsProduceIdenticalAlertTimelines) {
+  auto drive = []() {
+    SloMonitor mon({Availability()});
+    for (int i = 0; i < 50; ++i) {
+      mon.OnQuery(100.0 * (i + 1), 10, /*ok=*/i % 3 != 0);
+    }
+    return mon.alerts();
+  };
+  auto a = drive();
+  auto b = drive();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fired, b[i].fired);
+    EXPECT_DOUBLE_EQ(a[i].t_ns, b[i].t_ns);
+    EXPECT_DOUBLE_EQ(a[i].burn_long, b[i].burn_long);
+    EXPECT_DOUBLE_EQ(a[i].burn_short, b[i].burn_short);
+  }
+}
+
+TEST(SloTest, NonMonotoneCompletionTicksAreClampedForward) {
+  SloMonitor mon({Availability()});
+  mon.OnQuery(500, 10, true);
+  // An out-of-order completion evaluates at the previous tick's time, so
+  // the transition it causes is stamped 500, never 400.
+  mon.OnQuery(400, 10, false);
+  mon.OnQuery(390, 10, false);  // rate 2/3 -> fire, still at t=500
+  ASSERT_EQ(mon.alerts().size(), 1u);
+  EXPECT_TRUE(mon.alerts()[0].fired);
+  EXPECT_DOUBLE_EQ(mon.alerts()[0].t_ns, 500);
+}
+
+TEST(SloTest, LatencyObjectiveCountsSlowAndFailedQueriesAsBad) {
+  SloObjective o;
+  o.name = "latency";
+  o.kind = SloKind::kLatency;
+  o.latency_threshold_ns = 50;
+  o.target = 0.9;
+  o.long_window_ns = 1000;
+  o.short_window_ns = 250;
+  o.burn_threshold = 2.0;
+  SloMonitor mon({o});
+  mon.OnQuery(100, 40, true);   // good
+  mon.OnQuery(200, 60, true);   // slow -> bad
+  mon.OnQuery(300, 40, false);  // failed -> bad even though fast
+  auto summaries = mon.Summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].total, 3u);
+  EXPECT_EQ(summaries[0].bad, 2u);
+  EXPECT_FALSE(mon.alerts().empty());  // 2/3 error rate burns the budget
+  EXPECT_TRUE(mon.alerts()[0].fired);
+}
+
+TEST(SloTest, MultipleObjectivesAlertIndependently) {
+  SloObjective lat;
+  lat.name = "latency";
+  lat.kind = SloKind::kLatency;
+  lat.latency_threshold_ns = 50;
+  lat.target = 0.9;
+  lat.long_window_ns = 1000;
+  lat.short_window_ns = 250;
+  SloMonitor mon({Availability(), lat});
+  // Slow but successful completions: only the latency objective burns.
+  for (int i = 1; i <= 5; ++i) mon.OnQuery(100.0 * i, 200, true);
+  ASSERT_EQ(mon.alerts().size(), 1u);
+  EXPECT_EQ(mon.alerts()[0].objective, "latency");
+  auto summaries = mon.Summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].bad, 0u);       // availability: all completed
+  EXPECT_EQ(summaries[1].bad, 5u);       // latency: all slow
+  EXPECT_TRUE(summaries[1].active_at_end);
+}
+
+TEST(QueryLogTest, SliceArgsJsonCarriesOutcomeWaitsAndDelta) {
+  QueryRecord r = MakeRecord(3, 9, 1000, 400);
+  r.delta.rpc_queue_wait_ns = 50;
+  r.delta.disk_reads = 7;
+  r.shards_touched = 2;
+  const std::string args = SliceArgsJson(r);
+  EXPECT_EQ(args.front(), '{');
+  EXPECT_EQ(args.back(), '}');
+  EXPECT_NE(args.find("\"outcome\":\"ok\""), std::string::npos);
+  EXPECT_NE(args.find("\"rpc_queue_wait_ns\":50"), std::string::npos);
+  EXPECT_NE(args.find("\"disk_reads\":7"), std::string::npos);
+  EXPECT_NE(args.find("\"shards_touched\":2"), std::string::npos);
+  EXPECT_EQ(args, SliceArgsJson(r));  // deterministic
+}
+
+}  // namespace
+}  // namespace treebench::telemetry

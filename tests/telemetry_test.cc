@@ -343,5 +343,93 @@ TEST(RegressionTest, KeySetChangesFailBothWays) {
   EXPECT_NE(r.report.find("MISSING"), std::string::npos);
 }
 
+TEST(HistogramTest, OutOfRangeQuantilesClampToTheDomain) {
+  Histogram h;
+  h.Record(100.0);
+  h.Record(200.0);
+  // q outside [0, 1] clamps rather than indexing out of range.
+  EXPECT_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(1.5), h.Quantile(1.0));
+  // Negative recordings clamp to zero instead of corrupting a bucket.
+  Histogram neg;
+  neg.Record(-50.0);
+  EXPECT_EQ(neg.count(), 1u);
+  EXPECT_EQ(neg.Quantile(0.5), 0.0);
+}
+
+TEST(TimeSeriesTest, FirstTickBeforeAnyCadenceBoundarySamplesOnce) {
+  // The very first Tick establishes the baseline row no matter where it
+  // lands relative to the cadence grid; the next sample then waits a full
+  // interval from THAT time, not from zero.
+  TimeSeriesRecorder rec(/*interval_ns=*/100.0);
+  double level = 4;
+  rec.AddGauge("level", [&level] { return level; });
+  rec.Tick(37);  // first tick, mid-"interval": baseline sample at 37
+  level = 5;
+  rec.Tick(120);  // only 83 ns after the baseline: no sample
+  rec.Tick(136);  // still inside the interval from 37: no sample
+  rec.Tick(137);  // exactly one interval after 37: due, samples at 137
+  ASSERT_EQ(rec.num_samples(), 2u);
+  EXPECT_EQ(rec.SampleTimeNs(0), 37.0);
+  EXPECT_EQ(rec.SampleTimeNs(1), 137.0);
+  EXPECT_EQ(rec.Value(1, 0), 5.0);
+}
+
+// The regression gate reports EVERY offending key (not just the first) and
+// mirrors the findings into a machine-readable diff for CI annotation.
+TEST(RegressionTest, MultipleFailuresAllReportedWithFindings) {
+  FlatRun baseline = GateBaseline();
+  baseline.Set("class_c4_rpc_count", 500);
+
+  FlatRun current;
+  current.Set("class_c4_disk_reads", 1001);   // counter mismatch
+  current.Set("class_c4_span_seconds", 3.0);  // +50% time drift
+  current.Set("class_c4_handle_gets", 7);     // new key
+  // class_c4_rpc_count missing entirely.
+
+  RegressionResult r = CompareRuns(baseline, current);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failures, 4);
+  EXPECT_EQ(r.keys_checked, 3);
+  ASSERT_EQ(r.findings.size(), 4u);
+  // Every failure class appears in the one report.
+  EXPECT_NE(r.report.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(r.report.find("DRIFT"), std::string::npos);
+  EXPECT_NE(r.report.find("MISSING"), std::string::npos);
+  EXPECT_NE(r.report.find("NEW"), std::string::npos);
+  EXPECT_NE(r.report.find("FAIL: 4 of 3 keys out of bounds"),
+            std::string::npos);
+
+  // Findings carry kind + key + both values in baseline order, then news.
+  EXPECT_EQ(r.findings[0].kind, "mismatch");
+  EXPECT_EQ(r.findings[0].key, "class_c4_disk_reads");
+  EXPECT_EQ(r.findings[0].baseline, 1000);
+  EXPECT_EQ(r.findings[0].current, 1001);
+  EXPECT_EQ(r.findings[1].kind, "drift");
+  EXPECT_EQ(r.findings[2].kind, "missing");
+  EXPECT_FALSE(r.findings[2].has_current);
+  EXPECT_EQ(r.findings[3].kind, "new");
+  EXPECT_FALSE(r.findings[3].has_baseline);
+
+  const std::string diff = r.DiffJson();
+  EXPECT_NE(diff.find("\"ok\": 0"), std::string::npos);
+  EXPECT_NE(diff.find("\"failures\": 4"), std::string::npos);
+  EXPECT_NE(diff.find("\"kind\": \"mismatch\""), std::string::npos);
+  EXPECT_NE(diff.find("\"key\": \"class_c4_disk_reads\""),
+            std::string::npos);
+  EXPECT_NE(diff.find("\"delta\": 1"), std::string::npos);
+  // Reparseable as flat JSON? No — findings nest; but it must at least be
+  // deterministic.
+  EXPECT_EQ(diff, CompareRuns(baseline, current).DiffJson());
+}
+
+TEST(RegressionTest, PassingDiffJsonIsEmptyFindings) {
+  RegressionResult r = CompareRuns(GateBaseline(), GateBaseline());
+  const std::string diff = r.DiffJson();
+  EXPECT_NE(diff.find("\"ok\": 1"), std::string::npos);
+  EXPECT_NE(diff.find("\"failures\": 0"), std::string::npos);
+  EXPECT_NE(diff.find("\"findings\": []"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace treebench::telemetry
