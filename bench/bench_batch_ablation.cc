@@ -17,7 +17,13 @@
 // Hard internal check (exit 1 on failure): on the composition-clustered
 // cold NL tree query, B=16 must cut RPCs by at least 3x vs B=1.
 //
-// Extra flags beyond the common --scale/--csv/--stats-json:
+// Each (clustering x batch) pair is a hermetic bench cell with its own
+// database build (both probe queries run cold, so the counters match the
+// old shared-database sweep exactly); cells run on the --jobs pool and the
+// cross-cell checks (result-set identity vs B=1, the 3x RPC gate) happen
+// at merge time in submission order (docs/parallel_harness.md).
+//
+// Extra flags beyond the common --scale/--csv/--stats-json and --jobs=N:
 //   --summary-json=PATH  flat {"key": number} summary — the format
 //                        bench/check_regression diffs against
 //                        bench/baselines/batch_ablation.json
@@ -29,6 +35,7 @@
 #include <vector>
 
 #include "common/bench_util.h"
+#include "common/cell_harness.h"
 #include "src/common/string_util.h"
 #include "src/query/selection.h"
 #include "src/query/tree_query.h"
@@ -68,9 +75,13 @@ bool WriteFileOrWarn(const std::string& path, const std::string& content) {
   return true;
 }
 
-struct CellResult {
+/// Out-slot of one (clustering x batch) cell.
+struct BatchOut {
+  bool ok = false;
   QueryRunStats scan;
   QueryRunStats nl;
+  uint64_t server_cache_bytes = 0;
+  uint64_t client_cache_bytes = 0;
 };
 
 int Main(int argc, char** argv) {
@@ -78,57 +89,78 @@ int Main(int argc, char** argv) {
   ExtraArgs extra = ParseExtra(argc, argv);
   if (extra.smoke) opts.scale = 64;
 
-  const ClusteringStrategy kClusterings[] = {
+  const std::vector<ClusteringStrategy> clusterings = {
       ClusteringStrategy::kClassClustered, ClusteringStrategy::kComposition,
       ClusteringStrategy::kRandomized};
-  const uint32_t kBatches[] = {1, 4, 16, 64};
+  const std::vector<uint32_t> batches = {1, 4, 16, 64};
+
+  BenchCells cells(ParseJobs(argc, argv));
+  std::vector<std::vector<BatchOut>> outs(clusterings.size());
+  for (auto& per_cluster : outs) per_cluster.resize(batches.size());
+
+  for (size_t ci = 0; ci < clusterings.size(); ++ci) {
+    const ClusteringStrategy clustering = clusterings[ci];
+    const std::string cluster_label = std::string(ClusteringName(clustering));
+    for (size_t bi = 0; bi < batches.size(); ++bi) {
+      const uint32_t batch = batches[bi];
+      cells.Add(cluster_label + "_b" + std::to_string(batch),
+                [&, ci, bi, batch, clustering, cluster_label] {
+        auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
+        Database* db = derby->db.get();
+
+        SelectionSpec sel;
+        sel.collection = "Patients";
+        sel.key_attr = derby->meta.c_mrn;
+        sel.hi = derby->MrnCutoff(10);
+        sel.proj_attr = derby->meta.c_age;
+        sel.mode = SelectionMode::kScan;
+        sel.cold = true;
+        TreeQuerySpec tree = DerbyTreeQuery(*derby, 10, 10);
+        tree.cold = true;
+
+        db->sim().set_max_fetch_batch_pages(batch);
+        BatchOut& out = outs[ci][bi];
+        auto scan = RunSelection(db, sel);
+        if (!scan.ok()) {
+          std::fprintf(stderr, "FATAL: scan (%s, B=%u): %s\n",
+                       cluster_label.c_str(), batch,
+                       scan.status().ToString().c_str());
+          return 1;
+        }
+        out.scan = *scan;
+        auto nl = RunTreeQuery(db, tree, TreeJoinAlgo::kNL);
+        if (!nl.ok()) {
+          std::fprintf(stderr, "FATAL: NL (%s, B=%u): %s\n",
+                       cluster_label.c_str(), batch,
+                       nl.status().ToString().c_str());
+          return 1;
+        }
+        out.nl = *nl;
+        out.server_cache_bytes = db->cache().config().server_bytes;
+        out.client_cache_bytes = db->cache().config().client_bytes;
+        out.ok = true;
+        return 0;
+      });
+    }
+  }
+  const bool cells_ok = cells.RunAll();
+  if (!cells_ok) return 1;
 
   StatStore stats;
   telemetry::FlatRun summary;
   bool speedup_ok = true;
 
-  for (ClusteringStrategy clustering : kClusterings) {
-    auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
-    Database* db = derby->db.get();
+  for (size_t ci = 0; ci < clusterings.size(); ++ci) {
+    const ClusteringStrategy clustering = clusterings[ci];
     const std::string cluster_label = std::string(ClusteringName(clustering));
 
-    SelectionSpec sel;
-    sel.collection = "Patients";
-    sel.key_attr = derby->meta.c_mrn;
-    sel.hi = derby->MrnCutoff(10);
-    sel.proj_attr = derby->meta.c_age;
-    sel.mode = SelectionMode::kScan;
-    sel.cold = true;
-    TreeQuerySpec tree = DerbyTreeQuery(*derby, 10, 10);
-    tree.cold = true;
-
     std::vector<std::vector<std::string>> rows;
-    CellResult b1{};
-    for (uint32_t batch : kBatches) {
-      db->sim().set_max_fetch_batch_pages(batch);
-      CellResult cell;
-      auto scan = RunSelection(db, sel);
-      if (!scan.ok()) {
-        std::fprintf(stderr, "FATAL: scan (%s, B=%u): %s\n",
-                     cluster_label.c_str(), batch,
-                     scan.status().ToString().c_str());
-        return 1;
-      }
-      cell.scan = *scan;
-      auto nl = RunTreeQuery(db, tree, TreeJoinAlgo::kNL);
-      if (!nl.ok()) {
-        std::fprintf(stderr, "FATAL: NL (%s, B=%u): %s\n",
-                     cluster_label.c_str(), batch,
-                     nl.status().ToString().c_str());
-        return 1;
-      }
-      cell.nl = *nl;
-      db->sim().set_max_fetch_batch_pages(1);
-
-      if (batch == 1) {
-        b1 = cell;
-      } else if (cell.scan.result_count != b1.scan.result_count ||
-                 cell.nl.result_count != b1.nl.result_count) {
+    const BatchOut& b1 = outs[ci][0];
+    for (size_t bi = 0; bi < batches.size(); ++bi) {
+      const uint32_t batch = batches[bi];
+      const BatchOut& cell = outs[ci][bi];
+      if (batch != 1 && (cell.scan.result_count != b1.scan.result_count ||
+                         cell.nl.result_count != b1.nl.result_count)) {
         // The one invariant that holds at ANY cache size: batching
         // regroups wire trips, it never changes what a query returns.
         // (Counter-exact equivalence — identical disk reads, monotonically
@@ -182,8 +214,8 @@ int Main(int argc, char** argv) {
                                    std::to_string(batch);
         rec.result_count = run.result_count;
         rec.cold = true;
-        rec.server_cache_bytes = db->cache().config().server_bytes;
-        rec.client_cache_bytes = db->cache().config().client_bytes;
+        rec.server_cache_bytes = cell.server_cache_bytes;
+        rec.client_cache_bytes = cell.client_cache_bytes;
         rec.FillFrom(run.metrics, run.seconds * opts.scale);
         stats.Add(rec);
       }

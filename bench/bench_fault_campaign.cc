@@ -14,15 +14,28 @@
 // --summary-json=PATH writes the campaign's flat summary — the format
 // bench/check_regression diffs against bench/baselines/slo_smoke.json.
 //
+// Cell decomposition (docs/parallel_harness.md): each fault intensity is a
+// hermetic cell with its own database build (the probe query runs cold, so
+// per-run counters match the old shared-database loop; the cumulative
+// fallback metrics reported for a *failed* run now cover only that cell's
+// build + run instead of every prior campaign). The loader campaign is one
+// cell — the faulty load's burst schedule is derived from the clean load's
+// RPC count, a causal chain that cannot be split. The SLO campaign is three
+// cells (two independent same-seed crash runs for the determinism gate, one
+// fault-free contrast run on its own build); all gates, tables and the flat
+// summary are evaluated at merge time in submission order.
+//
 // Every campaign run lands in a StatStore record, so --csv/--stats-json
 // export works and run_benches.sh consolidates this bench into
 // bench_json/BENCH_results.json like every other sweep.
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/bench_util.h"
+#include "common/cell_harness.h"
 #include "src/benchdb/loader.h"
 #include "src/common/string_util.h"
 #include "src/cost/fault_injector.h"
@@ -39,6 +52,9 @@ struct CampaignRow {
   double seconds = 0;
   Metrics metrics;
   uint64_t injected = 0;
+  uint64_t server_cache_bytes = 0;
+  uint64_t client_cache_bytes = 0;
+  bool ok = false;
 };
 
 CampaignRow RunCampaign(DerbyDb& derby, const std::string& label,
@@ -65,86 +81,36 @@ CampaignRow RunCampaign(DerbyDb& derby, const std::string& label,
     row.metrics = run->metrics;
   } else {
     // The query died; the partial metrics up to the failure still live in
-    // the sim context.
+    // the sim context (build included, since the cell owns the database).
     row.outcome = StatusCodeName(run.status().code());
     row.seconds = db.sim().elapsed_seconds();
     row.metrics = db.sim().metrics();
   }
   row.injected = faults.injected(FaultSite::kRpc) +
                  faults.injected(FaultSite::kDiskRead);
+  row.server_cache_bytes = db.cache().config().server_bytes;
+  row.client_cache_bytes = db.cache().config().client_bytes;
   faults.Disarm();
+  row.ok = true;
   return row;
 }
 
-void QueryCampaigns(const BenchOptions& opts, StatStore* stats) {
-  DerbyConfig cfg;
-  cfg.providers = 2000;
-  cfg.avg_children = 1000;
-  cfg.clustering = ClusteringStrategy::kClassClustered;
-  cfg.scale = opts.scale;
-  auto derby = BuildDerby(cfg).value();
+/// Out-slot of the (single) loader-campaign cell.
+struct LoaderOut {
+  bool ok = false;
+  int objects = 0;
+  uint32_t commit_every = 0;
+  double clean_seconds = 0;
+  double faulty_seconds = 0;
+  uint64_t replayed_objects = 0;
+  uint64_t checkpoint_replays = 0;
+  Metrics clean_metrics;
+  Metrics faulty_metrics;
+  uint64_t server_cache_bytes = 0;
+  uint64_t client_cache_bytes = 0;
+};
 
-  struct Intensity {
-    std::string label;
-    double rpc_p;
-    double disk_p;
-  };
-  std::vector<Intensity> campaigns = {
-      {"fault-free", 0.0, 0.0},
-      {"rpc 0.1%", 0.001, 0.0},
-      {"rpc 1%", 0.01, 0.0},
-      {"rpc 1% + disk 0.1%", 0.01, 0.001},
-      {"rpc 5%", 0.05, 0.0},
-  };
-
-  std::vector<CampaignRow> results;
-  for (const Intensity& in : campaigns) {
-    results.push_back(
-        RunCampaign(*derby, in.label, in.rpc_p, in.disk_p, /*seed=*/1));
-  }
-
-  const CampaignRow& base = results.front();
-  std::vector<std::vector<std::string>> rows;
-  for (const CampaignRow& r : results) {
-    StatRecord rec;
-    rec.database = "derby-2e3x1e3";
-    rec.cluster = "class";
-    rec.algo = "fault_campaign";
-    rec.query_text = "NL 90/10 under " + r.label +
-                     " (outcome: " + r.outcome + ")";
-    rec.selectivity_patients_pct = 90;
-    rec.selectivity_providers_pct = 10;
-    rec.result_count = r.injected;
-    rec.server_cache_bytes = derby->db->cache().config().server_bytes;
-    rec.client_cache_bytes = derby->db->cache().config().client_bytes;
-    rec.FillFrom(r.metrics, r.seconds);
-    stats->Add(rec);
-    rows.push_back({r.label, r.outcome,
-                    FormatSeconds(r.seconds * opts.scale),
-                    base.seconds > 0 ? Ratio(r.seconds, base.seconds) : "-",
-                    WithThousands(r.injected),
-                    WithThousands(r.metrics.rpc_retries),
-                    WithThousands(r.metrics.rpc_failures),
-                    WithThousands(r.metrics.disk_read_faults),
-                    FormatSeconds(
-                        static_cast<double>(r.metrics.retry_backoff_ns) /
-                        1e9 * opts.scale)});
-  }
-  PrintTable(
-      "NL 90/10 on 2e3x2e6 class cluster under seeded fault campaigns",
-      {"campaign", "outcome", "time (s)", "vs clean", "injected", "retries",
-       "failures", "disk faults", "backoff (s)"},
-      rows);
-  std::printf(
-      "\nexpected: RPC fault rates up to a few percent are fully absorbed\n"
-      "by the 4-attempt backoff path at a modest time premium (an RPC is\n"
-      "abandoned only after 4 consecutive losses). Disk faults are not\n"
-      "retried, so even a 0.1%% disk rate aborts the cold run early with\n"
-      "Unavailable. Every run of a given campaign is bit-identical\n"
-      "(seeded injector).\n");
-}
-
-void LoaderCampaign(const BenchOptions& opts, StatStore* stats) {
+int LoaderCampaign(const BenchOptions& opts, LoaderOut* out) {
   // Keep enough objects (and a small enough client cache) that the load
   // itself generates steady RPC traffic for the bursts to land in.
   const int kObjects =
@@ -172,9 +138,9 @@ void LoaderCampaign(const BenchOptions& opts, StatStore* stats) {
   lopts.checkpoint_recovery = true;
   auto check = [](const Status& s) {
     if (!s.ok()) {
-      std::fprintf(stderr, "loader campaign failed: %s\n",
-                   s.ToString().c_str());
-      std::abort();
+      // Thrown (not abort()): the cell runner propagates the error to the
+      // main thread after draining the pool.
+      throw std::runtime_error("loader campaign failed: " + s.ToString());
     }
   };
 
@@ -228,41 +194,18 @@ void LoaderCampaign(const BenchOptions& opts, StatStore* stats) {
   check(loader.Commit());
   double faulty_seconds = faulty.sim().elapsed_seconds() - f0;
 
-  auto record_load = [&](const std::string& label, Database& db,
-                         double seconds, uint64_t replayed) {
-    StatRecord rec;
-    rec.database = "loader-" + std::to_string(kObjects) + "obj";
-    rec.cluster = "class";
-    rec.algo = "loader_recovery";
-    rec.query_text = label;
-    rec.result_count = replayed;
-    rec.server_cache_bytes = db.cache().config().server_bytes;
-    rec.client_cache_bytes = db.cache().config().client_bytes;
-    rec.FillFrom(db.sim().metrics(), seconds);
-    stats->Add(rec);
-  };
-  record_load("uninterrupted bulk load", clean, clean_seconds, 0);
-  record_load("3 RPC bursts, checkpoint replay", faulty, faulty_seconds,
-              replayed_objects);
-
-  PrintTable(
-      "checkpointed bulk load: uninterrupted vs killed-and-replayed (" +
-          WithThousands(kObjects) + " objects, commit every " +
-          WithThousands(kCommitEvery) + ")",
-      {"load", "time (s)", "vs clean", "kills", "replayed objs",
-       "final objs"},
-      {{"uninterrupted", FormatSeconds(clean_seconds * opts.scale),
-        Ratio(clean_seconds, clean_seconds), "0", "0",
-        WithThousands(kObjects)},
-       {"3 RPC bursts",
-        FormatSeconds(faulty_seconds * opts.scale),
-        Ratio(faulty_seconds, clean_seconds),
-        WithThousands(faulty.sim().metrics().checkpoint_replays),
-        WithThousands(replayed_objects), WithThousands(kObjects)}});
-  std::printf(
-      "\nexpected: each kill costs at most one batch of re-driven work, so\n"
-      "the replay overhead is bounded by kills x commit interval; both\n"
-      "databases hold identical objects (see fault_injection_test).\n");
+  out->objects = kObjects;
+  out->commit_every = kCommitEvery;
+  out->clean_seconds = clean_seconds;
+  out->faulty_seconds = faulty_seconds;
+  out->replayed_objects = replayed_objects;
+  out->checkpoint_replays = faulty.sim().metrics().checkpoint_replays;
+  out->clean_metrics = clean.sim().metrics();
+  out->faulty_metrics = faulty.sim().metrics();
+  out->server_cache_bytes = clean.cache().config().server_bytes;
+  out->client_cache_bytes = clean.cache().config().client_bytes;
+  out->ok = true;
+  return 0;
 }
 
 // ---- Phase 3: SLO campaign (query flight recorder + burn-rate alerts) ----
@@ -303,30 +246,41 @@ WorkloadSpec SloSpec(bool with_crash) {
   return spec;
 }
 
-bool SloCampaign(const BenchOptions& opts, StatStore* stats,
-                 telemetry::FlatRun* summary) {
-  // Independent database builds for the determinism gate: the spec (not
-  // residual cache or placement state) must fully determine the report.
-  auto derby_a = BuildDerbyOrDie(2000, 1000,
-                                 ClusteringStrategy::kClassClustered, opts);
-  auto derby_b = BuildDerbyOrDie(2000, 1000,
-                                 ClusteringStrategy::kClassClustered, opts);
+/// Out-slot of one SLO-campaign cell.
+struct SloOut {
+  bool ok = false;
+  WorkloadReport report;
+  double recovery_ns = 0;
+  uint64_t server_cache_bytes = 0;
+  uint64_t client_cache_bytes = 0;
+};
 
-  auto run_a = RunWorkload(derby_a.get(), SloSpec(/*with_crash=*/true));
-  auto run_b = RunWorkload(derby_b.get(), SloSpec(/*with_crash=*/true));
-  auto clean = RunWorkload(derby_a.get(), SloSpec(/*with_crash=*/false));
-  if (!run_a.ok() || !run_b.ok() || !clean.ok()) {
-    std::fprintf(stderr, "FATAL: slo campaign: %s / %s / %s\n",
-                 run_a.status().ToString().c_str(),
-                 run_b.status().ToString().c_str(),
-                 clean.status().ToString().c_str());
-    return false;
+int RunSloCell(const BenchOptions& opts, bool with_crash, const char* what,
+               SloOut* out) {
+  auto derby = BuildDerbyOrDie(2000, 1000,
+                               ClusteringStrategy::kClassClustered, opts);
+  auto run = RunWorkload(derby.get(), SloSpec(with_crash));
+  if (!run.ok()) {
+    std::fprintf(stderr, "FATAL: slo campaign (%s): %s\n", what,
+                 run.status().ToString().c_str());
+    return 1;
   }
+  out->report = *std::move(run);
+  out->recovery_ns = 1e6 + derby->db->sim().model().server_recovery_ns;
+  out->server_cache_bytes = derby->db->cache().config().server_bytes;
+  out->client_cache_bytes = derby->db->cache().config().client_bytes;
+  out->ok = true;
+  return 0;
+}
+
+bool SloMerge(const SloOut& a, const SloOut& b, const SloOut& clean,
+              StatStore* stats, telemetry::FlatRun* summary) {
+  const WorkloadReport& run_a = a.report;
   bool ok = true;
 
   // Gate 1: bit-stable alerting — two independent same-seed runs must
   // produce byte-identical reports (alert timestamps included).
-  const bool identical = run_a->ToJson() == run_b->ToJson();
+  const bool identical = run_a.ToJson() == b.report.ToJson();
   std::printf("slo determinism gate: %s\n", identical ? "PASS" : "FAIL");
   if (!identical) {
     std::fprintf(stderr,
@@ -337,11 +291,10 @@ bool SloCampaign(const BenchOptions& opts, StatStore* stats,
 
   // Gate 2: the availability alert fires during the outage and clears
   // after the crashed server rejoins.
-  const double recovery_ns =
-      1e6 + derby_a->db->sim().model().server_recovery_ns;
+  const double recovery_ns = a.recovery_ns;
   double first_fire_ns = -1, last_clear_ns = -1;
   uint64_t avail_events = 0;
-  for (const telemetry::SloAlertEvent& e : run_a->slo_alerts) {
+  for (const telemetry::SloAlertEvent& e : run_a.slo_alerts) {
     if (e.objective != "availability") continue;
     ++avail_events;
     if (e.fired && first_fire_ns < 0) first_fire_ns = e.t_ns;
@@ -349,7 +302,7 @@ bool SloCampaign(const BenchOptions& opts, StatStore* stats,
   }
   bool avail_active_at_end = false;
   uint64_t avail_fired = 0;
-  for (const telemetry::SloObjectiveSummary& s : run_a->slo_objectives) {
+  for (const telemetry::SloObjectiveSummary& s : run_a.slo_objectives) {
     if (s.name != "availability") continue;
     avail_active_at_end = s.active_at_end;
     avail_fired = s.alerts_fired;
@@ -376,18 +329,18 @@ bool SloCampaign(const BenchOptions& opts, StatStore* stats,
   }
 
   // Gate 3: the fault-free contrast run raises no alerts at all.
-  if (!clean->slo_alerts.empty()) {
+  if (!clean.report.slo_alerts.empty()) {
     std::fprintf(stderr,
                  "FATAL: fault-free run raised %zu alert(s) — the objective "
                  "thresholds are mis-tuned\n",
-                 clean->slo_alerts.size());
+                 clean.report.slo_alerts.size());
     ok = false;
   }
   std::printf("slo alert gates: %s\n", ok ? "PASS" : "FAIL");
 
   // The deterministic alert timeline, as the report JSON carries it.
   std::vector<std::vector<std::string>> alert_rows;
-  for (const telemetry::SloAlertEvent& e : run_a->slo_alerts) {
+  for (const telemetry::SloAlertEvent& e : run_a.slo_alerts) {
     alert_rows.push_back({e.objective, e.fired ? "FIRE" : "CLEAR",
                           FormatSeconds(e.t_ns / 1e9),
                           FormatSeconds(e.burn_long, 2),
@@ -400,43 +353,43 @@ bool SloCampaign(const BenchOptions& opts, StatStore* stats,
 
   // Tail attribution from the flight recorder: where do the slowest
   // queries spend their time vs the median?
-  std::printf("\n%s\n", run_a->tail.ToString().c_str());
+  std::printf("\n%s\n", run_a.tail.ToString().c_str());
 
   StatRecord rec;
   rec.database = "derby-2e3x1e3";
   rec.cluster = "class";
   rec.algo = "slo_campaign";
   rec.query_text = "zipf selections, 2 shards, shard-0 crash at 1ms";
-  rec.num_clients = run_a->spec.num_clients;
-  rec.throughput_qps = run_a->throughput_qps;
-  rec.latency_p50_s = run_a->latencies.Quantile(0.50) / 1e9;
-  rec.latency_p95_s = run_a->latencies.Quantile(0.95) / 1e9;
-  rec.latency_p99_s = run_a->latencies.Quantile(0.99) / 1e9;
-  rec.result_count = run_a->total_queries;
-  rec.server_cache_bytes = derby_a->db->cache().config().server_bytes;
-  rec.client_cache_bytes = derby_a->db->cache().config().client_bytes;
-  rec.FillFrom(run_a->totals, run_a->span_seconds);
+  rec.num_clients = run_a.spec.num_clients;
+  rec.throughput_qps = run_a.throughput_qps;
+  rec.latency_p50_s = run_a.latencies.Quantile(0.50) / 1e9;
+  rec.latency_p95_s = run_a.latencies.Quantile(0.95) / 1e9;
+  rec.latency_p99_s = run_a.latencies.Quantile(0.99) / 1e9;
+  rec.result_count = run_a.total_queries;
+  rec.server_cache_bytes = a.server_cache_bytes;
+  rec.client_cache_bytes = a.client_cache_bytes;
+  rec.FillFrom(run_a.totals, run_a.span_seconds);
   stats->Add(rec);
 
   if (summary != nullptr) {
     summary->Set("slo_total_queries",
-                 static_cast<double>(run_a->total_queries));
+                 static_cast<double>(run_a.total_queries));
     summary->Set("slo_failed_queries",
-                 static_cast<double>(run_a->failed_queries));
+                 static_cast<double>(run_a.failed_queries));
     summary->Set("slo_alert_events",
-                 static_cast<double>(run_a->slo_alerts.size()));
+                 static_cast<double>(run_a.slo_alerts.size()));
     summary->Set("slo_avail_alerts_fired", static_cast<double>(avail_fired));
     summary->Set("slo_first_fire_t_s", first_fire_ns / 1e9);
     summary->Set("slo_last_clear_t_s", last_clear_ns / 1e9);
-    for (const telemetry::SloObjectiveSummary& s : run_a->slo_objectives) {
+    for (const telemetry::SloObjectiveSummary& s : run_a.slo_objectives) {
       summary->Set("slo_" + s.name + "_attainment_pct", 100.0 * s.attainment);
     }
     summary->Set("slo_tail_gap_s",
-                 (run_a->tail.p99_ns - run_a->tail.p50_ns) / 1e9);
+                 (run_a.tail.p99_ns - run_a.tail.p50_ns) / 1e9);
     summary->Set("slo_disk_reads",
-                 static_cast<double>(run_a->totals.disk_reads));
+                 static_cast<double>(run_a.totals.disk_reads));
     summary->Set("slo_rpc_count",
-                 static_cast<double>(run_a->totals.rpc_count));
+                 static_cast<double>(run_a.totals.rpc_count));
   }
   return ok;
 }
@@ -451,14 +404,150 @@ int Main(int argc, char** argv) {
       summary_json = argv[i] + 15;
     }
   }
+
+  struct Intensity {
+    std::string slug;
+    std::string label;
+    double rpc_p;
+    double disk_p;
+  };
+  const std::vector<Intensity> campaigns = {
+      {"fault_free", "fault-free", 0.0, 0.0},
+      {"rpc_0p1", "rpc 0.1%", 0.001, 0.0},
+      {"rpc_1", "rpc 1%", 0.01, 0.0},
+      {"rpc_1_disk_0p1", "rpc 1% + disk 0.1%", 0.01, 0.001},
+      {"rpc_5", "rpc 5%", 0.05, 0.0},
+  };
+
+  BenchCells cells(ParseJobs(argc, argv));
+  std::vector<CampaignRow> results(campaigns.size());
+  LoaderOut loader_out;
+  SloOut slo_a, slo_b, slo_clean;
+
+  for (size_t i = 0; i < campaigns.size(); ++i) {
+    const Intensity& in = campaigns[i];
+    cells.Add("campaign_" + in.slug, [&, i, in] {
+      DerbyConfig cfg;
+      cfg.providers = 2000;
+      cfg.avg_children = 1000;
+      cfg.clustering = ClusteringStrategy::kClassClustered;
+      cfg.scale = opts.scale;
+      auto derby = BuildDerby(cfg);
+      if (!derby.ok()) {
+        std::fprintf(stderr, "FATAL: derby build (%s): %s\n",
+                     in.label.c_str(), derby.status().ToString().c_str());
+        return 1;
+      }
+      results[i] = RunCampaign(**derby, in.label, in.rpc_p, in.disk_p,
+                               /*seed=*/1);
+      return 0;
+    });
+  }
+  cells.Add("loader_recovery",
+            [&] { return LoaderCampaign(opts, &loader_out); });
+  cells.Add("slo_crash_a",
+            [&] { return RunSloCell(opts, /*with_crash=*/true, "a", &slo_a); });
+  cells.Add("slo_crash_b",
+            [&] { return RunSloCell(opts, /*with_crash=*/true, "b", &slo_b); });
+  cells.Add("slo_clean", [&] {
+    return RunSloCell(opts, /*with_crash=*/false, "clean", &slo_clean);
+  });
+
+  if (!cells.RunAll()) return 1;
+  for (const CampaignRow& r : results) {
+    if (!r.ok) return 1;
+  }
+  if (!loader_out.ok || !slo_a.ok || !slo_b.ok || !slo_clean.ok) return 1;
+
   StatStore stats;
-  QueryCampaigns(opts, &stats);
+
+  // ---- Query campaign table ----
+  const CampaignRow& base = results.front();
+  std::vector<std::vector<std::string>> rows;
+  for (const CampaignRow& r : results) {
+    StatRecord rec;
+    rec.database = "derby-2e3x1e3";
+    rec.cluster = "class";
+    rec.algo = "fault_campaign";
+    rec.query_text = "NL 90/10 under " + r.label +
+                     " (outcome: " + r.outcome + ")";
+    rec.selectivity_patients_pct = 90;
+    rec.selectivity_providers_pct = 10;
+    rec.result_count = r.injected;
+    rec.server_cache_bytes = r.server_cache_bytes;
+    rec.client_cache_bytes = r.client_cache_bytes;
+    rec.FillFrom(r.metrics, r.seconds);
+    stats.Add(rec);
+    rows.push_back({r.label, r.outcome,
+                    FormatSeconds(r.seconds * opts.scale),
+                    base.seconds > 0 ? Ratio(r.seconds, base.seconds) : "-",
+                    WithThousands(r.injected),
+                    WithThousands(r.metrics.rpc_retries),
+                    WithThousands(r.metrics.rpc_failures),
+                    WithThousands(r.metrics.disk_read_faults),
+                    FormatSeconds(
+                        static_cast<double>(r.metrics.retry_backoff_ns) /
+                        1e9 * opts.scale)});
+  }
+  PrintTable(
+      "NL 90/10 on 2e3x2e6 class cluster under seeded fault campaigns",
+      {"campaign", "outcome", "time (s)", "vs clean", "injected", "retries",
+       "failures", "disk faults", "backoff (s)"},
+      rows);
+  std::printf(
+      "\nexpected: RPC fault rates up to a few percent are fully absorbed\n"
+      "by the 4-attempt backoff path at a modest time premium (an RPC is\n"
+      "abandoned only after 4 consecutive losses). Disk faults are not\n"
+      "retried, so even a 0.1%% disk rate aborts the cold run early with\n"
+      "Unavailable. Every run of a given campaign is bit-identical\n"
+      "(seeded injector).\n");
+
+  // ---- Loader campaign table ----
   std::printf("\n");
-  LoaderCampaign(opts, &stats);
+  auto record_load = [&](const std::string& label, const Metrics& m,
+                         double seconds, uint64_t replayed) {
+    StatRecord rec;
+    rec.database = "loader-" + std::to_string(loader_out.objects) + "obj";
+    rec.cluster = "class";
+    rec.algo = "loader_recovery";
+    rec.query_text = label;
+    rec.result_count = replayed;
+    rec.server_cache_bytes = loader_out.server_cache_bytes;
+    rec.client_cache_bytes = loader_out.client_cache_bytes;
+    rec.FillFrom(m, seconds);
+    stats.Add(rec);
+  };
+  record_load("uninterrupted bulk load", loader_out.clean_metrics,
+              loader_out.clean_seconds, 0);
+  record_load("3 RPC bursts, checkpoint replay", loader_out.faulty_metrics,
+              loader_out.faulty_seconds, loader_out.replayed_objects);
+
+  PrintTable(
+      "checkpointed bulk load: uninterrupted vs killed-and-replayed (" +
+          WithThousands(loader_out.objects) + " objects, commit every " +
+          WithThousands(loader_out.commit_every) + ")",
+      {"load", "time (s)", "vs clean", "kills", "replayed objs",
+       "final objs"},
+      {{"uninterrupted", FormatSeconds(loader_out.clean_seconds * opts.scale),
+        Ratio(loader_out.clean_seconds, loader_out.clean_seconds), "0", "0",
+        WithThousands(loader_out.objects)},
+       {"3 RPC bursts",
+        FormatSeconds(loader_out.faulty_seconds * opts.scale),
+        Ratio(loader_out.faulty_seconds, loader_out.clean_seconds),
+        WithThousands(loader_out.checkpoint_replays),
+        WithThousands(loader_out.replayed_objects),
+        WithThousands(loader_out.objects)}});
+  std::printf(
+      "\nexpected: each kill costs at most one batch of re-driven work, so\n"
+      "the replay overhead is bounded by kills x commit interval; both\n"
+      "databases hold identical objects (see fault_injection_test).\n");
+
+  // ---- SLO campaign gates + tables ----
   std::printf("\n");
   telemetry::FlatRun summary;
   const bool slo_ok =
-      SloCampaign(opts, &stats, summary_json.empty() ? nullptr : &summary);
+      SloMerge(slo_a, slo_b, slo_clean, &stats,
+               summary_json.empty() ? nullptr : &summary);
   if (!summary_json.empty()) {
     FILE* f = std::fopen(summary_json.c_str(), "w");
     if (f == nullptr) {

@@ -15,6 +15,13 @@
 //   composition recluster OFF on a statically composition-clustered build
 //               (the target the adaptive engine should approach)
 //
+// Cell decomposition for the --jobs pool (docs/parallel_harness.md): the
+// bit-identity gate, the adaptive chain, and the composition baseline are
+// three hermetic cells. Phases 1-3 stay ONE cell on purpose — they are a
+// causal chain over the same mutating database (the placement the adapt
+// phase produces is the placement the converged phase measures), so they
+// can never be split across threads.
+//
 // HARD gates (exit code 1 on failure):
 //   * recluster-off bit-identity: a run with a DISABLED heat tracker
 //     installed on the object-access path must produce a byte-identical
@@ -22,7 +29,7 @@
 //   * convergence: scattered p50 >= 3x the composition baseline AND
 //     converged p50 <= 1.5x the composition baseline.
 //
-// Extra flags (beyond the common --scale/--csv/--stats-json):
+// Extra flags (beyond the common --scale/--csv/--stats-json and --jobs=N):
 //   --queries=N          measured queries per phase (default 6; adapt phase
 //                        runs 3N so the reorganizer gets enough wake-ups)
 //   --summary-json=PATH  flat {"key": number} summary —
@@ -37,6 +44,7 @@
 #include <vector>
 
 #include "common/bench_util.h"
+#include "common/cell_harness.h"
 #include "src/common/string_util.h"
 #include "src/recluster/heat_tracker.h"
 #include "src/telemetry/regression.h"
@@ -117,8 +125,8 @@ bool CheckReclusterOffBitIdentity(const BenchOptions& opts,
   const std::string a = plain->ToJson();
   const std::string b = hooked->ToJson();
   const bool identical = a == b;
-  std::printf("recluster-off bit-identity gate: %s\n",
-              identical ? "PASS" : "FAIL");
+  std::fprintf(Out(), "recluster-off bit-identity gate: %s\n",
+               identical ? "PASS" : "FAIL");
   if (!identical) {
     size_t i = 0;
     while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
@@ -157,47 +165,68 @@ int Main(int argc, char** argv) {
   if (extra.smoke) opts.scale = 64;
   const uint32_t queries = extra.queries > 0 ? extra.queries : 6;
 
+  BenchCells cells(ParseJobs(argc, argv));
+  uint8_t gate_ok = 0;
+  PhaseResult scattered, adapt, converged, baseline;
+  WorkloadTelemetry telemetry;
+  uint8_t chain_ok = 0;
+  uint8_t baseline_ok = 0;
+
+  cells.Add("gate_off_identity", [&] {
+    gate_ok = CheckReclusterOffBitIdentity(opts, queries) ? 1 : 0;
+    return gate_ok != 0 ? 0 : 1;
+  });
+
+  cells.Add("adaptive_chain", [&] {
+    // The adaptive database: random placement, then reclustered online.
+    auto adaptive =
+        BuildDerbyOrDie(2000, 1000, ClusteringStrategy::kRandomized, opts);
+    bool ok = true;
+
+    // Phase 1 — scattered: the cold random placement, reorganizer off.
+    scattered = RunPhase(adaptive.get(), TraversalSpec(queries), nullptr, &ok);
+    if (!ok) return 1;
+
+    // Phase 2 — adapt: reorganizer on. Wakes often (relative to the cold
+    // traversal's virtual duration) and with a page budget generous enough
+    // to move whole scattered composition groups; the traversal's hot
+    // parents migrate into contiguous pages while the client keeps
+    // querying.
+    WorkloadSpec adapt_spec = TraversalSpec(3 * queries);
+    adapt_spec.recluster = true;
+    adapt_spec.recluster_interval_ns = 1e9;
+    adapt_spec.recluster_page_budget = 100000;
+    adapt_spec.recluster_min_heat = 1.0;
+    adapt_spec.recluster_min_span = 1.5;
+    adapt = RunPhase(adaptive.get(), adapt_spec, &telemetry, &ok);
+    if (!ok) return 1;
+
+    // Phase 3 — converged: reorganizer off again; whatever placement the
+    // adapt phase produced is what this phase measures.
+    converged = RunPhase(adaptive.get(), TraversalSpec(queries), nullptr, &ok);
+    if (!ok) return 1;
+    chain_ok = 1;
+    return 0;
+  });
+
+  cells.Add("composition_baseline", [&] {
+    // Phase 4 — the static target: a composition-clustered build of the
+    // same logical database.
+    auto composed =
+        BuildDerbyOrDie(2000, 1000, ClusteringStrategy::kComposition, opts);
+    bool ok = true;
+    baseline = RunPhase(composed.get(), TraversalSpec(queries), nullptr, &ok);
+    if (!ok) return 1;
+    baseline_ok = 1;
+    return 0;
+  });
+
+  if (!cells.RunAll()) return 1;
+  if (chain_ok == 0 || baseline_ok == 0) return 1;
+
   StatStore stats;
   telemetry::FlatRun summary;
-  bool gates_pass = CheckReclusterOffBitIdentity(opts, queries);
-  bool ok = true;
-
-  // The adaptive database: random placement, then reclustered online.
-  auto adaptive =
-      BuildDerbyOrDie(2000, 1000, ClusteringStrategy::kRandomized, opts);
-
-  // Phase 1 — scattered: the cold random placement, reorganizer off.
-  PhaseResult scattered =
-      RunPhase(adaptive.get(), TraversalSpec(queries), nullptr, &ok);
-  if (!ok) return 1;
-
-  // Phase 2 — adapt: reorganizer on. Wakes often (relative to the cold
-  // traversal's virtual duration) and with a page budget generous enough to
-  // move whole scattered composition groups; the traversal's hot parents
-  // migrate into contiguous pages while the client keeps querying.
-  WorkloadSpec adapt_spec = TraversalSpec(3 * queries);
-  adapt_spec.recluster = true;
-  adapt_spec.recluster_interval_ns = 1e9;
-  adapt_spec.recluster_page_budget = 100000;
-  adapt_spec.recluster_min_heat = 1.0;
-  adapt_spec.recluster_min_span = 1.5;
-  WorkloadTelemetry telemetry;
-  PhaseResult adapt = RunPhase(adaptive.get(), adapt_spec, &telemetry, &ok);
-  if (!ok) return 1;
-
-  // Phase 3 — converged: reorganizer off again; whatever placement the
-  // adapt phase produced is what this phase measures.
-  PhaseResult converged =
-      RunPhase(adaptive.get(), TraversalSpec(queries), nullptr, &ok);
-  if (!ok) return 1;
-
-  // Phase 4 — the static target: a composition-clustered build of the same
-  // logical database.
-  auto composed =
-      BuildDerbyOrDie(2000, 1000, ClusteringStrategy::kComposition, opts);
-  PhaseResult baseline =
-      RunPhase(composed.get(), TraversalSpec(queries), nullptr, &ok);
-  if (!ok) return 1;
+  bool gates_pass = gate_ok != 0;
 
   // The crossover, query by query: the adapt phase's per-query traversal
   // latencies fall as migrations land between wake-ups.

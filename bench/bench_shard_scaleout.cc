@@ -16,12 +16,22 @@
 // while the unprotected run must fire it (hard checks; see
 // docs/observability.md).
 //
+// Every run — the identity gate, each server count, the three failover
+// campaigns — is a hermetic bench cell with its own database build (all
+// specs run cold_start, so fresh builds reproduce the shared-database
+// counters exactly); cells execute on the --jobs pool and all gates are
+// evaluated at merge time in submission order (docs/parallel_harness.md).
+// The determinism gate falls out naturally: the replicated campaign and the
+// repeat cell are two independently built databases whose report JSON must
+// match byte-for-byte.
+//
 // Expected shape: adding servers relieves the station bottleneck (queue
 // wait falls, throughput rises toward the think-time bound) at the price of
 // losing cross-client locality of the single shared server cache; hash
 // placement keeps per-shard admissions within a tight band.
 //
-// Extra flags (parsed from raw argv, beyond the common --scale/--csv):
+// Extra flags (parsed from raw argv, beyond the common --scale/--csv and
+// --jobs=N):
 //   --servers=N          sweep server counts {1, N} instead of the default
 //   --clients=N          client count of every swept run (default 8)
 //   --queries=N          measured queries per client (default 6; smoke 3)
@@ -39,6 +49,7 @@
 #include <vector>
 
 #include "common/bench_util.h"
+#include "common/cell_harness.h"
 #include "src/common/string_util.h"
 #include "src/telemetry/regression.h"
 #include "src/workload/sim_scheduler.h"
@@ -111,7 +122,8 @@ bool CheckSingleServerIdentity(DerbyDb& derby, uint32_t clients,
     return false;
   }
   const bool exact = a->ToJson() == b->ToJson();
-  std::printf("single-server identity gate: %s\n", exact ? "PASS" : "FAIL");
+  std::fprintf(Out(), "single-server identity gate: %s\n",
+               exact ? "PASS" : "FAIL");
   if (!exact) {
     std::fprintf(stderr,
                  "num_servers=1 replication=off diverged from the inherited "
@@ -120,9 +132,18 @@ bool CheckSingleServerIdentity(DerbyDb& derby, uint32_t clients,
   return exact;
 }
 
+/// Out-slot of one workload cell.
+struct RunOut {
+  bool ok = false;
+  WorkloadReport report;
+  uint64_t server_cache_bytes = 0;
+  uint64_t client_cache_bytes = 0;
+  double recovery_ns = 0;
+};
+
 void RecordRun(StatStore* stats, telemetry::FlatRun* summary,
-               const std::string& run_label, const WorkloadReport& report,
-               DerbyDb& derby) {
+               const std::string& run_label, const RunOut& out) {
+  const WorkloadReport& report = out.report;
   StatRecord rec;
   rec.database = "derby-2e3x1e3";
   rec.cluster = "class";
@@ -134,8 +155,8 @@ void RecordRun(StatStore* stats, telemetry::FlatRun* summary,
   rec.latency_p95_s = report.latencies.Quantile(0.95) / 1e9;
   rec.latency_p99_s = report.latencies.Quantile(0.99) / 1e9;
   rec.result_count = report.total_queries;
-  rec.server_cache_bytes = derby.db->cache().config().server_bytes;
-  rec.client_cache_bytes = derby.db->cache().config().client_bytes;
+  rec.server_cache_bytes = out.server_cache_bytes;
+  rec.client_cache_bytes = out.client_cache_bytes;
   rec.FillFrom(report.totals, report.span_seconds);
   stats->Add(rec);
 
@@ -180,75 +201,12 @@ int Main(int argc, char** argv) {
     server_counts = {1, 2, 4, 8};
   }
 
-  auto derby = BuildDerbyOrDie(2000, 1000,
-                               ClusteringStrategy::kClassClustered, opts);
-
-  StatStore stats;
-  telemetry::FlatRun summary;
-  telemetry::FlatRun* sump = extra.summary_json.empty() ? nullptr : &summary;
-  std::string json = "[\n";
-  bool first_json = true;
-  bool ok = CheckSingleServerIdentity(*derby, clients, queries);
-
-  // ---- Phase 1: servers x clients scale-out ----
-  std::vector<std::vector<std::string>> rows;
-  double qps1 = 0;
-  for (uint32_t servers : server_counts) {
-    WorkloadSpec spec = BaseSpec(clients, queries);
-    spec.num_servers = servers;
-    auto report = RunWorkload(derby.get(), spec);
-    if (!report.ok()) {
-      std::fprintf(stderr, "FATAL: workload (%u servers): %s\n", servers,
-                   report.status().ToString().c_str());
-      return 1;
-    }
-    if (servers == 1) qps1 = report->throughput_qps;
-
-    // Load balance across the fleet: busiest / least-busy shard by
-    // admitted RPCs (1.0 = perfectly even; meaningless for one server).
-    uint64_t min_admitted = ~0ull, max_admitted = 0;
-    for (const ShardReport& sh : report->shards) {
-      min_admitted = std::min(min_admitted, sh.admitted);
-      max_admitted = std::max(max_admitted, sh.admitted);
-    }
-    const double imbalance =
-        min_admitted > 0 ? static_cast<double>(max_admitted) /
-                               static_cast<double>(min_admitted)
-                         : 0;
-
-    rows.push_back(
-        {WithThousands(servers), WithThousands(clients),
-         FormatSeconds(report->throughput_qps, 3),
-         FormatSeconds(qps1 > 0 ? report->throughput_qps / qps1 : 0, 2),
-         FormatSeconds(report->latencies.Quantile(0.95) / 1e9),
-         FormatSeconds(
-             static_cast<double>(report->totals.rpc_queue_wait_ns) / 1e9),
-         FormatSeconds(report->server_utilization, 3),
-         FormatSeconds(imbalance, 2),
-         WithThousands(report->totals.disk_reads)});
-
-    const std::string run_label = "s" + std::to_string(servers) + "_c" +
-                                  std::to_string(clients);
-    RecordRun(&stats, sump, run_label, *report, *derby);
-    if (!first_json) json += ",\n";
-    json += report->ToJson();
-    first_json = false;
-  }
-  PrintTable("class — shard scale-out (simulated, " +
-                 std::to_string(queries) + " queries/client, " +
-                 std::to_string(clients) + " clients)",
-             {"servers", "clients", "qps", "speedup", "p95(s)",
-              "queue wait(s)", "fleet util", "imbalance", "disk reads"},
-             rows);
-
-  // ---- Phase 2: fault-injected failover campaign ----
-  // A scheduled crash kills shard 0 mid-run. With replication the run must
-  // complete every query (hard check); without, the crash window is
-  // client-visible.
-  // Both failover runs carry an availability SLO (docs/observability.md):
-  // replication must keep the crash invisible to the burn-rate alerter,
-  // while the unprotected run must fire. Pure observer — the objective
-  // changes no counter, only the report's "slo" section.
+  // A scheduled crash kills shard 0 mid-run (phase 2). With replication the
+  // run must complete every query (hard check); without, the crash window
+  // is client-visible. Both runs carry an availability SLO
+  // (docs/observability.md): replication must keep the crash invisible to
+  // the burn-rate alerter, while the unprotected run must fire. Pure
+  // observer — the objective changes no counter, only the "slo" section.
   auto failover_spec = [&](uint32_t servers, bool replication) {
     WorkloadSpec spec = BaseSpec(clients, queries);
     spec.num_servers = servers;
@@ -265,22 +223,129 @@ int Main(int argc, char** argv) {
     return spec;
   };
 
-  auto replicated = RunWorkload(derby.get(), failover_spec(3, true));
-  auto unprotected = RunWorkload(derby.get(), failover_spec(2, false));
-  if (!replicated.ok() || !unprotected.ok()) {
-    std::fprintf(stderr, "FATAL: failover campaign: %s / %s\n",
-                 replicated.status().ToString().c_str(),
-                 unprotected.status().ToString().c_str());
+  auto build = [&] {
+    return BuildDerbyOrDie(2000, 1000, ClusteringStrategy::kClassClustered,
+                           opts);
+  };
+  auto run_cell = [&](RunOut& out, const WorkloadSpec& spec,
+                      const char* what) {
+    auto derby = build();
+    auto report = RunWorkload(derby.get(), spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    out.server_cache_bytes = derby->db->cache().config().server_bytes;
+    out.client_cache_bytes = derby->db->cache().config().client_bytes;
+    out.recovery_ns = derby->db->sim().model().server_recovery_ns;
+    out.report = std::move(*report);
+    out.ok = true;
+    return 0;
+  };
+
+  BenchCells cells(ParseJobs(argc, argv));
+  // Not vector<bool>: its bit-packing would let two cells race on one byte.
+  uint8_t gate_ok = 0;
+  std::vector<RunOut> sweep(server_counts.size());
+  RunOut replicated_out, unprotected_out, det_repeat_out;
+
+  cells.Add("gate", [&] {
+    auto derby = build();
+    gate_ok = CheckSingleServerIdentity(*derby, clients, queries) ? 1 : 0;
+    return gate_ok != 0 ? 0 : 1;
+  });
+  for (size_t si = 0; si < server_counts.size(); ++si) {
+    const uint32_t servers = server_counts[si];
+    cells.Add("s" + std::to_string(servers) + "_c" + std::to_string(clients),
+              [&, si, servers] {
+                WorkloadSpec spec = BaseSpec(clients, queries);
+                spec.num_servers = servers;
+                return run_cell(sweep[si], spec, "workload sweep");
+              });
+  }
+  cells.Add("failover_replicated", [&] {
+    return run_cell(replicated_out, failover_spec(3, true),
+                    "replicated failover campaign");
+  });
+  cells.Add("failover_unprotected", [&] {
+    return run_cell(unprotected_out, failover_spec(2, false),
+                    "unprotected failover campaign");
+  });
+  cells.Add("failover_det_repeat", [&] {
+    return run_cell(det_repeat_out, failover_spec(3, true),
+                    "failover determinism repeat");
+  });
+  if (!cells.RunAll()) return 1;
+
+  StatStore stats;
+  telemetry::FlatRun summary;
+  telemetry::FlatRun* sump = extra.summary_json.empty() ? nullptr : &summary;
+  std::string json = "[\n";
+  bool first_json = true;
+  bool ok = gate_ok != 0;
+
+  // ---- Phase 1: servers x clients scale-out ----
+  std::vector<std::vector<std::string>> rows;
+  double qps1 = 0;
+  for (size_t si = 0; si < server_counts.size(); ++si) {
+    const uint32_t servers = server_counts[si];
+    const RunOut& out = sweep[si];
+    if (!out.ok) return 1;
+    const WorkloadReport& report = out.report;
+    if (servers == 1) qps1 = report.throughput_qps;
+
+    // Load balance across the fleet: busiest / least-busy shard by
+    // admitted RPCs (1.0 = perfectly even; meaningless for one server).
+    uint64_t min_admitted = ~0ull, max_admitted = 0;
+    for (const ShardReport& sh : report.shards) {
+      min_admitted = std::min(min_admitted, sh.admitted);
+      max_admitted = std::max(max_admitted, sh.admitted);
+    }
+    const double imbalance =
+        min_admitted > 0 ? static_cast<double>(max_admitted) /
+                               static_cast<double>(min_admitted)
+                         : 0;
+
+    rows.push_back(
+        {WithThousands(servers), WithThousands(clients),
+         FormatSeconds(report.throughput_qps, 3),
+         FormatSeconds(qps1 > 0 ? report.throughput_qps / qps1 : 0, 2),
+         FormatSeconds(report.latencies.Quantile(0.95) / 1e9),
+         FormatSeconds(
+             static_cast<double>(report.totals.rpc_queue_wait_ns) / 1e9),
+         FormatSeconds(report.server_utilization, 3),
+         FormatSeconds(imbalance, 2),
+         WithThousands(report.totals.disk_reads)});
+
+    const std::string run_label = "s" + std::to_string(servers) + "_c" +
+                                  std::to_string(clients);
+    RecordRun(&stats, sump, run_label, out);
+    if (!first_json) json += ",\n";
+    json += report.ToJson();
+    first_json = false;
+  }
+  PrintTable("class — shard scale-out (simulated, " +
+                 std::to_string(queries) + " queries/client, " +
+                 std::to_string(clients) + " clients)",
+             {"servers", "clients", "qps", "speedup", "p95(s)",
+              "queue wait(s)", "fleet util", "imbalance", "disk reads"},
+             rows);
+
+  // ---- Phase 2: fault-injected failover campaign ----
+  if (!replicated_out.ok || !unprotected_out.ok || !det_repeat_out.ok) {
     return 1;
   }
-  if (replicated->failed_queries != 0 || replicated->totals.failovers < 1 ||
-      replicated->totals.server_crashes != 1) {
+  const WorkloadReport& replicated = replicated_out.report;
+  const WorkloadReport& unprotected = unprotected_out.report;
+  if (replicated.failed_queries != 0 || replicated.totals.failovers < 1 ||
+      replicated.totals.server_crashes != 1) {
     std::fprintf(stderr,
                  "FATAL: replicated failover run: %llu failed queries, "
                  "%llu failovers, %llu crashes (want 0 / >=1 / 1)\n",
-                 (unsigned long long)replicated->failed_queries,
-                 (unsigned long long)replicated->totals.failovers,
-                 (unsigned long long)replicated->totals.server_crashes);
+                 (unsigned long long)replicated.failed_queries,
+                 (unsigned long long)replicated.totals.failovers,
+                 (unsigned long long)replicated.totals.server_crashes);
     ok = false;
   }
 
@@ -288,15 +353,15 @@ int Main(int argc, char** argv) {
   // unprotected crash window must trip the burn-rate alerter. (The clear —
   // which needs the run to outlive the 2s recovery — is hard-gated in
   // bench_fault_campaign's longer SLO campaign, not here.)
-  if (!replicated->slo_alerts.empty()) {
+  if (!replicated.slo_alerts.empty()) {
     std::fprintf(stderr,
                  "FATAL: replicated failover run raised %zu availability "
                  "alert(s) — replication should have absorbed the crash\n",
-                 replicated->slo_alerts.size());
+                 replicated.slo_alerts.size());
     ok = false;
   }
   bool unprotected_fired = false;
-  for (const telemetry::SloAlertEvent& e : unprotected->slo_alerts) {
+  for (const telemetry::SloAlertEvent& e : unprotected.slo_alerts) {
     if (e.objective == "availability" && e.fired) unprotected_fired = true;
   }
   if (!unprotected_fired) {
@@ -306,21 +371,17 @@ int Main(int argc, char** argv) {
     ok = false;
   }
   std::printf("failover slo gates: %s\n",
-              !replicated->slo_alerts.empty() || !unprotected_fired
+              !replicated.slo_alerts.empty() || !unprotected_fired
                   ? "FAIL"
                   : "PASS");
 
   // Determinism gate: the identical campaign on an independently built
-  // database must produce bit-identical artifacts.
+  // database must produce bit-identical artifacts. The replicated campaign
+  // cell and the repeat cell each built their own database, so comparing
+  // their reports is exactly the two-independent-builds check.
   {
-    auto derby_repeat = BuildDerbyOrDie(
-        2000, 1000, ClusteringStrategy::kClassClustered, opts);
-    auto derby_first = BuildDerbyOrDie(
-        2000, 1000, ClusteringStrategy::kClassClustered, opts);
-    auto run_a = RunWorkload(derby_first.get(), failover_spec(3, true));
-    auto run_b = RunWorkload(derby_repeat.get(), failover_spec(3, true));
-    const bool identical = run_a.ok() && run_b.ok() &&
-                           run_a->ToJson() == run_b->ToJson();
+    const bool identical =
+        replicated.ToJson() == det_repeat_out.report.ToJson();
     std::printf("failover determinism gate: %s\n",
                 identical ? "PASS" : "FAIL");
     ok = ok && identical;
@@ -334,31 +395,30 @@ int Main(int argc, char** argv) {
   };
   PrintTable(
       "shard-0 crash at t=1ms, recovery " +
-          FormatSeconds(
-              derby->db->sim().model().server_recovery_ns / 1e9) +
+          FormatSeconds(replicated_out.recovery_ns / 1e9) +
           "s (simulated)",
       {"config", "failed", "crashes", "failovers", "degraded reads",
        "blackholed", "qps"},
       {{"3 servers, replicated",
-        WithThousands(replicated->failed_queries),
-        WithThousands(replicated->totals.server_crashes),
-        WithThousands(replicated->totals.failovers),
-        WithThousands(replicated->totals.degraded_reads),
-        WithThousands(blackholed(*replicated)),
-        FormatSeconds(replicated->throughput_qps, 3)},
+        WithThousands(replicated.failed_queries),
+        WithThousands(replicated.totals.server_crashes),
+        WithThousands(replicated.totals.failovers),
+        WithThousands(replicated.totals.degraded_reads),
+        WithThousands(blackholed(replicated)),
+        FormatSeconds(replicated.throughput_qps, 3)},
        {"2 servers, no replication",
-        WithThousands(unprotected->failed_queries),
-        WithThousands(unprotected->totals.server_crashes),
-        WithThousands(unprotected->totals.failovers),
-        WithThousands(unprotected->totals.degraded_reads),
-        WithThousands(blackholed(*unprotected)),
-        FormatSeconds(unprotected->throughput_qps, 3)}});
+        WithThousands(unprotected.failed_queries),
+        WithThousands(unprotected.totals.server_crashes),
+        WithThousands(unprotected.totals.failovers),
+        WithThousands(unprotected.totals.degraded_reads),
+        WithThousands(blackholed(unprotected)),
+        FormatSeconds(unprotected.throughput_qps, 3)}});
 
-  RecordRun(&stats, sump, "failover_replicated", *replicated, *derby);
-  RecordRun(&stats, sump, "failover_unprotected", *unprotected, *derby);
-  for (auto* rep : {&replicated, &unprotected}) {
+  RecordRun(&stats, sump, "failover_replicated", replicated_out);
+  RecordRun(&stats, sump, "failover_unprotected", unprotected_out);
+  for (const RunOut* out : {&replicated_out, &unprotected_out}) {
     if (!first_json) json += ",\n";
-    json += (*rep)->ToJson();
+    json += out->report.ToJson();
     first_json = false;
   }
   json += "]\n";

@@ -8,12 +8,19 @@
 // without an (idle) TxnManager installed as the cache's page-lock hook. A
 // single differing byte — one counter, one latency digit — fails the bench.
 //
+// Every (clustering x ratio x clients) sweep point is a hermetic bench cell
+// with its own freshly built database (committed updates rewrite
+// Patients.random_integer in place, so sharing a database would make each
+// run's counters depend on which runs came before it — hermetic cells make
+// every point independently reproducible AND free to execute on the --jobs
+// pool; docs/parallel_harness.md).
+//
 // Expected shape: throughput degrades as update_ratio grows (updates pay
 // extent/index scans plus logging), lock_wait_ns appears only with >= 2
 // clients, and undo_bytes stays proportional to the distinct pages each
 // transaction dirties while redo_bytes tracks the update count.
 //
-// Extra flags (beyond the common --scale/--csv/--stats-json):
+// Extra flags (beyond the common --scale/--csv/--stats-json and --jobs=N):
 //   --clients=N          sweep {1, N} instead of the default counts
 //   --queries=N          measured queries per client (default 8; smoke 3)
 //   --summary-json=PATH  flat {"key": number} summary of every swept run —
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "common/bench_util.h"
+#include "common/cell_harness.h"
 #include "src/common/string_util.h"
 #include "src/telemetry/regression.h"
 #include "src/txn/txn_manager.h"
@@ -78,8 +86,8 @@ WorkloadSpec MixSpec(uint32_t clients, uint32_t queries, double ratio) {
 
 /// The hard gate: a ratio-0 workload must produce a byte-identical report
 /// whether or not an idle TxnManager sits in the page-access path. Builds
-/// its own fresh databases so committed updates from earlier sweep runs
-/// cannot leak in.
+/// its own fresh databases so committed updates from other cells cannot
+/// leak in.
 bool CheckRatioZeroBitIdentity(ClusteringStrategy clustering,
                                const BenchOptions& opts, uint32_t clients,
                                uint32_t queries) {
@@ -107,9 +115,9 @@ bool CheckRatioZeroBitIdentity(ClusteringStrategy clustering,
   const std::string a = plain->ToJson();
   const std::string b = hooked->ToJson();
   const bool identical = a == b;
-  std::printf("ratio-0 bit-identity gate (%s, %u clients): %s\n",
-              std::string(ClusteringName(clustering)).c_str(), clients,
-              identical ? "PASS" : "FAIL");
+  std::fprintf(Out(), "ratio-0 bit-identity gate (%s, %u clients): %s\n",
+               std::string(ClusteringName(clustering)).c_str(), clients,
+               identical ? "PASS" : "FAIL");
   if (!identical) {
     size_t i = 0;
     while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
@@ -120,6 +128,14 @@ bool CheckRatioZeroBitIdentity(ClusteringStrategy clustering,
   }
   return identical;
 }
+
+/// Out-slot of one (clustering x ratio x clients) sweep cell.
+struct MixOut {
+  bool ok = false;
+  WorkloadReport report;
+  uint64_t server_cache_bytes = 0;
+  uint64_t client_cache_bytes = 0;
+};
 
 int Main(int argc, char** argv) {
   BenchOptions opts = ParseArgs(argc, argv);
@@ -137,46 +153,86 @@ int Main(int argc, char** argv) {
   } else {
     counts = {1, 4, 16};
   }
-  const double kRatios[] = {0, 0.25, 0.5};
+  const std::vector<double> ratios = {0, 0.25, 0.5};
 
-  const ClusteringStrategy kClusterings[] = {
+  const std::vector<ClusteringStrategy> clusterings = {
       ClusteringStrategy::kClassClustered, ClusteringStrategy::kComposition};
+
+  BenchCells cells(ParseJobs(argc, argv));
+  // Not vector<bool>: its bit-packing would let two cells race on one byte.
+  std::vector<uint8_t> gate_ok(clusterings.size(), 0);
+  std::vector<std::vector<MixOut>> sweeps(clusterings.size());
+  for (auto& per_cluster : sweeps) {
+    per_cluster.resize(ratios.size() * counts.size());
+  }
+
+  for (size_t ci = 0; ci < clusterings.size(); ++ci) {
+    const ClusteringStrategy clustering = clusterings[ci];
+    const std::string cluster_label = std::string(ClusteringName(clustering));
+    cells.Add("gate_" + cluster_label, [&, ci, clustering] {
+      gate_ok[ci] = CheckRatioZeroBitIdentity(clustering, opts, counts.back(),
+                                              queries)
+                        ? 1
+                        : 0;
+      return gate_ok[ci] != 0 ? 0 : 1;
+    });
+    for (size_t ri = 0; ri < ratios.size(); ++ri) {
+      for (size_t ni = 0; ni < counts.size(); ++ni) {
+        const double ratio = ratios[ri];
+        const uint32_t n = counts[ni];
+        const size_t slot = ri * counts.size() + ni;
+        const std::string run_label =
+            cluster_label + "_r" + std::to_string(int(ratio * 100)) + "_c" +
+            std::to_string(n);
+        cells.Add(run_label, [&, ci, slot, ratio, n, clustering] {
+          auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
+          MixOut& out = sweeps[ci][slot];
+          auto report = RunWorkload(derby.get(), MixSpec(n, queries, ratio));
+          if (!report.ok()) {
+            std::fprintf(stderr,
+                         "FATAL: workload (ratio %.2f, %u clients): %s\n",
+                         ratio, n, report.status().ToString().c_str());
+            return 1;
+          }
+          out.server_cache_bytes = derby->db->cache().config().server_bytes;
+          out.client_cache_bytes = derby->db->cache().config().client_bytes;
+          out.report = std::move(*report);
+          out.ok = true;
+          return 0;
+        });
+      }
+    }
+  }
+  const bool cells_ok = cells.RunAll();
+  if (!cells_ok) return 1;
 
   StatStore stats;
   telemetry::FlatRun summary;
   bool gates_pass = true;
 
-  for (ClusteringStrategy clustering : kClusterings) {
+  for (size_t ci = 0; ci < clusterings.size(); ++ci) {
     const std::string cluster_label =
-        std::string(ClusteringName(clustering));
-    gates_pass = CheckRatioZeroBitIdentity(clustering, opts, counts.back(),
-                                           queries) &&
-                 gates_pass;
-
-    // One database per clustering for the sweep itself: committed updates
-    // rewrite Patients.random_integer in place (no index covers it), so
-    // later runs see different values but identical physical structure.
-    auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
+        std::string(ClusteringName(clusterings[ci]));
+    gates_pass = gate_ok[ci] && gates_pass;
 
     std::vector<std::vector<std::string>> rows;
-    for (double ratio : kRatios) {
-      for (uint32_t n : counts) {
-        auto report = RunWorkload(derby.get(), MixSpec(n, queries, ratio));
-        if (!report.ok()) {
-          std::fprintf(stderr, "FATAL: workload (ratio %.2f, %u clients): %s\n",
-                       ratio, n, report.status().ToString().c_str());
-          return 1;
-        }
-        const Metrics& t = report->totals;
+    for (size_t ri = 0; ri < ratios.size(); ++ri) {
+      for (size_t ni = 0; ni < counts.size(); ++ni) {
+        const double ratio = ratios[ri];
+        const uint32_t n = counts[ni];
+        const MixOut& out = sweeps[ci][ri * counts.size() + ni];
+        if (!out.ok) return 1;
+        const WorkloadReport& report = out.report;
+        const Metrics& t = report.totals;
         const std::string run_label =
             cluster_label + "_r" + std::to_string(int(ratio * 100)) + "_c" +
             std::to_string(n);
 
         if (!extra.summary_json.empty()) {
           summary.Set(run_label + "_total_queries",
-                      static_cast<double>(report->total_queries));
+                      static_cast<double>(report.total_queries));
           summary.Set(run_label + "_failed_queries",
-                      static_cast<double>(report->failed_queries));
+                      static_cast<double>(report.failed_queries));
           summary.Set(run_label + "_disk_reads",
                       static_cast<double>(t.disk_reads));
           summary.Set(run_label + "_disk_writes",
@@ -199,11 +255,11 @@ int Main(int argc, char** argv) {
                       static_cast<double>(t.redo_bytes));
           summary.Set(run_label + "_dirty_writebacks",
                       static_cast<double>(t.dirty_page_writebacks));
-          summary.Set(run_label + "_throughput_qps", report->throughput_qps);
+          summary.Set(run_label + "_throughput_qps", report.throughput_qps);
           summary.Set(run_label + "_p50_s",
-                      report->latencies.Quantile(0.50) / 1e9);
+                      report.latencies.Quantile(0.50) / 1e9);
           summary.Set(run_label + "_p95_s",
-                      report->latencies.Quantile(0.95) / 1e9);
+                      report.latencies.Quantile(0.95) / 1e9);
           summary.Set(run_label + "_lock_wait_s",
                       static_cast<double>(t.lock_wait_ns) / 1e9);
         }
@@ -217,9 +273,9 @@ int Main(int argc, char** argv) {
                 : 0;
         rows.push_back(
             {FormatSeconds(ratio, 2), WithThousands(n),
-             FormatSeconds(report->throughput_qps, 3),
-             FormatSeconds(report->latencies.Quantile(0.50) / 1e9),
-             FormatSeconds(report->latencies.Quantile(0.95) / 1e9),
+             FormatSeconds(report.throughput_qps, 3),
+             FormatSeconds(report.latencies.Quantile(0.50) / 1e9),
+             FormatSeconds(report.latencies.Quantile(0.95) / 1e9),
              WithThousands(t.txn_commits), WithThousands(t.txn_aborts),
              FormatSeconds(static_cast<double>(t.lock_wait_ns) / 1e9),
              WithThousands(t.undo_bytes), WithThousands(t.redo_bytes),
@@ -233,14 +289,14 @@ int Main(int argc, char** argv) {
             "mixed selection/tree/update workload (zipf 0.6, ratio " +
             std::to_string(ratio) + ")";
         rec.num_clients = n;
-        rec.throughput_qps = report->throughput_qps;
-        rec.latency_p50_s = report->latencies.Quantile(0.50) / 1e9;
-        rec.latency_p95_s = report->latencies.Quantile(0.95) / 1e9;
-        rec.latency_p99_s = report->latencies.Quantile(0.99) / 1e9;
-        rec.result_count = report->total_queries;
-        rec.server_cache_bytes = derby->db->cache().config().server_bytes;
-        rec.client_cache_bytes = derby->db->cache().config().client_bytes;
-        rec.FillFrom(report->totals, report->span_seconds);
+        rec.throughput_qps = report.throughput_qps;
+        rec.latency_p50_s = report.latencies.Quantile(0.50) / 1e9;
+        rec.latency_p95_s = report.latencies.Quantile(0.95) / 1e9;
+        rec.latency_p99_s = report.latencies.Quantile(0.99) / 1e9;
+        rec.result_count = report.total_queries;
+        rec.server_cache_bytes = out.server_cache_bytes;
+        rec.client_cache_bytes = out.client_cache_bytes;
+        rec.FillFrom(report.totals, report.span_seconds);
         stats.Add(rec);
       }
     }

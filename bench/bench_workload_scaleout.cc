@@ -12,7 +12,13 @@
 // server cache gives skewed (Zipf) workloads fewer disk reads per client
 // than N independent cold runs would pay.
 //
-// Extra flags (parsed from raw argv, beyond the common --scale/--csv):
+// The sweep is enumerated as hermetic bench cells — one (clustering x
+// client-count) unit, each building its own database — executed on the
+// cell-runner pool (docs/parallel_harness.md) and merged in submission
+// order, so output and artifacts are byte-identical at any --jobs value.
+//
+// Extra flags (parsed from raw argv, beyond the common --scale/--csv and
+// the harness's --jobs=N):
 //   --clients=N          cap/select the swept client counts (runs {1, N})
 //   --queries=N          measured queries per client (default 8; smoke 3)
 //   --json=PATH          deterministic JSON array of every WorkloadReport
@@ -39,6 +45,7 @@
 #include <vector>
 
 #include "common/bench_util.h"
+#include "common/cell_harness.h"
 #include "src/common/string_util.h"
 #include "src/cost/trace.h"
 #include "src/query/executor.h"
@@ -162,10 +169,20 @@ bool CheckOneClientExact(DerbyDb& derby) {
                  (unsigned long long)report->totals.rpc_queue_wait_ns);
     exact = false;
   }
-  std::printf("1-client exactness check: %s (query: %s)\n",
-              exact ? "PASS" : "FAIL", oql.c_str());
+  std::fprintf(Out(), "1-client exactness check: %s (query: %s)\n",
+               exact ? "PASS" : "FAIL", oql.c_str());
   return exact;
 }
+
+/// Out-slot of one (clustering x client-count) sweep cell. Each slot is
+/// written by exactly one cell; the main thread reads them only after the
+/// pool drains.
+struct SweepOut {
+  bool ok = false;
+  WorkloadReport report;
+  uint64_t server_cache_bytes = 0;
+  uint64_t client_cache_bytes = 0;
+};
 
 int Main(int argc, char** argv) {
   BenchOptions opts = ParseArgs(argc, argv);
@@ -184,9 +201,107 @@ int Main(int argc, char** argv) {
     counts = {1, 2, 4, 8, 16, 32, 64};
   }
 
-  const ClusteringStrategy kClusterings[] = {
+  const std::vector<ClusteringStrategy> clusterings = {
       ClusteringStrategy::kClassClustered, ClusteringStrategy::kComposition};
 
+  // Cell enumeration: per clustering, one 1-client exactness gate cell plus
+  // one sweep cell per client count. Every cell builds its own database
+  // (the sweeps run cold_start, so a fresh build reproduces the shared-
+  // database counters exactly).
+  BenchCells cells(ParseJobs(argc, argv));
+  // Not vector<bool>: its bit-packing would let two cells race on one byte.
+  std::vector<uint8_t> gate_ok(clusterings.size(), 0);
+  std::vector<std::vector<SweepOut>> sweeps(clusterings.size());
+  for (auto& per_cluster : sweeps) per_cluster.resize(counts.size());
+
+  for (size_t ci = 0; ci < clusterings.size(); ++ci) {
+    const ClusteringStrategy clustering = clusterings[ci];
+    const std::string cluster_label = std::string(ClusteringName(clustering));
+    cells.Add("gate_" + cluster_label, [&, ci, clustering] {
+      auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
+      gate_ok[ci] = CheckOneClientExact(*derby) ? 1 : 0;
+      return gate_ok[ci] != 0 ? 0 : 1;
+    });
+    for (size_t ni = 0; ni < counts.size(); ++ni) {
+      const uint32_t n = counts[ni];
+      const std::string run_label = cluster_label + "_c" + std::to_string(n);
+      cells.Add(run_label, [&, ci, ni, n, clustering, run_label] {
+        auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
+        SweepOut& out = sweeps[ci][ni];
+        const bool want_telemetry = !extra.telemetry_dir.empty();
+        WorkloadTelemetry tel;
+        // Folded stacks come from the span tree, so a trace session wraps
+        // the run when telemetry is requested (neither changes any counter).
+        std::unique_ptr<TraceSession> trace_session;
+        if (want_telemetry) {
+          trace_session = std::make_unique<TraceSession>(&derby->db->sim());
+        }
+        WorkloadSpec sweep_spec = SweepSpec(n, queries);
+        // The flight recorder is a pure observer: counters and latencies
+        // are identical with and without it (test-enforced), so enabling it
+        // for the artifact export does not perturb the sweep.
+        if (!extra.query_log_dir.empty()) sweep_spec.query_log = true;
+        auto report = RunWorkload(derby.get(), sweep_spec,
+                                  want_telemetry ? &tel : nullptr);
+        if (!report.ok()) {
+          std::fprintf(stderr, "FATAL: workload (%u clients): %s\n", n,
+                       report.status().ToString().c_str());
+          return 1;
+        }
+        bool files_ok = true;
+        if (want_telemetry) {
+          const std::string base = extra.telemetry_dir + "/" + run_label;
+          files_ok =
+              WriteFileOrWarn(base + ".timeseries.csv", tel.series.ToCsv()) &&
+              files_ok;
+          files_ok = WriteFileOrWarn(base + ".timeseries.jsonl",
+                                     tel.series.ToJsonl()) &&
+                     files_ok;
+          files_ok = WriteFileOrWarn(base + ".chrome.json",
+                                     tel.ChromeTraceJson()) &&
+                     files_ok;
+          std::unique_ptr<TraceNode> span_root = trace_session->Take();
+          files_ok =
+              WriteFileOrWarn(base + ".folded",
+                              span_root != nullptr
+                                  ? telemetry::TraceToFoldedStacks(*span_root)
+                                  : std::string()) &&
+              files_ok;
+          std::fprintf(Out(),
+                       "telemetry: %s.{timeseries.csv,timeseries.jsonl,"
+                       "chrome.json,folded} (%zu samples, %zu slices)\n",
+                       base.c_str(), tel.series.num_samples(),
+                       tel.query_slices.size());
+        }
+        if (!extra.query_log_dir.empty()) {
+          const std::string base = extra.query_log_dir + "/" + run_label;
+          files_ok = WriteFileOrWarn(base + ".querylog.jsonl",
+                                     report->query_log.ToJsonl()) &&
+                     files_ok;
+          files_ok = WriteFileOrWarn(base + ".querylog.csv",
+                                     report->query_log.ToCsv()) &&
+                     files_ok;
+          files_ok =
+              WriteFileOrWarn(base + ".tail.txt", report->tail.ToString()) &&
+              files_ok;
+          std::fprintf(Out(),
+                       "query log: %s.{querylog.jsonl,querylog.csv,tail.txt} "
+                       "(%zu records)\n",
+                       base.c_str(), report->query_log.records().size());
+        }
+        out.server_cache_bytes = derby->db->cache().config().server_bytes;
+        out.client_cache_bytes = derby->db->cache().config().client_bytes;
+        out.report = std::move(*report);
+        out.ok = files_ok;
+        return files_ok ? 0 : 1;
+      });
+    }
+  }
+  const bool cells_ok = cells.RunAll();
+
+  // Merge on the main thread, in enumeration order: tables, summary keys,
+  // stat records, and the report JSON array come out exactly as the
+  // sequential program produced them.
   StatStore stats;
   telemetry::FlatRun summary;
   std::string json = "[\n";
@@ -194,83 +309,26 @@ int Main(int argc, char** argv) {
   bool all_exact = true;
   bool telemetry_ok = true;
 
-  for (ClusteringStrategy clustering : kClusterings) {
-    auto derby = BuildDerbyOrDie(2000, 1000, clustering, opts);
+  for (size_t ci = 0; ci < clusterings.size(); ++ci) {
     const std::string cluster_label =
-        std::string(ClusteringName(clustering));
-
-    all_exact = CheckOneClientExact(*derby) && all_exact;
+        std::string(ClusteringName(clusterings[ci]));
+    all_exact = gate_ok[ci] && all_exact;
 
     std::vector<std::vector<std::string>> rows;
     double qps1 = 0;
-    for (uint32_t n : counts) {
-      const bool want_telemetry = !extra.telemetry_dir.empty();
-      WorkloadTelemetry tel;
-      // Folded stacks come from the span tree, so a trace session wraps the
-      // run when telemetry is requested (neither changes any counter).
-      std::unique_ptr<TraceSession> trace_session;
-      if (want_telemetry) {
-        trace_session =
-            std::make_unique<TraceSession>(&derby->db->sim());
+    for (size_t ni = 0; ni < counts.size(); ++ni) {
+      const uint32_t n = counts[ni];
+      SweepOut& out = sweeps[ci][ni];
+      if (!out.ok) {
+        telemetry_ok = false;
+        continue;
       }
-      WorkloadSpec sweep_spec = SweepSpec(n, queries);
-      // The flight recorder is a pure observer: counters and latencies are
-      // identical with and without it (test-enforced), so enabling it for
-      // the artifact export does not perturb the sweep.
-      if (!extra.query_log_dir.empty()) sweep_spec.query_log = true;
-      auto report = RunWorkload(derby.get(), sweep_spec,
-                                want_telemetry ? &tel : nullptr);
-      if (!report.ok()) {
-        std::fprintf(stderr, "FATAL: workload (%u clients): %s\n", n,
-                     report.status().ToString().c_str());
-        return 1;
-      }
-      const std::string run_label =
-          cluster_label + "_c" + std::to_string(n);
-      if (want_telemetry) {
-        const std::string base = extra.telemetry_dir + "/" + run_label;
-        telemetry_ok =
-            WriteFileOrWarn(base + ".timeseries.csv", tel.series.ToCsv()) &&
-            telemetry_ok;
-        telemetry_ok =
-            WriteFileOrWarn(base + ".timeseries.jsonl",
-                            tel.series.ToJsonl()) &&
-            telemetry_ok;
-        telemetry_ok = WriteFileOrWarn(base + ".chrome.json",
-                                       tel.ChromeTraceJson()) &&
-                       telemetry_ok;
-        std::unique_ptr<TraceNode> span_root = trace_session->Take();
-        telemetry_ok =
-            WriteFileOrWarn(base + ".folded",
-                            span_root != nullptr
-                                ? telemetry::TraceToFoldedStacks(*span_root)
-                                : std::string()) &&
-            telemetry_ok;
-        std::printf("telemetry: %s.{timeseries.csv,timeseries.jsonl,"
-                    "chrome.json,folded} (%zu samples, %zu slices)\n",
-                    base.c_str(), tel.series.num_samples(),
-                    tel.query_slices.size());
-      }
-      if (!extra.query_log_dir.empty()) {
-        const std::string base = extra.query_log_dir + "/" + run_label;
-        telemetry_ok =
-            WriteFileOrWarn(base + ".querylog.jsonl",
-                            report->query_log.ToJsonl()) &&
-            telemetry_ok;
-        telemetry_ok = WriteFileOrWarn(base + ".querylog.csv",
-                                       report->query_log.ToCsv()) &&
-                       telemetry_ok;
-        telemetry_ok =
-            WriteFileOrWarn(base + ".tail.txt", report->tail.ToString()) &&
-            telemetry_ok;
-        std::printf("query log: %s.{querylog.jsonl,querylog.csv,tail.txt} "
-                    "(%zu records)\n",
-                    base.c_str(), report->query_log.records().size());
-      }
+      const WorkloadReport& report = out.report;
+      const std::string run_label = cluster_label + "_c" + std::to_string(n);
       if (!extra.summary_json.empty()) {
-        const Metrics& t = report->totals;
+        const Metrics& t = report.totals;
         summary.Set(run_label + "_total_queries",
-                    static_cast<double>(report->total_queries));
+                    static_cast<double>(report.total_queries));
         summary.Set(run_label + "_disk_reads",
                     static_cast<double>(t.disk_reads));
         summary.Set(run_label + "_rpc_count",
@@ -281,31 +339,30 @@ int Main(int argc, char** argv) {
                     static_cast<double>(t.client_cache_evictions));
         summary.Set(run_label + "_server_cache_evictions",
                     static_cast<double>(t.server_cache_evictions));
-        summary.Set(run_label + "_span_seconds", report->span_seconds);
-        summary.Set(run_label + "_throughput_qps", report->throughput_qps);
+        summary.Set(run_label + "_span_seconds", report.span_seconds);
+        summary.Set(run_label + "_throughput_qps", report.throughput_qps);
         summary.Set(run_label + "_p50_s",
-                    report->latencies.Quantile(0.50) / 1e9);
+                    report.latencies.Quantile(0.50) / 1e9);
         summary.Set(run_label + "_p95_s",
-                    report->latencies.Quantile(0.95) / 1e9);
+                    report.latencies.Quantile(0.95) / 1e9);
         summary.Set(run_label + "_p99_s",
-                    report->latencies.Quantile(0.99) / 1e9);
+                    report.latencies.Quantile(0.99) / 1e9);
         summary.Set(run_label + "_queue_wait_s",
                     static_cast<double>(t.rpc_queue_wait_ns) / 1e9);
       }
-      if (n == 1) qps1 = report->throughput_qps;
-      const double speedup =
-          qps1 > 0 ? report->throughput_qps / qps1 : 0;
+      if (n == 1) qps1 = report.throughput_qps;
+      const double speedup = qps1 > 0 ? report.throughput_qps / qps1 : 0;
       rows.push_back(
-          {WithThousands(n), FormatSeconds(report->throughput_qps, 3),
+          {WithThousands(n), FormatSeconds(report.throughput_qps, 3),
            FormatSeconds(speedup, 2),
-           FormatSeconds(report->latencies.Quantile(0.50) / 1e9),
-           FormatSeconds(report->latencies.Quantile(0.95) / 1e9),
-           FormatSeconds(report->latencies.Quantile(0.99) / 1e9),
+           FormatSeconds(report.latencies.Quantile(0.50) / 1e9),
+           FormatSeconds(report.latencies.Quantile(0.95) / 1e9),
+           FormatSeconds(report.latencies.Quantile(0.99) / 1e9),
            FormatSeconds(
-               static_cast<double>(report->totals.rpc_queue_wait_ns) / 1e9),
-           FormatSeconds(report->server_utilization, 3),
-           FormatSeconds(report->fairness_ratio, 3),
-           WithThousands(report->totals.disk_reads)});
+               static_cast<double>(report.totals.rpc_queue_wait_ns) / 1e9),
+           FormatSeconds(report.server_utilization, 3),
+           FormatSeconds(report.fairness_ratio, 3),
+           WithThousands(report.totals.disk_reads)});
 
       StatRecord rec;
       rec.database = "derby-2e3x1e3";
@@ -313,18 +370,18 @@ int Main(int argc, char** argv) {
       rec.algo = "workload";
       rec.query_text = "mixed selection/tree workload (zipf 0.6)";
       rec.num_clients = n;
-      rec.throughput_qps = report->throughput_qps;
-      rec.latency_p50_s = report->latencies.Quantile(0.50) / 1e9;
-      rec.latency_p95_s = report->latencies.Quantile(0.95) / 1e9;
-      rec.latency_p99_s = report->latencies.Quantile(0.99) / 1e9;
-      rec.result_count = report->total_queries;
-      rec.server_cache_bytes = derby->db->cache().config().server_bytes;
-      rec.client_cache_bytes = derby->db->cache().config().client_bytes;
-      rec.FillFrom(report->totals, report->span_seconds);
+      rec.throughput_qps = report.throughput_qps;
+      rec.latency_p50_s = report.latencies.Quantile(0.50) / 1e9;
+      rec.latency_p95_s = report.latencies.Quantile(0.95) / 1e9;
+      rec.latency_p99_s = report.latencies.Quantile(0.99) / 1e9;
+      rec.result_count = report.total_queries;
+      rec.server_cache_bytes = out.server_cache_bytes;
+      rec.client_cache_bytes = out.client_cache_bytes;
+      rec.FillFrom(report.totals, report.span_seconds);
       stats.Add(rec);
 
       if (!first_json) json += ",\n";
-      json += report->ToJson();
+      json += report.ToJson();
       first_json = false;
     }
     PrintTable(
@@ -360,7 +417,7 @@ int Main(int argc, char** argv) {
   }
   MaybeExportCsv(stats, opts);
   MaybeExportStatsJson(stats, opts);
-  return all_exact && telemetry_ok ? 0 : 1;
+  return cells_ok && all_exact && telemetry_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -2,16 +2,19 @@
 // baseline.
 //
 //   check_regression <baseline.json> <current.json> [--tolerance=0.02]
-//                    [--json=DIFF.json]
+//                    [--wall-tolerance=0.25] [--json=DIFF.json]
 //
 // Both files are flat {"key": number} objects (what bench_workload_scaleout
 // --summary-json= writes; baselines live under bench/baselines/). Counter
 // keys must match exactly — the engine's event counters are integer-exact on
 // every platform. Time-like keys (suffix _ns/_s/_seconds/_qps/_pct) get a
 // relative tolerance band, because simulated times route through libm and
-// may drift in the last ulp across C libraries. Exits nonzero on any
-// regression, missing key, or new key (schema changes need a committed
-// baseline update).
+// may drift in the last ulp across C libraries. Wall-clock keys
+// (wall_seconds / *_wall_seconds, the host-time records the harness writes
+// into *_perf.json) are compared ONE-SIDED: only a slowdown beyond
+// --wall-tolerance (default 25%) fails, with a typed "wall_clock" finding —
+// speedups pass silently. Exits nonzero on any regression, missing key, or
+// new key (schema changes need a committed baseline update).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +44,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
       opts.time_tolerance = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--wall-tolerance=", 17) == 0) {
+      opts.wall_tolerance = std::atof(argv[i] + 17);
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (baseline_path == nullptr) {
@@ -55,7 +60,8 @@ int main(int argc, char** argv) {
   if (baseline_path == nullptr || current_path == nullptr) {
     std::fprintf(stderr,
                  "usage: check_regression <baseline.json> <current.json> "
-                 "[--tolerance=0.02] [--json=DIFF.json]\n");
+                 "[--tolerance=0.02] [--wall-tolerance=0.25] "
+                 "[--json=DIFF.json]\n");
     return 2;
   }
 

@@ -5,12 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <ctime>
+#include <stdexcept>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
 
+#include "common/cell_harness.h"
 #include "src/common/string_util.h"
 #include "src/query/tree_query.h"
 
@@ -23,6 +24,16 @@ namespace {
 // whole run including exports).
 std::string g_perf_json_path;                        // NOLINT
 std::chrono::steady_clock::time_point g_perf_start;  // NOLINT
+
+// Pool shape of the last BenchCells run, merged into the perf record.
+// Written from RecordHarnessPerf on the main thread only.
+struct HarnessPerf {
+  bool recorded = false;
+  uint32_t jobs = 0;
+  double occupancy = 0.0;
+  std::vector<CellRunner::CellResult> cells;
+};
+HarnessPerf g_harness_perf;  // NOLINT
 
 long PeakRssKb() {
 #if defined(__unix__) || defined(__APPLE__)
@@ -50,8 +61,21 @@ void WritePerfJson() {
                  g_perf_json_path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"wall_seconds\": %.3f,\n  \"peak_rss_kb\": %ld\n}\n",
+  std::fprintf(f, "{\n  \"wall_seconds\": %.3f,\n  \"peak_rss_kb\": %ld",
                wall, PeakRssKb());
+  if (g_harness_perf.recorded) {
+    std::fprintf(f, ",\n  \"jobs\": %u,\n  \"cells\": %zu",
+                 g_harness_perf.jobs, g_harness_perf.cells.size());
+    std::fprintf(f, ",\n  \"pool_occupancy\": %.3f", g_harness_perf.occupancy);
+    std::fprintf(f, ",\n  \"cell_wall_seconds\": {");
+    for (size_t i = 0; i < g_harness_perf.cells.size(); ++i) {
+      const CellRunner::CellResult& c = g_harness_perf.cells[i];
+      std::fprintf(f, "%s\n    \"%s\": %.3f", i == 0 ? "" : ",",
+                   c.label.c_str(), c.wall_seconds);
+    }
+    std::fprintf(f, "\n  }");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 
@@ -83,6 +107,13 @@ BenchOptions ParseArgs(int argc, char** argv) {
   return opts;
 }
 
+void RecordHarnessPerf(const CellRunner& runner) {
+  g_harness_perf.recorded = true;
+  g_harness_perf.jobs = runner.jobs();
+  g_harness_perf.occupancy = runner.occupancy();
+  g_harness_perf.cells = runner.results();
+}
+
 void PrintTable(const std::string& title,
                 const std::vector<std::string>& header,
                 const std::vector<std::vector<std::string>>& rows) {
@@ -93,17 +124,19 @@ void PrintTable(const std::string& title,
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  std::printf("\n== %s ==\n", title.c_str());
+  FILE* out = Out();
+  std::fprintf(out, "\n== %s ==\n", title.c_str());
   auto print_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
-      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      std::fprintf(out, "%-*s  ", static_cast<int>(widths[c]),
+                   row[c].c_str());
     }
-    std::printf("\n");
+    std::fprintf(out, "\n");
   };
   print_row(header);
   size_t total = 0;
   for (size_t w : widths) total += w + 2;
-  std::printf("%s\n", std::string(total, '-').c_str());
+  std::fprintf(out, "%s\n", std::string(total, '-').c_str());
   for (const auto& row : rows) print_row(row);
 }
 
@@ -122,19 +155,25 @@ std::unique_ptr<DerbyDb> BuildDerbyOrDie(uint64_t providers,
   cfg.avg_children = avg_children;
   cfg.clustering = clustering;
   cfg.scale = opts.scale;
-  std::printf("building derby %llux%u (%s clustering, scale %u)...",
-              static_cast<unsigned long long>(providers), avg_children,
-              std::string(ClusteringName(clustering)).c_str(), opts.scale);
-  std::fflush(stdout);
-  std::clock_t t0 = std::clock();
+  // No host-time figures here: this line lands in deterministic bench
+  // output, which must be byte-identical across machines and --jobs values.
+  std::fprintf(Out(), "building derby %llux%u (%s clustering, scale %u)...",
+               static_cast<unsigned long long>(providers), avg_children,
+               std::string(ClusteringName(clustering)).c_str(), opts.scale);
+  std::fflush(Out());
   auto result = BuildDerby(cfg);
   if (!result.ok()) {
+    if (Out() != stdout) {
+      // Inside a cell: let the runner surface the error on the main thread
+      // after the pool drains (exiting from a worker thread is unsafe).
+      throw std::runtime_error("derby build failed: " +
+                               result.status().ToString());
+    }
     std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
     std::exit(1);
   }
-  std::printf(" done (%.1fs real, %.0fs simulated load)\n",
-              static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC,
-              result->get()->load_seconds);
+  std::fprintf(Out(), " done (%.0fs simulated load)\n",
+               result->get()->load_seconds);
   return std::move(result).value();
 }
 
@@ -204,8 +243,8 @@ void MaybeExportCsv(const StatStore& stats, const BenchOptions& opts) {
   if (!s.ok()) {
     std::fprintf(stderr, "csv export failed: %s\n", s.ToString().c_str());
   } else {
-    std::printf("wrote %zu stat records to %s\n", stats.size(),
-                opts.csv_path.c_str());
+    std::fprintf(Out(), "wrote %zu stat records to %s\n", stats.size(),
+                 opts.csv_path.c_str());
   }
 }
 
@@ -215,8 +254,8 @@ void MaybeExportStatsJson(const StatStore& stats, const BenchOptions& opts) {
   if (!s.ok()) {
     std::fprintf(stderr, "json export failed: %s\n", s.ToString().c_str());
   } else {
-    std::printf("wrote %zu stat records to %s\n", stats.size(),
-                opts.stats_json_path.c_str());
+    std::fprintf(Out(), "wrote %zu stat records to %s\n", stats.size(),
+                 opts.stats_json_path.c_str());
   }
 }
 

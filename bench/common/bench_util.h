@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/benchdb/derby.h"
+#include "src/harness/cell_runner.h"
 #include "src/stats/stat_store.h"
 
 namespace treebench::bench {
@@ -26,11 +27,13 @@ struct BenchOptions {
   /// write; CI uploads fig09's as an artifact.
   std::string trace_json_path;
   /// Optional path for the bench's host-side performance record ("" = no
-  /// export): `{"wall_seconds": ..., "peak_rss_kb": ...}`, written at
-  /// process exit (atexit — no per-bench plumbing needed). run_benches.sh
-  /// points every bench at bench_json/<name>_perf.json, so the consolidated
-  /// BENCH_results.json carries the wall-clock/RSS trajectory the
-  /// parallelization work (ROADMAP item 5) needs as its baseline.
+  /// export): `{"wall_seconds": ..., "peak_rss_kb": ...}` plus — for benches
+  /// driven through BenchCells — `"jobs"`, `"cells"`, `"pool_occupancy"`,
+  /// and a per-cell wall-clock map; written at process exit (atexit — no
+  /// per-bench plumbing needed). run_benches.sh points every bench at
+  /// bench_json/<name>_perf.json, so the consolidated BENCH_results.json
+  /// carries the wall-clock/RSS trajectory that gates the parallel harness
+  /// (ROADMAP item 5a, docs/parallel_harness.md).
   std::string perf_json_path;
   bool verbose = false;
 };
@@ -49,14 +52,23 @@ void PrintTable(const std::string& title,
 /// Formats "x1.23" style ratios as the paper's tables do.
 std::string Ratio(double value, double best);
 
-/// Builds a Derby database for a bench, printing progress. Seconds reported
-/// by subsequent runs are multiplied by `opts.scale` for comparison against
-/// paper-scale numbers (the machine is scaled with the data, so costs scale
-/// ~linearly).
+/// Builds a Derby database for a bench, printing progress to bench::Out()
+/// (virtual-time figures only, so the message is byte-stable across hosts
+/// and --jobs values). Seconds reported by subsequent runs are multiplied
+/// by `opts.scale` for comparison against paper-scale numbers (the machine
+/// is scaled with the data, so costs scale ~linearly). On build failure:
+/// inside a cell body the error is thrown (the cell runner rethrows it on
+/// the main thread after the pool drains); on the main thread the process
+/// exits 1, as before.
 std::unique_ptr<DerbyDb> BuildDerbyOrDie(uint64_t providers,
                                          uint32_t avg_children,
                                          ClusteringStrategy clustering,
                                          const BenchOptions& opts);
+
+/// Records the pool shape of a finished CellRunner (jobs, per-cell
+/// wall-clock, occupancy) for the exit-time *_perf.json writer. Called by
+/// BenchCells::RunAll(); main thread only.
+void RecordHarnessPerf(const CellRunner& runner);
 
 /// Paper reference values for one Figure 11-14 style grid: rows are the
 /// (sel patients, sel providers) pairs (10,10),(10,90),(90,10),(90,90);

@@ -9,9 +9,18 @@
 # Usage: run_benches.sh [OUT.txt] [bench flags...]
 #   A first argument not starting with "--" names the text output file
 #   (relative paths land inside bench_json/); every remaining argument is
-#   passed to each bench (e.g. --scale=8).
+#   passed to each bench (e.g. --scale=8, --jobs=8).
+#
+# --jobs=N is forwarded to every bench: the cell-converted sweeps
+# (workload_scaleout, shard_scaleout, update_mix, batch_ablation,
+# reclustering, fault_campaign) run their bench cells on an N-worker pool
+# and still produce byte-identical text/JSON artifacts at any N
+# (docs/parallel_harness.md); the remaining benches ignore the flag. Only
+# the *_perf.json host-perf records (and their perf_summary.json rollup)
+# legitimately vary with N.
 # Env: TREEBENCH_SKIP_MICRO=1 skips the google-benchmark micro bench (host
 #   wall clock, slow); CI sets it for smoke runs.
+#   TREEBENCH_JOBS=N sets the default worker count when --jobs is absent.
 set -u
 cd "$(dirname "$0")"
 
@@ -66,6 +75,29 @@ done
   echo "}"
 } > "$RESULTS"
 echo "wrote consolidated results to $RESULTS" | tee -a "$OUT"
+
+# Flat host-perf rollup: one "<bench>_wall_seconds" key per bench, extracted
+# from the <name>_perf.json records. This is the only run_benches artifact
+# that is ALLOWED to differ between --jobs values; bench/check_regression
+# compares wall-clock keys one-sided (--wall-tolerance), so a committed
+# wall baseline only fails when a bench got slower.
+PERF_SUMMARY=$JSON_DIR/perf_summary.json
+{
+  echo "{"
+  first=1
+  for f in "$JSON_DIR"/*_perf.json; do
+    [ -e "$f" ] || continue
+    name=$(basename "$f" _perf.json)
+    wall=$(sed -n 's/.*"wall_seconds": *\([0-9.eE+-]*\).*/\1/p' "$f" | head -1)
+    [ -n "$wall" ] || continue
+    [ $first -eq 1 ] || echo ","
+    first=0
+    printf '  "%s_wall_seconds": %s' "$name" "$wall"
+  done
+  echo
+  echo "}"
+} > "$PERF_SUMMARY"
+echo "wrote host-perf summary to $PERF_SUMMARY" | tee -a "$OUT"
 
 if [ "${TREEBENCH_SKIP_MICRO:-0}" != "1" ]; then
   echo "===================== build/bench/bench_micro_engine =====================" | tee -a "$OUT"

@@ -5,12 +5,14 @@
 namespace treebench {
 
 // Keeps the table in sync with the struct: adding a counter without listing
-// it here (and bumping this count) fails to compile.
-static_assert(sizeof(Metrics) == 61 * sizeof(uint64_t),
+// it here (and bumping kNumMetricsFields) fails to compile.
+static_assert(sizeof(Metrics) == kNumMetricsFields * sizeof(uint64_t),
               "new Metrics field? add it to MetricsFieldTable()");
 
-const std::vector<MetricsField>& MetricsFieldTable() {
-  static const std::vector<MetricsField> kFields = {
+namespace {
+// Constant-initialized (no runtime constructor): bench-cell worker threads
+// walk the table concurrently.
+constexpr std::array<MetricsField, kNumMetricsFields> kFields = {{
       {"disk_reads", &Metrics::disk_reads},
       {"disk_writes", &Metrics::disk_writes},
       {"rpc_count", &Metrics::rpc_count},
@@ -72,7 +74,10 @@ const std::vector<MetricsField>& MetricsFieldTable() {
       {"objects_migrated", &Metrics::objects_migrated},
       {"migration_aborts", &Metrics::migration_aborts},
       {"recluster_io_ns", &Metrics::recluster_io_ns},
-  };
+}};
+}  // namespace
+
+const std::array<MetricsField, kNumMetricsFields>& MetricsFieldTable() {
   return kFields;
 }
 

@@ -1,6 +1,8 @@
 #ifndef TREEBENCH_COST_METRICS_H_
 #define TREEBENCH_COST_METRICS_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,8 +20,11 @@ struct MetricsField {
 };
 
 /// Every Metrics counter, in declaration order. The order is stable — the
-/// JSON trace schema and CSV-ish dumps rely on it.
-const std::vector<MetricsField>& MetricsFieldTable();
+/// JSON trace schema and CSV-ish dumps rely on it. The table is a constexpr
+/// array (not a function-local static container): bench cells walk it from
+/// pool worker threads, so it must need no runtime initialization at all.
+inline constexpr std::size_t kNumMetricsFields = 61;
+const std::array<MetricsField, kNumMetricsFields>& MetricsFieldTable();
 
 /// Raw event counters accumulated during a run. These are the quantities the
 /// paper's Stat schema records (Figure 3): disk-to-server-cache reads, RPCs,

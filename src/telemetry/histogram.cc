@@ -14,7 +14,8 @@ int Histogram::BucketIndex(double ns) {
   int exp = 0;
   double mantissa = std::frexp(ns, &exp);  // ns = mantissa * 2^exp, m in [0.5,1)
   int octave = exp - 1;                    // floor(log2(ns))
-  static const double kEdges[kSubBuckets] = {
+  // constexpr: constant-initialized, safe to hit from bench-cell threads.
+  constexpr double kEdges[kSubBuckets] = {
       0.5,                        // 2^0 within the octave (mantissa scale)
       0.5 * 1.189207115002721,    // 2^(1/4)
       0.5 * 1.4142135623730951,   // 2^(1/2)

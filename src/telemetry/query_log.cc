@@ -202,9 +202,10 @@ TailReport TailReport::Build(const QueryLogRecorder& log, size_t top_k) {
     if (r.measured && r.ok) done.push_back(&r);
   }
   rep.analyzed = done.size();
-  static const char* kNames[5] = {"rpc_queue_wait", "lock_wait",
-                                  "failover_wait", "retry_backoff",
-                                  "service"};
+  // constexpr: constant-initialized, safe to hit from bench-cell threads.
+  static constexpr const char* kNames[5] = {"rpc_queue_wait", "lock_wait",
+                                            "failover_wait", "retry_backoff",
+                                            "service"};
   if (done.empty()) {
     for (const char* n : kNames) rep.components.push_back({n, 0, 0, 0});
     return rep;

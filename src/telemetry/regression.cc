@@ -121,6 +121,13 @@ bool IsTimeLikeKey(const std::string& key) {
   return false;
 }
 
+bool IsWallClockKey(const std::string& key) {
+  if (key == "wall_seconds") return true;
+  constexpr const char* kSuffix = "_wall_seconds";
+  const size_t n = std::string(kSuffix).size();
+  return key.size() >= n && key.compare(key.size() - n, n, kSuffix) == 0;
+}
+
 RegressionResult CompareRuns(const FlatRun& baseline, const FlatRun& current,
                              const RegressionOptions& opts) {
   RegressionResult res;
@@ -138,7 +145,23 @@ RegressionResult CompareRuns(const FlatRun& baseline, const FlatRun& current,
       ++res.failures;
       continue;
     }
-    if (IsTimeLikeKey(key)) {
+    if (IsWallClockKey(key)) {
+      // One-sided: only a slowdown beyond the wall band is a finding —
+      // wall-clock is host time, so a faster machine must never fail the
+      // gate, while a lost-parallelism regression must.
+      const double denom = std::fabs(want) > 0 ? std::fabs(want) : 1.0;
+      const double rel = (*got - want) / denom;
+      if (rel > opts.wall_tolerance) {
+        std::snprintf(buf, sizeof(buf),
+                      "WALLCLK  %-44s baseline=%.9g current=%.9g (%+.2f%% "
+                      "slower, band %.1f%%)\n",
+                      key.c_str(), want, *got, 100.0 * rel,
+                      100.0 * opts.wall_tolerance);
+        res.report += buf;
+        res.findings.push_back({"wall_clock", key, want, *got, true, true});
+        ++res.failures;
+      }
+    } else if (IsTimeLikeKey(key)) {
       const double denom = std::fabs(want) > 0 ? std::fabs(want) : 1.0;
       const double rel = std::fabs(*got - want) / denom;
       if (rel > opts.time_tolerance) {

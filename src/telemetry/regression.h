@@ -36,16 +36,30 @@ Result<FlatRun> ParseFlatJson(const std::string& text);
 /// `_qps`, or `_pct`.
 bool IsTimeLikeKey(const std::string& key);
 
+/// True for keys that carry HOST wall-clock time — `wall_seconds` exactly,
+/// or the suffix `_wall_seconds` (the `*_perf.json` records written by
+/// run_benches.sh and the cell harness). Wall-clock is the one
+/// non-deterministic quantity the gate tracks: it is compared one-sided
+/// (only getting SLOWER than baseline is a finding) and under a much wider
+/// band than simulated times. Checked before IsTimeLikeKey — `wall_seconds`
+/// also ends in `_seconds`.
+bool IsWallClockKey(const std::string& key);
+
 struct RegressionOptions {
   /// Allowed relative deviation for time-like keys (counters are exact).
   double time_tolerance = 0.02;
+  /// Allowed one-sided relative slowdown for wall-clock keys. Speedups
+  /// never fail. Default 25%: generous enough for noisy shared CI runners,
+  /// tight enough to catch a harness that lost its parallelism.
+  double wall_tolerance = 0.25;
 };
 
 /// One offending key from a baseline/current comparison.
 struct RegressionFinding {
   /// "missing" (key absent from current), "drift" (time-like key outside
-  /// the tolerance band), "mismatch" (counter key not exactly equal), or
-  /// "new" (key absent from baseline).
+  /// the tolerance band), "mismatch" (counter key not exactly equal),
+  /// "wall_clock" (host wall-clock key slower than baseline by more than
+  /// wall_tolerance), or "new" (key absent from baseline).
   std::string kind;
   std::string key;
   /// Valid unless kind == "new" / "missing" respectively.

@@ -292,6 +292,44 @@ TEST(RegressionTest, TimeLikeKeySuffixes) {
   EXPECT_FALSE(IsTimeLikeKey("rpc_count"));
 }
 
+TEST(RegressionTest, WallClockKeysAreRecognized) {
+  EXPECT_TRUE(IsWallClockKey("wall_seconds"));
+  EXPECT_TRUE(IsWallClockKey("workload_scaleout_wall_seconds"));
+  EXPECT_FALSE(IsWallClockKey("span_seconds"));
+  EXPECT_FALSE(IsWallClockKey("p99_s"));
+  EXPECT_FALSE(IsWallClockKey("disk_reads"));
+}
+
+TEST(RegressionTest, WallClockBandIsOneSided) {
+  FlatRun baseline;
+  baseline.Set("wall_seconds", 10.0);
+  baseline.Set("disk_reads", 100);
+
+  // 20% slower: inside the default 25% band.
+  FlatRun a = baseline;
+  a.Set("wall_seconds", 12.0);
+  EXPECT_TRUE(CompareRuns(baseline, a).ok);
+
+  // 50% slower: typed wall_clock finding.
+  FlatRun b = baseline;
+  b.Set("wall_seconds", 15.0);
+  RegressionResult r = CompareRuns(baseline, b);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, "wall_clock");
+  EXPECT_NE(r.report.find("WALLCLK"), std::string::npos);
+  // A wider explicit band accepts it.
+  RegressionOptions loose;
+  loose.wall_tolerance = 0.60;
+  EXPECT_TRUE(CompareRuns(baseline, b, loose).ok);
+
+  // 10x FASTER never fails: wall-clock is one-sided — a faster machine (or
+  // a parallel harness doing its job) must pass against an old baseline.
+  FlatRun c = baseline;
+  c.Set("wall_seconds", 1.0);
+  EXPECT_TRUE(CompareRuns(baseline, c).ok);
+}
+
 FlatRun GateBaseline() {
   FlatRun b;
   b.Set("class_c4_disk_reads", 1000);
